@@ -1,0 +1,78 @@
+/// \file bench_ablation_cache.cpp
+/// The paper ran gem5 with atomic CPU and *no cache configuration* and
+/// names CPU/cache configuration as future work (§V).  This ablation
+/// adds a set-associative cache in front of the trace and shows how
+/// cache size changes what the memory system sees — and therefore
+/// which memory configuration wins.
+
+#include <cstdio>
+
+#include "gmd/cpusim/workloads.hpp"
+#include "gmd/dse/recommend.hpp"
+#include "gmd/graph/generators.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace gmd;
+
+std::vector<cpusim::MemoryEvent> traced_bfs(
+    const graph::CsrGraph& graph,
+    std::optional<cpusim::CacheConfig> cache) {
+  cpusim::CpuModel model;
+  model.cache = cache;
+  cpusim::VectorSink sink;
+  cpusim::AtomicCpu cpu(model, &sink);
+  cpusim::BfsWorkload(graph, 0).run(cpu);
+  return sink.take();
+}
+
+}  // namespace
+
+int main() {
+  graph::UniformRandomParams params;
+  params.num_vertices = 1024;
+  params.edge_factor = 16;
+  graph::EdgeList list = graph::generate_uniform_random(params);
+  graph::symmetrize(list);
+  graph::remove_self_loops_and_duplicates(list);
+  const auto graph = graph::CsrGraph::from_edge_list(list);
+
+  const auto points = dse::reduced_design_space();
+  std::printf("# Cache-filter ablation (BFS, 1024 vertices; %zu-point "
+              "space)\n\n",
+              points.size());
+  std::printf("%-12s %10s %8s | %-26s %-26s\n", "cache", "events", "write%",
+              "best power", "best total latency");
+
+  struct Setup {
+    const char* label;
+    std::optional<cpusim::CacheConfig> cache;
+  };
+  const Setup setups[] = {
+      {"none", std::nullopt},
+      {"16KiB", cpusim::CacheConfig{16 * 1024, 64, 4}},
+      {"64KiB", cpusim::CacheConfig{64 * 1024, 64, 4}},
+      {"256KiB", cpusim::CacheConfig{256 * 1024, 64, 8}},
+  };
+  for (const Setup& setup : setups) {
+    const auto trace = traced_bfs(graph, setup.cache);
+    std::size_t writes = 0;
+    for (const auto& event : trace) writes += event.is_write ? 1 : 0;
+    const auto rows = dse::run_sweep(points, trace);
+    const auto recs = dse::recommend_from_sweep(rows);
+    std::printf("%-12s %10zu %7.1f%% | %-26s %-26s\n", setup.label,
+                trace.size(),
+                trace.empty()
+                    ? 0.0
+                    : 100.0 * static_cast<double>(writes) /
+                          static_cast<double>(trace.size()),
+                recs[0].best.id().c_str(), recs[3].best.id().c_str());
+  }
+  std::printf(
+      "\n# reading: a cache absorbs re-references, shrinking the trace\n"
+      "# and raising its write fraction (write-backs). Once the graph\n"
+      "# fits in cache, the memory system sees almost nothing — the\n"
+      "# regime where memory technology stops mattering.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+/// \file bench_ablation_migration.cpp
+/// Hybrid-memory management ablation: the paper's hybrid uses a static
+/// DRAM/NVM split; systems like NGraph (its related work) migrate hot
+/// pages into DRAM.  This bench sweeps the migration threshold on the
+/// BFS trace and reports what promotion buys — and costs.
+
+#include <cstdio>
+
+#include "gmd/memsim/hybrid.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace gmd;
+
+  const auto trace = bench::paper_trace();
+  std::printf("# Hybrid hot-page migration ablation (BFS trace, %zu "
+              "events; 2 channels, 666 MHz, dram_fraction 0.5)\n\n",
+              trace.size());
+  std::printf("%-12s %10s %10s %12s %12s %12s %12s\n", "threshold",
+              "migrated", "power(W)", "bw(MB/s)", "lat(cy)", "totlat(cy)",
+              "requests");
+
+  for (const std::uint32_t threshold : {0u, 4u, 16u, 64u, 256u}) {
+    memsim::HybridConfig config =
+        memsim::make_hybrid_config(2, 666, 3000, 67);
+    config.migration_threshold = threshold;
+    memsim::HybridMemory memory(config);
+    for (const auto& event : trace) memory.enqueue_event(event);
+    const std::uint64_t migrated = memory.pages_migrated();
+    const memsim::MemoryMetrics m = memory.finish();
+    std::printf("%-12s %10llu %10.4f %12.1f %12.2f %12.1f %12llu\n",
+                threshold == 0 ? "static" : std::to_string(threshold).c_str(),
+                static_cast<unsigned long long>(migrated),
+                m.avg_power_per_channel_w, m.avg_bandwidth_per_bank_mbs,
+                m.avg_latency_cycles, m.avg_total_latency_cycles,
+                static_cast<unsigned long long>(m.total_reads +
+                                                m.total_writes));
+  }
+
+  std::printf(
+      "\n# reading: aggressive thresholds promote the whole working set\n"
+      "# (copy traffic inflates the request count and power); lazy\n"
+      "# thresholds promote nothing. The sweet spot serves hot graph\n"
+      "# structures from DRAM while cold pages stay in NVM — the\n"
+      "# mechanism behind the hybrid systems the paper cites (NGraph).\n");
+  return 0;
+}

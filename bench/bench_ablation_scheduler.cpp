@@ -1,0 +1,75 @@
+/// \file bench_ablation_scheduler.cpp
+/// Design-choice ablation for the memory controller itself: scheduling
+/// policy (FCFS vs FR-FCFS) x page policy (open vs closed) on the
+/// paper's BFS trace, per memory technology.  These are the controller
+/// knobs NVMain exposes that the paper held fixed; the ablation shows
+/// how much they matter relative to the swept parameters.
+
+#include <cstdio>
+
+#include "gmd/memsim/memory_system.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace gmd;
+
+  const auto trace = bench::paper_trace();
+  std::printf("# Controller-policy ablation (BFS trace, %zu events; "
+              "2 channels, 666 MHz controller, 3 GHz CPU)\n\n",
+              trace.size());
+  std::printf("%-6s %-8s %-10s | %10s %12s %10s %12s %10s\n", "tech",
+              "sched", "page", "power(W)", "bw(MB/s)", "lat(cy)",
+              "totlat(cy)", "rowhit%");
+
+  for (const bool is_nvm : {false, true}) {
+    for (const auto scheduling :
+         {memsim::SchedulingPolicy::kFcfs, memsim::SchedulingPolicy::kFrFcfs}) {
+      for (const auto page :
+           {memsim::PagePolicy::kOpen, memsim::PagePolicy::kClosed}) {
+        memsim::MemoryConfig config =
+            is_nvm ? memsim::make_nvm_config(2, 666, 3000, 67)
+                   : memsim::make_dram_config(2, 666, 3000);
+        config.scheduling = scheduling;
+        config.page_policy = page;
+        const auto m = memsim::MemorySystem::simulate(config, trace);
+        std::printf(
+            "%-6s %-8s %-10s | %10.4f %12.1f %10.2f %12.1f %9.1f%%\n",
+            is_nvm ? "nvm" : "dram",
+            scheduling == memsim::SchedulingPolicy::kFcfs ? "fcfs" : "frfcfs",
+            page == memsim::PagePolicy::kOpen ? "open" : "closed",
+            m.avg_power_per_channel_w, m.avg_bandwidth_per_bank_mbs,
+            m.avg_latency_cycles, m.avg_total_latency_cycles,
+            m.row_hit_rate() * 100.0);
+      }
+    }
+  }
+  std::printf("\n# read-priority scheduling (write-drain watermark 24):\n");
+  std::printf("%-6s %-8s %-10s | %10s %12s %10s %12s %10s\n", "tech",
+              "sched", "readprio", "power(W)", "bw(MB/s)", "lat(cy)",
+              "totlat(cy)", "rowhit%");
+  for (const bool is_nvm : {false, true}) {
+    for (const bool prioritize : {false, true}) {
+      memsim::MemoryConfig config =
+          is_nvm ? memsim::make_nvm_config(2, 666, 3000, 67)
+                 : memsim::make_dram_config(2, 666, 3000);
+      config.prioritize_reads = prioritize;
+      const auto m = memsim::MemorySystem::simulate(config, trace);
+      std::printf("%-6s %-8s %-10s | %10.4f %12.1f %10.2f %12.1f %9.1f%%\n",
+                  is_nvm ? "nvm" : "dram", "frfcfs",
+                  prioritize ? "on" : "off", m.avg_power_per_channel_w,
+                  m.avg_bandwidth_per_bank_mbs, m.avg_latency_cycles,
+                  m.avg_total_latency_cycles, m.row_hit_rate() * 100.0);
+    }
+  }
+
+  std::printf(
+      "\n# reading: FR-FCFS + open page wins on latency via row hits;\n"
+      "# closed page trades latency for predictability. Read priority\n"
+      "# pays off on write-heavy mixes (it lets reads jump slow NVM\n"
+      "# writes) but on BFS's ~4%%-write trace it only disturbs row-hit\n"
+      "# batching — controller features are workload-dependent, which\n"
+      "# is itself a co-design conclusion. If the policy spread rivals\n"
+      "# the DRAM-vs-NVM spread, the paper's fixed controller policy is\n"
+      "# a material assumption.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// \file bench_fig3_predictions.cpp
+/// Reproduces Figure 3: for each of the six memory performance metrics,
+/// the per-test-configuration series of ground truth vs. SVM, RF, and
+/// GB predictions (plus the linear baseline).  The paper plots these as
+/// six scatter panels; this bench prints the same series as columns so
+/// any plotting tool can regenerate the figure.
+
+#include <cstdio>
+
+#include "gmd/dse/surrogate.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace gmd;
+
+  const auto trace = bench::paper_trace();
+  const auto rows = bench::paper_sweep(trace);
+  const auto suite = dse::SurrogateSuite::train(rows);
+
+  std::printf("# Figure 3 reproduction: test-set prediction series per "
+              "metric (min-max scaled units, as plotted in the paper)\n");
+  for (const auto& series : suite.series()) {
+    std::printf("\n## metric: %s (n_test=%zu)\n", series.metric.c_str(),
+                series.truth.size());
+    std::printf("%6s %12s", "index", "truth");
+    for (const auto& [model, _] : series.predictions) {
+      std::printf(" %12s", model.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < series.truth.size(); ++i) {
+      std::printf("%6zu %12.6f", i, series.truth[i]);
+      for (const auto& [model, predictions] : series.predictions) {
+        (void)model;
+        std::printf(" %12.6f", predictions[i]);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+/// \file bench_surrogate_speedup.cpp
+/// Quantifies the paper's core motivation (§I/§II): a trained surrogate
+/// answers "what will this configuration do?" orders of magnitude
+/// faster than the cycle-level simulator.  (The paper's NVMain runs
+/// took ~2 hours per configuration; both our simulator and surrogate
+/// are faster in absolute terms, but the *ratio* is the claim.)
+
+#include <cstdio>
+
+#include "gmd/dse/surrogate.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace gmd;
+
+  const auto trace = bench::paper_trace();
+  const auto points = dse::paper_design_space();
+
+  // Simulator cost: full sweep, per-configuration average.
+  bench::Stopwatch sim_watch;
+  const auto rows = dse::run_sweep(points, trace);
+  const double sim_total = sim_watch.seconds();
+  const double sim_per_config = sim_total / static_cast<double>(rows.size());
+
+  // Surrogate cost: one-time training plus per-configuration prediction.
+  bench::Stopwatch train_watch;
+  const auto deployed =
+      dse::SurrogateSuite::deploy(rows, "total_latency_cycles", "svr");
+  const double train_seconds = train_watch.seconds();
+
+  bench::Stopwatch predict_watch;
+  constexpr int kRepeats = 20;
+  double checksum = 0.0;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    for (const auto& point : points) checksum += deployed.predict(point);
+  }
+  const double predict_per_config =
+      predict_watch.seconds() / static_cast<double>(points.size() * kRepeats);
+
+  std::printf("# Surrogate vs simulator cost (%zu configurations, trace of "
+              "%zu events)\n",
+              points.size(), trace.size());
+  std::printf("simulator:  %.3f s total, %.3f ms/config\n", sim_total,
+              sim_per_config * 1e3);
+  std::printf("surrogate:  %.3f s one-time training, %.4f ms/config "
+              "prediction\n",
+              train_seconds, predict_per_config * 1e3);
+  std::printf("speedup:    %.0fx per configuration (checksum %.3f)\n",
+              sim_per_config / predict_per_config, checksum);
+  std::printf("break-even: surrogate pays off after %.0f predictions\n",
+              train_seconds / (sim_per_config - predict_per_config));
+  std::printf("# shape check: surrogate >= 100x faster per config:   %s\n",
+              sim_per_config / predict_per_config >= 100.0 ? "PASS" : "FAIL");
+  return 0;
+}

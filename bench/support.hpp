@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file support.hpp
+/// Shared setup for the experiment-reproduction benches: the paper's
+/// workload trace (GTGraph random graph, 1024 vertices, edge factor 16,
+/// Graph500 BFS from a random source) and its 416-configuration sweep.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "gmd/cpusim/memory_event.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/dse/sweep.hpp"
+#include "gmd/dse/workflow.hpp"
+
+namespace gmd::bench {
+
+inline std::vector<cpusim::MemoryEvent> paper_trace(
+    std::uint32_t vertices = 1024, const std::string& workload = "bfs") {
+  dse::WorkflowConfig config;
+  config.graph_vertices = vertices;
+  config.edge_factor = 16;
+  config.workload = workload;
+  config.seed = 1;
+  return dse::generate_workload_trace(config);
+}
+
+inline std::vector<dse::SweepRow> paper_sweep(
+    const std::vector<cpusim::MemoryEvent>& trace) {
+  return dse::run_sweep(dse::paper_design_space(), trace);
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gmd::bench

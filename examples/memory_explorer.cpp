@@ -1,0 +1,115 @@
+/// \file memory_explorer.cpp
+/// The architect's view: sweep one design axis for a chosen workload
+/// and print a metric table per configuration — the interactive
+/// equivalent of reading one block of the paper's Figure 2.
+///
+/// Usage: memory_explorer [--workload bfs|dobfs|pagerank|cc|sssp|triangles]
+///                        [--vertices N] [--axis ctrl|cpu|channels|trcd]
+///                        [--kind dram|nvm|hybrid]
+
+#include <iomanip>
+#include <iostream>
+
+#include "gmd/common/cli.hpp"
+#include "gmd/common/error.hpp"
+#include "gmd/dse/sweep.hpp"
+#include "gmd/dse/workflow.hpp"
+
+namespace {
+
+using namespace gmd;
+
+std::vector<dse::DesignPoint> axis_points(const std::string& axis,
+                                          dse::MemoryKind kind) {
+  std::vector<dse::DesignPoint> points;
+  dse::DesignPoint base;
+  base.kind = kind;
+  base.trcd = kind == dse::MemoryKind::kDram ? 9 : 50;
+  base.ctrl_freq_mhz = 666;
+  if (axis == "ctrl") {
+    for (const auto ctrl : memsim::paper_controller_frequencies_mhz()) {
+      dse::DesignPoint p = base;
+      p.ctrl_freq_mhz = ctrl;
+      if (kind != dse::MemoryKind::kDram)
+        p.trcd = memsim::nvm_trcd_set(ctrl)[2];
+      points.push_back(p);
+    }
+  } else if (axis == "cpu") {
+    for (const auto cpu : memsim::paper_cpu_frequencies_mhz()) {
+      dse::DesignPoint p = base;
+      p.cpu_freq_mhz = cpu;
+      points.push_back(p);
+    }
+  } else if (axis == "channels") {
+    for (const std::uint32_t ch : {2u, 4u, 8u}) {
+      dse::DesignPoint p = base;
+      p.channels = ch;
+      points.push_back(p);
+    }
+  } else if (axis == "trcd") {
+    GMD_REQUIRE(kind != dse::MemoryKind::kDram,
+                "tRCD axis applies to nvm/hybrid only");
+    for (const auto trcd : memsim::nvm_trcd_set(base.ctrl_freq_mhz)) {
+      dse::DesignPoint p = base;
+      p.trcd = trcd;
+      points.push_back(p);
+    }
+  } else {
+    throw Error("unknown axis '" + axis + "' (ctrl|cpu|channels|trcd)");
+  }
+  return points;
+}
+
+dse::MemoryKind parse_kind(const std::string& kind) {
+  if (kind == "dram") return dse::MemoryKind::kDram;
+  if (kind == "nvm") return dse::MemoryKind::kNvm;
+  if (kind == "hybrid") return dse::MemoryKind::kHybrid;
+  throw Error("unknown memory kind '" + kind + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmd;
+
+  CliParser cli("memory_explorer", "sweep one memory design axis");
+  cli.add_option("workload", "bfs", "bfs | dobfs | pagerank | cc | sssp | triangles")
+      .add_option("vertices", "256", "graph size")
+      .add_option("axis", "ctrl", "axis to sweep: ctrl | cpu | channels | trcd")
+      .add_option("kind", "nvm", "memory technology: dram | nvm | hybrid");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    dse::WorkflowConfig config;
+    config.graph_vertices = static_cast<std::uint32_t>(cli.get_int("vertices"));
+    config.workload = cli.get_string("workload");
+    const auto trace = dse::generate_workload_trace(config);
+    std::cout << "workload '" << config.workload << "': " << trace.size()
+              << " memory events\n\n";
+
+    const auto points =
+        axis_points(cli.get_string("axis"), parse_kind(cli.get_string("kind")));
+    const auto rows = dse::run_sweep(points, trace);
+
+    std::cout << std::left << std::setw(28) << "configuration"
+              << std::right << std::setw(10) << "power(W)" << std::setw(12)
+              << "bw(MB/s)" << std::setw(10) << "lat(cy)" << std::setw(12)
+              << "totlat(cy)" << std::setw(12) << "rd/ch" << std::setw(12)
+              << "wr/ch" << "\n";
+    for (const auto& row : rows) {
+      const auto& m = row.metrics;
+      std::cout << std::left << std::setw(28) << row.point.id() << std::right
+                << std::fixed << std::setprecision(4) << std::setw(10)
+                << m.avg_power_per_channel_w << std::setprecision(1)
+                << std::setw(12) << m.avg_bandwidth_per_bank_mbs
+                << std::setw(10) << m.avg_latency_cycles << std::setw(12)
+                << m.avg_total_latency_cycles << std::setw(12)
+                << m.avg_reads_per_channel << std::setw(12)
+                << m.avg_writes_per_channel << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

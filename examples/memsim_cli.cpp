@@ -1,0 +1,90 @@
+/// \file memsim_cli.cpp
+/// The NVMain command-line workflow, reimplemented: take a memory
+/// configuration file and an NVMain-format trace file, simulate, and
+/// print the performance metrics — so existing NVMain-style sweep
+/// scripts can drive this simulator file-for-file.
+///
+/// Usage: memsim_cli --config mem.cfg --trace trace.nvt
+///        memsim_cli --emit-config dram|nvm > mem.cfg
+
+#include <fstream>
+#include <iostream>
+
+#include "gmd/common/cli.hpp"
+#include "gmd/common/error.hpp"
+#include "gmd/memsim/config_io.hpp"
+#include "gmd/memsim/hybrid.hpp"
+#include "gmd/memsim/memory_system.hpp"
+#include "gmd/trace/formats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmd;
+
+  CliParser cli("memsim_cli", "trace-driven memory simulation (NVMain role)");
+  cli.add_option("config", "", "memory configuration file (NVMain-style)")
+      .add_option("config-dram", "",
+                  "hybrid mode: DRAM-side configuration file")
+      .add_option("config-nvm", "",
+                  "hybrid mode: NVM-side configuration file")
+      .add_option("dram-fraction", "0.5",
+                  "hybrid mode: fraction of pages routed to DRAM")
+      .add_option("trace", "", "NVMain-format trace file")
+      .add_option("emit-config", "",
+                  "print a preset config (dram or nvm) to stdout and exit");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const std::string preset = cli.get_string("emit-config");
+    if (!preset.empty()) {
+      if (preset == "dram") {
+        memsim::write_config(std::cout, memsim::make_dram_config(2, 666, 3000));
+      } else if (preset == "nvm") {
+        memsim::write_config(std::cout,
+                             memsim::make_nvm_config(2, 666, 3000, 67));
+      } else {
+        throw Error("--emit-config expects 'dram' or 'nvm'");
+      }
+      return 0;
+    }
+
+    const std::string config_path = cli.get_string("config");
+    const std::string dram_path = cli.get_string("config-dram");
+    const std::string nvm_path = cli.get_string("config-nvm");
+    const std::string trace_path = cli.get_string("trace");
+    const bool hybrid = !dram_path.empty() || !nvm_path.empty();
+    GMD_REQUIRE((hybrid || !config_path.empty()) && !trace_path.empty(),
+                "need --trace plus --config, or --config-dram/--config-nvm "
+                "(or --emit-config)");
+
+    std::ifstream trace_in(trace_path);
+    GMD_REQUIRE(trace_in.good(), "cannot open trace '" << trace_path << "'");
+    const auto events = trace::read_nvmain_trace(trace_in);
+
+    memsim::MemoryMetrics metrics;
+    std::string description;
+    if (hybrid) {
+      GMD_REQUIRE(!dram_path.empty() && !nvm_path.empty(),
+                  "hybrid mode needs both --config-dram and --config-nvm");
+      memsim::HybridConfig config;
+      config.dram = memsim::load_config(dram_path);
+      config.nvm = memsim::load_config(nvm_path);
+      config.dram_fraction = cli.get_double("dram-fraction");
+      metrics = memsim::HybridMemory::simulate(config, events);
+      description = "hybrid (" + std::to_string(config.total_channels()) +
+                    " channels)";
+    } else {
+      const memsim::MemoryConfig config = memsim::load_config(config_path);
+      metrics = memsim::MemorySystem::simulate(config, events);
+      description = config.name + " (" + memsim::to_string(config.device) +
+                    ", " + std::to_string(config.channels) + " channels, " +
+                    std::to_string(config.clock_mhz) + " MHz)";
+    }
+    std::cout << "config: " << description << "\n"
+              << "trace:  " << events.size() << " requests\n\n"
+              << metrics.describe();
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

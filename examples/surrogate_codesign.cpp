@@ -1,0 +1,70 @@
+/// \file surrogate_codesign.cpp
+/// The paper's full study: simulate the complete 416-configuration
+/// design space for Graph500 BFS, train all four model families, print
+/// Table I, and emit both simulated and surrogate-driven
+/// recommendations.  Optionally saves the dataset as CSV.
+///
+/// Usage: surrogate_codesign [--vertices 1024] [--csv dataset.csv]
+///                           [--trace-dir DIR]
+
+#include <iostream>
+
+#include "gmd/common/cli.hpp"
+#include "gmd/common/error.hpp"
+#include "gmd/dse/dataset_builder.hpp"
+#include "gmd/dse/report.hpp"
+#include "gmd/dse/workflow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmd;
+
+  CliParser cli("surrogate_codesign",
+                "full 416-point ML-based design space exploration");
+  cli.add_option("vertices", "1024", "graph size (paper value: 1024)")
+      .add_option("edge-factor", "16", "edges per vertex (paper value: 16)")
+      .add_option("csv", "", "write the sweep dataset to this CSV path")
+      .add_option("trace-dir", "",
+                  "round-trip the trace through gem5/NVMain format files "
+                  "in this directory")
+      .add_option("report", "", "write a markdown study report to this path")
+      .add_option("seed", "1", "random seed");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    dse::WorkflowConfig config;
+    config.graph_vertices = static_cast<std::uint32_t>(cli.get_int("vertices"));
+    config.edge_factor = static_cast<unsigned>(cli.get_int("edge-factor"));
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    config.trace_dir = cli.get_string("trace-dir");
+    config.log_progress = true;
+    // Full paper design space (design_points left empty).
+
+    const dse::WorkflowResult result = dse::run_workflow(config);
+    std::cout << result.report() << "\n";
+
+    // Surrogate-driven recommendation over the same space: what the
+    // trained model would pick without consulting the simulator.
+    std::vector<dse::DesignPoint> candidates;
+    candidates.reserve(result.sweep.size());
+    for (const auto& row : result.sweep) candidates.push_back(row.point);
+    const auto surrogate_recs =
+        dse::recommend_from_surrogate(result.sweep, candidates, "svr");
+    std::cout << "Surrogate-predicted optima (no further simulation):\n"
+              << dse::format_recommendations(surrogate_recs);
+
+    const std::string csv_path = cli.get_string("csv");
+    if (!csv_path.empty()) {
+      dse::sweep_to_table(result.sweep).save(csv_path);
+      std::cout << "\ndataset written to " << csv_path << "\n";
+    }
+    const std::string report_path = cli.get_string("report");
+    if (!report_path.empty()) {
+      dse::save_markdown_report(report_path, result);
+      std::cout << "study report written to " << report_path << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,71 @@
+/// \file trace_tools.cpp
+/// The trace pipeline as a standalone tool: run a graph workload, write
+/// its memory trace in gem5 text format, convert it to NVMain format
+/// with the parallel chunked converter (§III-D), and print trace
+/// statistics — the part of the paper's workflow that moved 91.5M
+/// gem5 lines into a 14 GB NVMain trace.
+///
+/// Usage: trace_tools [--workload bfs] [--vertices 512] [--out-dir DIR]
+///                    [--chunk-kb 4096] [--threads 0]
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "gmd/common/cli.hpp"
+#include "gmd/common/error.hpp"
+#include "gmd/dse/workflow.hpp"
+#include "gmd/trace/converter.hpp"
+#include "gmd/trace/formats.hpp"
+#include "gmd/trace/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmd;
+
+  CliParser cli("trace_tools", "generate, convert, and inspect memory traces");
+  cli.add_option("workload", "bfs", "bfs | dobfs | pagerank | cc | sssp | triangles")
+      .add_option("vertices", "512", "graph size")
+      .add_option("out-dir", "/tmp/gmd_traces", "output directory")
+      .add_option("chunk-kb", "4096", "converter chunk size in KiB")
+      .add_option("threads", "0", "converter threads (0 = all cores)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    dse::WorkflowConfig config;
+    config.graph_vertices = static_cast<std::uint32_t>(cli.get_int("vertices"));
+    config.workload = cli.get_string("workload");
+    const auto events = dse::generate_workload_trace(config);
+
+    const std::filesystem::path dir(cli.get_string("out-dir"));
+    std::filesystem::create_directories(dir);
+    const std::string gem5_path = (dir / "workload.gem5.txt").string();
+    const std::string nvmain_path = (dir / "workload.nvmain.txt").string();
+
+    {
+      std::ofstream out(gem5_path);
+      GMD_REQUIRE(out.good(), "cannot write " << gem5_path);
+      trace::Gem5TraceWriter writer(out);
+      for (const auto& event : events) writer.on_event(event);
+      std::cout << "wrote " << writer.lines_written() << " gem5 lines to "
+                << gem5_path << "\n";
+    }
+
+    trace::ConvertOptions options;
+    options.chunk_bytes =
+        static_cast<std::size_t>(cli.get_int("chunk-kb")) * 1024;
+    options.num_threads = static_cast<std::size_t>(cli.get_int("threads"));
+    const trace::ConvertStats stats =
+        trace::convert_gem5_to_nvmain(gem5_path, nvmain_path, options);
+    std::cout << "converted " << stats.lines_in << " lines ("
+              << stats.lines_skipped << " skipped) into " << stats.events_out
+              << " NVMain records across " << stats.chunks << " chunks -> "
+              << nvmain_path << "\n\n";
+
+    std::cout << "trace statistics:\n"
+              << trace::describe(trace::compute_stats(events));
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file cli.hpp
+/// Tiny declarative command-line parser used by the examples and bench
+/// binaries.  Supports `--name value`, `--name=value`, and boolean flags.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gmd {
+
+/// Declarative option set with typed accessors and generated usage text.
+class CliParser {
+ public:
+  /// \param program  Name shown in usage output.
+  /// \param summary  One-line description shown in usage output.
+  CliParser(std::string program, std::string summary);
+
+  /// Registers an option with a default value (all values stored as text).
+  CliParser& add_option(const std::string& name, const std::string& default_value,
+                        const std::string& help);
+  /// Registers a boolean flag (defaults to false; presence sets true).
+  CliParser& add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv.  Returns false (after printing usage) when --help was
+  /// requested.  Throws gmd::Error on unknown options or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Positional arguments left over after option parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  const Option& find(const std::string& name) const;
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gmd

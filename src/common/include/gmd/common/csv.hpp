@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file csv.hpp
+/// Column-oriented CSV table used to exchange datasets between the DSE
+/// sweep, the ML library, and external tools (pandas-compatible output).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gmd {
+
+/// An in-memory table of doubles with named columns.  Rows are dense:
+/// every row has one value per column.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> columns);
+
+  /// Appends a row; its size must equal the column count.
+  void add_row(const std::vector<double>& row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Index of a named column; throws gmd::Error when absent.
+  std::size_t column_index(const std::string& name) const;
+  bool has_column(const std::string& name) const;
+
+  double at(std::size_t row, std::size_t col) const;
+  double at(std::size_t row, const std::string& column) const;
+  const std::vector<double>& row(std::size_t index) const;
+
+  /// Extracts a whole column by name.
+  std::vector<double> column(const std::string& name) const;
+
+  /// Serializes as RFC-4180-style CSV (header + numeric rows).
+  void write(std::ostream& os) const;
+  void save(const std::string& path) const;
+
+  /// Parses a numeric CSV with a header row.  Throws gmd::Error on
+  /// malformed input (ragged rows, non-numeric cells).
+  static CsvTable read(std::istream& is);
+  static CsvTable load(const std::string& path);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace gmd

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file error.hpp
+/// Error-handling primitives shared by every graphmemdse library.
+///
+/// The library reports recoverable misuse (bad configuration, malformed
+/// input files) via `gmd::Error`, a `std::runtime_error` carrying a
+/// formatted message.  Internal invariants use `GMD_ASSERT`, which is
+/// compiled in for all build types: a simulator that silently corrupts
+/// state is worse than one that stops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gmd {
+
+/// Exception type thrown for all recoverable graphmemdse errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(std::string_view file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+/// Throws gmd::Error with a formatted message when `cond` is false.
+/// Use for validating user-supplied configuration and file input.
+#define GMD_REQUIRE(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream gmd_require_os_;                               \
+      gmd_require_os_ << "requirement failed: " << msg;               \
+      ::gmd::detail::throw_error(__FILE__, __LINE__,                    \
+                                 gmd_require_os_.str());                \
+    }                                                                   \
+  } while (0)
+
+/// Internal invariant check; active in every build type.
+#define GMD_ASSERT(cond, msg)                                           \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream gmd_assert_os_;                                \
+      gmd_assert_os_ << "internal invariant violated: " << msg;       \
+      ::gmd::detail::throw_error(__FILE__, __LINE__,                    \
+                                 gmd_assert_os_.str());                 \
+    }                                                                   \
+  } while (0)
+
+}  // namespace gmd

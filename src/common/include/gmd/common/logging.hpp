@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logger.  Thread-safe: concurrent log calls from the
+/// sweep thread pool are serialized on an internal mutex.  The default
+/// sink is stderr; tests may install a capturing sink.
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gmd::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns a human-readable name ("DEBUG", "INFO", ...) for a level.
+std::string_view level_name(Level level);
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_level(Level level);
+
+/// Current global minimum level.
+Level level();
+
+/// Replaces the output sink.  The sink receives fully formatted lines
+/// (level prefix included, no trailing newline).  Passing nullptr
+/// restores the default stderr sink.
+void set_sink(std::function<void(Level, std::string_view)> sink);
+
+/// Emits one message at `level` if it passes the global filter.
+void write(Level level, std::string_view message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(level_, os_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace gmd::log
+
+/// Streaming log macros: `GMD_LOG_INFO << "sweep " << i << " done";`
+#define GMD_LOG_DEBUG ::gmd::log::detail::LineBuilder(::gmd::log::Level::kDebug)
+#define GMD_LOG_INFO ::gmd::log::detail::LineBuilder(::gmd::log::Level::kInfo)
+#define GMD_LOG_WARN ::gmd::log::detail::LineBuilder(::gmd::log::Level::kWarn)
+#define GMD_LOG_ERROR ::gmd::log::detail::LineBuilder(::gmd::log::Level::kError)

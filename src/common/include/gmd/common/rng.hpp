@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, splittable pseudo-random number generation.
+///
+/// Every stochastic component in graphmemdse (graph generators, ML model
+/// bootstrapping, train/test splits, DSE samplers) takes an explicit seed
+/// so that experiments are exactly reproducible run-to-run.  The engine is
+/// xoshiro256**, seeded through SplitMix64 as its authors recommend.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine.  Satisfies UniformRandomBitGenerator so it can be
+/// used with <random> distributions, but the member helpers below avoid
+/// the cross-platform non-determinism of std distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    GMD_REQUIRE(bound > 0, "next_below bound must be positive");
+    // 128-bit multiply-shift rejection sampling.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) {
+    GMD_REQUIRE(lo <= hi, "next_in_range requires lo <= hi");
+    const auto span =
+        static_cast<std::uint64_t>(hi - lo) + 1;  // hi - lo < 2^63
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal variate (Marsaglia polar method).
+  double next_normal() {
+    if (have_cached_normal_) {
+      have_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u, v, s;
+    do {
+      u = next_double_in(-1.0, 1.0);
+      v = next_double_in(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    have_cached_normal_ = true;
+    return u * factor;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Derives an independent child generator; used to hand each worker
+  /// thread or each decision tree its own stream.
+  Rng split() {
+    Rng child(0);
+    std::uint64_t sm = (*this)();
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& items) {
+    const auto n = items.size();
+    if (n < 2) return;
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const std::size_t j = next_below(i + 1);
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool have_cached_normal_ = false;
+};
+
+}  // namespace gmd

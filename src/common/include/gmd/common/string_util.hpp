@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file string_util.hpp
+/// String helpers shared by the trace parsers, CSV I/O, and CLI.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gmd {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Splits on runs of whitespace; drops empty fields.
+std::vector<std::string_view> split_whitespace(std::string_view s);
+
+/// Whole-string parses; nullopt on any trailing garbage or overflow.
+std::optional<std::int64_t> parse_int(std::string_view s);
+std::optional<std::uint64_t> parse_uint(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+/// True when `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string_view s);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+/// Formats with fixed precision, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int digits);
+
+/// Formats in scientific notation with `digits` mantissa decimals,
+/// e.g. format_sci(41300000.0, 2) == "4.13e+07".
+std::string format_sci(double value, int digits);
+
+}  // namespace gmd

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool with a parallel_for helper.  Used by the DSE
+/// sweep runner (one memory simulation per task), the parallel trace
+/// converter, and random-forest training.
+///
+/// Exceptions thrown by tasks are captured and rethrown to the caller of
+/// wait()/parallel_for(), so worker failures are never silently dropped
+/// (C++ Core Guidelines E.2: throw to signal that a function can't do
+/// its job — even from a pool thread).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gmd {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least one).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks may not touch the pool itself.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished; rethrows the first
+  /// captured task exception, if any.
+  void wait();
+
+  /// Runs fn(i) for i in [begin, end) across the pool and waits.
+  /// Work is divided into contiguous chunks, one per worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
+};
+
+}  // namespace gmd

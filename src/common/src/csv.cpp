@@ -1,0 +1,121 @@
+#include "gmd/common/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/string_util.hpp"
+
+namespace gmd {
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  GMD_REQUIRE(!columns_.empty(), "CsvTable needs at least one column");
+}
+
+void CsvTable::add_row(const std::vector<double>& row) {
+  GMD_REQUIRE(row.size() == columns_.size(),
+              "row size " << row.size() << " != column count "
+                          << columns_.size());
+  rows_.push_back(row);
+}
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i] == name) return i;
+  throw Error("CsvTable: no column named '" + name + "'");
+}
+
+bool CsvTable::has_column(const std::string& name) const {
+  for (const auto& c : columns_)
+    if (c == name) return true;
+  return false;
+}
+
+double CsvTable::at(std::size_t row, std::size_t col) const {
+  GMD_REQUIRE(row < rows_.size(), "row index out of range");
+  GMD_REQUIRE(col < columns_.size(), "column index out of range");
+  return rows_[row][col];
+}
+
+double CsvTable::at(std::size_t row, const std::string& column) const {
+  return at(row, column_index(column));
+}
+
+const std::vector<double>& CsvTable::row(std::size_t index) const {
+  GMD_REQUIRE(index < rows_.size(), "row index out of range");
+  return rows_[index];
+}
+
+std::vector<double> CsvTable::column(const std::string& name) const {
+  const std::size_t idx = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[idx]);
+  return out;
+}
+
+void CsvTable::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ',';
+    os << columns_[i];
+  }
+  os << '\n';
+  os.precision(17);
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) os << ',';
+      os << r[i];
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream out(path);
+  GMD_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  write(out);
+  GMD_REQUIRE(out.good(), "write to '" << path << "' failed");
+}
+
+CsvTable CsvTable::read(std::istream& is) {
+  std::string line;
+  GMD_REQUIRE(static_cast<bool>(std::getline(is, line)),
+              "CSV input is empty (no header)");
+  std::vector<std::string> header;
+  for (auto field : split(trim(line), ','))
+    header.emplace_back(trim(field));
+  CsvTable table(std::move(header));
+
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = split(trimmed, ',');
+    GMD_REQUIRE(fields.size() == table.columns_.size(),
+                "CSV line " << line_no << ": expected "
+                            << table.columns_.size() << " fields, got "
+                            << fields.size());
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (auto field : fields) {
+      const auto value = parse_double(field);
+      GMD_REQUIRE(value.has_value(), "CSV line " << line_no
+                                                 << ": non-numeric field '"
+                                                 << std::string(field) << "'");
+      row.push_back(*value);
+    }
+    table.rows_.push_back(std::move(row));
+  }
+  return table;
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream in(path);
+  GMD_REQUIRE(in.good(), "cannot open '" << path << "' for reading");
+  return read(in);
+}
+
+}  // namespace gmd

@@ -1,0 +1,57 @@
+#include "gmd/common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <utility>
+
+namespace gmd::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_sink_mutex;
+std::function<void(Level, std::string_view)> g_sink;  // guarded by g_sink_mutex
+
+void default_sink(Level level, std::string_view message) {
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_sink(std::function<void(Level, std::string_view)> sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void write(Level level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace gmd::log

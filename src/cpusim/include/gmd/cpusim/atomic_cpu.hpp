@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file atomic_cpu.hpp
+/// Atomic (functional, fixed-cost) CPU model — the gem5 SE-mode
+/// substitute.  It keeps a tick counter, charges a fixed cost per
+/// compute operation and per memory access, optionally filters the
+/// access stream through a cache model, and forwards the resulting
+/// memory traffic to a TraceSink.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gmd/cpusim/cache.hpp"
+#include "gmd/cpusim/cache_hierarchy.hpp"
+#include "gmd/cpusim/memory_event.hpp"
+
+namespace gmd::cpusim {
+
+/// Fixed-cost CPU timing parameters (gem5 "atomic" mode analog).
+struct CpuModel {
+  std::uint64_t freq_mhz = 2000;      ///< Informational; ticks are cycles.
+  std::uint32_t compute_op_ticks = 1; ///< Cost of one ALU-ish operation.
+  /// Cost of one memory access in CPU ticks.  In gem5's atomic mode a
+  /// memory instruction carries the cost of the surrounding dependent
+  /// instruction stream, so the default puts the generated request rate
+  /// *near* a realistic memory system's capacity: low-clock
+  /// configurations saturate (bandwidth scales with controller
+  /// frequency) while high-clock ones stay demand-bound (bandwidth
+  /// scales with CPU frequency) — the two trends of the paper's Fig. 2.
+  std::uint32_t memory_op_ticks = 10;
+  std::optional<CacheConfig> cache;   ///< Absent: every access hits memory.
+  /// Two-level L1/L2 filter; takes precedence over `cache` when set.
+  std::optional<CacheHierarchyConfig> cache_hierarchy;
+};
+
+/// Aggregate counters for one workload run.
+struct CpuStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t compute_ops = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t memory_events = 0;  ///< Events actually sent to the sink.
+};
+
+class AtomicCpu {
+ public:
+  /// \param sink  Receives memory traffic; may be nullptr (count-only runs).
+  explicit AtomicCpu(const CpuModel& model, TraceSink* sink = nullptr);
+
+  const CpuModel& model() const { return model_; }
+  const CpuStats& stats() const { return stats_; }
+  std::uint64_t ticks() const { return stats_.ticks; }
+  const Cache* cache() const { return cache_ ? &*cache_ : nullptr; }
+  const CacheHierarchy* hierarchy() const {
+    return hierarchy_ ? &*hierarchy_ : nullptr;
+  }
+
+  /// Advances time by `ops` compute operations.
+  void compute(std::uint64_t ops = 1);
+
+  /// Issues one load/store of `size` bytes at `address`.
+  void load(std::uint64_t address, std::uint32_t size);
+  void store(std::uint64_t address, std::uint32_t size);
+
+  /// Flushes dirty cache lines to the sink (end of workload), so the
+  /// memory trace accounts for every store even with a cache configured.
+  void flush_cache();
+
+ private:
+  void access(std::uint64_t address, std::uint32_t size, bool is_write);
+  void emit(std::uint64_t address, std::uint32_t size, bool is_write);
+
+  CpuModel model_;
+  TraceSink* sink_;
+  std::optional<Cache> cache_;
+  std::optional<CacheHierarchy> hierarchy_;
+  CpuStats stats_;
+};
+
+/// TraceSink that buffers events in memory (tests, small workloads).
+class VectorSink final : public TraceSink {
+ public:
+  void on_event(const MemoryEvent& event) override {
+    events_.push_back(event);
+  }
+  const std::vector<MemoryEvent>& events() const { return events_; }
+  std::vector<MemoryEvent> take() { return std::move(events_); }
+
+ private:
+  std::vector<MemoryEvent> events_;
+};
+
+}  // namespace gmd::cpusim

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file cache_hierarchy.hpp
+/// Two-level (L1 + L2) inclusive cache hierarchy.
+///
+/// The paper ran gem5 without a cache configuration and flags "specific
+/// CPUs and cache configurations" as future work; the single-level
+/// filter in CpuModel::cache covers the first step, and this hierarchy
+/// covers the realistic L1/L2 case: only L2 misses and L2 write-backs
+/// reach the memory system.
+
+#include <cstdint>
+#include <vector>
+
+#include "gmd/cpusim/cache.hpp"
+
+namespace gmd::cpusim {
+
+struct CacheHierarchyConfig {
+  CacheConfig l1{32 * 1024, 64, 4};
+  CacheConfig l2{256 * 1024, 64, 8};
+};
+
+/// Memory traffic produced by one access to the hierarchy.
+struct HierarchyTraffic {
+  /// Line-aligned fills fetched from memory (0 or 1 entries).
+  std::vector<std::uint64_t> fills;
+  /// Line-aligned dirty lines written back to memory (0..2 entries:
+  /// an L1 victim can force an L2 write-back on a conflicting set).
+  std::vector<std::uint64_t> writebacks;
+  bool l1_hit = false;
+  bool l2_hit = false;
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const CacheHierarchyConfig& config);
+
+  /// Presents one access; returns the traffic that reaches memory.
+  HierarchyTraffic access(std::uint64_t address, bool is_write);
+
+  /// Flushes both levels; returns every dirty line (memory-bound).
+  std::vector<std::uint64_t> flush();
+
+  const Cache& l1() const { return l1_; }
+  const Cache& l2() const { return l2_; }
+
+ private:
+  Cache l1_;
+  Cache l2_;
+};
+
+}  // namespace gmd::cpusim

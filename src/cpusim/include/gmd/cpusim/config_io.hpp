@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file config_io.hpp
+/// gem5-style system configuration files for the CPU side.  The paper
+/// "specif[ies] to the Gem5 simulator the system configuration (i.e.
+/// CPUs, memory size, etc.) via a system configuration file"; this
+/// module gives the atomic CPU model the same file-driven workflow
+/// (`KEY value` lines, `;`/`#` comments).
+///
+/// Keys: CPUFreqMHz, ComputeOpTicks, MemoryOpTicks,
+///       L1Size/L1Line/L1Assoc (single-level filter),
+///       L2Size/L2Line/L2Assoc (adding these selects the two-level
+///       hierarchy), CacheEnable (false strips any cache keys).
+
+#include <iosfwd>
+#include <string>
+
+#include "gmd/cpusim/atomic_cpu.hpp"
+
+namespace gmd::cpusim {
+
+void write_cpu_config(std::ostream& os, const CpuModel& model);
+void save_cpu_config(const std::string& path, const CpuModel& model);
+
+/// Parses a system configuration; unknown keys throw, missing keys keep
+/// defaults (no cache unless cache keys appear).
+CpuModel read_cpu_config(std::istream& is);
+CpuModel load_cpu_config(const std::string& path);
+
+}  // namespace gmd::cpusim

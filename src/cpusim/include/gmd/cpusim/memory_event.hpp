@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file memory_event.hpp
+/// The unit of information flowing from the CPU simulator to the memory
+/// simulator: one memory access with its issue time in CPU ticks.
+/// This is the same information gem5's SE-mode atomic CPU emits in its
+/// physmem trace (tick, address, size, read/write).
+
+#include <cstdint>
+
+namespace gmd::cpusim {
+
+struct MemoryEvent {
+  std::uint64_t tick = 0;     ///< CPU cycle at which the access issues.
+  std::uint64_t address = 0;  ///< Physical byte address.
+  std::uint32_t size = 0;     ///< Access size in bytes.
+  bool is_write = false;
+
+  friend bool operator==(const MemoryEvent&, const MemoryEvent&) = default;
+};
+
+/// Consumer of the CPU's memory-event stream.  Implementations include
+/// in-memory collectors and the gem5-format trace writers in gmd::trace.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const MemoryEvent& event) = 0;
+};
+
+}  // namespace gmd::cpusim

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file workloads.hpp
+/// Graph workload drivers: the programs the simulated CPU "runs".
+///
+/// Each driver copies a CSR graph into the simulated address space and
+/// executes its kernel through instrumented arrays, producing the memory
+/// trace the paper obtained from gem5.  BFS is the paper's benchmark;
+/// PageRank / connected components / SSSP power the "other graph
+/// algorithms" future-work ablation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gmd/cpusim/address_space.hpp"
+#include "gmd/cpusim/atomic_cpu.hpp"
+#include "gmd/graph/csr.hpp"
+
+namespace gmd::cpusim {
+
+/// Outcome of one workload execution.
+struct WorkloadResult {
+  CpuStats cpu;                    ///< Tick/operation counters.
+  std::uint64_t sim_bytes = 0;     ///< Simulated footprint allocated.
+  std::uint64_t kernel_output = 0; ///< Kernel checksum (e.g. vertices visited).
+};
+
+/// A runnable workload bound to a graph.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  /// Executes the kernel on `cpu`; the graph structure traffic and all
+  /// kernel data-structure traffic flow through the CPU's sink.
+  virtual WorkloadResult run(AtomicCpu& cpu) const = 0;
+};
+
+/// Graph500-style BFS from a fixed source ("computed the BFS kernel as
+/// specified in the Graph500 benchmark by starting from a random vertex
+/// ID" — the source is chosen by the caller, typically rng-drawn).
+class BfsWorkload final : public Workload {
+ public:
+  BfsWorkload(const graph::CsrGraph& graph, graph::VertexId source);
+  std::string name() const override { return "bfs"; }
+  WorkloadResult run(AtomicCpu& cpu) const override;
+
+ private:
+  const graph::CsrGraph& graph_;
+  graph::VertexId source_;
+};
+
+/// Direction-optimizing BFS (Beamer's algorithm, used by the Graph500
+/// reference code): switches between top-down frontier expansion and
+/// bottom-up parent search based on frontier size.  Bottom-up phases
+/// scan the full vertex range — a very different (more sequential)
+/// address stream than top-down's pointer chasing, which is exactly why
+/// the traced variant matters for memory co-design.
+class DirectionOptimizingBfsWorkload final : public Workload {
+ public:
+  DirectionOptimizingBfsWorkload(const graph::CsrGraph& graph,
+                                 graph::VertexId source, double alpha = 15.0);
+  std::string name() const override { return "dobfs"; }
+  WorkloadResult run(AtomicCpu& cpu) const override;
+
+ private:
+  const graph::CsrGraph& graph_;
+  graph::VertexId source_;
+  double alpha_;
+};
+
+/// Fixed-iteration power-method PageRank.
+class PageRankWorkload final : public Workload {
+ public:
+  PageRankWorkload(const graph::CsrGraph& graph, unsigned iterations = 10);
+  std::string name() const override { return "pagerank"; }
+  WorkloadResult run(AtomicCpu& cpu) const override;
+
+ private:
+  const graph::CsrGraph& graph_;
+  unsigned iterations_;
+};
+
+/// Label-propagation connected components.
+class ConnectedComponentsWorkload final : public Workload {
+ public:
+  explicit ConnectedComponentsWorkload(const graph::CsrGraph& graph);
+  std::string name() const override { return "cc"; }
+  WorkloadResult run(AtomicCpu& cpu) const override;
+
+ private:
+  const graph::CsrGraph& graph_;
+};
+
+/// Bellman-Ford-style SSSP (round-based relaxation; regular access
+/// pattern per round, contrasting with BFS's frontier irregularity).
+class SsspWorkload final : public Workload {
+ public:
+  SsspWorkload(const graph::CsrGraph& graph, graph::VertexId source,
+               unsigned max_rounds = 32);
+  std::string name() const override { return "sssp"; }
+  WorkloadResult run(AtomicCpu& cpu) const override;
+
+ private:
+  const graph::CsrGraph& graph_;
+  graph::VertexId source_;
+  unsigned max_rounds_;
+};
+
+/// Triangle counting (node-iterator with sorted-list intersection):
+/// the most irregular kernel here — long dependent pointer chases over
+/// two adjacency lists at once.
+class TriangleCountWorkload final : public Workload {
+ public:
+  explicit TriangleCountWorkload(const graph::CsrGraph& graph);
+  std::string name() const override { return "triangles"; }
+  WorkloadResult run(AtomicCpu& cpu) const override;
+
+ private:
+  const graph::CsrGraph& graph_;
+};
+
+/// Factory keyed by name ("bfs", "dobfs", "pagerank", "cc", "sssp",
+/// "triangles").
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        const graph::CsrGraph& graph,
+                                        graph::VertexId source = 0);
+
+}  // namespace gmd::cpusim

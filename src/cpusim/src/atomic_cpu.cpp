@@ -1,0 +1,88 @@
+#include "gmd/cpusim/atomic_cpu.hpp"
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::cpusim {
+
+AtomicCpu::AtomicCpu(const CpuModel& model, TraceSink* sink)
+    : model_(model), sink_(sink) {
+  GMD_REQUIRE(model.compute_op_ticks > 0, "compute_op_ticks must be positive");
+  GMD_REQUIRE(model.memory_op_ticks > 0, "memory_op_ticks must be positive");
+  if (model.cache_hierarchy) {
+    hierarchy_.emplace(*model.cache_hierarchy);
+  } else if (model.cache) {
+    cache_.emplace(*model.cache);
+  }
+}
+
+void AtomicCpu::compute(std::uint64_t ops) {
+  stats_.ticks += ops * model_.compute_op_ticks;
+  stats_.compute_ops += ops;
+}
+
+void AtomicCpu::load(std::uint64_t address, std::uint32_t size) {
+  ++stats_.loads;
+  access(address, size, /*is_write=*/false);
+}
+
+void AtomicCpu::store(std::uint64_t address, std::uint32_t size) {
+  ++stats_.stores;
+  access(address, size, /*is_write=*/true);
+}
+
+void AtomicCpu::access(std::uint64_t address, std::uint32_t size,
+                       bool is_write) {
+  GMD_REQUIRE(size > 0, "memory access size must be positive");
+  stats_.ticks += model_.memory_op_ticks;
+  if (hierarchy_) {
+    const HierarchyTraffic traffic = hierarchy_->access(address, is_write);
+    const std::uint32_t line = hierarchy_->l2().config().line_bytes;
+    for (const std::uint64_t wb : traffic.writebacks) {
+      emit(wb, line, /*is_write=*/true);
+    }
+    for (const std::uint64_t fill : traffic.fills) {
+      emit(fill, line, /*is_write=*/false);
+    }
+    return;
+  }
+  if (!cache_) {
+    emit(address, size, is_write);
+    return;
+  }
+  const CacheAccessResult result = cache_->access(address, is_write);
+  if (result.writeback) {
+    emit(result.writeback_address, cache_->config().line_bytes,
+         /*is_write=*/true);
+  }
+  if (result.fill) {
+    // Misses fetch a whole line; write misses fetch then dirty the line
+    // (write-allocate), so the memory sees a read here and the write at
+    // eviction time.
+    emit(result.fill_address, cache_->config().line_bytes,
+         /*is_write=*/false);
+  }
+}
+
+void AtomicCpu::flush_cache() {
+  if (hierarchy_) {
+    const std::uint32_t line_bytes = hierarchy_->l2().config().line_bytes;
+    for (const std::uint64_t line : hierarchy_->flush()) {
+      emit(line, line_bytes, /*is_write=*/true);
+    }
+    return;
+  }
+  if (!cache_) return;
+  for (const std::uint64_t line : cache_->flush()) {
+    emit(line, cache_->config().line_bytes, /*is_write=*/true);
+  }
+}
+
+void AtomicCpu::emit(std::uint64_t address, std::uint32_t size,
+                     bool is_write) {
+  ++stats_.memory_events;
+  if (sink_ != nullptr) {
+    sink_->on_event(MemoryEvent{stats_.ticks, address, size, is_write});
+  }
+}
+
+}  // namespace gmd::cpusim

@@ -1,0 +1,86 @@
+#include "gmd/cpusim/cache.hpp"
+
+#include <bit>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::cpusim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  GMD_REQUIRE(std::has_single_bit(config.line_bytes),
+              "cache line size must be a power of two");
+  GMD_REQUIRE(config.associativity >= 1, "associativity must be >= 1");
+  GMD_REQUIRE(config.size_bytes % (static_cast<std::uint64_t>(config.line_bytes) *
+                                   config.associativity) ==
+                  0,
+              "cache size must be a multiple of line_bytes * associativity");
+  num_sets_ = static_cast<std::uint32_t>(
+      config.size_bytes /
+      (static_cast<std::uint64_t>(config.line_bytes) * config.associativity));
+  GMD_REQUIRE(num_sets_ >= 1 && std::has_single_bit(num_sets_),
+              "number of cache sets must be a power of two");
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.line_bytes));
+  lines_.resize(static_cast<std::size_t>(num_sets_) * config.associativity);
+}
+
+std::uint64_t Cache::line_address(std::uint64_t tag, std::uint32_t set) const {
+  return ((tag * num_sets_) + set) << line_shift_;
+}
+
+CacheAccessResult Cache::access(std::uint64_t address, bool is_write) {
+  ++clock_;
+  const std::uint64_t line_number = address >> line_shift_;
+  const auto set = static_cast<std::uint32_t>(line_number % num_sets_);
+  const std::uint64_t tag = line_number / num_sets_;
+  Line* const set_begin = &lines_[static_cast<std::size_t>(set) *
+                                  config_.associativity];
+
+  CacheAccessResult result;
+  Line* victim = set_begin;
+  for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+    Line& line = set_begin[way];
+    if (line.valid && line.tag == tag) {
+      line.last_use = clock_;
+      line.dirty = line.dirty || is_write;
+      ++hits_;
+      result.hit = true;
+      return result;
+    }
+    // Prefer invalid victims, then least-recently-used.
+    if (!victim->valid) continue;
+    if (!line.valid || line.last_use < victim->last_use) victim = &line;
+  }
+
+  ++misses_;
+  if (victim->valid && victim->dirty) {
+    ++writebacks_;
+    result.writeback = true;
+    result.writeback_address = line_address(victim->tag, set);
+  }
+  result.fill = true;
+  result.fill_address = line_number << line_shift_;
+  victim->valid = true;
+  victim->dirty = is_write;  // write-allocate
+  victim->tag = tag;
+  victim->last_use = clock_;
+  return result;
+}
+
+std::vector<std::uint64_t> Cache::flush() {
+  std::vector<std::uint64_t> dirty_lines;
+  for (std::uint32_t set = 0; set < num_sets_; ++set) {
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+      Line& line = lines_[static_cast<std::size_t>(set) *
+                              config_.associativity +
+                          way];
+      if (line.valid && line.dirty) {
+        dirty_lines.push_back(line_address(line.tag, set));
+        ++writebacks_;
+      }
+      line = Line{};
+    }
+  }
+  return dirty_lines;
+}
+
+}  // namespace gmd::cpusim

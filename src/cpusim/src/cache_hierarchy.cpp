@@ -1,0 +1,64 @@
+#include "gmd/cpusim/cache_hierarchy.hpp"
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::cpusim {
+
+CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig& config)
+    : l1_(config.l1), l2_(config.l2) {
+  GMD_REQUIRE(config.l1.line_bytes == config.l2.line_bytes,
+              "L1 and L2 must share a line size");
+  GMD_REQUIRE(config.l2.size_bytes >= config.l1.size_bytes,
+              "L2 must be at least as large as L1 (inclusive hierarchy)");
+}
+
+HierarchyTraffic CacheHierarchy::access(std::uint64_t address,
+                                        bool is_write) {
+  HierarchyTraffic traffic;
+  const CacheAccessResult l1 = l1_.access(address, is_write);
+  traffic.l1_hit = l1.hit;
+  if (l1.hit) return traffic;
+
+  // L1 victim write-back lands in L2 (it is below L1), possibly
+  // evicting a dirty L2 line to memory.
+  if (l1.writeback) {
+    const CacheAccessResult spill =
+        l2_.access(l1.writeback_address, /*is_write=*/true);
+    if (spill.writeback) {
+      traffic.writebacks.push_back(spill.writeback_address);
+    }
+    // An L2 miss on the spill means the line had aged out of L2 (the
+    // hierarchy is only approximately inclusive); its fill is paper
+    // bookkeeping, not memory traffic — the data came from L1.
+  }
+
+  // L1 miss: look up (and fill) L2.
+  const CacheAccessResult l2 = l2_.access(address, /*is_write=*/false);
+  traffic.l2_hit = l2.hit;
+  if (l2.writeback) traffic.writebacks.push_back(l2.writeback_address);
+  if (!l2.hit) traffic.fills.push_back(l2.fill_address);
+  return traffic;
+}
+
+std::vector<std::uint64_t> CacheHierarchy::flush() {
+  // L1 dirty lines spill into L2 first, then L2 flushes to memory.
+  std::vector<std::uint64_t> memory_writebacks;
+  for (const std::uint64_t line : l1_.flush()) {
+    const CacheAccessResult spill = l2_.access(line, /*is_write=*/true);
+    if (spill.writeback) {
+      memory_writebacks.push_back(spill.writeback_address);
+    }
+  }
+  auto l2_lines = l2_.flush();
+  memory_writebacks.insert(memory_writebacks.end(), l2_lines.begin(),
+                           l2_lines.end());
+  std::sort(memory_writebacks.begin(), memory_writebacks.end());
+  memory_writebacks.erase(
+      std::unique(memory_writebacks.begin(), memory_writebacks.end()),
+      memory_writebacks.end());
+  return memory_writebacks;
+}
+
+}  // namespace gmd::cpusim

@@ -1,0 +1,151 @@
+#include "gmd/cpusim/config_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/string_util.hpp"
+
+namespace gmd::cpusim {
+
+void write_cpu_config(std::ostream& os, const CpuModel& model) {
+  os << "; graphmemdse system (CPU) configuration\n";
+  os << "CPUFreqMHz " << model.freq_mhz << "\n";
+  os << "ComputeOpTicks " << model.compute_op_ticks << "\n";
+  os << "MemoryOpTicks " << model.memory_op_ticks << "\n";
+  if (model.cache_hierarchy) {
+    os << "L1Size " << model.cache_hierarchy->l1.size_bytes << "\n";
+    os << "L1Line " << model.cache_hierarchy->l1.line_bytes << "\n";
+    os << "L1Assoc " << model.cache_hierarchy->l1.associativity << "\n";
+    os << "L2Size " << model.cache_hierarchy->l2.size_bytes << "\n";
+    os << "L2Line " << model.cache_hierarchy->l2.line_bytes << "\n";
+    os << "L2Assoc " << model.cache_hierarchy->l2.associativity << "\n";
+  } else if (model.cache) {
+    os << "L1Size " << model.cache->size_bytes << "\n";
+    os << "L1Line " << model.cache->line_bytes << "\n";
+    os << "L1Assoc " << model.cache->associativity << "\n";
+  } else {
+    os << "CacheEnable false\n";
+  }
+}
+
+void save_cpu_config(const std::string& path, const CpuModel& model) {
+  std::ofstream out(path);
+  GMD_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  write_cpu_config(out, model);
+  GMD_REQUIRE(out.good(), "write to '" << path << "' failed");
+}
+
+CpuModel read_cpu_config(std::istream& is) {
+  CpuModel model;
+  CacheConfig l1;
+  CacheConfig l2;
+  bool saw_l1 = false;
+  bool saw_l2 = false;
+  bool cache_enabled = true;
+
+  const auto parse_number = [](std::string_view key, std::string_view value) {
+    const auto parsed = parse_uint(value);
+    GMD_REQUIRE(parsed.has_value(), "cpu config key "
+                                        << std::string(key) << ": bad value '"
+                                        << std::string(value) << "'");
+    return *parsed;
+  };
+
+  using Setter =
+      std::function<void(std::string_view key, std::string_view value)>;
+  const std::map<std::string, Setter, std::less<>> setters = {
+      {"CPUFreqMHz",
+       [&](auto k, auto v) { model.freq_mhz = parse_number(k, v); }},
+      {"ComputeOpTicks",
+       [&](auto k, auto v) {
+         model.compute_op_ticks =
+             static_cast<std::uint32_t>(parse_number(k, v));
+       }},
+      {"MemoryOpTicks",
+       [&](auto k, auto v) {
+         model.memory_op_ticks =
+             static_cast<std::uint32_t>(parse_number(k, v));
+       }},
+      {"L1Size",
+       [&](auto k, auto v) {
+         l1.size_bytes = parse_number(k, v);
+         saw_l1 = true;
+       }},
+      {"L1Line",
+       [&](auto k, auto v) {
+         l1.line_bytes = static_cast<std::uint32_t>(parse_number(k, v));
+         saw_l1 = true;
+       }},
+      {"L1Assoc",
+       [&](auto k, auto v) {
+         l1.associativity = static_cast<std::uint32_t>(parse_number(k, v));
+         saw_l1 = true;
+       }},
+      {"L2Size",
+       [&](auto k, auto v) {
+         l2.size_bytes = parse_number(k, v);
+         saw_l2 = true;
+       }},
+      {"L2Line",
+       [&](auto k, auto v) {
+         l2.line_bytes = static_cast<std::uint32_t>(parse_number(k, v));
+         saw_l2 = true;
+       }},
+      {"L2Assoc",
+       [&](auto k, auto v) {
+         l2.associativity = static_cast<std::uint32_t>(parse_number(k, v));
+         saw_l2 = true;
+       }},
+      {"CacheEnable",
+       [&](auto k, auto v) {
+         const std::string lowered = to_lower(v);
+         GMD_REQUIRE(lowered == "true" || lowered == "false",
+                     "cpu config key " << std::string(k)
+                                       << ": expected true/false");
+         cache_enabled = lowered == "true";
+       }},
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view text = trim(line);
+    for (const char comment : {';', '#'}) {
+      if (const auto pos = text.find(comment); pos != std::string_view::npos)
+        text = trim(text.substr(0, pos));
+    }
+    if (text.empty()) continue;
+    const auto space = text.find_first_of(" \t");
+    GMD_REQUIRE(space != std::string_view::npos,
+                "cpu config line " << line_no << ": expected 'KEY value'");
+    const std::string_view key = text.substr(0, space);
+    const std::string_view value = trim(text.substr(space + 1));
+    const auto it = setters.find(key);
+    GMD_REQUIRE(it != setters.end(), "cpu config line "
+                                         << line_no << ": unknown key '"
+                                         << std::string(key) << "'");
+    it->second(key, value);
+  }
+
+  if (cache_enabled && saw_l2) {
+    GMD_REQUIRE(saw_l1, "L2 cache configured without an L1");
+    model.cache_hierarchy = CacheHierarchyConfig{l1, l2};
+  } else if (cache_enabled && saw_l1) {
+    model.cache = l1;
+  }
+  // Validate eagerly by constructing the CPU once.
+  (void)AtomicCpu(model);
+  return model;
+}
+
+CpuModel load_cpu_config(const std::string& path) {
+  std::ifstream in(path);
+  GMD_REQUIRE(in.good(), "cannot open '" << path << "' for reading");
+  return read_cpu_config(in);
+}
+
+}  // namespace gmd::cpusim

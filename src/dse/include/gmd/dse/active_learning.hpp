@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file active_learning.hpp
+/// Pool-based active learning for label-efficient DSE — the paper's §V
+/// future-work direction.  Each simulated configuration costs hours in
+/// the paper's setup, so the learner picks the next configuration to
+/// simulate by maximum predictive uncertainty (GP variance) instead of
+/// at random.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gmd/dse/dataset_builder.hpp"
+#include "gmd/dse/sweep.hpp"
+
+namespace gmd::dse {
+
+struct ActiveLearningOptions {
+  std::size_t initial_labels = 10;   ///< Random seed set size.
+  std::size_t label_budget = 60;     ///< Total labels allowed.
+  std::size_t batch_size = 1;        ///< Labels acquired per round.
+  std::uint64_t seed = 1;
+  double gp_gamma = 2.0;             ///< RBF width on scaled features.
+  double gp_noise = 1e-4;
+};
+
+/// One point of the learning curve.
+struct LearningCurvePoint {
+  std::size_t labels_used = 0;
+  double r2_on_holdout = 0.0;
+  double mse_on_holdout = 0.0;
+};
+
+struct ActiveLearningResult {
+  std::vector<LearningCurvePoint> curve;
+  std::vector<std::size_t> acquisition_order;  ///< Pool indices, in order.
+};
+
+/// Runs active learning against a fully pre-simulated pool (rows act
+/// as the oracle): learns `metric`, evaluates each round on `holdout`.
+ActiveLearningResult run_active_learning(
+    std::span<const SweepRow> pool, std::span<const SweepRow> holdout,
+    const std::string& metric, const ActiveLearningOptions& options = {});
+
+/// Random-sampling baseline with the same budget and evaluation.
+ActiveLearningResult run_random_sampling(
+    std::span<const SweepRow> pool, std::span<const SweepRow> holdout,
+    const std::string& metric, const ActiveLearningOptions& options = {});
+
+}  // namespace gmd::dse

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file dataset_builder.hpp
+/// Turns sweep results into ML-ready datasets: design-point features as
+/// predictors, one memory response metric as the target, everything
+/// min-max scaled as in the paper (§IV-A4).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gmd/common/csv.hpp"
+#include "gmd/dse/sweep.hpp"
+#include "gmd/ml/dataset.hpp"
+#include "gmd/ml/scaler.hpp"
+
+namespace gmd::dse {
+
+/// A dataset for one target metric, plus the scalers needed to map
+/// predictions back to physical units.
+struct MetricDataset {
+  ml::Dataset data;            ///< Scaled features and scaled target.
+  ml::MinMaxScaler x_scaler;   ///< Fitted on the raw feature matrix.
+  ml::MinMaxScaler y_scaler;   ///< Fitted on the raw target series.
+  std::vector<double> raw_y;   ///< Unscaled target, aligned with rows.
+};
+
+/// The six target metrics the paper models, by dataset column name
+/// (matches memsim::MemoryMetrics::metric_names()).
+const std::vector<std::string>& target_metric_names();
+
+/// Builds the scaled dataset for `metric_name`.
+MetricDataset build_metric_dataset(std::span<const SweepRow> rows,
+                                   const std::string& metric_name);
+
+/// Full results table (features + all six metrics), e.g. for CSV export
+/// or external analysis — the "comprehensive dataset" of §III-C.
+CsvTable sweep_to_table(std::span<const SweepRow> rows);
+
+/// Rebuilds sweep rows from a table produced by sweep_to_table (feature
+/// columns are decoded back into DesignPoints).  Round-trips with it.
+std::vector<SweepRow> table_to_sweep(const CsvTable& table);
+
+// --- multi-workload datasets (§V generalizability) ---------------------
+
+/// One workload's sweep plus the trace descriptors that characterize
+/// the workload to the model.  Without these, rows from different
+/// workloads share identical features but carry conflicting labels and
+/// no model can separate them.
+struct WorkloadSweep {
+  std::string name;
+  std::vector<SweepRow> rows;
+  // Trace descriptors (from trace::compute_stats or equivalent).
+  double log10_events = 0.0;
+  double read_fraction = 1.0;
+  double footprint_kb = 0.0;
+};
+
+/// Column names of the workload descriptor features appended after the
+/// design-point features.
+const std::vector<std::string>& workload_feature_names();
+
+/// Builds one scaled dataset across several workloads: design-point
+/// features + workload descriptors -> metric.  Rows keep input order
+/// (workload-major).
+MetricDataset build_multi_workload_dataset(
+    std::span<const WorkloadSweep> sweeps, const std::string& metric_name);
+
+}  // namespace gmd::dse

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file design_point.hpp
+/// One point in the memory design space the paper sweeps: memory
+/// technology, CPU frequency, controller frequency, channel count, and
+/// the NVM row-activation time tRCD.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gmd/memsim/config.hpp"
+#include "gmd/memsim/hybrid.hpp"
+
+namespace gmd::dse {
+
+enum class MemoryKind { kDram, kNvm, kHybrid };
+
+std::string to_string(MemoryKind kind);
+
+struct DesignPoint {
+  MemoryKind kind = MemoryKind::kDram;
+  std::uint32_t cpu_freq_mhz = 2000;
+  std::uint32_t ctrl_freq_mhz = 400;
+  std::uint32_t channels = 2;
+  /// NVM/hybrid row-activation time; fixed at 9 for pure DRAM.
+  std::uint32_t trcd = 9;
+  /// Hybrid DRAM capacity fraction; ignored for pure technologies.
+  double dram_fraction = 0.5;
+
+  friend bool operator==(const DesignPoint&, const DesignPoint&) = default;
+
+  /// Short identifier, e.g. "nvm_c5000_m666_ch4_t50".
+  std::string id() const;
+
+  /// Numeric ML feature vector; see feature_names() for the schema:
+  /// {cpu_mhz, ctrl_mhz, channels, trcd, tras, is_dram, is_nvm, is_hybrid}.
+  std::vector<double> features() const;
+  static const std::vector<std::string>& feature_names();
+
+  /// Materializes the simulator configuration for this point.
+  memsim::MemoryConfig single_config() const;   ///< kDram / kNvm only.
+  memsim::HybridConfig hybrid_config() const;   ///< kHybrid only.
+};
+
+}  // namespace gmd::dse

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file multi_study.hpp
+/// Multi-workload co-design study: the operational form of the paper's
+/// §V generalizability question.  Runs the trace/sweep pipeline for
+/// several graph kernels, builds the descriptor-augmented dataset, and
+/// quantifies cross-workload generalization by leave-one-workload-out
+/// (LOWO) evaluation of the chosen surrogate family.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gmd/dse/dataset_builder.hpp"
+#include "gmd/dse/design_point.hpp"
+
+namespace gmd::dse {
+
+struct MultiStudyConfig {
+  std::vector<std::string> workloads = {"bfs", "pagerank", "cc", "sssp"};
+  std::uint32_t graph_vertices = 1024;
+  unsigned edge_factor = 16;
+  std::uint64_t seed = 1;
+  std::vector<DesignPoint> design_points;  ///< Empty: reduced space.
+  std::vector<std::string> metrics;        ///< Empty: all six.
+  std::string surrogate_model = "svr";
+  std::size_t num_threads = 0;
+};
+
+struct MultiStudyResult {
+  std::vector<WorkloadSweep> sweeps;  ///< One per workload, in order.
+
+  struct LowoScore {
+    std::string held_out_workload;
+    std::string metric;
+    double r2 = 0.0;
+    double mse = 0.0;  ///< On scaled targets.
+  };
+  /// One entry per (workload, metric): the surrogate trained on every
+  /// *other* workload, evaluated on this one.
+  std::vector<LowoScore> lowo;
+
+  /// Per-metric mean LOWO R² across held-out workloads.
+  double mean_lowo_r2(const std::string& metric) const;
+
+  std::string summary() const;
+};
+
+MultiStudyResult run_multi_workload_study(const MultiStudyConfig& config);
+
+}  // namespace gmd::dse

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file pareto.hpp
+/// Multi-objective co-design.  The paper recommends a *different*
+/// configuration per metric; a real deployment must pick one.  This
+/// module computes the Pareto-optimal set over chosen objectives and
+/// supports constrained selection ("best total latency subject to a
+/// power cap") — the decision tools an architect applies on top of the
+/// per-metric optima.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gmd/dse/recommend.hpp"
+#include "gmd/dse/sweep.hpp"
+
+namespace gmd::dse {
+
+/// One objective: a metric name plus its improvement direction
+/// (defaults to the metric's natural direction).
+struct Objective {
+  std::string metric;
+  Direction direction;
+
+  explicit Objective(std::string metric_name)
+      : metric(std::move(metric_name)),
+        direction(metric_direction(metric)) {}
+  Objective(std::string metric_name, Direction dir)
+      : metric(std::move(metric_name)), direction(dir) {}
+};
+
+/// Returns the indices (into `rows`) of the Pareto-optimal points:
+/// those not dominated in every objective by any other point.  Order
+/// follows the input.  At least one objective is required.
+std::vector<std::size_t> pareto_front(std::span<const SweepRow> rows,
+                                      std::span<const Objective> objectives);
+
+/// True when `a` dominates `b`: at least as good in every objective and
+/// strictly better in at least one.
+bool dominates(const SweepRow& a, const SweepRow& b,
+               std::span<const Objective> objectives);
+
+/// An upper/lower bound on one metric ("power_w <= 0.1").
+struct Constraint {
+  std::string metric;
+  double bound = 0.0;
+  bool is_upper_bound = true;  ///< false: metric must be >= bound.
+
+  bool satisfied_by(const SweepRow& row) const;
+};
+
+/// Best row for `objective` among those satisfying every constraint.
+/// Returns nullopt when no row qualifies.
+std::optional<std::size_t> best_under_constraints(
+    std::span<const SweepRow> rows, const Objective& objective,
+    std::span<const Constraint> constraints);
+
+/// Renders the front as a table of objective values per design point.
+std::string format_pareto_front(std::span<const SweepRow> rows,
+                                std::span<const std::size_t> front,
+                                std::span<const Objective> objectives);
+
+}  // namespace gmd::dse

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file report.hpp
+/// Markdown report generation: turns a workflow's results into a
+/// self-contained document (the deliverable a DSE study hands to the
+/// architecture team) — workload summary, Figure-2-style metric table,
+/// Table-I-style model scores, recommendations, and the Pareto front.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "gmd/dse/workflow.hpp"
+
+namespace gmd::dse {
+
+struct ReportOptions {
+  std::string title = "Memory co-design study";
+  bool include_metric_table = true;   ///< Fig. 2 analogue.
+  bool include_model_scores = true;   ///< Table I analogue.
+  bool include_recommendations = true;
+  bool include_pareto = true;         ///< power vs total latency front.
+  bool include_sensitivity = true;    ///< Main-effects knob analysis.
+};
+
+/// Writes the study as GitHub-flavored markdown.
+void write_markdown_report(std::ostream& os, const WorkflowResult& result,
+                           const ReportOptions& options = {});
+
+/// Convenience: render to a string / save to a file.
+std::string markdown_report(const WorkflowResult& result,
+                            const ReportOptions& options = {});
+void save_markdown_report(const std::string& path,
+                          const WorkflowResult& result,
+                          const ReportOptions& options = {});
+
+}  // namespace gmd::dse

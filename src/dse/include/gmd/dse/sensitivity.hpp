@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file sensitivity.hpp
+/// Main-effects sensitivity analysis over a sweep: for each design
+/// parameter (memory technology, CPU clock, controller clock, channel
+/// count, tRCD), how far does the metric's mean move across that
+/// parameter's levels with everything else averaged out?  This is the
+/// ANOVA-style answer to "which knob matters for which metric" that
+/// the paper's Figure 2 asks the reader to eyeball.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gmd/dse/sweep.hpp"
+
+namespace gmd::dse {
+
+struct ParameterEffect {
+  std::string parameter;       ///< "kind", "cpu_freq_mhz", ...
+  double min_level_mean = 0.0; ///< Smallest per-level mean of the metric.
+  double max_level_mean = 0.0; ///< Largest per-level mean.
+  /// (max - min) / overall mean: the knob's relative leverage.
+  double relative_effect = 0.0;
+  std::string best_level;      ///< Level with the best mean (metric
+                               ///< direction aware).
+};
+
+struct SensitivityResult {
+  std::string metric;
+  double overall_mean = 0.0;
+  std::vector<ParameterEffect> effects;  ///< Sorted by leverage, desc.
+
+  /// The single most influential parameter.
+  const ParameterEffect& dominant() const;
+
+  std::string summary() const;
+};
+
+/// The analyzed design parameters, in a fixed order.
+const std::vector<std::string>& sensitivity_parameter_names();
+
+/// Computes main effects for `metric` over the sweep.
+SensitivityResult analyze_sensitivity(std::span<const SweepRow> rows,
+                                      const std::string& metric);
+
+}  // namespace gmd::dse

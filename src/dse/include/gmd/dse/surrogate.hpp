@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file surrogate.hpp
+/// The surrogate-modeling stage: trains the paper's four model families
+/// on each target metric (80/20 split, min-max scaling), evaluates MSE
+/// and R² on the held-out set (Table I), and keeps the per-test-index
+/// predictions (Figure 3 series).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gmd/dse/dataset_builder.hpp"
+#include "gmd/ml/regressor.hpp"
+
+namespace gmd::dse {
+
+/// One Table I cell pair: a (metric, model) evaluation.
+struct SurrogateScore {
+  std::string metric;
+  std::string model;
+  double mse = 0.0;  ///< On the scaled targets, as in the paper.
+  double r2 = 0.0;
+};
+
+/// Figure 3 material for one metric: the ground-truth test series and
+/// each model's prediction series (scaled units, test-index order).
+struct PredictionSeries {
+  std::string metric;
+  std::vector<double> truth;
+  std::map<std::string, std::vector<double>> predictions;  // by model
+};
+
+struct SurrogateOptions {
+  std::vector<std::string> models;  ///< Empty: the paper's four families.
+  double test_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+/// Results of training all models on all metrics.
+class SurrogateSuite {
+ public:
+  /// Trains and evaluates on the sweep results.
+  static SurrogateSuite train(std::span<const SweepRow> rows,
+                              const SurrogateOptions& options = {});
+
+  const std::vector<SurrogateScore>& scores() const { return scores_; }
+  const std::vector<PredictionSeries>& series() const { return series_; }
+
+  /// The score for one (metric, model) pair; throws when absent.
+  const SurrogateScore& score(const std::string& metric,
+                              const std::string& model) const;
+
+  /// Best model (lowest MSE) for a metric.
+  const SurrogateScore& best_model(const std::string& metric) const;
+
+  /// A fitted model trained on ALL rows of `metric` (for deployment /
+  /// recommendation), plus its scalers.  Models are retrained on the
+  /// full data after evaluation, as a production workflow would.
+  struct DeployedModel {
+    std::unique_ptr<ml::Regressor> model;
+    ml::MinMaxScaler x_scaler;
+    ml::MinMaxScaler y_scaler;
+
+    /// Predicts the metric in physical units for a design point.
+    double predict(const DesignPoint& point) const;
+  };
+  /// Trains a deployment model of `model_name` on every row.
+  static DeployedModel deploy(std::span<const SweepRow> rows,
+                              const std::string& metric,
+                              const std::string& model_name,
+                              std::uint64_t seed = 1);
+
+  /// Renders Table I: rows = metrics, columns = models, MSE and R².
+  std::string format_table1() const;
+
+ private:
+  std::vector<SurrogateScore> scores_;
+  std::vector<PredictionSeries> series_;
+};
+
+}  // namespace gmd::dse

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Runs the memory simulator over a set of design points — the
+/// labeled-data-generation stage of the workflow (NVMain's role in
+/// Figure 1).  Points are simulated in parallel on a thread pool.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gmd/cpusim/memory_event.hpp"
+#include "gmd/dse/design_point.hpp"
+#include "gmd/memsim/metrics.hpp"
+
+namespace gmd::dse {
+
+struct SweepRow {
+  DesignPoint point;
+  memsim::MemoryMetrics metrics;
+};
+
+struct SweepOptions {
+  std::size_t num_threads = 0;  ///< 0: hardware concurrency.
+  bool log_progress = false;
+};
+
+/// Simulates every design point against the same memory trace.
+/// Row order matches `points` order.
+std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
+                                std::span<const cpusim::MemoryEvent> trace,
+                                const SweepOptions& options = {});
+
+/// Simulates a single point.
+memsim::MemoryMetrics simulate_point(
+    const DesignPoint& point, std::span<const cpusim::MemoryEvent> trace);
+
+}  // namespace gmd::dse

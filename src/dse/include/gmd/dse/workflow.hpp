@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file workflow.hpp
+/// The end-to-end co-design workflow of Figure 1:
+///   graph generation -> CPU simulation (gem5 stand-in) -> trace
+///   conversion -> memory-simulation sweep (NVMain stand-in) ->
+///   dataset -> surrogate training -> recommendations.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gmd/cpusim/memory_event.hpp"
+#include "gmd/dse/recommend.hpp"
+#include "gmd/dse/surrogate.hpp"
+#include "gmd/dse/sweep.hpp"
+#include "gmd/graph/csr.hpp"
+
+namespace gmd::dse {
+
+struct WorkflowConfig {
+  // Workload (§III-C: GTGraph random graph, 1024 vertices, edge factor
+  // 16, Graph500 BFS from a random source).
+  std::uint32_t graph_vertices = 1024;
+  unsigned edge_factor = 16;
+  std::string workload = "bfs";  ///< bfs | dobfs | pagerank | cc | sssp | triangles.
+  std::uint64_t seed = 1;
+
+  // Trace round-trip: when non-empty, the CPU trace is written in gem5
+  // format to `<trace_dir>/gem5_trace.txt`, converted in parallel to
+  // `<trace_dir>/nvmain_trace.txt`, and re-read — exercising the same
+  // file pipeline the paper ran.  Empty: events stream in memory.
+  std::string trace_dir;
+
+  // Sweep.
+  std::vector<DesignPoint> design_points;  ///< Empty: paper_design_space().
+  std::size_t num_threads = 0;
+  bool log_progress = false;
+
+  // Surrogates.
+  SurrogateOptions surrogate;
+};
+
+struct WorkflowResult {
+  graph::CsrGraph graph;
+  std::vector<cpusim::MemoryEvent> trace;
+  std::uint64_t workload_checksum = 0;
+  std::vector<SweepRow> sweep;
+  SurrogateSuite surrogates;
+  std::vector<Recommendation> recommendations;
+
+  /// Multi-section text report (workflow summary + Table I +
+  /// recommendations).
+  std::string report() const;
+};
+
+/// Runs the whole pipeline.  Deterministic for a fixed config.
+WorkflowResult run_workflow(const WorkflowConfig& config);
+
+/// The workload-execution stage alone: builds the paper's graph and
+/// returns the memory trace of the requested kernel.
+std::vector<cpusim::MemoryEvent> generate_workload_trace(
+    const WorkflowConfig& config, graph::CsrGraph* graph_out = nullptr,
+    std::uint64_t* checksum_out = nullptr);
+
+}  // namespace gmd::dse

@@ -1,0 +1,169 @@
+#include "gmd/dse/active_learning.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/rng.hpp"
+#include "gmd/ml/gp.hpp"
+#include "gmd/ml/metrics.hpp"
+
+namespace gmd::dse {
+
+namespace {
+
+struct Arena {
+  ml::Matrix pool_x;
+  std::vector<double> pool_y;
+  ml::Matrix holdout_x;
+  std::vector<double> holdout_y;
+};
+
+/// Scales pool and holdout consistently (scalers fitted on the pool,
+/// whose feature grid is known up front; the target scaling only
+/// affects units, not R²).
+Arena build_arena(std::span<const SweepRow> pool,
+                  std::span<const SweepRow> holdout,
+                  const std::string& metric) {
+  GMD_REQUIRE(!pool.empty() && !holdout.empty(),
+              "active learning needs a pool and a holdout set");
+  std::vector<SweepRow> combined(pool.begin(), pool.end());
+  combined.insert(combined.end(), holdout.begin(), holdout.end());
+  const MetricDataset md = build_metric_dataset(combined, metric);
+
+  Arena arena;
+  std::vector<std::size_t> pool_idx(pool.size());
+  std::iota(pool_idx.begin(), pool_idx.end(), std::size_t{0});
+  std::vector<std::size_t> hold_idx(holdout.size());
+  std::iota(hold_idx.begin(), hold_idx.end(), pool.size());
+  arena.pool_x = md.data.X.gather_rows(pool_idx);
+  arena.holdout_x = md.data.X.gather_rows(hold_idx);
+  for (const std::size_t i : pool_idx) arena.pool_y.push_back(md.data.y[i]);
+  for (const std::size_t i : hold_idx)
+    arena.holdout_y.push_back(md.data.y[i]);
+  return arena;
+}
+
+ml::GaussianProcess make_gp(const ActiveLearningOptions& options) {
+  ml::GpParams params;
+  params.kernel.gamma = options.gp_gamma;
+  params.noise = options.gp_noise;
+  return ml::GaussianProcess(params);
+}
+
+LearningCurvePoint evaluate(const ml::GaussianProcess& gp,
+                            const Arena& arena, std::size_t labels_used) {
+  LearningCurvePoint point;
+  point.labels_used = labels_used;
+  const std::vector<double> predicted = gp.predict(arena.holdout_x);
+  point.r2_on_holdout = ml::r2_score(arena.holdout_y, predicted);
+  point.mse_on_holdout = ml::mse(arena.holdout_y, predicted);
+  return point;
+}
+
+/// Shared driver: `acquire` picks the next batch from the unlabeled set.
+ActiveLearningResult run_loop(
+    std::span<const SweepRow> pool, std::span<const SweepRow> holdout,
+    const std::string& metric, const ActiveLearningOptions& options,
+    const std::function<std::vector<std::size_t>(
+        const ml::GaussianProcess&, const Arena&,
+        const std::vector<std::size_t>& unlabeled, Rng&)>& acquire) {
+  GMD_REQUIRE(options.initial_labels >= 2, "need >= 2 initial labels");
+  GMD_REQUIRE(options.label_budget >= options.initial_labels,
+              "label budget below the initial set size");
+  GMD_REQUIRE(options.batch_size >= 1, "batch size must be >= 1");
+
+  const Arena arena = build_arena(pool, holdout, metric);
+  Rng rng(options.seed);
+
+  std::vector<std::size_t> unlabeled(pool.size());
+  std::iota(unlabeled.begin(), unlabeled.end(), std::size_t{0});
+  rng.shuffle(unlabeled);
+
+  ActiveLearningResult result;
+  std::vector<std::size_t> labeled;
+  const std::size_t initial =
+      std::min(options.initial_labels, pool.size());
+  for (std::size_t i = 0; i < initial; ++i) {
+    labeled.push_back(unlabeled.back());
+    result.acquisition_order.push_back(unlabeled.back());
+    unlabeled.pop_back();
+  }
+
+  while (true) {
+    ml::GaussianProcess gp = make_gp(options);
+    const ml::Matrix x = arena.pool_x.gather_rows(labeled);
+    std::vector<double> y;
+    y.reserve(labeled.size());
+    for (const std::size_t i : labeled) y.push_back(arena.pool_y[i]);
+    gp.fit(x, y);
+    result.curve.push_back(evaluate(gp, arena, labeled.size()));
+
+    if (labeled.size() >= std::min(options.label_budget, pool.size()) ||
+        unlabeled.empty()) {
+      break;
+    }
+    const std::vector<std::size_t> picks =
+        acquire(gp, arena, unlabeled, rng);
+    GMD_ASSERT(!picks.empty(), "acquisition returned no points");
+    for (const std::size_t pick : picks) {
+      const auto it = std::find(unlabeled.begin(), unlabeled.end(), pick);
+      GMD_ASSERT(it != unlabeled.end(), "acquired an already-labeled point");
+      unlabeled.erase(it);
+      labeled.push_back(pick);
+      result.acquisition_order.push_back(pick);
+      if (labeled.size() >= options.label_budget) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ActiveLearningResult run_active_learning(
+    std::span<const SweepRow> pool, std::span<const SweepRow> holdout,
+    const std::string& metric, const ActiveLearningOptions& options) {
+  return run_loop(
+      pool, holdout, metric, options,
+      [&options](const ml::GaussianProcess& gp, const Arena& arena,
+                 const std::vector<std::size_t>& unlabeled, Rng&) {
+        // Maximum-variance acquisition: the batch of unlabeled points
+        // the current model is least sure about.
+        std::vector<std::pair<double, std::size_t>> ranked;
+        ranked.reserve(unlabeled.size());
+        for (const std::size_t i : unlabeled) {
+          const auto [mean, variance] =
+              gp.predict_with_variance(arena.pool_x.row(i));
+          (void)mean;
+          ranked.emplace_back(variance, i);
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto& a, const auto& b) { return a.first > b.first; });
+        std::vector<std::size_t> picks;
+        for (std::size_t k = 0;
+             k < std::min(options.batch_size, ranked.size()); ++k) {
+          picks.push_back(ranked[k].second);
+        }
+        return picks;
+      });
+}
+
+ActiveLearningResult run_random_sampling(
+    std::span<const SweepRow> pool, std::span<const SweepRow> holdout,
+    const std::string& metric, const ActiveLearningOptions& options) {
+  return run_loop(
+      pool, holdout, metric, options,
+      [&options](const ml::GaussianProcess&, const Arena&,
+                 const std::vector<std::size_t>& unlabeled, Rng& rng) {
+        std::vector<std::size_t> picks;
+        std::vector<std::size_t> candidates = unlabeled;
+        rng.shuffle(candidates);
+        for (std::size_t k = 0;
+             k < std::min(options.batch_size, candidates.size()); ++k) {
+          picks.push_back(candidates[k]);
+        }
+        return picks;
+      });
+}
+
+}  // namespace gmd::dse

@@ -1,0 +1,153 @@
+#include "gmd/dse/dataset_builder.hpp"
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::dse {
+
+const std::vector<std::string>& target_metric_names() {
+  return memsim::MemoryMetrics::metric_names();
+}
+
+MetricDataset build_metric_dataset(std::span<const SweepRow> rows,
+                                   const std::string& metric_name) {
+  GMD_REQUIRE(!rows.empty(), "cannot build a dataset from an empty sweep");
+  const auto& names = target_metric_names();
+  std::size_t metric_index = names.size();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == metric_name) {
+      metric_index = i;
+      break;
+    }
+  }
+  GMD_REQUIRE(metric_index < names.size(),
+              "unknown metric '" << metric_name << "'");
+
+  ml::Matrix raw_x(rows.size(), DesignPoint::feature_names().size());
+  MetricDataset out;
+  out.raw_y.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto features = rows[r].point.features();
+    std::copy(features.begin(), features.end(), raw_x.row(r).begin());
+    out.raw_y.push_back(rows[r].metrics.metric_values()[metric_index]);
+  }
+
+  out.data.X = out.x_scaler.fit_transform(raw_x);
+  out.y_scaler.fit(std::span<const double>(out.raw_y));
+  out.data.y = out.y_scaler.transform(out.raw_y);
+  out.data.feature_names = DesignPoint::feature_names();
+  out.data.target_name = metric_name;
+  out.data.validate();
+  return out;
+}
+
+const std::vector<std::string>& workload_feature_names() {
+  static const std::vector<std::string> names = {
+      "wl_log10_events", "wl_read_fraction", "wl_footprint_kb"};
+  return names;
+}
+
+MetricDataset build_multi_workload_dataset(
+    std::span<const WorkloadSweep> sweeps, const std::string& metric_name) {
+  GMD_REQUIRE(!sweeps.empty(), "no workload sweeps");
+  const auto& metric_names = target_metric_names();
+  std::size_t metric_index = metric_names.size();
+  for (std::size_t i = 0; i < metric_names.size(); ++i) {
+    if (metric_names[i] == metric_name) {
+      metric_index = i;
+      break;
+    }
+  }
+  GMD_REQUIRE(metric_index < metric_names.size(),
+              "unknown metric '" << metric_name << "'");
+
+  std::size_t total_rows = 0;
+  for (const WorkloadSweep& sweep : sweeps) {
+    GMD_REQUIRE(!sweep.rows.empty(),
+                "workload '" << sweep.name << "' has an empty sweep");
+    total_rows += sweep.rows.size();
+  }
+
+  const std::size_t design_features = DesignPoint::feature_names().size();
+  const std::size_t workload_features = workload_feature_names().size();
+  ml::Matrix raw_x(total_rows, design_features + workload_features);
+  MetricDataset out;
+  out.raw_y.reserve(total_rows);
+
+  std::size_t r = 0;
+  for (const WorkloadSweep& sweep : sweeps) {
+    for (const SweepRow& row : sweep.rows) {
+      const auto features = row.point.features();
+      const auto dst = raw_x.row(r);
+      std::copy(features.begin(), features.end(), dst.begin());
+      dst[design_features + 0] = sweep.log10_events;
+      dst[design_features + 1] = sweep.read_fraction;
+      dst[design_features + 2] = sweep.footprint_kb;
+      out.raw_y.push_back(row.metrics.metric_values()[metric_index]);
+      ++r;
+    }
+  }
+
+  out.data.X = out.x_scaler.fit_transform(raw_x);
+  out.y_scaler.fit(std::span<const double>(out.raw_y));
+  out.data.y = out.y_scaler.transform(out.raw_y);
+  out.data.feature_names = DesignPoint::feature_names();
+  const auto& extra = workload_feature_names();
+  out.data.feature_names.insert(out.data.feature_names.end(), extra.begin(),
+                                extra.end());
+  out.data.target_name = metric_name;
+  out.data.validate();
+  return out;
+}
+
+CsvTable sweep_to_table(std::span<const SweepRow> rows) {
+  std::vector<std::string> columns = DesignPoint::feature_names();
+  const auto& metrics = target_metric_names();
+  columns.insert(columns.end(), metrics.begin(), metrics.end());
+  CsvTable table(columns);
+  for (const SweepRow& row : rows) {
+    std::vector<double> values = row.point.features();
+    const std::vector<double> m = row.metrics.metric_values();
+    values.insert(values.end(), m.begin(), m.end());
+    table.add_row(values);
+  }
+  return table;
+}
+
+std::vector<SweepRow> table_to_sweep(const CsvTable& table) {
+  std::vector<SweepRow> rows;
+  rows.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    SweepRow row;
+    DesignPoint& p = row.point;
+    p.cpu_freq_mhz =
+        static_cast<std::uint32_t>(table.at(r, "cpu_freq_mhz"));
+    p.ctrl_freq_mhz =
+        static_cast<std::uint32_t>(table.at(r, "ctrl_freq_mhz"));
+    p.channels = static_cast<std::uint32_t>(table.at(r, "channels"));
+    p.trcd = static_cast<std::uint32_t>(table.at(r, "trcd"));
+    if (table.at(r, "is_dram") > 0.5) {
+      p.kind = MemoryKind::kDram;
+    } else if (table.at(r, "is_nvm") > 0.5) {
+      p.kind = MemoryKind::kNvm;
+    } else {
+      GMD_REQUIRE(table.at(r, "is_hybrid") > 0.5,
+                  "row " << r << " has no memory-kind flag set");
+      p.kind = MemoryKind::kHybrid;
+    }
+
+    memsim::MemoryMetrics& m = row.metrics;
+    m.avg_power_per_channel_w = table.at(r, "power_w");
+    m.avg_bandwidth_per_bank_mbs = table.at(r, "bandwidth_mbs");
+    m.avg_latency_cycles = table.at(r, "latency_cycles");
+    m.avg_total_latency_cycles = table.at(r, "total_latency_cycles");
+    m.avg_reads_per_channel = table.at(r, "reads_per_channel");
+    m.avg_writes_per_channel = table.at(r, "writes_per_channel");
+    m.channels = p.channels;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace gmd::dse

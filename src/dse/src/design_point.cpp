@@ -1,0 +1,68 @@
+#include "gmd/dse/design_point.hpp"
+
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::dse {
+
+std::string to_string(MemoryKind kind) {
+  switch (kind) {
+    case MemoryKind::kDram:
+      return "dram";
+    case MemoryKind::kNvm:
+      return "nvm";
+    case MemoryKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+std::string DesignPoint::id() const {
+  std::ostringstream os;
+  os << to_string(kind) << "_c" << cpu_freq_mhz << "_m" << ctrl_freq_mhz
+     << "_ch" << channels;
+  if (kind != MemoryKind::kDram) os << "_t" << trcd;
+  return os.str();
+}
+
+std::vector<double> DesignPoint::features() const {
+  const double tras = kind == MemoryKind::kDram ? 24.0 : 0.0;
+  return {static_cast<double>(cpu_freq_mhz),
+          static_cast<double>(ctrl_freq_mhz),
+          static_cast<double>(channels),
+          static_cast<double>(trcd),
+          tras,
+          kind == MemoryKind::kDram ? 1.0 : 0.0,
+          kind == MemoryKind::kNvm ? 1.0 : 0.0,
+          kind == MemoryKind::kHybrid ? 1.0 : 0.0};
+}
+
+const std::vector<std::string>& DesignPoint::feature_names() {
+  static const std::vector<std::string> names = {
+      "cpu_freq_mhz", "ctrl_freq_mhz", "channels", "trcd",
+      "tras",         "is_dram",       "is_nvm",   "is_hybrid"};
+  return names;
+}
+
+memsim::MemoryConfig DesignPoint::single_config() const {
+  switch (kind) {
+    case MemoryKind::kDram:
+      return memsim::make_dram_config(channels, ctrl_freq_mhz, cpu_freq_mhz);
+    case MemoryKind::kNvm:
+      return memsim::make_nvm_config(channels, ctrl_freq_mhz, cpu_freq_mhz,
+                                     trcd);
+    case MemoryKind::kHybrid:
+      break;
+  }
+  throw Error("single_config() called on a hybrid design point");
+}
+
+memsim::HybridConfig DesignPoint::hybrid_config() const {
+  GMD_REQUIRE(kind == MemoryKind::kHybrid,
+              "hybrid_config() on a non-hybrid design point");
+  return memsim::make_hybrid_config(channels, ctrl_freq_mhz, cpu_freq_mhz,
+                                    trcd, dram_fraction);
+}
+
+}  // namespace gmd::dse

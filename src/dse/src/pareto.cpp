@@ -1,0 +1,121 @@
+#include "gmd/dse/pareto.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::dse {
+
+namespace {
+
+std::size_t metric_index(const std::string& metric) {
+  const auto& names = target_metric_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == metric) return i;
+  }
+  throw Error("unknown metric '" + metric + "'");
+}
+
+double objective_value(const SweepRow& row, const Objective& objective) {
+  return row.metrics.metric_values()[metric_index(objective.metric)];
+}
+
+}  // namespace
+
+bool dominates(const SweepRow& a, const SweepRow& b,
+               std::span<const Objective> objectives) {
+  GMD_REQUIRE(!objectives.empty(), "need at least one objective");
+  bool strictly_better_somewhere = false;
+  for (const Objective& objective : objectives) {
+    const double va = objective_value(a, objective);
+    const double vb = objective_value(b, objective);
+    const bool a_better = objective.direction == Direction::kMinimize
+                              ? va < vb
+                              : va > vb;
+    const bool a_worse = objective.direction == Direction::kMinimize
+                             ? va > vb
+                             : va < vb;
+    if (a_worse) return false;
+    if (a_better) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+std::vector<std::size_t> pareto_front(
+    std::span<const SweepRow> rows, std::span<const Objective> objectives) {
+  GMD_REQUIRE(!rows.empty(), "empty sweep");
+  GMD_REQUIRE(!objectives.empty(), "need at least one objective");
+  for (const Objective& objective : objectives) {
+    (void)metric_index(objective.metric);  // validate up front
+  }
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < rows.size() && !dominated; ++j) {
+      if (i != j && dominates(rows[j], rows[i], objectives)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+bool Constraint::satisfied_by(const SweepRow& row) const {
+  const double value = row.metrics.metric_values()[metric_index(metric)];
+  return is_upper_bound ? value <= bound : value >= bound;
+}
+
+std::optional<std::size_t> best_under_constraints(
+    std::span<const SweepRow> rows, const Objective& objective,
+    std::span<const Constraint> constraints) {
+  GMD_REQUIRE(!rows.empty(), "empty sweep");
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    bool feasible = true;
+    for (const Constraint& constraint : constraints) {
+      if (!constraint.satisfied_by(rows[i])) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    if (!best) {
+      best = i;
+      continue;
+    }
+    const double current = objective_value(rows[i], objective);
+    const double incumbent = objective_value(rows[*best], objective);
+    const bool better = objective.direction == Direction::kMinimize
+                            ? current < incumbent
+                            : current > incumbent;
+    if (better) best = i;
+  }
+  return best;
+}
+
+std::string format_pareto_front(std::span<const SweepRow> rows,
+                                std::span<const std::size_t> front,
+                                std::span<const Objective> objectives) {
+  std::ostringstream os;
+  os << "Pareto front (" << front.size() << " of " << rows.size()
+     << " configurations):\n";
+  os << std::left << std::setw(30) << "  configuration";
+  for (const Objective& objective : objectives) {
+    os << std::right << std::setw(22) << objective.metric;
+  }
+  os << "\n";
+  for (const std::size_t index : front) {
+    GMD_REQUIRE(index < rows.size(), "front index out of range");
+    os << "  " << std::left << std::setw(28) << rows[index].point.id();
+    for (const Objective& objective : objectives) {
+      os << std::right << std::setw(22) << std::fixed
+         << std::setprecision(4) << objective_value(rows[index], objective);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gmd::dse

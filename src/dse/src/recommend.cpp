@@ -1,0 +1,105 @@
+#include "gmd/dse/recommend.hpp"
+
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/string_util.hpp"
+
+namespace gmd::dse {
+
+Direction metric_direction(const std::string& metric) {
+  if (metric == "bandwidth_mbs") return Direction::kMaximize;
+  // Power, latencies, and reads/writes (endurance pressure) improve
+  // when lower.
+  return Direction::kMinimize;
+}
+
+namespace {
+
+bool better(Direction direction, double candidate, double incumbent) {
+  return direction == Direction::kMinimize ? candidate < incumbent
+                                           : candidate > incumbent;
+}
+
+std::string describe_point(const DesignPoint& p) {
+  std::ostringstream os;
+  os << to_string(p.kind) << " with " << p.channels << " channels, "
+     << p.cpu_freq_mhz << " MHz CPU, " << p.ctrl_freq_mhz
+     << " MHz controller";
+  if (p.kind != MemoryKind::kDram) os << ", tRCD " << p.trcd;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<Recommendation> recommend_from_sweep(
+    std::span<const SweepRow> rows) {
+  GMD_REQUIRE(!rows.empty(), "cannot recommend from an empty sweep");
+  std::vector<Recommendation> recs;
+  const auto& metrics = target_metric_names();
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    const Direction direction = metric_direction(metrics[m]);
+    const SweepRow* best = &rows[0];
+    for (const SweepRow& row : rows) {
+      if (better(direction, row.metrics.metric_values()[m],
+                 best->metrics.metric_values()[m])) {
+        best = &row;
+      }
+    }
+    Recommendation rec;
+    rec.metric = metrics[m];
+    rec.best = best->point;
+    rec.value = best->metrics.metric_values()[m];
+    std::ostringstream os;
+    os << "simulated optimum across " << rows.size() << " configurations";
+    rec.rationale = os.str();
+    recs.push_back(std::move(rec));
+  }
+  return recs;
+}
+
+std::vector<Recommendation> recommend_from_surrogate(
+    std::span<const SweepRow> labeled,
+    std::span<const DesignPoint> candidates,
+    const std::string& model_name) {
+  GMD_REQUIRE(!candidates.empty(), "no candidate design points");
+  std::vector<Recommendation> recs;
+  for (const std::string& metric : target_metric_names()) {
+    const auto deployed =
+        SurrogateSuite::deploy(labeled, metric, model_name);
+    const Direction direction = metric_direction(metric);
+    const DesignPoint* best = &candidates[0];
+    double best_value = deployed.predict(candidates[0]);
+    for (const DesignPoint& candidate : candidates.subspan(1)) {
+      const double value = deployed.predict(candidate);
+      if (better(direction, value, best_value)) {
+        best = &candidate;
+        best_value = value;
+      }
+    }
+    Recommendation rec;
+    rec.metric = metric;
+    rec.best = *best;
+    rec.value = best_value;
+    rec.rationale = "predicted optimum by the '" + model_name +
+                    "' surrogate over " + std::to_string(candidates.size()) +
+                    " candidates";
+    recs.push_back(std::move(rec));
+  }
+  return recs;
+}
+
+std::string format_recommendations(std::span<const Recommendation> recs) {
+  std::ostringstream os;
+  os << "Co-design recommendations for the graph workload:\n";
+  for (const Recommendation& rec : recs) {
+    const bool maximize = metric_direction(rec.metric) == Direction::kMaximize;
+    os << "  - For " << (maximize ? "best " : "lowest ") << rec.metric
+       << ": use " << describe_point(rec.best) << " ("
+       << format_fixed(rec.value, rec.value < 10.0 ? 4 : 2) << "; "
+       << rec.rationale << ").\n";
+  }
+  return os.str();
+}
+
+}  // namespace gmd::dse

@@ -1,0 +1,125 @@
+#include "gmd/dse/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/string_util.hpp"
+#include "gmd/dse/recommend.hpp"
+
+namespace gmd::dse {
+
+namespace {
+
+std::size_t metric_index(const std::string& metric) {
+  const auto& names = target_metric_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == metric) return i;
+  }
+  throw Error("unknown metric '" + metric + "'");
+}
+
+/// The level label of `parameter` for one design point.
+std::string level_of(const DesignPoint& point, const std::string& parameter) {
+  if (parameter == "kind") return to_string(point.kind);
+  if (parameter == "cpu_freq_mhz") return std::to_string(point.cpu_freq_mhz);
+  if (parameter == "ctrl_freq_mhz")
+    return std::to_string(point.ctrl_freq_mhz);
+  if (parameter == "channels") return std::to_string(point.channels);
+  if (parameter == "trcd") return std::to_string(point.trcd);
+  throw Error("unknown sensitivity parameter '" + parameter + "'");
+}
+
+}  // namespace
+
+const std::vector<std::string>& sensitivity_parameter_names() {
+  static const std::vector<std::string> names = {
+      "kind", "cpu_freq_mhz", "ctrl_freq_mhz", "channels", "trcd"};
+  return names;
+}
+
+SensitivityResult analyze_sensitivity(std::span<const SweepRow> rows,
+                                      const std::string& metric) {
+  GMD_REQUIRE(!rows.empty(), "empty sweep");
+  const std::size_t index = metric_index(metric);
+  const Direction direction = metric_direction(metric);
+
+  SensitivityResult result;
+  result.metric = metric;
+  for (const SweepRow& row : rows) {
+    result.overall_mean += row.metrics.metric_values()[index];
+  }
+  result.overall_mean /= static_cast<double>(rows.size());
+
+  for (const std::string& parameter : sensitivity_parameter_names()) {
+    std::map<std::string, std::pair<double, std::size_t>> levels;
+    for (const SweepRow& row : rows) {
+      auto& [sum, count] = levels[level_of(row.point, parameter)];
+      sum += row.metrics.metric_values()[index];
+      ++count;
+    }
+    if (levels.size() < 2) continue;  // parameter not swept here
+
+    ParameterEffect effect;
+    effect.parameter = parameter;
+    bool first = true;
+    double best_mean = 0.0;
+    for (const auto& [level, acc] : levels) {
+      const double mean = acc.first / static_cast<double>(acc.second);
+      if (first) {
+        effect.min_level_mean = effect.max_level_mean = mean;
+        best_mean = mean;
+        effect.best_level = level;
+        first = false;
+        continue;
+      }
+      effect.min_level_mean = std::min(effect.min_level_mean, mean);
+      effect.max_level_mean = std::max(effect.max_level_mean, mean);
+      const bool better = direction == Direction::kMinimize
+                              ? mean < best_mean
+                              : mean > best_mean;
+      if (better) {
+        best_mean = mean;
+        effect.best_level = level;
+      }
+    }
+    const double denom = std::abs(result.overall_mean) > 1e-300
+                             ? std::abs(result.overall_mean)
+                             : 1.0;
+    effect.relative_effect =
+        (effect.max_level_mean - effect.min_level_mean) / denom;
+    result.effects.push_back(std::move(effect));
+  }
+
+  std::stable_sort(result.effects.begin(), result.effects.end(),
+                   [](const ParameterEffect& a, const ParameterEffect& b) {
+                     return a.relative_effect > b.relative_effect;
+                   });
+  GMD_REQUIRE(!result.effects.empty(),
+              "sweep varies no analyzable parameter");
+  return result;
+}
+
+const ParameterEffect& SensitivityResult::dominant() const {
+  GMD_REQUIRE(!effects.empty(), "no effects computed");
+  return effects.front();
+}
+
+std::string SensitivityResult::summary() const {
+  std::ostringstream os;
+  os << "Sensitivity of " << metric
+     << " (overall mean " << format_fixed(overall_mean, 4) << "):\n";
+  for (const ParameterEffect& effect : effects) {
+    os << "  " << effect.parameter << ": leverage "
+       << format_fixed(effect.relative_effect * 100.0, 1)
+       << "% of mean (level means "
+       << format_fixed(effect.min_level_mean, 4) << " .. "
+       << format_fixed(effect.max_level_mean, 4) << "; best level "
+       << effect.best_level << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace gmd::dse

@@ -1,0 +1,122 @@
+#include "gmd/dse/surrogate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/string_util.hpp"
+#include "gmd/ml/metrics.hpp"
+
+namespace gmd::dse {
+
+SurrogateSuite SurrogateSuite::train(std::span<const SweepRow> rows,
+                                     const SurrogateOptions& options) {
+  GMD_REQUIRE(rows.size() >= 10, "need at least 10 sweep rows to train");
+  const std::vector<std::string> models =
+      options.models.empty() ? ml::table1_model_names() : options.models;
+
+  SurrogateSuite suite;
+  for (const std::string& metric : target_metric_names()) {
+    const MetricDataset metric_data = build_metric_dataset(rows, metric);
+    const auto [train_set, test_set] = ml::train_test_split(
+        metric_data.data, options.test_fraction, options.seed);
+
+    PredictionSeries series;
+    series.metric = metric;
+    series.truth = test_set.y;
+
+    for (const std::string& model_name : models) {
+      const auto model = ml::make_regressor(model_name, options.seed);
+      model->fit(train_set.X, train_set.y);
+      std::vector<double> predicted = model->predict(test_set.X);
+
+      SurrogateScore score;
+      score.metric = metric;
+      score.model = model_name;
+      score.mse = ml::mse(test_set.y, predicted);
+      score.r2 = ml::r2_score(test_set.y, predicted);
+      suite.scores_.push_back(score);
+      series.predictions[model_name] = std::move(predicted);
+    }
+    suite.series_.push_back(std::move(series));
+  }
+  return suite;
+}
+
+const SurrogateScore& SurrogateSuite::score(const std::string& metric,
+                                            const std::string& model) const {
+  for (const SurrogateScore& s : scores_) {
+    if (s.metric == metric && s.model == model) return s;
+  }
+  throw Error("no score for metric '" + metric + "', model '" + model + "'");
+}
+
+const SurrogateScore& SurrogateSuite::best_model(
+    const std::string& metric) const {
+  const SurrogateScore* best = nullptr;
+  for (const SurrogateScore& s : scores_) {
+    if (s.metric != metric) continue;
+    if (best == nullptr || s.mse < best->mse) best = &s;
+  }
+  GMD_REQUIRE(best != nullptr, "no scores for metric '" << metric << "'");
+  return *best;
+}
+
+double SurrogateSuite::DeployedModel::predict(const DesignPoint& point) const {
+  GMD_REQUIRE(model != nullptr && model->is_fitted(),
+              "deployed model is not fitted");
+  const std::vector<double> raw = point.features();
+  ml::Matrix x(1, raw.size());
+  std::copy(raw.begin(), raw.end(), x.row(0).begin());
+  const ml::Matrix scaled = x_scaler.transform(x);
+  const double y_scaled = model->predict_one(scaled.row(0));
+  const std::vector<double> y =
+      y_scaler.inverse_transform(std::vector<double>{y_scaled});
+  return y[0];
+}
+
+SurrogateSuite::DeployedModel SurrogateSuite::deploy(
+    std::span<const SweepRow> rows, const std::string& metric,
+    const std::string& model_name, std::uint64_t seed) {
+  MetricDataset metric_data = build_metric_dataset(rows, metric);
+  DeployedModel deployed;
+  deployed.model = ml::make_regressor(model_name, seed);
+  deployed.model->fit(metric_data.data.X, metric_data.data.y);
+  deployed.x_scaler = std::move(metric_data.x_scaler);
+  deployed.y_scaler = std::move(metric_data.y_scaler);
+  return deployed;
+}
+
+std::string SurrogateSuite::format_table1() const {
+  // Model column order mirrors the paper: Linear, SVM, RF, GB.
+  std::vector<std::string> models;
+  for (const SurrogateScore& s : scores_) {
+    if (std::find(models.begin(), models.end(), s.model) == models.end()) {
+      models.push_back(s.model);
+    }
+  }
+
+  std::ostringstream os;
+  os << "TABLE I: ML model performance on the graph benchmark\n";
+  os << "metric                | stat |";
+  for (const auto& m : models) {
+    os << "  " << m
+       << std::string(10 - std::min<std::size_t>(m.size(), 9), ' ') << "|";
+  }
+  os << "\n";
+  for (const std::string& metric : target_metric_names()) {
+    os << metric << std::string(metric.size() < 22 ? 22 - metric.size() : 1, ' ')
+       << "| MSE  |";
+    for (const auto& m : models) {
+      os << " " << format_sci(score(metric, m).mse, 2) << " |";
+    }
+    os << "\n" << std::string(22, ' ') << "| R2   |";
+    for (const auto& m : models) {
+      os << " " << format_sci(score(metric, m).r2, 2) << " |";
+    }
+    os << "   best: " << best_model(metric).model << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gmd::dse

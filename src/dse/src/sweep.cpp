@@ -1,0 +1,37 @@
+#include "gmd/dse/sweep.hpp"
+
+#include <atomic>
+
+#include "gmd/common/logging.hpp"
+#include "gmd/common/thread_pool.hpp"
+#include "gmd/memsim/hybrid.hpp"
+#include "gmd/memsim/memory_system.hpp"
+
+namespace gmd::dse {
+
+memsim::MemoryMetrics simulate_point(
+    const DesignPoint& point, std::span<const cpusim::MemoryEvent> trace) {
+  if (point.kind == MemoryKind::kHybrid) {
+    return memsim::HybridMemory::simulate(point.hybrid_config(), trace);
+  }
+  return memsim::MemorySystem::simulate(point.single_config(), trace);
+}
+
+std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
+                                std::span<const cpusim::MemoryEvent> trace,
+                                const SweepOptions& options) {
+  std::vector<SweepRow> rows(points.size());
+  std::atomic<std::size_t> done{0};
+  ThreadPool pool(options.num_threads);
+  pool.parallel_for(0, points.size(), [&](std::size_t i) {
+    rows[i].point = points[i];
+    rows[i].metrics = simulate_point(points[i], trace);
+    const std::size_t finished = done.fetch_add(1) + 1;
+    if (options.log_progress && finished % 50 == 0) {
+      GMD_LOG_INFO << "sweep progress: " << finished << "/" << points.size();
+    }
+  });
+  return rows;
+}
+
+}  // namespace gmd::dse

@@ -1,0 +1,114 @@
+#include "gmd/dse/workflow.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/logging.hpp"
+#include "gmd/common/rng.hpp"
+#include "gmd/cpusim/workloads.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/graph/generators.hpp"
+#include "gmd/trace/converter.hpp"
+#include "gmd/trace/formats.hpp"
+
+namespace gmd::dse {
+
+std::vector<cpusim::MemoryEvent> generate_workload_trace(
+    const WorkflowConfig& config, graph::CsrGraph* graph_out,
+    std::uint64_t* checksum_out) {
+  // GTGraph "random" model graph, symmetrized for Graph500 semantics.
+  graph::UniformRandomParams params;
+  params.num_vertices = config.graph_vertices;
+  params.edge_factor = config.edge_factor;
+  params.seed = config.seed;
+  graph::EdgeList list = graph::generate_uniform_random(params);
+  graph::symmetrize(list);
+  graph::remove_self_loops_and_duplicates(list);
+  graph::CsrGraph graph = graph::CsrGraph::from_edge_list(list);
+
+  // Random source vertex, as in the paper.
+  Rng rng(config.seed ^ 0xB5297A4D3F84C2E1ULL);
+  const auto source = static_cast<graph::VertexId>(
+      rng.next_below(graph.num_vertices()));
+
+  cpusim::VectorSink sink;
+  cpusim::CpuModel cpu_model;
+  cpusim::AtomicCpu cpu(cpu_model, &sink);
+  const auto workload =
+      cpusim::make_workload(config.workload, graph, source);
+  const cpusim::WorkloadResult result = workload->run(cpu);
+
+  if (checksum_out) *checksum_out = result.kernel_output;
+  if (graph_out) *graph_out = std::move(graph);
+  return sink.take();
+}
+
+namespace {
+
+/// Writes the trace in gem5 text format, converts it to NVMain format
+/// with the parallel converter, and reads the result back — the
+/// paper's file-based pipeline between its two simulators.
+std::vector<cpusim::MemoryEvent> round_trip_through_files(
+    const std::vector<cpusim::MemoryEvent>& events,
+    const std::string& trace_dir, std::size_t num_threads) {
+  const std::string gem5_path = trace_dir + "/gem5_trace.txt";
+  const std::string nvmain_path = trace_dir + "/nvmain_trace.txt";
+  {
+    std::ofstream out(gem5_path);
+    GMD_REQUIRE(out.good(), "cannot write '" << gem5_path << "'");
+    trace::Gem5TraceWriter writer(out);
+    for (const auto& event : events) writer.on_event(event);
+  }
+  trace::ConvertOptions options;
+  options.num_threads = num_threads;
+  const trace::ConvertStats stats =
+      trace::convert_gem5_to_nvmain(gem5_path, nvmain_path, options);
+  GMD_LOG_INFO << "trace conversion: " << stats.lines_in << " lines in, "
+               << stats.events_out << " events out across " << stats.chunks
+               << " chunks";
+  std::ifstream in(nvmain_path);
+  GMD_REQUIRE(in.good(), "cannot read '" << nvmain_path << "'");
+  return trace::read_nvmain_trace(in);
+}
+
+}  // namespace
+
+WorkflowResult run_workflow(const WorkflowConfig& config) {
+  WorkflowResult result;
+  result.trace = generate_workload_trace(config, &result.graph,
+                                         &result.workload_checksum);
+  GMD_LOG_INFO << "workload '" << config.workload << "' produced "
+               << result.trace.size() << " memory events";
+
+  if (!config.trace_dir.empty()) {
+    result.trace = round_trip_through_files(result.trace, config.trace_dir,
+                                            config.num_threads);
+  }
+
+  const std::vector<DesignPoint> points = config.design_points.empty()
+                                              ? paper_design_space()
+                                              : config.design_points;
+  SweepOptions sweep_options;
+  sweep_options.num_threads = config.num_threads;
+  sweep_options.log_progress = config.log_progress;
+  result.sweep = run_sweep(points, result.trace, sweep_options);
+
+  result.surrogates = SurrogateSuite::train(result.sweep, config.surrogate);
+  result.recommendations = recommend_from_sweep(result.sweep);
+  return result;
+}
+
+std::string WorkflowResult::report() const {
+  std::ostringstream os;
+  os << "=== Co-design workflow report ===\n"
+     << "graph: " << graph.num_vertices() << " vertices, "
+     << graph.num_edges() << " directed edges\n"
+     << "trace: " << trace.size() << " memory events\n"
+     << "sweep: " << sweep.size() << " configurations simulated\n\n"
+     << surrogates.format_table1() << "\n"
+     << format_recommendations(recommendations);
+  return os.str();
+}
+
+}  // namespace gmd::dse

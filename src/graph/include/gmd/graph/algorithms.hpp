@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file algorithms.hpp
+/// Additional graph kernels beyond BFS.  The paper's future-work section
+/// asks "how does the type of graph algorithm influence the choice of
+/// memory parameters?" — these kernels power that ablation
+/// (bench_ablation_algorithms) and the extra workload drivers in cpusim.
+
+#include <cstdint>
+#include <vector>
+
+#include "gmd/graph/csr.hpp"
+
+namespace gmd::graph {
+
+/// Power-iteration PageRank.
+struct PageRankParams {
+  double damping = 0.85;
+  double tolerance = 1e-6;   // L1 change per iteration to declare converged
+  unsigned max_iterations = 100;
+};
+struct PageRankResult {
+  std::vector<double> scores;   // sums to ~1
+  unsigned iterations = 0;
+  bool converged = false;
+};
+PageRankResult pagerank(const CsrGraph& graph, const PageRankParams& params = {});
+
+/// Connected components via label propagation (Shiloach–Vishkin style
+/// hooking + pointer jumping).  The graph is treated as undirected; pass
+/// a symmetric CSR for meaningful results.
+struct ComponentsResult {
+  std::vector<VertexId> component;  // representative vertex per component
+  std::size_t num_components = 0;
+};
+ComponentsResult connected_components(const CsrGraph& graph);
+
+/// Single-source shortest paths (non-negative weights, binary-heap
+/// Dijkstra).  Unweighted graphs use weight 1 per edge.
+struct SsspResult {
+  VertexId source = 0;
+  std::vector<double> distance;   // +inf when unreached
+  std::vector<VertexId> parent;   // kNoParent when unreached
+};
+SsspResult sssp_dijkstra(const CsrGraph& graph, VertexId source);
+
+/// Per-vertex triangle participation counts (node-iterator algorithm);
+/// a heavier, more irregular reference workload.  Requires a symmetric
+/// graph with sorted adjacency lists (CsrGraph guarantees sortedness).
+std::uint64_t count_triangles(const CsrGraph& graph);
+
+}  // namespace gmd::graph

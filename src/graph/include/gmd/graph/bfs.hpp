@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file bfs.hpp
+/// Breadth-First Search kernels in the Graph500 style: each search
+/// produces a parent (predecessor) array and per-vertex depths, and can
+/// be validated against the Graph500 correctness rules.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gmd/graph/csr.hpp"
+
+namespace gmd::graph {
+
+/// Sentinel parent/depth for vertices the search did not reach.
+inline constexpr VertexId kNoParent = std::numeric_limits<VertexId>::max();
+inline constexpr std::uint32_t kUnreachedDepth =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Result of one BFS: the Graph500 "BFS tree".
+struct BfsResult {
+  VertexId source = 0;
+  std::vector<VertexId> parent;      // parent[source] == source
+  std::vector<std::uint32_t> depth;  // depth[source] == 0
+  std::size_t vertices_visited = 0;
+  std::size_t edges_traversed = 0;   // directed edge examinations
+
+  bool reached(VertexId v) const { return parent[v] != kNoParent; }
+};
+
+/// Classic queue-based top-down BFS.
+BfsResult bfs_top_down(const CsrGraph& graph, VertexId source);
+
+/// Bottom-up BFS: each unvisited vertex scans its (incoming == outgoing,
+/// graph must be symmetric) neighbors for a frontier member.
+BfsResult bfs_bottom_up(const CsrGraph& graph, VertexId source);
+
+/// Direction-optimizing BFS (Beamer): switches top-down <-> bottom-up
+/// based on frontier edge count, as the Graph500 reference code does.
+/// `alpha` and `beta` are the standard switching thresholds.
+BfsResult bfs_direction_optimizing(const CsrGraph& graph, VertexId source,
+                                   double alpha = 15.0, double beta = 18.0);
+
+/// Graph500 result validation:
+///  1. the BFS tree contains no cycles and parent edges exist in the graph,
+///  2. tree edges connect vertices whose depths differ by exactly one,
+///  3. every edge of the graph connects vertices whose depths differ by
+///     at most one (or one endpoint is unreached),
+///  4. every reached vertex is in the tree and vice versa.
+/// Returns true when all checks pass; otherwise false with a reason.
+bool validate_bfs(const CsrGraph& graph, const BfsResult& result,
+                  std::string* error_reason = nullptr);
+
+}  // namespace gmd::graph

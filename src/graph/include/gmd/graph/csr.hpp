@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file csr.hpp
+/// Compressed Sparse Row graph — the in-memory layout all kernels run
+/// over, and the layout whose address stream the CPU simulator traces.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gmd/graph/edge_list.hpp"
+
+namespace gmd::graph {
+
+/// Immutable CSR adjacency structure.
+///
+/// `offsets()[v] .. offsets()[v+1]` indexes into `neighbors()` (and
+/// `weights()` when the graph is weighted).  Neighbor lists are sorted
+/// by destination for deterministic traversal order.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list.  The input is interpreted as directed;
+  /// symmetrize the list first for an undirected graph (Graph500 does).
+  /// \param keep_weights  When false, the weight array is left empty.
+  static CsrGraph from_edge_list(const EdgeList& list,
+                                 bool keep_weights = false);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  std::size_t num_edges() const { return neighbors_.size(); }
+  bool is_weighted() const { return !weights_.empty(); }
+
+  std::span<const std::uint64_t> offsets() const { return offsets_; }
+  std::span<const VertexId> neighbors() const { return neighbors_; }
+  std::span<const double> weights() const { return weights_; }
+
+  std::uint64_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbor list of `v` as a span.
+  std::span<const VertexId> neighbors_of(VertexId v) const {
+    return std::span<const VertexId>(neighbors_)
+        .subspan(offsets_[v], degree(v));
+  }
+
+  /// Edge weights of `v` (parallel to neighbors_of); empty when unweighted.
+  std::span<const double> weights_of(VertexId v) const {
+    if (weights_.empty()) return {};
+    return std::span<const double>(weights_).subspan(offsets_[v], degree(v));
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;   // size num_vertices + 1
+  std::vector<VertexId> neighbors_;      // size num_edges
+  std::vector<double> weights_;          // empty or size num_edges
+};
+
+}  // namespace gmd::graph

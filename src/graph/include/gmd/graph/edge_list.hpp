@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file edge_list.hpp
+/// Edge-list graph representation produced by the synthetic generators
+/// and consumed by the CSR builder.
+
+#include <cstdint>
+#include <vector>
+
+namespace gmd::graph {
+
+/// Vertex identifier.  32 bits covers every graph scale this study uses
+/// (the paper's largest graph has 1,024 vertices) with headroom to the
+/// multi-million-vertex ablation range.
+using VertexId = std::uint32_t;
+
+/// A directed edge with an optional weight (used by SSSP; BFS ignores it).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A bag of edges plus the vertex-count bound.
+struct EdgeList {
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges;
+
+  std::size_t num_edges() const { return edges.size(); }
+};
+
+/// Removes self-loops and (src,dst) duplicates in place (weights of
+/// duplicates: first occurrence wins).  Returns the number removed.
+std::size_t remove_self_loops_and_duplicates(EdgeList& list);
+
+/// Appends the reverse of every edge, making the list symmetric.
+/// Self-loops are not duplicated.
+void symmetrize(EdgeList& list);
+
+}  // namespace gmd::graph

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file generators.hpp
+/// Synthetic graph generators.
+///
+/// The paper generates its workload graph with GTGraph's "random" model
+/// (1,024 vertices, edge factor 16).  We implement that model plus the
+/// R-MAT / Graph500 Kronecker model GTGraph also ships, and a classic
+/// Erdos–Renyi G(n, p) generator for tests.
+
+#include <cstdint>
+
+#include "gmd/graph/edge_list.hpp"
+
+namespace gmd::graph {
+
+/// GTGraph "random" model: `edge_factor * n` directed edges whose
+/// endpoints are drawn uniformly at random (self-loops excluded).
+/// Weights are uniform in [1, max_weight].
+struct UniformRandomParams {
+  VertexId num_vertices = 1024;
+  unsigned edge_factor = 16;
+  double max_weight = 1.0;
+  std::uint64_t seed = 1;
+};
+EdgeList generate_uniform_random(const UniformRandomParams& params);
+
+/// R-MAT recursive-matrix model (GTGraph's "rmat" generator).
+/// Probabilities (a, b, c, d) must be positive and sum to ~1.
+struct RmatParams {
+  unsigned scale = 10;           // num_vertices = 2^scale
+  unsigned edge_factor = 16;
+  double a = 0.45, b = 0.15, c = 0.15, d = 0.25;
+  double max_weight = 1.0;
+  std::uint64_t seed = 1;
+};
+EdgeList generate_rmat(const RmatParams& params);
+
+/// Graph500 Kronecker generator: R-MAT with the benchmark's fixed
+/// (0.57, 0.19, 0.19, 0.05) initiator, symmetrized, with vertex-label
+/// permutation as the spec requires.
+struct KroneckerParams {
+  unsigned scale = 10;
+  unsigned edge_factor = 16;
+  std::uint64_t seed = 1;
+};
+EdgeList generate_graph500_kronecker(const KroneckerParams& params);
+
+/// Erdos–Renyi G(n, p): every ordered pair (u, v), u != v, is an edge
+/// independently with probability p.  Intended for small test graphs.
+struct ErdosRenyiParams {
+  VertexId num_vertices = 64;
+  double edge_probability = 0.1;
+  std::uint64_t seed = 1;
+};
+EdgeList generate_erdos_renyi(const ErdosRenyiParams& params);
+
+}  // namespace gmd::graph

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file graph500.hpp
+/// Graph500-style benchmark driver: generate a Kronecker graph, run BFS
+/// from many sampled roots, validate every search, and report the TEPS
+/// (Traversed Edges Per Second) statistics the benchmark specifies —
+/// the harness the paper *wanted* to run before falling back to its own
+/// BFS kernel (§III-D).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gmd/graph/bfs.hpp"
+#include "gmd/graph/csr.hpp"
+
+namespace gmd::graph {
+
+struct Graph500Params {
+  unsigned scale = 10;         ///< 2^scale vertices.
+  unsigned edge_factor = 16;
+  unsigned num_roots = 64;     ///< Benchmark specifies 64 searches.
+  std::uint64_t seed = 1;
+  bool validate = true;        ///< Run the result validator per search.
+};
+
+struct Graph500Result {
+  unsigned scale = 0;
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;       ///< Directed edges in the CSR.
+  unsigned searches_run = 0;
+  unsigned validation_failures = 0;
+  double construction_seconds = 0.0;
+
+  std::vector<double> teps;        ///< Per-search TEPS.
+  double min_teps = 0.0;
+  double max_teps = 0.0;
+  double mean_teps = 0.0;
+  double harmonic_mean_teps = 0.0; ///< The benchmark's headline number.
+  double median_teps = 0.0;
+
+  std::string summary() const;
+};
+
+/// Runs the benchmark end to end on the host CPU (wall-clock TEPS).
+/// Roots are sampled uniformly from vertices with degree >= 1, without
+/// replacement, as the specification requires.
+Graph500Result run_graph500(const Graph500Params& params);
+
+/// Samples `count` distinct roots with degree >= 1.  Exposed for the
+/// benchmark driver and for workload generation.  Throws when the graph
+/// has fewer connected vertices than requested.
+std::vector<VertexId> sample_bfs_roots(const CsrGraph& graph,
+                                       unsigned count, std::uint64_t seed);
+
+}  // namespace gmd::graph

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file io.hpp
+/// Graph file I/O.
+///
+/// * Plain edge-list text — GTGraph's output format: a header line
+///   `p <num_vertices> <num_edges>` (GTGraph writes DIMACS-style
+///   headers) followed by `a <src> <dst> <weight>` arc lines; bare
+///   `<src> <dst> [weight]` lines are accepted too.  `c`/`#`/`%` lines
+///   are comments.  Vertices are 1-based in DIMACS files and converted
+///   to 0-based in memory.
+/// * Binary — a packed format for fast reload of generated graphs.
+
+#include <iosfwd>
+#include <string>
+
+#include "gmd/graph/edge_list.hpp"
+
+namespace gmd::graph {
+
+/// Writes DIMACS-style text (`p`/`a` lines, 1-based vertices).
+void write_edge_list(std::ostream& os, const EdgeList& list);
+void save_edge_list(const std::string& path, const EdgeList& list);
+
+/// Reads DIMACS-style or bare edge-list text.  Throws gmd::Error on
+/// malformed lines or out-of-range vertices.
+EdgeList read_edge_list(std::istream& is);
+EdgeList load_edge_list(const std::string& path);
+
+/// Packed binary round-trip.
+void write_edge_list_binary(std::ostream& os, const EdgeList& list);
+EdgeList read_edge_list_binary(std::istream& is);
+
+}  // namespace gmd::graph

@@ -1,0 +1,162 @@
+#include "gmd/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "gmd/common/error.hpp"
+#include "gmd/graph/bfs.hpp"
+
+namespace gmd::graph {
+
+PageRankResult pagerank(const CsrGraph& graph, const PageRankParams& params) {
+  GMD_REQUIRE(params.damping > 0.0 && params.damping < 1.0,
+              "damping must be in (0, 1)");
+  const VertexId n = graph.num_vertices();
+  PageRankResult result;
+  if (n == 0) return result;
+
+  const double base = (1.0 - params.damping) / static_cast<double>(n);
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (unsigned iter = 0; iter < params.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (VertexId u = 0; u < n; ++u) {
+      const auto deg = graph.degree(u);
+      if (deg == 0) {
+        dangling += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(deg);
+      for (const VertexId v : graph.neighbors_of(u)) next[v] += share;
+    }
+    const double dangling_share = dangling / static_cast<double>(n);
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      next[v] = base + params.damping * (next[v] + dangling_share);
+      delta += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    result.iterations = iter + 1;
+    if (delta < params.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(rank);
+  return result;
+}
+
+ComponentsResult connected_components(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  ComponentsResult result;
+  result.component.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.component[v] = v;
+  if (n == 0) return result;
+
+  auto& comp = result.component;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Hooking: adopt the smaller label across each edge.
+    for (VertexId u = 0; u < n; ++u) {
+      for (const VertexId v : graph.neighbors_of(u)) {
+        const VertexId cu = comp[u];
+        const VertexId cv = comp[v];
+        if (cu < cv) {
+          comp[comp[v]] = cu;
+          changed = true;
+        } else if (cv < cu) {
+          comp[comp[u]] = cv;
+          changed = true;
+        }
+      }
+    }
+    // Pointer jumping: compress label chains.
+    for (VertexId v = 0; v < n; ++v) {
+      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
+    }
+  }
+
+  std::size_t count = 0;
+  for (VertexId v = 0; v < n; ++v)
+    if (comp[v] == v) ++count;
+  result.num_components = count;
+  return result;
+}
+
+SsspResult sssp_dijkstra(const CsrGraph& graph, VertexId source) {
+  GMD_REQUIRE(source < graph.num_vertices(),
+              "SSSP source " << source << " out of range");
+  const VertexId n = graph.num_vertices();
+  SsspResult result;
+  result.source = source;
+  result.distance.assign(n, std::numeric_limits<double>::infinity());
+  result.parent.assign(n, kNoParent);
+  result.distance[source] = 0.0;
+  result.parent[source] = source;
+
+  using Item = std::pair<double, VertexId>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > result.distance[u]) continue;  // stale entry
+    const auto neighbors = graph.neighbors_of(u);
+    const auto weights = graph.weights_of(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const double w = weights.empty() ? 1.0 : weights[i];
+      GMD_REQUIRE(w >= 0.0, "Dijkstra requires non-negative weights");
+      const VertexId v = neighbors[i];
+      const double candidate = dist + w;
+      if (candidate < result.distance[v]) {
+        result.distance[v] = candidate;
+        result.parent[v] = u;
+        heap.push({candidate, v});
+      }
+    }
+  }
+  return result;
+}
+
+std::uint64_t count_triangles(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::uint64_t triangles = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nu = graph.neighbors_of(u);
+    for (const VertexId v : nu) {
+      if (v <= u) continue;  // order u < v < w to count each once
+      const auto nv = graph.neighbors_of(v);
+      // Sorted-list intersection of neighbors above v.
+      std::size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        const VertexId a = nu[i];
+        const VertexId b = nv[j];
+        if (a <= v) {
+          ++i;
+          continue;
+        }
+        if (b <= v) {
+          ++j;
+          continue;
+        }
+        if (a == b) {
+          ++triangles;
+          ++i;
+          ++j;
+        } else if (a < b) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+}  // namespace gmd::graph

@@ -1,0 +1,54 @@
+#include "gmd/graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::graph {
+
+CsrGraph CsrGraph::from_edge_list(const EdgeList& list, bool keep_weights) {
+  for (const Edge& e : list.edges) {
+    GMD_REQUIRE(e.src < list.num_vertices && e.dst < list.num_vertices,
+                "edge (" << e.src << "," << e.dst
+                         << ") exceeds num_vertices=" << list.num_vertices);
+  }
+
+  CsrGraph g;
+  const std::size_t n = list.num_vertices;
+  g.offsets_.assign(n + 1, 0);
+  for (const Edge& e : list.edges) ++g.offsets_[e.src + 1];
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  g.neighbors_.resize(list.edges.size());
+  if (keep_weights) g.weights_.resize(list.edges.size());
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : list.edges) {
+    const std::uint64_t slot = cursor[e.src]++;
+    g.neighbors_[slot] = e.dst;
+    if (keep_weights) g.weights_[slot] = e.weight;
+  }
+
+  // Sort each adjacency list by destination for deterministic kernels.
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto lo = g.offsets_[v];
+    const auto hi = g.offsets_[v + 1];
+    if (keep_weights) {
+      std::vector<std::pair<VertexId, double>> adj;
+      adj.reserve(hi - lo);
+      for (auto i = lo; i < hi; ++i)
+        adj.emplace_back(g.neighbors_[i], g.weights_[i]);
+      std::sort(adj.begin(), adj.end());
+      for (auto i = lo; i < hi; ++i) {
+        g.neighbors_[i] = adj[i - lo].first;
+        g.weights_[i] = adj[i - lo].second;
+      }
+    } else {
+      std::sort(g.neighbors_.begin() + static_cast<std::ptrdiff_t>(lo),
+                g.neighbors_.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+  }
+  return g;
+}
+
+}  // namespace gmd::graph

@@ -1,0 +1,34 @@
+#include "gmd/graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace gmd::graph {
+
+std::size_t remove_self_loops_and_duplicates(EdgeList& list) {
+  auto& edges = list.edges;
+  const std::size_t before = edges.size();
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const Edge& e) { return e.src == e.dst; }),
+              edges.end());
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) {
+                     return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                   });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+  return before - edges.size();
+}
+
+void symmetrize(EdgeList& list) {
+  const std::size_t original = list.edges.size();
+  list.edges.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i) {
+    const Edge e = list.edges[i];
+    if (e.src != e.dst) list.edges.push_back({e.dst, e.src, e.weight});
+  }
+}
+
+}  // namespace gmd::graph

@@ -1,0 +1,160 @@
+#include "gmd/graph/io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/string_util.hpp"
+
+namespace gmd::graph {
+
+void write_edge_list(std::ostream& os, const EdgeList& list) {
+  os << "c graphmemdse edge list (DIMACS-style, 1-based vertices)\n";
+  os << "p sp " << list.num_vertices << " " << list.edges.size() << "\n";
+  os.precision(17);
+  for (const Edge& e : list.edges) {
+    os << "a " << (e.src + 1) << " " << (e.dst + 1) << " " << e.weight
+       << "\n";
+  }
+}
+
+void save_edge_list(const std::string& path, const EdgeList& list) {
+  std::ofstream out(path);
+  GMD_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  write_edge_list(out, list);
+  GMD_REQUIRE(out.good(), "write to '" << path << "' failed");
+}
+
+EdgeList read_edge_list(std::istream& is) {
+  EdgeList list;
+  bool saw_header = false;
+  VertexId max_vertex = 0;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view text = trim(line);
+    if (text.empty() || text[0] == 'c' || text[0] == '#' || text[0] == '%')
+      continue;
+
+    const auto fields = split_whitespace(text);
+    if (fields[0] == "p") {
+      // "p <problem> <vertices> <edges>" or "p <vertices> <edges>".
+      GMD_REQUIRE(fields.size() >= 3,
+                  "line " << line_no << ": malformed problem line");
+      const auto vertices = parse_uint(fields[fields.size() - 2]);
+      GMD_REQUIRE(vertices.has_value() && *vertices > 0 &&
+                      *vertices <= UINT32_MAX,
+                  "line " << line_no << ": bad vertex count");
+      list.num_vertices = static_cast<VertexId>(*vertices);
+      saw_header = true;
+      continue;
+    }
+
+    // Arc lines: "a u v [w]" (1-based) or bare "u v [w]" (0-based).
+    std::size_t first = 0;
+    bool one_based = false;
+    if (fields[0] == "a") {
+      first = 1;
+      one_based = true;
+    }
+    GMD_REQUIRE(fields.size() >= first + 2,
+                "line " << line_no << ": expected two vertex ids");
+    const auto u = parse_uint(fields[first]);
+    const auto v = parse_uint(fields[first + 1]);
+    GMD_REQUIRE(u.has_value() && v.has_value(),
+                "line " << line_no << ": bad vertex id");
+    double weight = 1.0;
+    if (fields.size() > first + 2) {
+      const auto w = parse_double(fields[first + 2]);
+      GMD_REQUIRE(w.has_value(), "line " << line_no << ": bad weight");
+      weight = *w;
+    }
+    std::uint64_t src = *u;
+    std::uint64_t dst = *v;
+    if (one_based) {
+      GMD_REQUIRE(src >= 1 && dst >= 1,
+                  "line " << line_no << ": DIMACS vertices are 1-based");
+      --src;
+      --dst;
+    }
+    GMD_REQUIRE(src <= UINT32_MAX && dst <= UINT32_MAX,
+                "line " << line_no << ": vertex id overflow");
+    list.edges.push_back(
+        {static_cast<VertexId>(src), static_cast<VertexId>(dst), weight});
+    max_vertex = std::max({max_vertex, static_cast<VertexId>(src),
+                           static_cast<VertexId>(dst)});
+  }
+
+  if (!saw_header) {
+    list.num_vertices = list.edges.empty() ? 0 : max_vertex + 1;
+  } else {
+    GMD_REQUIRE(list.edges.empty() || max_vertex < list.num_vertices,
+                "edge references vertex " << max_vertex
+                                          << " beyond declared count "
+                                          << list.num_vertices);
+  }
+  return list;
+}
+
+EdgeList load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  GMD_REQUIRE(in.good(), "cannot open '" << path << "' for reading");
+  return read_edge_list(in);
+}
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'G', 'M', 'D', 'G', 'R', 'F',
+                                        '0', '1'};
+
+struct PackedEdge {
+  std::uint32_t src;
+  std::uint32_t dst;
+  double weight;
+};
+static_assert(sizeof(PackedEdge) == 16);
+
+}  // namespace
+
+void write_edge_list_binary(std::ostream& os, const EdgeList& list) {
+  os.write(kMagic.data(), kMagic.size());
+  const std::uint64_t vertices = list.num_vertices;
+  const std::uint64_t edges = list.edges.size();
+  os.write(reinterpret_cast<const char*>(&vertices), sizeof(vertices));
+  os.write(reinterpret_cast<const char*>(&edges), sizeof(edges));
+  for (const Edge& e : list.edges) {
+    const PackedEdge packed{e.src, e.dst, e.weight};
+    os.write(reinterpret_cast<const char*>(&packed), sizeof(packed));
+  }
+  GMD_REQUIRE(os.good(), "binary graph write failed");
+}
+
+EdgeList read_edge_list_binary(std::istream& is) {
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  GMD_REQUIRE(is.good() && magic == kMagic,
+              "not a graphmemdse binary graph (bad magic)");
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  is.read(reinterpret_cast<char*>(&vertices), sizeof(vertices));
+  is.read(reinterpret_cast<char*>(&edges), sizeof(edges));
+  GMD_REQUIRE(is.good(), "binary graph truncated (header)");
+  GMD_REQUIRE(vertices <= UINT32_MAX, "vertex count overflow");
+  EdgeList list;
+  list.num_vertices = static_cast<VertexId>(vertices);
+  list.edges.reserve(edges);
+  for (std::uint64_t i = 0; i < edges; ++i) {
+    PackedEdge packed{};
+    is.read(reinterpret_cast<char*>(&packed), sizeof(packed));
+    GMD_REQUIRE(is.good(), "binary graph truncated at edge " << i);
+    list.edges.push_back({packed.src, packed.dst, packed.weight});
+  }
+  return list;
+}
+
+}  // namespace gmd::graph

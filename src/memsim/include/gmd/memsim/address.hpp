@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file address.hpp
+/// Physical-address decomposition into (channel, rank, bank, row,
+/// column) under a configurable NVMain-style mapping scheme (see
+/// MemoryConfig::address_mapping).  The scheme decides which hardware
+/// resource consecutive addresses interleave across first.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "gmd/memsim/config.hpp"
+
+namespace gmd::memsim {
+
+struct DecodedAddress {
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t column = 0;  ///< Column in access-size units.
+
+  friend bool operator==(const DecodedAddress&,
+                         const DecodedAddress&) = default;
+};
+
+/// Decodes addresses for one MemoryConfig.  Bits below one access are
+/// an offset and ignored; the remaining fields follow the configured
+/// mapping scheme, with the topmost field (typically the row) wrapping
+/// modulo its size so any trace fits any capacity.
+class AddressDecoder {
+ public:
+  explicit AddressDecoder(const MemoryConfig& config);
+
+  DecodedAddress decode(std::uint64_t address) const;
+
+  /// Flat bank index in [0, channels * ranks * banks).
+  std::uint32_t flat_bank(const DecodedAddress& a) const {
+    return (a.channel * ranks_ + a.rank) * banks_ + a.bank;
+  }
+  std::uint32_t total_banks() const { return channels_ * ranks_ * banks_; }
+
+  /// The parsed scheme, normalized (e.g. "R:RK:BK:C:CH").
+  std::string scheme() const;
+
+ private:
+  enum class Field { kRow, kRank, kBank, kColumn, kChannel };
+
+  std::uint32_t field_size(Field field) const;
+
+  std::uint32_t channels_;
+  std::uint32_t ranks_;
+  std::uint32_t banks_;
+  std::uint32_t rows_;
+  std::uint32_t columns_per_row_;
+  std::uint64_t access_bytes_;
+  std::array<Field, 5> lsb_to_msb_{};  ///< Decode order.
+};
+
+}  // namespace gmd::memsim

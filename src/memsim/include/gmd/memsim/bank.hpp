@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file bank.hpp
+/// Row-buffer state and timing bookkeeping for a single memory bank.
+///
+/// The simulator is event-driven over requests, not clocked: each bank
+/// records the earliest cycle at which its next command classes may
+/// start, and the channel controller schedules commands with timestamp
+/// algebra against those bounds (the approach of lightweight DRAM
+/// models; identical steady-state behaviour to a cycle loop for the
+/// command stream NVMain issues).
+
+#include <cstdint>
+#include <optional>
+
+namespace gmd::memsim {
+
+struct BankState {
+  std::optional<std::uint32_t> open_row;  ///< Row in the row buffer.
+  std::uint64_t ready_for_activate = 0;   ///< Earliest ACT start.
+  std::uint64_t ready_for_precharge = 0;  ///< Earliest PRE start (tRAS/tWR).
+  std::uint64_t ready_for_cas = 0;        ///< Earliest next CAS (tCCD local).
+  std::uint64_t last_activate = 0;
+
+  // Statistics.
+  std::uint64_t activations = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t bytes_transferred = 0;
+};
+
+}  // namespace gmd::memsim

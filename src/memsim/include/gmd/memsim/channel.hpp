@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file channel.hpp
+/// One memory channel: transaction queue, scheduler (FCFS / FR-FCFS),
+/// page policy, refresh, banks, data bus, and per-channel statistics.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gmd/memsim/bank.hpp"
+#include "gmd/memsim/config.hpp"
+
+namespace gmd::memsim {
+
+/// One memory transaction as seen by a channel.  Times are in
+/// memory-controller cycles.
+struct Request {
+  std::uint64_t arrival = 0;  ///< Enqueue cycle at the controller.
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t column = 0;
+  bool is_write = false;
+
+  // Filled by the channel when serviced.
+  std::uint64_t service_start = 0;  ///< First command issue cycle.
+  std::uint64_t completion = 0;     ///< Data burst completion cycle.
+
+  /// Service latency: controller-initiated to completed (paper's
+  /// "average latency").
+  std::uint64_t service_latency() const { return completion - service_start; }
+  /// Queue + service: request arrival to completion (paper's "total
+  /// latency").
+  std::uint64_t total_latency() const { return completion - arrival; }
+};
+
+/// Aggregated per-channel counters after a simulation run.
+struct ChannelStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t sum_service_latency = 0;
+  std::uint64_t sum_total_latency = 0;
+  std::uint64_t last_completion = 0;        ///< Cycle the channel went idle.
+  std::vector<std::uint64_t> bank_bytes;    ///< Bytes moved per bank.
+
+  /// Per-epoch accumulators (completion-cycle epochs); only populated
+  /// when MemoryConfig::epoch_cycles > 0.
+  struct Epoch {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t sum_total_latency = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Epoch> epochs;
+
+  double avg_service_latency() const {
+    const std::uint64_t n = reads + writes;
+    return n ? static_cast<double>(sum_service_latency) /
+                   static_cast<double>(n)
+             : 0.0;
+  }
+  double avg_total_latency() const {
+    const std::uint64_t n = reads + writes;
+    return n ? static_cast<double>(sum_total_latency) / static_cast<double>(n)
+             : 0.0;
+  }
+};
+
+/// Channel controller.  Requests must be offered in arrival order
+/// (enqueue() asserts monotone arrivals); drain() finishes the run.
+class Channel {
+ public:
+  /// \param config  Memory configuration (geometry/timing/policy);
+  /// copied, so temporaries are safe to pass.
+  explicit Channel(const MemoryConfig& config);
+
+  /// Queues one transaction.  When the transaction queue is full the
+  /// controller first services entries to make room, and the incoming
+  /// request (plus everything after it) is pushed back to that drain
+  /// point — the back-pressure NVMain's blocking trace reader applies,
+  /// which keeps queuing delays bounded by the queue depth.
+  void enqueue(const Request& request);
+
+  /// Services every queued transaction.
+  void drain();
+
+  const ChannelStats& stats() const { return stats_; }
+  const std::vector<BankState>& banks() const { return banks_; }
+
+  /// Per-rank activation-rate state (tRRD spacing, tFAW window).
+  struct RankState {
+    std::uint64_t last_activate = 0;
+    bool any_activate = false;
+    std::array<std::uint64_t, 4> window{};  ///< Last four ACT times.
+    std::uint8_t window_filled = 0;
+    std::uint8_t cursor = 0;
+  };
+
+ private:
+  /// Picks the next queue index per scheduling policy.
+  std::size_t pick_next() const;
+  /// Services queue_[index], removing it from the queue; returns the
+  /// request's completion cycle.
+  std::uint64_t service(std::size_t index);
+  /// Pushes `cycle` past any refresh window it falls into and charges
+  /// refresh energy bookkeeping.
+  std::uint64_t after_refresh(std::uint64_t cycle) const;
+  /// Delays an ACT at `cycle` until the rank's tRRD/tFAW limits allow
+  /// it, then records the activation.
+  std::uint64_t constrain_and_record_activate(std::uint32_t rank,
+                                              std::uint64_t cycle);
+
+  MemoryConfig config_;
+  std::vector<BankState> banks_;        // ranks * banks, rank-major
+  std::vector<RankState> ranks_;        // activation-rate tracking
+  std::vector<Request> queue_;          // pending, arrival order
+  std::uint64_t now_ = 0;               // controller command clock
+  std::uint64_t bus_free_ = 0;          // data bus availability
+  std::uint64_t last_cas_ = 0;          // channel-level tCCD spacing
+  std::uint64_t last_arrival_ = 0;
+  std::uint64_t stall_until_ = 0;  // back-pressure point for new arrivals
+  ChannelStats stats_;
+};
+
+}  // namespace gmd::memsim

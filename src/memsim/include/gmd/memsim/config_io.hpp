@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file config_io.hpp
+/// NVMain-style configuration files.  NVMain drives its simulations
+/// from plain `KEY value` text files (one pair per line, `;` comments);
+/// this module reads and writes MemoryConfig in that format so
+/// configurations can be versioned, diffed, and swept by scripts, as
+/// the paper's configuration-generation scripts did.
+///
+/// Recognized keys follow NVMain naming where one exists (CLK, CPUFreq,
+/// CHANNELS, RANKS, BANKS, ROWS, tRCD, tRAS, tRP, tCAS, tBURST, tWR,
+/// tCCD, tRFC, tREFI, QueueDepth, MEM_CTL, ClosePage, ...), with
+/// gmd-prefixed extensions for the energy model.
+
+#include <iosfwd>
+#include <string>
+
+#include "gmd/memsim/config.hpp"
+
+namespace gmd::memsim {
+
+/// Serializes a configuration as an NVMain-style config file.
+void write_config(std::ostream& os, const MemoryConfig& config);
+void save_config(const std::string& path, const MemoryConfig& config);
+
+/// Parses an NVMain-style config file.  Unknown keys throw (catching
+/// typos in sweep scripts); missing keys keep their defaults.  The
+/// result is validated before being returned.
+MemoryConfig read_config(std::istream& is);
+MemoryConfig load_config(const std::string& path);
+
+}  // namespace gmd::memsim

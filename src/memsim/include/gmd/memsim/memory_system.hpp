@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file memory_system.hpp
+/// A complete single-technology main-memory system: address decoder,
+/// one controller per channel, energy model, endurance tracking —
+/// driven by a CPU-tick-stamped memory-event trace, like NVMain's
+/// trace-reader main loop.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "gmd/cpusim/memory_event.hpp"
+#include "gmd/memsim/address.hpp"
+#include "gmd/memsim/channel.hpp"
+#include "gmd/memsim/config.hpp"
+#include "gmd/memsim/metrics.hpp"
+
+namespace gmd::memsim {
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemoryConfig& config);
+
+  const MemoryConfig& config() const { return config_; }
+
+  /// Feeds one trace event.  Events must arrive in non-decreasing tick
+  /// order.  `tick` is a CPU cycle; the controller sees it scaled to
+  /// the memory clock.  Accesses wider than one memory word are split.
+  void enqueue_event(const cpusim::MemoryEvent& event);
+
+  /// Drains all controllers and computes the final metrics.
+  MemoryMetrics finish();
+
+  /// One-shot convenience: simulate a whole trace.
+  static MemoryMetrics simulate(const MemoryConfig& config,
+                                std::span<const cpusim::MemoryEvent> trace);
+
+  /// Converts a CPU tick to a memory-controller cycle.
+  std::uint64_t tick_to_memory_cycle(std::uint64_t tick) const;
+
+  const std::vector<Channel>& channels() const { return channels_; }
+
+ private:
+  void enqueue_word(std::uint64_t tick, std::uint64_t address, bool is_write);
+
+  MemoryConfig config_;
+  AddressDecoder decoder_;
+  std::vector<Channel> channels_;
+  std::unordered_map<std::uint64_t, std::uint64_t> line_writes_;
+  bool finished_ = false;
+};
+
+}  // namespace gmd::memsim

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The memory responses the workflow extracts from a simulation —
+/// exactly the six metrics the paper trains surrogates for, plus the
+/// diagnostics (energy breakdown, row-buffer behaviour, endurance) that
+/// NVMain also reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmd::memsim {
+
+struct MemoryMetrics {
+  // --- the paper's six response metrics -----------------------------
+  double avg_power_per_channel_w = 0.0;
+  double avg_bandwidth_per_bank_mbs = 0.0;
+  double avg_latency_cycles = 0.0;        ///< Service latency (no queue).
+  double avg_total_latency_cycles = 0.0;  ///< Includes queuing delay.
+  double avg_reads_per_channel = 0.0;
+  double avg_writes_per_channel = 0.0;
+
+  // --- run context ----------------------------------------------------
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_writes = 0;
+  std::uint32_t channels = 0;
+  std::uint32_t banks_total = 0;
+  double execution_seconds = 0.0;
+
+  // --- energy breakdown ------------------------------------------------
+  double dynamic_energy_j = 0.0;     ///< ACT/PRE/RD/WR/REF energy.
+  double background_energy_j = 0.0;  ///< Static + clock-proportional.
+  double total_energy_j() const {
+    return dynamic_energy_j + background_energy_j;
+  }
+
+  // --- row buffer -------------------------------------------------------
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  double row_hit_rate() const {
+    const std::uint64_t total = row_hits + row_misses;
+    return total ? static_cast<double>(row_hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+
+  // --- endurance ---------------------------------------------------------
+  std::uint64_t max_line_writes = 0;    ///< Hottest 64B line's write count.
+  std::uint64_t unique_lines_written = 0;
+
+  // --- epoch time series (NVMain PrintGraphs) ---------------------------
+  struct EpochSample {
+    std::uint64_t epoch = 0;        ///< Index; start = epoch * epoch_cycles.
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    double avg_total_latency_cycles = 0.0;
+    double bandwidth_mbs = 0.0;     ///< Whole-system bandwidth this epoch.
+  };
+  /// Per-epoch activity (by completion cycle), merged across channels;
+  /// empty unless MemoryConfig::epoch_cycles was set.
+  std::vector<EpochSample> epochs;
+
+  /// Human-readable report.
+  std::string describe() const;
+
+  /// Column names / row values for dataset assembly, in matching order.
+  static const std::vector<std::string>& metric_names();
+  std::vector<double> metric_values() const;
+};
+
+}  // namespace gmd::memsim

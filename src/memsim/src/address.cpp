@@ -1,0 +1,125 @@
+#include "gmd/memsim/address.hpp"
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/string_util.hpp"
+
+namespace gmd::memsim {
+
+AddressDecoder::AddressDecoder(const MemoryConfig& config)
+    : channels_(config.channels),
+      ranks_(config.ranks),
+      banks_(config.banks),
+      rows_(config.rows),
+      columns_per_row_(config.row_bytes /
+                       static_cast<std::uint32_t>(config.access_bytes())),
+      access_bytes_(config.access_bytes()) {
+  GMD_REQUIRE(columns_per_row_ >= 1,
+              "row_bytes smaller than one access (" << config.access_bytes()
+                                                    << " bytes)");
+
+  // Parse the MSB-to-LSB scheme string into LSB-to-MSB decode order.
+  const auto tokens = split(config.address_mapping, ':');
+  GMD_REQUIRE(tokens.size() == 5,
+              "address mapping '" << config.address_mapping
+                                  << "' must have exactly 5 fields");
+  std::array<bool, 5> seen{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::string token = to_lower(trim(tokens[i]));
+    Field field;
+    if (token == "r") {
+      field = Field::kRow;
+    } else if (token == "rk") {
+      field = Field::kRank;
+    } else if (token == "bk") {
+      field = Field::kBank;
+    } else if (token == "c") {
+      field = Field::kColumn;
+    } else if (token == "ch") {
+      field = Field::kChannel;
+    } else {
+      throw Error("address mapping field '" + token +
+                  "' (expected R, RK, BK, C, or CH)");
+    }
+    const auto index = static_cast<std::size_t>(field);
+    GMD_REQUIRE(!seen[index], "address mapping repeats field '" << token
+                                                                << "'");
+    seen[index] = true;
+    // tokens are MSB first; store reversed.
+    lsb_to_msb_[4 - i] = field;
+  }
+}
+
+std::uint32_t AddressDecoder::field_size(Field field) const {
+  switch (field) {
+    case Field::kRow:
+      return rows_;
+    case Field::kRank:
+      return ranks_;
+    case Field::kBank:
+      return banks_;
+    case Field::kColumn:
+      return columns_per_row_;
+    case Field::kChannel:
+      return channels_;
+  }
+  return 1;
+}
+
+DecodedAddress AddressDecoder::decode(std::uint64_t address) const {
+  std::uint64_t unit = address / access_bytes_;
+  DecodedAddress out;
+  for (const Field field : lsb_to_msb_) {
+    const std::uint32_t size = field_size(field);
+    const auto value = static_cast<std::uint32_t>(unit % size);
+    unit /= size;
+    switch (field) {
+      case Field::kRow:
+        out.row = value;
+        break;
+      case Field::kRank:
+        out.rank = value;
+        break;
+      case Field::kBank:
+        out.bank = value;
+        break;
+      case Field::kColumn:
+        out.column = value;
+        break;
+      case Field::kChannel:
+        out.channel = value;
+        break;
+    }
+  }
+  // Addresses beyond capacity alias into the top field via the modulo
+  // above; nothing else to do.
+  return out;
+}
+
+std::string AddressDecoder::scheme() const {
+  std::string out;
+  for (std::size_t i = 5; i > 0; --i) {
+    switch (lsb_to_msb_[i - 1]) {
+      case Field::kRow:
+        out += "R";
+        break;
+      case Field::kRank:
+        out += "RK";
+        break;
+      case Field::kBank:
+        out += "BK";
+        break;
+      case Field::kColumn:
+        out += "C";
+        break;
+      case Field::kChannel:
+        out += "CH";
+        break;
+    }
+    if (i > 1) out += ":";
+  }
+  return out;
+}
+
+}  // namespace gmd::memsim

@@ -1,0 +1,242 @@
+#include "gmd/memsim/channel.hpp"
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::memsim {
+
+Channel::Channel(const MemoryConfig& config) : config_(config) {
+  config.validate();
+  banks_.resize(static_cast<std::size_t>(config.ranks) * config.banks);
+  ranks_.resize(config.ranks);
+  stats_.bank_bytes.assign(banks_.size(), 0);
+  queue_.reserve(config.queue_depth);
+}
+
+std::uint64_t Channel::constrain_and_record_activate(std::uint32_t rank,
+                                                     std::uint64_t cycle) {
+  RankState& state = ranks_[rank];
+  const TimingParams& t = config_.timing;
+  if (state.any_activate) {
+    cycle = std::max(cycle, state.last_activate + t.tRRD);
+  }
+  if (t.tFAW != 0 && state.window_filled == state.window.size()) {
+    // The oldest of the last four ACTs bounds this one.
+    cycle = std::max(cycle, state.window[state.cursor] + t.tFAW);
+  }
+  state.last_activate = cycle;
+  state.any_activate = true;
+  state.window[state.cursor] = cycle;
+  state.cursor =
+      static_cast<std::uint8_t>((state.cursor + 1) % state.window.size());
+  if (state.window_filled < state.window.size()) ++state.window_filled;
+  return cycle;
+}
+
+void Channel::enqueue(const Request& request) {
+  GMD_REQUIRE(request.arrival >= last_arrival_,
+              "requests must be enqueued in arrival order");
+  last_arrival_ = request.arrival;
+  GMD_REQUIRE(request.rank < config_.ranks && request.bank < config_.banks,
+              "request rank/bank out of range");
+  Request pending = request;
+  pending.arrival = std::max(pending.arrival, stall_until_);
+  while (queue_.size() >= config_.queue_depth) {
+    // Queue full: the trace reader blocks until the controller retires
+    // an entry; the incoming request cannot arrive before that.
+    stall_until_ = std::max(stall_until_, service(pick_next()));
+    pending.arrival = std::max(pending.arrival, stall_until_);
+  }
+  queue_.push_back(pending);
+}
+
+void Channel::drain() {
+  while (!queue_.empty()) {
+    service(pick_next());
+  }
+}
+
+std::uint64_t Channel::after_refresh(std::uint64_t cycle) const {
+  if (config_.timing.tREFI == 0) return cycle;
+  const std::uint64_t window = cycle / config_.timing.tREFI;
+  const std::uint64_t window_start = window * config_.timing.tREFI;
+  if (cycle < window_start + config_.timing.tRFC) {
+    return window_start + config_.timing.tRFC;
+  }
+  return cycle;
+}
+
+std::size_t Channel::pick_next() const {
+  GMD_ASSERT(!queue_.empty(), "pick_next on empty queue");
+
+  // Read priority (with a write-drain watermark against starvation):
+  // restrict the candidate set to reads when allowed, then apply the
+  // scheduling policy within that set.
+  bool reads_only = false;
+  if (config_.prioritize_reads) {
+    std::size_t queued_writes = 0;
+    bool any_read = false;
+    for (const Request& r : queue_) {
+      if (r.is_write) {
+        ++queued_writes;
+      } else {
+        any_read = true;
+      }
+    }
+    reads_only = any_read && queued_writes < config_.write_drain_watermark;
+  }
+
+  const auto eligible = [&](const Request& r) {
+    return !reads_only || !r.is_write;
+  };
+  std::size_t oldest = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (eligible(queue_[i])) {
+      oldest = i;
+      break;
+    }
+  }
+  GMD_ASSERT(oldest < queue_.size(), "no eligible request");
+  if (config_.scheduling == SchedulingPolicy::kFcfs) return oldest;
+
+  // FR-FCFS: among eligible requests that have arrived by the time the
+  // oldest one could issue, prefer the first row hit; else the oldest.
+  const std::uint64_t horizon = std::max(now_, queue_[oldest].arrival);
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Request& r = queue_[i];
+    if (r.arrival > horizon) break;  // queue is arrival-ordered
+    if (!eligible(r)) continue;
+    const BankState& bank =
+        banks_[static_cast<std::size_t>(r.rank) * config_.banks + r.bank];
+    if (bank.open_row && *bank.open_row == r.row) return i;
+  }
+  return oldest;
+}
+
+std::uint64_t Channel::service(std::size_t index) {
+  GMD_ASSERT(index < queue_.size(), "service index out of range");
+  Request request = queue_[index];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  const TimingParams& t = config_.timing;
+  BankState& bank = banks_[static_cast<std::size_t>(request.rank) *
+                               config_.banks +
+                           request.bank];
+
+  // The controller takes the request up once it has both arrived and
+  // the command engine has finished earlier work.
+  const std::uint64_t take_up = std::max(now_, request.arrival);
+
+  std::uint64_t cas_ready;       // earliest CAS issue from bank state
+  std::uint64_t first_command;   // service_start
+  if (bank.open_row && *bank.open_row == request.row) {
+    // Row hit: CAS only.
+    first_command = after_refresh(std::max(take_up, bank.ready_for_cas));
+    cas_ready = first_command;
+    ++bank.row_hits;
+    ++stats_.row_hits;
+  } else {
+    std::uint64_t activate_start;
+    bool first_command_is_activate = false;
+    if (bank.open_row) {
+      // Row conflict: PRE then ACT.
+      const std::uint64_t pre_start =
+          after_refresh(std::max(take_up, bank.ready_for_precharge));
+      activate_start = after_refresh(pre_start + t.tRP);
+      ++bank.precharges;
+      ++stats_.precharges;
+      ++bank.row_misses;
+      ++stats_.row_misses;
+      first_command = pre_start;
+    } else {
+      // Bank closed: ACT directly.
+      activate_start =
+          after_refresh(std::max(take_up, bank.ready_for_activate));
+      ++bank.row_misses;
+      ++stats_.row_misses;
+      first_command_is_activate = true;
+      first_command = activate_start;
+    }
+    // Rank-level activation pacing (tRRD, tFAW).
+    activate_start =
+        constrain_and_record_activate(request.rank, activate_start);
+    if (first_command_is_activate) first_command = activate_start;
+    bank.last_activate = activate_start;
+    ++bank.activations;
+    ++stats_.activations;
+    cas_ready = activate_start + t.tRCD;
+    bank.open_row = request.row;
+  }
+
+  // Column command: respects channel command spacing and the bank's
+  // own column-to-column delay.
+  const std::uint64_t cas_issue =
+      std::max({cas_ready, bank.ready_for_cas, last_cas_ + t.tCCD});
+  // Data burst: CAS latency then the burst, gated by data-bus
+  // availability (reads; writes drive the bus on the same schedule).
+  const std::uint64_t data_start = std::max(cas_issue + t.tCAS, bus_free_);
+  const std::uint64_t data_end = data_start + t.tBURST;
+  bus_free_ = data_end;
+  last_cas_ = cas_issue;
+  // Writes occupy the bank's write drivers for the recovery window
+  // (tWR), blocking further column commands to that bank — this is how
+  // slow NVM cell writes throttle write streams even on row hits.
+  bank.ready_for_cas =
+      request.is_write ? data_end + t.tWR : cas_issue + t.tCCD;
+
+  // Precharge constraints: DRAM must satisfy tRAS from activate (data
+  // restoration, absent in NVM where tRAS = 0); writes add recovery.
+  const std::uint64_t ras_bound = bank.last_activate + t.tRAS;
+  const std::uint64_t recovery =
+      request.is_write ? data_end + t.tWR : data_end;
+  bank.ready_for_precharge = std::max(ras_bound, recovery);
+
+  if (config_.page_policy == PagePolicy::kClosed) {
+    bank.open_row.reset();
+    ++bank.precharges;
+    ++stats_.precharges;
+    bank.ready_for_activate = bank.ready_for_precharge + t.tRP;
+  } else {
+    // On a future conflict PRE starts at ready_for_precharge.
+    bank.ready_for_activate = bank.ready_for_precharge + t.tRP;
+  }
+
+  // Record the transaction.
+  request.service_start = first_command;
+  request.completion = data_end;
+  if (request.is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  stats_.sum_service_latency += request.service_latency();
+  stats_.sum_total_latency += request.total_latency();
+  stats_.last_completion = std::max(stats_.last_completion, data_end);
+  const std::uint64_t bytes = config_.access_bytes();
+  bank.bytes_transferred += bytes;
+  stats_.bank_bytes[static_cast<std::size_t>(request.rank) * config_.banks +
+                    request.bank] += bytes;
+
+  // Epoch time series (NVMain PrintGraphs), bucketed by completion.
+  if (config_.epoch_cycles > 0) {
+    const std::uint64_t epoch = data_end / config_.epoch_cycles;
+    if (stats_.epochs.size() <= epoch) stats_.epochs.resize(epoch + 1);
+    ChannelStats::Epoch& bucket = stats_.epochs[epoch];
+    (request.is_write ? bucket.writes : bucket.reads) += 1;
+    bucket.sum_total_latency += request.total_latency();
+    bucket.bytes += bytes;
+  }
+
+  // The command engine is busy until it has issued this CAS.
+  now_ = cas_issue;
+
+  // Refresh accounting: refreshes elapsed so far (recomputed cheaply at
+  // the end by the memory system; track max completion only here).
+  if (config_.timing.tREFI != 0) {
+    stats_.refreshes = stats_.last_completion / config_.timing.tREFI;
+  }
+  return data_end;
+}
+
+}  // namespace gmd::memsim

@@ -1,0 +1,238 @@
+#include "gmd/memsim/config_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/string_util.hpp"
+
+namespace gmd::memsim {
+
+namespace {
+
+std::string device_name(DeviceType type) {
+  return type == DeviceType::kDram ? "DRAM" : "NVM";
+}
+
+std::string scheduling_name(SchedulingPolicy policy) {
+  return policy == SchedulingPolicy::kFcfs ? "FCFS" : "FRFCFS";
+}
+
+std::string page_policy_name(PagePolicy policy) {
+  return policy == PagePolicy::kOpen ? "OpenPage" : "ClosePage";
+}
+
+}  // namespace
+
+void write_config(std::ostream& os, const MemoryConfig& config) {
+  os << "; graphmemdse memory configuration (NVMain-style)\n";
+  os << "ConfigName " << config.name << "\n";
+  os << "DeviceType " << device_name(config.device) << "\n\n";
+
+  os << "; geometry\n";
+  os << "CHANNELS " << config.channels << "\n";
+  os << "RANKS " << config.ranks << "\n";
+  os << "BANKS " << config.banks << "\n";
+  os << "ROWS " << config.rows << "\n";
+  os << "RowBytes " << config.row_bytes << "\n";
+  os << "BusBytes " << config.bus_bytes << "\n\n";
+
+  os << "; clocks (MHz)\n";
+  os << "CLK " << config.clock_mhz << "\n";
+  os << "CPUFreq " << config.cpu_freq_mhz << "\n\n";
+
+  os << "; timing (controller cycles)\n";
+  os << "tRCD " << config.timing.tRCD << "\n";
+  os << "tRAS " << config.timing.tRAS << "\n";
+  os << "tRP " << config.timing.tRP << "\n";
+  os << "tCAS " << config.timing.tCAS << "\n";
+  os << "tBURST " << config.timing.tBURST << "\n";
+  os << "tWR " << config.timing.tWR << "\n";
+  os << "tCCD " << config.timing.tCCD << "\n";
+  os << "tRRD " << config.timing.tRRD << "\n";
+  os << "tFAW " << config.timing.tFAW << "\n";
+  os << "tRFC " << config.timing.tRFC << "\n";
+  os << "tREFI " << config.timing.tREFI << "\n\n";
+
+  os << "; controller\n";
+  os << "MEM_CTL " << scheduling_name(config.scheduling) << "\n";
+  os << "PagePolicy " << page_policy_name(config.page_policy) << "\n";
+  os << "QueueDepth " << config.queue_depth << "\n";
+  os << "AddressMappingScheme " << config.address_mapping << "\n";
+  os << "PrioritizeReads " << (config.prioritize_reads ? "true" : "false")
+     << "\n";
+  os << "WriteDrainWatermark " << config.write_drain_watermark << "\n";
+  os << "EPOCHS " << config.epoch_cycles << "\n\n";
+
+  os << "; energy model (gmd extension)\n";
+  os << "Eactivate " << config.energy.activate_nj << "\n";
+  os << "Eprecharge " << config.energy.precharge_nj << "\n";
+  os << "Eread " << config.energy.read_nj << "\n";
+  os << "Ewrite " << config.energy.write_nj << "\n";
+  os << "Erefresh " << config.energy.refresh_nj << "\n";
+  os << "PstaticMw " << config.energy.static_mw << "\n";
+  os << "PclockMwPerMhz " << config.energy.background_mw_per_mhz << "\n";
+}
+
+void save_config(const std::string& path, const MemoryConfig& config) {
+  std::ofstream out(path);
+  GMD_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  write_config(out, config);
+  GMD_REQUIRE(out.good(), "write to '" << path << "' failed");
+}
+
+MemoryConfig read_config(std::istream& is) {
+  MemoryConfig config;
+
+  const auto parse_u32 = [](std::string_view key, std::string_view value) {
+    const auto parsed = parse_uint(value);
+    GMD_REQUIRE(parsed.has_value() && *parsed <= UINT32_MAX,
+                "config key " << std::string(key) << ": bad value '"
+                              << std::string(value) << "'");
+    return static_cast<std::uint32_t>(*parsed);
+  };
+  const auto parse_f64 = [](std::string_view key, std::string_view value) {
+    const auto parsed = parse_double(value);
+    GMD_REQUIRE(parsed.has_value(), "config key " << std::string(key)
+                                                  << ": bad value '"
+                                                  << std::string(value)
+                                                  << "'");
+    return *parsed;
+  };
+
+  using Setter =
+      std::function<void(std::string_view key, std::string_view value)>;
+  const std::map<std::string, Setter, std::less<>> setters = {
+      {"ConfigName",
+       [&](auto, auto v) { config.name = std::string(v); }},
+      {"DeviceType",
+       [&](auto k, auto v) {
+         const std::string lowered = to_lower(v);
+         if (lowered == "dram") {
+           config.device = DeviceType::kDram;
+         } else if (lowered == "nvm" || lowered == "pcm") {
+           config.device = DeviceType::kNvm;
+         } else {
+           GMD_REQUIRE(false, "config key " << std::string(k)
+                                            << ": unknown device '"
+                                            << std::string(v) << "'");
+         }
+       }},
+      {"CHANNELS", [&](auto k, auto v) { config.channels = parse_u32(k, v); }},
+      {"RANKS", [&](auto k, auto v) { config.ranks = parse_u32(k, v); }},
+      {"BANKS", [&](auto k, auto v) { config.banks = parse_u32(k, v); }},
+      {"ROWS", [&](auto k, auto v) { config.rows = parse_u32(k, v); }},
+      {"RowBytes", [&](auto k, auto v) { config.row_bytes = parse_u32(k, v); }},
+      {"BusBytes", [&](auto k, auto v) { config.bus_bytes = parse_u32(k, v); }},
+      {"CLK", [&](auto k, auto v) { config.clock_mhz = parse_u32(k, v); }},
+      {"CPUFreq",
+       [&](auto k, auto v) { config.cpu_freq_mhz = parse_u32(k, v); }},
+      {"tRCD", [&](auto k, auto v) { config.timing.tRCD = parse_u32(k, v); }},
+      {"tRAS", [&](auto k, auto v) { config.timing.tRAS = parse_u32(k, v); }},
+      {"tRP", [&](auto k, auto v) { config.timing.tRP = parse_u32(k, v); }},
+      {"tCAS", [&](auto k, auto v) { config.timing.tCAS = parse_u32(k, v); }},
+      {"tBURST",
+       [&](auto k, auto v) { config.timing.tBURST = parse_u32(k, v); }},
+      {"tWR", [&](auto k, auto v) { config.timing.tWR = parse_u32(k, v); }},
+      {"tCCD", [&](auto k, auto v) { config.timing.tCCD = parse_u32(k, v); }},
+      {"tRRD", [&](auto k, auto v) { config.timing.tRRD = parse_u32(k, v); }},
+      {"tFAW", [&](auto k, auto v) { config.timing.tFAW = parse_u32(k, v); }},
+      {"tRFC", [&](auto k, auto v) { config.timing.tRFC = parse_u32(k, v); }},
+      {"tREFI",
+       [&](auto k, auto v) { config.timing.tREFI = parse_u32(k, v); }},
+      {"MEM_CTL",
+       [&](auto k, auto v) {
+         const std::string lowered = to_lower(v);
+         if (lowered == "fcfs") {
+           config.scheduling = SchedulingPolicy::kFcfs;
+         } else if (lowered == "frfcfs") {
+           config.scheduling = SchedulingPolicy::kFrFcfs;
+         } else {
+           GMD_REQUIRE(false, "config key " << std::string(k)
+                                            << ": unknown policy '"
+                                            << std::string(v) << "'");
+         }
+       }},
+      {"PagePolicy",
+       [&](auto k, auto v) {
+         const std::string lowered = to_lower(v);
+         if (lowered == "openpage") {
+           config.page_policy = PagePolicy::kOpen;
+         } else if (lowered == "closepage") {
+           config.page_policy = PagePolicy::kClosed;
+         } else {
+           GMD_REQUIRE(false, "config key " << std::string(k)
+                                            << ": unknown policy '"
+                                            << std::string(v) << "'");
+         }
+       }},
+      {"QueueDepth",
+       [&](auto k, auto v) { config.queue_depth = parse_u32(k, v); }},
+      {"AddressMappingScheme",
+       [&](auto, auto v) { config.address_mapping = std::string(v); }},
+      {"EPOCHS",
+       [&](auto k, auto v) { config.epoch_cycles = parse_u32(k, v); }},
+      {"PrioritizeReads",
+       [&](auto k, auto v) {
+         const std::string lowered = to_lower(v);
+         GMD_REQUIRE(lowered == "true" || lowered == "false",
+                     "config key " << std::string(k)
+                                   << ": expected true/false");
+         config.prioritize_reads = lowered == "true";
+       }},
+      {"WriteDrainWatermark",
+       [&](auto k, auto v) {
+         config.write_drain_watermark = parse_u32(k, v);
+       }},
+      {"Eactivate",
+       [&](auto k, auto v) { config.energy.activate_nj = parse_f64(k, v); }},
+      {"Eprecharge",
+       [&](auto k, auto v) { config.energy.precharge_nj = parse_f64(k, v); }},
+      {"Eread",
+       [&](auto k, auto v) { config.energy.read_nj = parse_f64(k, v); }},
+      {"Ewrite",
+       [&](auto k, auto v) { config.energy.write_nj = parse_f64(k, v); }},
+      {"Erefresh",
+       [&](auto k, auto v) { config.energy.refresh_nj = parse_f64(k, v); }},
+      {"PstaticMw",
+       [&](auto k, auto v) { config.energy.static_mw = parse_f64(k, v); }},
+      {"PclockMwPerMhz",
+       [&](auto k, auto v) {
+         config.energy.background_mw_per_mhz = parse_f64(k, v);
+       }},
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view text = trim(line);
+    if (const auto comment = text.find(';'); comment != std::string_view::npos)
+      text = trim(text.substr(0, comment));
+    if (text.empty()) continue;
+    const auto space = text.find_first_of(" \t");
+    GMD_REQUIRE(space != std::string_view::npos,
+                "config line " << line_no << ": expected 'KEY value', got '"
+                               << std::string(text) << "'");
+    const std::string_view key = text.substr(0, space);
+    const std::string_view value = trim(text.substr(space + 1));
+    const auto it = setters.find(key);
+    GMD_REQUIRE(it != setters.end(),
+                "config line " << line_no << ": unknown key '"
+                               << std::string(key) << "'");
+    it->second(key, value);
+  }
+  config.validate();
+  return config;
+}
+
+MemoryConfig load_config(const std::string& path) {
+  std::ifstream in(path);
+  GMD_REQUIRE(in.good(), "cannot open '" << path << "' for reading");
+  return read_config(in);
+}
+
+}  // namespace gmd::memsim

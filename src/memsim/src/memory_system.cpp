@@ -1,0 +1,181 @@
+#include "gmd/memsim/memory_system.hpp"
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::memsim {
+
+MemorySystem::MemorySystem(const MemoryConfig& config)
+    : config_(config), decoder_(config) {
+  config_.validate();
+  channels_.reserve(config_.channels);
+  for (std::uint32_t c = 0; c < config_.channels; ++c) {
+    channels_.emplace_back(config_);
+  }
+}
+
+std::uint64_t MemorySystem::tick_to_memory_cycle(std::uint64_t tick) const {
+  // cycle = tick * clock / cpu_freq, with 128-bit intermediate to stay
+  // exact for long traces.
+  return static_cast<std::uint64_t>(static_cast<__uint128_t>(tick) *
+                                    config_.clock_mhz / config_.cpu_freq_mhz);
+}
+
+void MemorySystem::enqueue_event(const cpusim::MemoryEvent& event) {
+  GMD_REQUIRE(!finished_, "enqueue_event after finish()");
+  GMD_REQUIRE(event.size > 0, "event size must be positive");
+  const std::uint64_t word = config_.access_bytes();
+  // Split wide accesses into word-granular requests, as a memory
+  // controller's transaction splitter would.
+  const std::uint64_t first = event.address / word * word;
+  const std::uint64_t last = (event.address + event.size - 1) / word * word;
+  for (std::uint64_t addr = first; addr <= last; addr += word) {
+    enqueue_word(event.tick, addr, event.is_write);
+  }
+}
+
+void MemorySystem::enqueue_word(std::uint64_t tick, std::uint64_t address,
+                                bool is_write) {
+  const DecodedAddress loc = decoder_.decode(address);
+  Request request;
+  request.arrival = tick_to_memory_cycle(tick);
+  request.rank = loc.rank;
+  request.bank = loc.bank;
+  request.row = loc.row;
+  request.column = loc.column;
+  request.is_write = is_write;
+  channels_[loc.channel].enqueue(request);
+  if (is_write) ++line_writes_[address / 64];
+}
+
+MemoryMetrics MemorySystem::finish() {
+  GMD_REQUIRE(!finished_, "finish() called twice");
+  finished_ = true;
+  for (Channel& channel : channels_) channel.drain();
+
+  MemoryMetrics m;
+  m.channels = config_.channels;
+  m.banks_total = decoder_.total_banks();
+
+  std::uint64_t last_completion = 0;
+  for (const Channel& channel : channels_) {
+    last_completion =
+        std::max(last_completion, channel.stats().last_completion);
+  }
+  const double clock_hz = static_cast<double>(config_.clock_mhz) * 1e6;
+  m.execution_seconds =
+      last_completion ? static_cast<double>(last_completion) / clock_hz : 0.0;
+
+  std::uint64_t sum_service = 0;
+  std::uint64_t sum_total = 0;
+  double dynamic_nj = 0.0;
+  double bank_bw_sum_mbs = 0.0;
+  const EnergyParams& e = config_.energy;
+  for (const Channel& channel : channels_) {
+    const ChannelStats& s = channel.stats();
+    m.total_reads += s.reads;
+    m.total_writes += s.writes;
+    m.row_hits += s.row_hits;
+    m.row_misses += s.row_misses;
+    sum_service += s.sum_service_latency;
+    sum_total += s.sum_total_latency;
+    // Refresh count over the whole run, not just to this channel's own
+    // last completion (refresh runs as long as the system does).
+    const std::uint64_t refreshes =
+        config_.timing.tREFI
+            ? last_completion / config_.timing.tREFI *
+                  (static_cast<std::uint64_t>(config_.ranks) * config_.banks)
+            : 0;
+    dynamic_nj += static_cast<double>(s.activations) * e.activate_nj +
+                  static_cast<double>(s.precharges) * e.precharge_nj +
+                  static_cast<double>(s.reads) * e.read_nj +
+                  static_cast<double>(s.writes) * e.write_nj +
+                  static_cast<double>(refreshes) * e.refresh_nj;
+    for (const std::uint64_t bytes : s.bank_bytes) {
+      bank_bw_sum_mbs += m.execution_seconds > 0.0
+                             ? static_cast<double>(bytes) / 1e6 /
+                                   m.execution_seconds
+                             : 0.0;
+    }
+  }
+
+  const std::uint64_t requests = m.total_reads + m.total_writes;
+  m.avg_latency_cycles =
+      requests ? static_cast<double>(sum_service) /
+                     static_cast<double>(requests)
+               : 0.0;
+  m.avg_total_latency_cycles =
+      requests
+          ? static_cast<double>(sum_total) / static_cast<double>(requests)
+          : 0.0;
+  m.avg_reads_per_channel = static_cast<double>(m.total_reads) /
+                            static_cast<double>(config_.channels);
+  m.avg_writes_per_channel = static_cast<double>(m.total_writes) /
+                             static_cast<double>(config_.channels);
+  m.avg_bandwidth_per_bank_mbs =
+      bank_bw_sum_mbs / static_cast<double>(m.banks_total);
+
+  // Power: dynamic energy over the run plus per-channel background.
+  m.dynamic_energy_j = dynamic_nj * 1e-9;
+  const double background_w_per_channel =
+      (e.static_mw + e.background_mw_per_mhz *
+                         static_cast<double>(config_.clock_mhz)) /
+      1000.0;
+  m.background_energy_j = background_w_per_channel *
+                          static_cast<double>(config_.channels) *
+                          m.execution_seconds;
+  m.avg_power_per_channel_w =
+      m.execution_seconds > 0.0
+          ? m.total_energy_j() /
+                (m.execution_seconds * static_cast<double>(config_.channels))
+          : 0.0;
+
+  for (const auto& [line, writes] : line_writes_) {
+    (void)line;
+    m.max_line_writes = std::max(m.max_line_writes, writes);
+  }
+  m.unique_lines_written = line_writes_.size();
+
+  // Merge epoch series across channels (NVMain PrintGraphs output).
+  if (config_.epoch_cycles > 0) {
+    std::size_t num_epochs = 0;
+    for (const Channel& channel : channels_) {
+      num_epochs = std::max(num_epochs, channel.stats().epochs.size());
+    }
+    const double epoch_seconds =
+        static_cast<double>(config_.epoch_cycles) / clock_hz;
+    m.epochs.resize(num_epochs);
+    for (std::size_t e = 0; e < num_epochs; ++e) {
+      MemoryMetrics::EpochSample& sample = m.epochs[e];
+      sample.epoch = e;
+      std::uint64_t sum_latency = 0;
+      std::uint64_t bytes = 0;
+      for (const Channel& channel : channels_) {
+        const auto& epochs = channel.stats().epochs;
+        if (e >= epochs.size()) continue;
+        sample.reads += epochs[e].reads;
+        sample.writes += epochs[e].writes;
+        sum_latency += epochs[e].sum_total_latency;
+        bytes += epochs[e].bytes;
+      }
+      const std::uint64_t requests = sample.reads + sample.writes;
+      sample.avg_total_latency_cycles =
+          requests ? static_cast<double>(sum_latency) /
+                         static_cast<double>(requests)
+                   : 0.0;
+      sample.bandwidth_mbs =
+          static_cast<double>(bytes) / 1e6 / epoch_seconds;
+    }
+  }
+  return m;
+}
+
+MemoryMetrics MemorySystem::simulate(
+    const MemoryConfig& config, std::span<const cpusim::MemoryEvent> trace) {
+  MemorySystem system(config);
+  for (const auto& event : trace) system.enqueue_event(event);
+  return system.finish();
+}
+
+}  // namespace gmd::memsim

@@ -1,0 +1,47 @@
+#include "gmd/memsim/metrics.hpp"
+
+#include <sstream>
+
+#include "gmd/common/string_util.hpp"
+
+namespace gmd::memsim {
+
+std::string MemoryMetrics::describe() const {
+  std::ostringstream os;
+  os << "channels:             " << channels << " (" << banks_total
+     << " banks)\n"
+     << "reads/writes:         " << total_reads << " / " << total_writes
+     << "\n"
+     << "avg power/channel:    " << format_fixed(avg_power_per_channel_w, 4)
+     << " W\n"
+     << "avg bandwidth/bank:   "
+     << format_fixed(avg_bandwidth_per_bank_mbs, 2) << " MB/s\n"
+     << "avg latency:          " << format_fixed(avg_latency_cycles, 2)
+     << " cycles\n"
+     << "avg total latency:    " << format_fixed(avg_total_latency_cycles, 2)
+     << " cycles\n"
+     << "execution time:       " << format_sci(execution_seconds, 3)
+     << " s\n"
+     << "energy (dyn+bg):      " << format_sci(dynamic_energy_j, 3) << " + "
+     << format_sci(background_energy_j, 3) << " J\n"
+     << "row hit rate:         " << format_fixed(row_hit_rate() * 100.0, 1)
+     << " %\n"
+     << "endurance:            max " << max_line_writes
+     << " writes to one line across " << unique_lines_written << " lines\n";
+  return os.str();
+}
+
+const std::vector<std::string>& MemoryMetrics::metric_names() {
+  static const std::vector<std::string> names = {
+      "power_w",        "bandwidth_mbs", "latency_cycles",
+      "total_latency_cycles", "reads_per_channel", "writes_per_channel"};
+  return names;
+}
+
+std::vector<double> MemoryMetrics::metric_values() const {
+  return {avg_power_per_channel_w,  avg_bandwidth_per_bank_mbs,
+          avg_latency_cycles,       avg_total_latency_cycles,
+          avg_reads_per_channel,    avg_writes_per_channel};
+}
+
+}  // namespace gmd::memsim

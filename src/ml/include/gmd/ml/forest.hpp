@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file forest.hpp
+/// Random-forest regressor: bagged CART trees with per-split feature
+/// subsampling (scikit-learn's RandomForestRegressor semantics, which
+/// the paper uses).  Trees train in parallel on a thread pool.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gmd/ml/tree.hpp"
+
+namespace gmd::ml {
+
+struct ForestParams {
+  std::size_t num_trees = 100;
+  unsigned max_depth = 16;
+  std::size_t min_samples_leaf = 1;
+  /// Features per split; 0 means all features — scikit-learn's
+  /// RandomForestRegressor default (trees are decorrelated by the
+  /// bootstrap alone), which is what the paper used.
+  std::size_t max_features = 0;
+  bool bootstrap = true;
+  std::uint64_t seed = 1;
+  std::size_t num_threads = 0;  ///< 0: hardware concurrency.
+};
+
+class RandomForest final : public Regressor {
+ public:
+  explicit RandomForest(const ForestParams& params = {});
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+  std::string name() const override { return "rf"; }
+  std::unique_ptr<Regressor> clone() const override;
+  bool is_fitted() const override { return !trees_.empty(); }
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+  /// Mean impurity-based importance across trees, normalized to sum
+  /// to 1 (scikit-learn's feature_importances_).
+  std::vector<double> feature_importances(std::size_t num_features) const;
+
+  /// Text (de)serialization; see serialize.hpp.
+  void write(std::ostream& os) const;
+  static RandomForest read(std::istream& is);
+
+ private:
+  ForestParams params_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace gmd::ml

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file gp.hpp
+/// Gaussian-process regression with an RBF kernel.  Its predictive
+/// variance is the acquisition signal for the active-learning DSE loop
+/// the paper proposes as future work (§V).
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "gmd/ml/kernel.hpp"
+#include "gmd/ml/matrix.hpp"
+#include "gmd/ml/regressor.hpp"
+
+namespace gmd::ml {
+
+struct GpParams {
+  KernelParams kernel{KernelType::kRbf, 1.0, 1.0, 3};
+  double noise = 1e-4;  ///< Observation noise variance (jitter).
+};
+
+class GaussianProcess final : public Regressor {
+ public:
+  explicit GaussianProcess(const GpParams& params = {});
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+
+  /// Predictive mean and variance at one point.
+  std::pair<double, double> predict_with_variance(
+      std::span<const double> x) const;
+
+  std::string name() const override { return "gp"; }
+  std::unique_ptr<Regressor> clone() const override;
+  bool is_fitted() const override { return fitted_; }
+
+ private:
+  std::vector<double> kernel_row(std::span<const double> x) const;
+
+  GpParams params_;
+  Matrix train_;
+  Matrix chol_;               ///< Cholesky factor of K + noise I.
+  std::vector<double> alpha_; ///< (K + noise I)^-1 (y - mean).
+  double y_mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace gmd::ml

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file kernel.hpp
+/// Kernel functions shared by the SVR and Gaussian-process models.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace gmd::ml {
+
+enum class KernelType { kLinear, kRbf, kPolynomial };
+
+struct KernelParams {
+  KernelType type = KernelType::kRbf;
+  double gamma = 1.0;   ///< RBF width / polynomial & linear scale.
+  double coef0 = 1.0;   ///< Polynomial offset.
+  unsigned degree = 3;  ///< Polynomial degree.
+};
+
+/// k(a, b) for equal-length feature vectors.
+double kernel(const KernelParams& params, std::span<const double> a,
+              std::span<const double> b);
+
+std::string to_string(KernelType type);
+
+}  // namespace gmd::ml

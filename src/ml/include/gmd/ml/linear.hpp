@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file linear.hpp
+/// Ordinary-least-squares / ridge linear regression — the paper's
+/// baseline model (Table I's "Linear" column).
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "gmd/ml/regressor.hpp"
+
+namespace gmd::ml {
+
+class LinearRegression final : public Regressor {
+ public:
+  /// \param ridge_lambda  L2 regularization strength; 0 is plain OLS
+  /// (with a tiny numerical jitter when the normal equations are
+  /// singular, e.g. duplicated columns).
+  explicit LinearRegression(double ridge_lambda = 0.0);
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+  std::string name() const override { return "linear"; }
+  std::unique_ptr<Regressor> clone() const override;
+  bool is_fitted() const override { return fitted_; }
+
+  /// Learned weights (length p) and intercept.
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+  /// Text (de)serialization; see serialize.hpp for the generic entry
+  /// points.  Reading a malformed stream throws gmd::Error.
+  void write(std::ostream& os) const;
+  static LinearRegression read(std::istream& is);
+
+ private:
+  double lambda_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace gmd::ml

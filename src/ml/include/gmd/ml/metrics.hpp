@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Regression quality metrics — the paper evaluates its surrogates with
+/// MSE (Eq. 1) and the R² coefficient of determination (Eq. 2).
+
+#include <span>
+
+namespace gmd::ml {
+
+/// Mean squared error; requires equal, non-zero lengths.
+double mse(std::span<const double> truth, std::span<const double> predicted);
+
+/// Root mean squared error.
+double rmse(std::span<const double> truth, std::span<const double> predicted);
+
+/// Mean absolute error.
+double mae(std::span<const double> truth, std::span<const double> predicted);
+
+/// Coefficient of determination.  1 is perfect; 0 matches predicting
+/// the mean; negative is worse than the mean.  When the truth is
+/// constant, returns 1 for an exact prediction and 0 otherwise.
+double r2_score(std::span<const double> truth,
+                std::span<const double> predicted);
+
+}  // namespace gmd::ml

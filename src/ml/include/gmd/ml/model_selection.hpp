@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file model_selection.hpp
+/// Cross-validation and hyperparameter grid search — the tooling a
+/// practitioner needs on top of fit/predict to pick the surrogate
+/// configuration honestly (instead of hand-tuning on the test set).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gmd/ml/dataset.hpp"
+#include "gmd/ml/regressor.hpp"
+
+namespace gmd::ml {
+
+/// K-fold cross-validation scores for one model configuration.
+struct CvScores {
+  std::vector<double> fold_mse;
+  std::vector<double> fold_r2;
+
+  double mean_mse() const;
+  double mean_r2() const;
+};
+
+/// Runs k-fold CV: clones `prototype` per fold, fits on the training
+/// folds, scores on the held-out fold.
+CvScores cross_validate(const Regressor& prototype, const Dataset& data,
+                        std::size_t folds = 5, std::uint64_t seed = 1);
+
+/// A named hyperparameter assignment (e.g. {"C": 10, "gamma": 2}).
+using ParamPoint = std::map<std::string, double>;
+
+/// Cartesian product of named axes, in deterministic (lexicographic by
+/// axis name, row-major) order.
+std::vector<ParamPoint> cartesian_grid(
+    const std::map<std::string, std::vector<double>>& axes);
+
+/// Builds a model for a hyperparameter assignment.
+using ModelFactory =
+    std::function<std::unique_ptr<Regressor>(const ParamPoint&)>;
+
+struct GridSearchResult {
+  struct Candidate {
+    ParamPoint params;
+    CvScores scores;
+  };
+  /// All evaluated candidates, best (lowest mean CV MSE) first.
+  std::vector<Candidate> candidates;
+
+  const Candidate& best() const;
+};
+
+/// Exhaustive CV grid search.
+GridSearchResult grid_search(const ModelFactory& factory,
+                             const std::vector<ParamPoint>& grid,
+                             const Dataset& data, std::size_t folds = 5,
+                             std::uint64_t seed = 1);
+
+/// Convenience: grid search over SVR's C / gamma / epsilon.
+GridSearchResult grid_search_svr(
+    const Dataset& data, const std::vector<double>& c_values,
+    const std::vector<double>& gamma_values,
+    const std::vector<double>& epsilon_values, std::size_t folds = 5,
+    std::uint64_t seed = 1);
+
+}  // namespace gmd::ml

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file regressor.hpp
+/// Common interface for all surrogate models, mirroring the fit/predict
+/// shape of the scikit-learn regressors the paper uses.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gmd/ml/matrix.hpp"
+
+namespace gmd::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on an n x p feature matrix and n targets.  May be called
+  /// again to retrain from scratch.
+  virtual void fit(const Matrix& x, std::span<const double> y) = 0;
+
+  /// Predicts one sample (length-p feature vector).
+  virtual double predict_one(std::span<const double> x) const = 0;
+
+  /// Predicts every row of `x`.
+  std::vector<double> predict(const Matrix& x) const;
+
+  virtual std::string name() const = 0;
+
+  /// Deep copy with hyperparameters (and fitted state) preserved.
+  virtual std::unique_ptr<Regressor> clone() const = 0;
+
+  virtual bool is_fitted() const = 0;
+};
+
+/// Factory keyed by the paper's model names: "linear", "svr" (SVM),
+/// "rf" (random forest), "gb" (gradient boosting), "gp" (Gaussian
+/// process, used by the active-learning extension).  Default
+/// hyperparameters are tuned for the DSE datasets (hundreds of rows,
+/// <= ~10 features, min-max scaled).
+std::unique_ptr<Regressor> make_regressor(const std::string& name,
+                                          std::uint64_t seed = 1);
+
+/// The model families Table I compares, in its column order.
+const std::vector<std::string>& table1_model_names();
+
+}  // namespace gmd::ml

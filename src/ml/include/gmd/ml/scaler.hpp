@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file scaler.hpp
+/// Feature/target scaling.  The paper min-max scales all performance
+/// metrics onto [0, 1] before training so MSEs are comparable across
+/// metrics; z-score scaling is provided as the common alternative.
+
+#include <span>
+#include <vector>
+
+#include "gmd/ml/matrix.hpp"
+
+namespace gmd::ml {
+
+/// Per-column min-max scaler onto [0, 1].  Constant columns map to 0.
+class MinMaxScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  Matrix fit_transform(const Matrix& x);
+
+  /// Scalar-series convenience (targets).
+  void fit(std::span<const double> values);
+  std::vector<double> transform(std::span<const double> values) const;
+  std::vector<double> inverse_transform(std::span<const double> scaled) const;
+
+  bool fitted() const { return !mins_.empty(); }
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+/// Per-column z-score scaler.  Constant columns map to 0.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  Matrix fit_transform(const Matrix& x);
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace gmd::ml

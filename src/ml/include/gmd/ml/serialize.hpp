@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Generic model persistence: save any fitted regressor to a text
+/// stream and load it back without knowing its concrete type.  This is
+/// what makes the "train once, reuse across DSE sessions" workflow
+/// practical: a surrogate trained on one sweep can be shipped and
+/// queried later without retraining.
+///
+/// Supported families: linear, svr, tree, rf, gb.  (Gaussian processes
+/// keep their full training set and are cheap to refit, so they are
+/// intentionally not serialized.)
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "gmd/ml/regressor.hpp"
+
+namespace gmd::ml {
+
+/// Writes `model` (which must be fitted) with a format header.
+/// Throws gmd::Error for unsupported families.
+void save_model(std::ostream& os, const Regressor& model);
+void save_model_file(const std::string& path, const Regressor& model);
+
+/// Reads any supported model back; the concrete type is recovered from
+/// the header.  Throws gmd::Error on malformed input.
+std::unique_ptr<Regressor> load_model(std::istream& is);
+std::unique_ptr<Regressor> load_model_file(const std::string& path);
+
+}  // namespace gmd::ml

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file tree.hpp
+/// CART regression tree: binary splits minimizing squared error.
+/// Used directly and as the weak/strong learner inside the random
+/// forest and gradient-boosting ensembles.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "gmd/common/rng.hpp"
+#include "gmd/ml/regressor.hpp"
+
+namespace gmd::ml {
+
+struct TreeParams {
+  unsigned max_depth = 16;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Number of features considered per split; 0 means all (plain CART).
+  /// Random forests pass ~p/3.
+  std::size_t max_features = 0;
+  std::uint64_t seed = 1;  ///< Only used when max_features > 0.
+};
+
+class DecisionTree final : public Regressor {
+ public:
+  explicit DecisionTree(const TreeParams& params = {});
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+
+  /// Weighted fit used by boosting (weights must be positive).
+  void fit_weighted(const Matrix& x, std::span<const double> y,
+                    std::span<const double> weights);
+
+  double predict_one(std::span<const double> x) const override;
+  std::string name() const override { return "tree"; }
+  std::unique_ptr<Regressor> clone() const override;
+  bool is_fitted() const override { return !nodes_.empty(); }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  unsigned depth() const { return depth_; }
+
+  /// Impurity-based importance: total SSE reduction attributed to each
+  /// feature, normalized to sum to 1 (all-zero for a single leaf).
+  /// `num_features` must cover every feature index used in the tree.
+  std::vector<double> feature_importances(std::size_t num_features) const;
+
+  /// Text (de)serialization; see serialize.hpp.
+  void write(std::ostream& os) const;
+  static DecisionTree read(std::istream& is);
+
+ private:
+  struct Node {
+    // Leaf when feature == kLeaf.
+    static constexpr std::uint32_t kLeaf = UINT32_MAX;
+    std::uint32_t feature = kLeaf;
+    double threshold = 0.0;  ///< Go left when x[feature] <= threshold.
+    double value = 0.0;      ///< Leaf prediction.
+    double gain = 0.0;       ///< SSE reduction of this split (0 at leaves).
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+  };
+
+  std::uint32_t build(const Matrix& x, std::span<const double> y,
+                      std::span<const double> w,
+                      std::vector<std::size_t>& indices, std::size_t begin,
+                      std::size_t end, unsigned depth, gmd::Rng& rng);
+
+  TreeParams params_;
+  std::vector<Node> nodes_;
+  unsigned depth_ = 0;
+};
+
+}  // namespace gmd::ml

@@ -1,0 +1,110 @@
+#include "gmd/ml/forest.hpp"
+
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/rng.hpp"
+#include "gmd/common/thread_pool.hpp"
+
+namespace gmd::ml {
+
+RandomForest::RandomForest(const ForestParams& params) : params_(params) {
+  GMD_REQUIRE(params.num_trees >= 1, "forest needs at least one tree");
+}
+
+void RandomForest::fit(const Matrix& x, std::span<const double> y) {
+  GMD_REQUIRE(x.rows() == y.size(), "X/y row mismatch");
+  GMD_REQUIRE(x.rows() >= 1, "empty training data");
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  const std::size_t max_features =
+      params_.max_features > 0 ? params_.max_features : p;
+
+  // Pre-draw per-tree seeds and bootstrap samples deterministically so
+  // the parallel build order cannot affect the result.
+  Rng rng(params_.seed);
+  struct TreeJob {
+    std::uint64_t seed = 0;
+    std::vector<std::size_t> sample;
+  };
+  std::vector<TreeJob> jobs(params_.num_trees);
+  for (auto& job : jobs) {
+    job.seed = rng();
+    job.sample.resize(n);
+    if (params_.bootstrap) {
+      for (auto& idx : job.sample) idx = rng.next_below(n);
+    } else {
+      std::iota(job.sample.begin(), job.sample.end(), std::size_t{0});
+    }
+  }
+
+  trees_.assign(params_.num_trees, DecisionTree(TreeParams{}));
+  ThreadPool pool(params_.num_threads);
+  pool.parallel_for(0, jobs.size(), [&](std::size_t t) {
+    TreeParams tree_params;
+    tree_params.max_depth = params_.max_depth;
+    tree_params.min_samples_leaf = params_.min_samples_leaf;
+    tree_params.max_features = max_features;
+    tree_params.seed = jobs[t].seed;
+    DecisionTree tree(tree_params);
+    const Matrix xs = x.gather_rows(jobs[t].sample);
+    std::vector<double> ys(jobs[t].sample.size());
+    for (std::size_t i = 0; i < ys.size(); ++i) ys[i] = y[jobs[t].sample[i]];
+    tree.fit(xs, ys);
+    trees_[t] = std::move(tree);
+  });
+}
+
+double RandomForest::predict_one(std::span<const double> x) const {
+  GMD_REQUIRE(is_fitted(), "predict before fit");
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.predict_one(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::unique_ptr<Regressor> RandomForest::clone() const {
+  return std::make_unique<RandomForest>(*this);
+}
+
+std::vector<double> RandomForest::feature_importances(
+    std::size_t num_features) const {
+  GMD_REQUIRE(is_fitted(), "feature_importances before fit");
+  std::vector<double> sums(num_features, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const auto per_tree = tree.feature_importances(num_features);
+    for (std::size_t f = 0; f < num_features; ++f) sums[f] += per_tree[f];
+  }
+  double total = 0.0;
+  for (const double s : sums) total += s;
+  if (total > 0.0) {
+    for (double& s : sums) s /= total;
+  }
+  return sums;
+}
+
+void RandomForest::write(std::ostream& os) const {
+  GMD_REQUIRE(is_fitted(), "cannot serialize an unfitted model");
+  os << "forest " << trees_.size() << "\n";
+  for (const DecisionTree& tree : trees_) tree.write(os);
+}
+
+RandomForest RandomForest::read(std::istream& is) {
+  std::string tag;
+  std::size_t count = 0;
+  is >> tag >> count;
+  GMD_REQUIRE(is.good() && tag == "forest" && count >= 1,
+              "not a serialized random forest");
+  RandomForest forest;
+  forest.trees_.clear();
+  forest.trees_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    forest.trees_.push_back(DecisionTree::read(is));
+  }
+  forest.params_.num_trees = count;
+  return forest;
+}
+
+}  // namespace gmd::ml

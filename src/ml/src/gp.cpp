@@ -1,0 +1,76 @@
+#include "gmd/ml/gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::ml {
+
+GaussianProcess::GaussianProcess(const GpParams& params) : params_(params) {
+  GMD_REQUIRE(params.noise > 0.0, "GP noise must be positive");
+}
+
+void GaussianProcess::fit(const Matrix& x, std::span<const double> y) {
+  GMD_REQUIRE(x.rows() == y.size(), "X/y row mismatch");
+  GMD_REQUIRE(x.rows() >= 1, "empty training data");
+  const std::size_t n = x.rows();
+  train_ = x;
+
+  y_mean_ = 0.0;
+  for (const double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(params_.kernel, x.row(i), x.row(j));
+      k.at(i, j) = v;
+      k.at(j, i) = v;
+    }
+    k.at(i, i) += params_.noise;
+  }
+  chol_ = cholesky(std::move(k));
+
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = y[i] - y_mean_;
+  alpha_ = cholesky_solve_factored(chol_, centered);
+  fitted_ = true;
+}
+
+std::vector<double> GaussianProcess::kernel_row(
+    std::span<const double> x) const {
+  std::vector<double> k(train_.rows());
+  for (std::size_t i = 0; i < train_.rows(); ++i) {
+    k[i] = kernel(params_.kernel, train_.row(i), x);
+  }
+  return k;
+}
+
+double GaussianProcess::predict_one(std::span<const double> x) const {
+  return predict_with_variance(x).first;
+}
+
+std::pair<double, double> GaussianProcess::predict_with_variance(
+    std::span<const double> x) const {
+  GMD_REQUIRE(fitted_, "predict before fit");
+  GMD_REQUIRE(x.size() == train_.cols(), "feature count mismatch");
+  const std::vector<double> k = kernel_row(x);
+
+  double mean = y_mean_;
+  for (std::size_t i = 0; i < k.size(); ++i) mean += k[i] * alpha_[i];
+
+  // var = k(x,x) - k^T (K + nI)^-1 k, via the Cholesky factor.
+  const std::vector<double> v = cholesky_solve_factored(chol_, k);
+  double reduction = 0.0;
+  for (std::size_t i = 0; i < k.size(); ++i) reduction += k[i] * v[i];
+  const double prior = kernel(params_.kernel, x, x) + params_.noise;
+  const double variance = std::max(0.0, prior - reduction);
+  return {mean, variance};
+}
+
+std::unique_ptr<Regressor> GaussianProcess::clone() const {
+  return std::make_unique<GaussianProcess>(*this);
+}
+
+}  // namespace gmd::ml

@@ -1,0 +1,47 @@
+#include "gmd/ml/kernel.hpp"
+
+#include <cmath>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::ml {
+
+double kernel(const KernelParams& params, std::span<const double> a,
+              std::span<const double> b) {
+  GMD_REQUIRE(a.size() == b.size(), "kernel input length mismatch");
+  switch (params.type) {
+    case KernelType::kLinear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return params.gamma * dot;
+    }
+    case KernelType::kRbf: {
+      double dist2 = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        dist2 += d * d;
+      }
+      return std::exp(-params.gamma * dist2);
+    }
+    case KernelType::kPolynomial: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return std::pow(params.gamma * dot + params.coef0, params.degree);
+    }
+  }
+  throw Error("unknown kernel type");
+}
+
+std::string to_string(KernelType type) {
+  switch (type) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kRbf:
+      return "rbf";
+    case KernelType::kPolynomial:
+      return "poly";
+  }
+  return "?";
+}
+
+}  // namespace gmd::ml

@@ -1,0 +1,105 @@
+#include "gmd/ml/linear.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::ml {
+
+LinearRegression::LinearRegression(double ridge_lambda)
+    : lambda_(ridge_lambda) {
+  GMD_REQUIRE(ridge_lambda >= 0.0, "ridge lambda must be non-negative");
+}
+
+void LinearRegression::fit(const Matrix& x, std::span<const double> y) {
+  GMD_REQUIRE(x.rows() == y.size(), "X/y row mismatch");
+  GMD_REQUIRE(x.rows() >= 1 && x.cols() >= 1, "empty training data");
+
+  // Center to fit the intercept separately: keeps the normal equations
+  // better conditioned than an explicit ones-column.
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  std::vector<double> x_mean(p, 0.0);
+  double y_mean = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < p; ++c) x_mean[c] += row[c];
+    y_mean += y[r];
+  }
+  for (double& m : x_mean) m /= static_cast<double>(n);
+  y_mean /= static_cast<double>(n);
+
+  Matrix centered(n, p);
+  std::vector<double> y_centered(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto src = x.row(r);
+    const auto dst = centered.row(r);
+    for (std::size_t c = 0; c < p; ++c) dst[c] = src[c] - x_mean[c];
+    y_centered[r] = y[r] - y_mean;
+  }
+
+  // Normal equations: (X^T X + lambda I) w = X^T y.
+  Matrix gram = centered.gram();
+  const std::vector<double> xty =
+      centered.transpose_multiply(y_centered);
+  // Regularize; for OLS, retry with growing jitter if singular.
+  double jitter = lambda_;
+  for (int attempt = 0;; ++attempt) {
+    Matrix a = gram;
+    for (std::size_t i = 0; i < p; ++i) a.at(i, i) += jitter;
+    try {
+      coef_ = cholesky_solve(a, xty);
+      break;
+    } catch (const Error&) {
+      GMD_REQUIRE(attempt < 8, "normal equations remain singular");
+      jitter = jitter == 0.0 ? 1e-10 : jitter * 100.0;
+    }
+  }
+
+  intercept_ = y_mean;
+  for (std::size_t c = 0; c < p; ++c) intercept_ -= coef_[c] * x_mean[c];
+  fitted_ = true;
+}
+
+double LinearRegression::predict_one(std::span<const double> x) const {
+  GMD_REQUIRE(fitted_, "predict before fit");
+  GMD_REQUIRE(x.size() == coef_.size(), "feature count mismatch");
+  double out = intercept_;
+  for (std::size_t c = 0; c < x.size(); ++c) out += coef_[c] * x[c];
+  return out;
+}
+
+std::unique_ptr<Regressor> LinearRegression::clone() const {
+  return std::make_unique<LinearRegression>(*this);
+}
+
+void LinearRegression::write(std::ostream& os) const {
+  GMD_REQUIRE(fitted_, "cannot serialize an unfitted model");
+  os.precision(17);
+  os << "linear " << lambda_ << " " << intercept_ << " " << coef_.size()
+     << "\n";
+  for (const double c : coef_) os << c << "\n";
+}
+
+LinearRegression LinearRegression::read(std::istream& is) {
+  std::string tag;
+  double lambda = 0.0;
+  double intercept = 0.0;
+  std::size_t count = 0;
+  is >> tag >> lambda >> intercept >> count;
+  GMD_REQUIRE(is.good() && tag == "linear",
+              "not a serialized linear model");
+  LinearRegression model(lambda);
+  model.intercept_ = intercept;
+  model.coef_.resize(count);
+  for (double& c : model.coef_) {
+    is >> c;
+    GMD_REQUIRE(!is.fail(), "truncated serialized linear model");
+  }
+  model.fitted_ = true;
+  return model;
+}
+
+}  // namespace gmd::ml

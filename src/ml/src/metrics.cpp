@@ -1,0 +1,62 @@
+#include "gmd/ml/metrics.hpp"
+
+#include <cmath>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::ml {
+
+namespace {
+
+void check_shapes(std::span<const double> a, std::span<const double> b) {
+  GMD_REQUIRE(!a.empty(), "metric on empty series");
+  GMD_REQUIRE(a.size() == b.size(), "series length mismatch: "
+                                        << a.size() << " vs " << b.size());
+}
+
+}  // namespace
+
+double mse(std::span<const double> truth, std::span<const double> predicted) {
+  check_shapes(truth, predicted);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double rmse(std::span<const double> truth,
+            std::span<const double> predicted) {
+  return std::sqrt(mse(truth, predicted));
+}
+
+double mae(std::span<const double> truth, std::span<const double> predicted) {
+  check_shapes(truth, predicted);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    sum += std::abs(truth[i] - predicted[i]);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double r2_score(std::span<const double> truth,
+                std::span<const double> predicted) {
+  check_shapes(truth, predicted);
+  double mean = 0.0;
+  for (const double y : truth) mean += y;
+  mean /= static_cast<double>(truth.size());
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double r = truth[i] - predicted[i];
+    const double t = truth[i] - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace gmd::ml

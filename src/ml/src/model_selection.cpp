@@ -1,0 +1,109 @@
+#include "gmd/ml/model_selection.hpp"
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+#include "gmd/ml/metrics.hpp"
+#include "gmd/ml/svr.hpp"
+
+namespace gmd::ml {
+
+double CvScores::mean_mse() const {
+  GMD_REQUIRE(!fold_mse.empty(), "no folds scored");
+  double sum = 0.0;
+  for (const double v : fold_mse) sum += v;
+  return sum / static_cast<double>(fold_mse.size());
+}
+
+double CvScores::mean_r2() const {
+  GMD_REQUIRE(!fold_r2.empty(), "no folds scored");
+  double sum = 0.0;
+  for (const double v : fold_r2) sum += v;
+  return sum / static_cast<double>(fold_r2.size());
+}
+
+CvScores cross_validate(const Regressor& prototype, const Dataset& data,
+                        std::size_t folds, std::uint64_t seed) {
+  data.validate();
+  CvScores scores;
+  for (const auto& [train_idx, test_idx] :
+       kfold_indices(data.size(), folds, seed)) {
+    const Dataset train = data.subset(train_idx);
+    const Dataset test = data.subset(test_idx);
+    const auto model = prototype.clone();
+    model->fit(train.X, train.y);
+    const std::vector<double> predicted = model->predict(test.X);
+    scores.fold_mse.push_back(mse(test.y, predicted));
+    scores.fold_r2.push_back(r2_score(test.y, predicted));
+  }
+  return scores;
+}
+
+std::vector<ParamPoint> cartesian_grid(
+    const std::map<std::string, std::vector<double>>& axes) {
+  GMD_REQUIRE(!axes.empty(), "grid needs at least one axis");
+  for (const auto& [name, values] : axes) {
+    GMD_REQUIRE(!values.empty(), "grid axis '" << name << "' is empty");
+  }
+  std::vector<ParamPoint> grid{{}};
+  for (const auto& [name, values] : axes) {
+    std::vector<ParamPoint> expanded;
+    expanded.reserve(grid.size() * values.size());
+    for (const ParamPoint& point : grid) {
+      for (const double value : values) {
+        ParamPoint next = point;
+        next[name] = value;
+        expanded.push_back(std::move(next));
+      }
+    }
+    grid = std::move(expanded);
+  }
+  return grid;
+}
+
+const GridSearchResult::Candidate& GridSearchResult::best() const {
+  GMD_REQUIRE(!candidates.empty(), "grid search produced no candidates");
+  return candidates.front();
+}
+
+GridSearchResult grid_search(const ModelFactory& factory,
+                             const std::vector<ParamPoint>& grid,
+                             const Dataset& data, std::size_t folds,
+                             std::uint64_t seed) {
+  GMD_REQUIRE(!grid.empty(), "empty hyperparameter grid");
+  GridSearchResult result;
+  result.candidates.reserve(grid.size());
+  for (const ParamPoint& params : grid) {
+    const auto model = factory(params);
+    GMD_REQUIRE(model != nullptr, "model factory returned null");
+    GridSearchResult::Candidate candidate;
+    candidate.params = params;
+    candidate.scores = cross_validate(*model, data, folds, seed);
+    result.candidates.push_back(std::move(candidate));
+  }
+  std::stable_sort(result.candidates.begin(), result.candidates.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.scores.mean_mse() < b.scores.mean_mse();
+                   });
+  return result;
+}
+
+GridSearchResult grid_search_svr(const Dataset& data,
+                                 const std::vector<double>& c_values,
+                                 const std::vector<double>& gamma_values,
+                                 const std::vector<double>& epsilon_values,
+                                 std::size_t folds, std::uint64_t seed) {
+  const auto grid = cartesian_grid({{"C", c_values},
+                                    {"gamma", gamma_values},
+                                    {"epsilon", epsilon_values}});
+  const ModelFactory factory = [](const ParamPoint& params) {
+    SvrParams svr;
+    svr.c = params.at("C");
+    svr.kernel.gamma = params.at("gamma");
+    svr.epsilon = params.at("epsilon");
+    return std::make_unique<Svr>(svr);
+  };
+  return grid_search(factory, grid, data, folds, seed);
+}
+
+}  // namespace gmd::ml

@@ -1,0 +1,63 @@
+#include "gmd/ml/regressor.hpp"
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/string_util.hpp"
+#include "gmd/ml/forest.hpp"
+#include "gmd/ml/gbt.hpp"
+#include "gmd/ml/gp.hpp"
+#include "gmd/ml/linear.hpp"
+#include "gmd/ml/svr.hpp"
+#include "gmd/ml/tree.hpp"
+
+namespace gmd::ml {
+
+std::vector<double> Regressor::predict(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out.push_back(predict_one(x.row(r)));
+  }
+  return out;
+}
+
+std::unique_ptr<Regressor> make_regressor(const std::string& name,
+                                          std::uint64_t seed) {
+  const std::string key = to_lower(name);
+  if (key == "linear") return std::make_unique<LinearRegression>();
+  if (key == "svr" || key == "svm") {
+    SvrParams params;
+    // Inputs are min-max scaled: an RBF width of ~O(1) per dimension
+    // works across the DSE feature spaces.
+    params.kernel.gamma = 2.0;
+    return std::make_unique<Svr>(params);
+  }
+  if (key == "rf") {
+    ForestParams params;
+    params.seed = seed;
+    return std::make_unique<RandomForest>(params);
+  }
+  if (key == "gb") {
+    GbtParams params;
+    params.seed = seed;
+    return std::make_unique<GradientBoosting>(params);
+  }
+  if (key == "gp") {
+    GpParams params;
+    params.kernel.gamma = 2.0;
+    return std::make_unique<GaussianProcess>(params);
+  }
+  if (key == "tree") {
+    TreeParams params;
+    params.seed = seed;
+    return std::make_unique<DecisionTree>(params);
+  }
+  throw Error("unknown regressor '" + name +
+              "' (expected linear|svr|rf|gb|gp|tree)");
+}
+
+const std::vector<std::string>& table1_model_names() {
+  static const std::vector<std::string> names = {"linear", "svr", "rf", "gb"};
+  return names;
+}
+
+}  // namespace gmd::ml

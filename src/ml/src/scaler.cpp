@@ -1,0 +1,113 @@
+#include "gmd/ml/scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::ml {
+
+void MinMaxScaler::fit(const Matrix& x) {
+  GMD_REQUIRE(x.rows() >= 1, "cannot fit scaler on empty data");
+  mins_.assign(x.cols(), std::numeric_limits<double>::infinity());
+  maxs_.assign(x.cols(), -std::numeric_limits<double>::infinity());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      mins_[c] = std::min(mins_[c], row[c]);
+      maxs_[c] = std::max(maxs_[c], row[c]);
+    }
+  }
+}
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+  GMD_REQUIRE(fitted(), "scaler not fitted");
+  GMD_REQUIRE(x.cols() == mins_.size(), "column count mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    const auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double range = maxs_[c] - mins_[c];
+      dst[c] = range > 0.0 ? (src[c] - mins_[c]) / range : 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix MinMaxScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+void MinMaxScaler::fit(std::span<const double> values) {
+  GMD_REQUIRE(!values.empty(), "cannot fit scaler on empty data");
+  mins_.assign(1, *std::min_element(values.begin(), values.end()));
+  maxs_.assign(1, *std::max_element(values.begin(), values.end()));
+}
+
+std::vector<double> MinMaxScaler::transform(
+    std::span<const double> values) const {
+  GMD_REQUIRE(fitted() && mins_.size() == 1,
+              "scaler not fitted on a scalar series");
+  const double range = maxs_[0] - mins_[0];
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = range > 0.0 ? (values[i] - mins_[0]) / range : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> MinMaxScaler::inverse_transform(
+    std::span<const double> scaled) const {
+  GMD_REQUIRE(fitted() && mins_.size() == 1,
+              "scaler not fitted on a scalar series");
+  const double range = maxs_[0] - mins_[0];
+  std::vector<double> out(scaled.size());
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    out[i] = mins_[0] + scaled[i] * range;
+  }
+  return out;
+}
+
+void StandardScaler::fit(const Matrix& x) {
+  GMD_REQUIRE(x.rows() >= 1, "cannot fit scaler on empty data");
+  means_.assign(x.cols(), 0.0);
+  stddevs_.assign(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) means_[c] += row[c];
+  }
+  const auto n = static_cast<double>(x.rows());
+  for (double& m : means_) m /= n;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double d = row[c] - means_[c];
+      stddevs_[c] += d * d;
+    }
+  }
+  for (double& s : stddevs_) s = std::sqrt(s / n);
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  GMD_REQUIRE(fitted(), "scaler not fitted");
+  GMD_REQUIRE(x.cols() == means_.size(), "column count mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    const auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      dst[c] = stddevs_[c] > 0.0 ? (src[c] - means_[c]) / stddevs_[c] : 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+}  // namespace gmd::ml

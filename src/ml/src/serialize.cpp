@@ -1,0 +1,78 @@
+#include "gmd/ml/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/ml/forest.hpp"
+#include "gmd/ml/gbt.hpp"
+#include "gmd/ml/linear.hpp"
+#include "gmd/ml/svr.hpp"
+#include "gmd/ml/tree.hpp"
+
+namespace gmd::ml {
+
+namespace {
+
+constexpr const char* kHeader = "gmd-model-v1";
+
+}  // namespace
+
+void save_model(std::ostream& os, const Regressor& model) {
+  GMD_REQUIRE(model.is_fitted(), "cannot serialize an unfitted model");
+  os << kHeader << " " << model.name() << "\n";
+  if (const auto* linear = dynamic_cast<const LinearRegression*>(&model)) {
+    linear->write(os);
+  } else if (const auto* svr = dynamic_cast<const Svr*>(&model)) {
+    svr->write(os);
+  } else if (const auto* tree = dynamic_cast<const DecisionTree*>(&model)) {
+    tree->write(os);
+  } else if (const auto* forest = dynamic_cast<const RandomForest*>(&model)) {
+    forest->write(os);
+  } else if (const auto* gbt = dynamic_cast<const GradientBoosting*>(&model)) {
+    gbt->write(os);
+  } else {
+    throw Error("model family '" + model.name() +
+                "' does not support serialization");
+  }
+  GMD_REQUIRE(os.good(), "model serialization stream failed");
+}
+
+void save_model_file(const std::string& path, const Regressor& model) {
+  std::ofstream out(path);
+  GMD_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  save_model(out, model);
+}
+
+std::unique_ptr<Regressor> load_model(std::istream& is) {
+  std::string header;
+  std::string family;
+  is >> header >> family;
+  GMD_REQUIRE(is.good() && header == kHeader,
+              "not a graphmemdse model file");
+  if (family == "linear") {
+    return std::make_unique<LinearRegression>(LinearRegression::read(is));
+  }
+  if (family == "svr") {
+    return std::make_unique<Svr>(Svr::read(is));
+  }
+  if (family == "tree") {
+    return std::make_unique<DecisionTree>(DecisionTree::read(is));
+  }
+  if (family == "rf") {
+    return std::make_unique<RandomForest>(RandomForest::read(is));
+  }
+  if (family == "gb") {
+    return std::make_unique<GradientBoosting>(GradientBoosting::read(is));
+  }
+  throw Error("model file declares unknown family '" + family + "'");
+}
+
+std::unique_ptr<Regressor> load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  GMD_REQUIRE(in.good(), "cannot open '" << path << "' for reading");
+  return load_model(in);
+}
+
+}  // namespace gmd::ml

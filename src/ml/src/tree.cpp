@@ -1,0 +1,227 @@
+#include "gmd/ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::ml {
+
+DecisionTree::DecisionTree(const TreeParams& params) : params_(params) {
+  GMD_REQUIRE(params.max_depth >= 1, "max_depth must be >= 1");
+  GMD_REQUIRE(params.min_samples_split >= 2, "min_samples_split must be >= 2");
+  GMD_REQUIRE(params.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+}
+
+void DecisionTree::fit(const Matrix& x, std::span<const double> y) {
+  fit_weighted(x, y, {});
+}
+
+void DecisionTree::fit_weighted(const Matrix& x, std::span<const double> y,
+                                std::span<const double> weights) {
+  GMD_REQUIRE(x.rows() == y.size(), "X/y row mismatch");
+  GMD_REQUIRE(x.rows() >= 1, "empty training data");
+  GMD_REQUIRE(weights.empty() || weights.size() == y.size(),
+              "weights size mismatch");
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  Rng rng(params_.seed);
+  build(x, y, weights, indices, 0, indices.size(), 1, rng);
+}
+
+namespace {
+
+/// Weighted mean of y over indices[begin, end).
+double subset_mean(std::span<const double> y, std::span<const double> w,
+                   std::span<const std::size_t> indices, std::size_t begin,
+                   std::size_t end) {
+  double sum = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double wi = w.empty() ? 1.0 : w[indices[i]];
+    sum += wi * y[indices[i]];
+    weight += wi;
+  }
+  return weight > 0.0 ? sum / weight : 0.0;
+}
+
+}  // namespace
+
+std::uint32_t DecisionTree::build(const Matrix& x, std::span<const double> y,
+                                  std::span<const double> w,
+                                  std::vector<std::size_t>& indices,
+                                  std::size_t begin, std::size_t end,
+                                  unsigned depth, gmd::Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t count = end - begin;
+  const auto node_id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = subset_mean(y, w, indices, begin, end);
+
+  if (depth >= params_.max_depth || count < params_.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features: all, or a random subset (random-forest mode).
+  const std::size_t p = x.cols();
+  std::vector<std::size_t> features(p);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t feature_count = p;
+  if (params_.max_features > 0 && params_.max_features < p) {
+    rng.shuffle(features);
+    feature_count = params_.max_features;
+  }
+
+  // Best split: exact search per candidate feature over sorted values.
+  double best_gain = 0.0;
+  std::size_t best_feature = p;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, std::size_t>> sorted;  // (value, index)
+  sorted.reserve(count);
+  for (std::size_t fi = 0; fi < feature_count; ++fi) {
+    const std::size_t feature = features[fi];
+    sorted.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      sorted.emplace_back(x.at(indices[i], feature), indices[i]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    // Prefix sums of w, w*y, w*y^2 for O(1) SSE at every cut.
+    double left_w = 0.0, left_sum = 0.0, left_sq = 0.0;
+    double total_w = 0.0, total_sum = 0.0, total_sq = 0.0;
+    for (const auto& [value, idx] : sorted) {
+      const double wi = w.empty() ? 1.0 : w[idx];
+      total_w += wi;
+      total_sum += wi * y[idx];
+      total_sq += wi * y[idx] * y[idx];
+      (void)value;
+    }
+    const double parent_sse =
+        total_sq - total_sum * total_sum / total_w;
+
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const auto& [value, idx] = sorted[i];
+      const double wi = w.empty() ? 1.0 : w[idx];
+      left_w += wi;
+      left_sum += wi * y[idx];
+      left_sq += wi * y[idx] * y[idx];
+      if (value == sorted[i + 1].first) continue;  // not a valid cut
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = count - left_n;
+      if (left_n < params_.min_samples_leaf ||
+          right_n < params_.min_samples_leaf) {
+        continue;
+      }
+      const double right_w = total_w - left_w;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse = (left_sq - left_sum * left_sum / left_w) +
+                         (right_sq - right_sum * right_sum / right_w);
+      const double gain = parent_sse - sse;
+      if (gain > best_gain + 1e-15) {
+        best_gain = gain;
+        best_feature = feature;
+        best_threshold = (value + sorted[i + 1].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature == p) return node_id;  // no useful split found
+
+  // Partition indices[begin, end) by the chosen split.
+  const auto mid_iter = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t idx) {
+        return x.at(idx, best_feature) <= best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_iter - indices.begin());
+  GMD_ASSERT(mid > begin && mid < end, "degenerate partition");
+
+  const std::uint32_t left =
+      build(x, y, w, indices, begin, mid, depth + 1, rng);
+  const std::uint32_t right =
+      build(x, y, w, indices, mid, end, depth + 1, rng);
+  nodes_[node_id].feature = static_cast<std::uint32_t>(best_feature);
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].gain = best_gain;
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict_one(std::span<const double> x) const {
+  GMD_REQUIRE(is_fitted(), "predict before fit");
+  std::uint32_t node = 0;
+  while (nodes_[node].feature != Node::kLeaf) {
+    GMD_REQUIRE(nodes_[node].feature < x.size(), "feature count mismatch");
+    node = x[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+std::unique_ptr<Regressor> DecisionTree::clone() const {
+  return std::make_unique<DecisionTree>(*this);
+}
+
+std::vector<double> DecisionTree::feature_importances(
+    std::size_t num_features) const {
+  std::vector<double> importances(num_features, 0.0);
+  double total = 0.0;
+  for (const Node& node : nodes_) {
+    if (node.feature == Node::kLeaf) continue;
+    GMD_REQUIRE(node.feature < num_features,
+                "tree uses feature " << node.feature
+                                     << " beyond num_features "
+                                     << num_features);
+    importances[node.feature] += node.gain;
+    total += node.gain;
+  }
+  if (total > 0.0) {
+    for (double& value : importances) value /= total;
+  }
+  return importances;
+}
+
+void DecisionTree::write(std::ostream& os) const {
+  os << "tree " << nodes_.size() << " " << depth_ << "\n";
+  os.precision(17);
+  for (const Node& node : nodes_) {
+    os << node.feature << " " << node.threshold << " " << node.value << " "
+       << node.gain << " " << node.left << " " << node.right << "\n";
+  }
+}
+
+DecisionTree DecisionTree::read(std::istream& is) {
+  std::string tag;
+  std::size_t count = 0;
+  unsigned depth = 0;
+  is >> tag >> count >> depth;
+  GMD_REQUIRE(is.good() && tag == "tree", "not a serialized tree");
+  DecisionTree tree;
+  tree.depth_ = depth;
+  tree.nodes_.resize(count);
+  for (Node& node : tree.nodes_) {
+    is >> node.feature >> node.threshold >> node.value >> node.gain >>
+        node.left >> node.right;
+    GMD_REQUIRE(!is.fail(), "truncated serialized tree");
+    GMD_REQUIRE(node.feature == Node::kLeaf ||
+                    (node.left < count && node.right < count),
+                "serialized tree has dangling child links");
+  }
+  GMD_REQUIRE(count >= 1, "serialized tree is empty");
+  return tree;
+}
+
+}  // namespace gmd::ml

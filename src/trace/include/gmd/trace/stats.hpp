@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file stats.hpp
+/// Descriptive statistics over a memory trace: what the workload asks
+/// of the memory system, independent of any memory configuration.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "gmd/cpusim/memory_event.hpp"
+
+namespace gmd::trace {
+
+struct TraceStats {
+  std::uint64_t events = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t min_address = 0;
+  std::uint64_t max_address = 0;  ///< Highest byte touched (inclusive).
+  std::uint64_t first_tick = 0;
+  std::uint64_t last_tick = 0;
+  std::uint64_t unique_lines = 0;  ///< Distinct 64-byte lines touched.
+
+  double read_fraction() const {
+    return events ? static_cast<double>(reads) / static_cast<double>(events)
+                  : 0.0;
+  }
+  /// Address footprint in bytes (max - min + size of last access).
+  std::uint64_t footprint_bytes() const {
+    return events ? max_address - min_address + 1 : 0;
+  }
+};
+
+/// Single pass over the trace.  `events` need not be tick-sorted.
+TraceStats compute_stats(std::span<const cpusim::MemoryEvent> events);
+
+/// Human-readable multi-line summary.
+std::string describe(const TraceStats& stats);
+
+}  // namespace gmd::trace

@@ -1,0 +1,98 @@
+#include "gmd/trace/converter.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <string_view>
+#include <vector>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/thread_pool.hpp"
+#include "gmd/trace/formats.hpp"
+
+namespace gmd::trace {
+
+namespace {
+
+/// Per-chunk conversion result, concatenated in chunk order.
+struct ChunkOutput {
+  std::string text;
+  std::uint64_t lines_in = 0;
+  std::uint64_t events_out = 0;
+  std::uint64_t skipped = 0;
+};
+
+ChunkOutput convert_chunk(std::string_view chunk) {
+  ChunkOutput out;
+  out.text.reserve(chunk.size() / 2);
+  std::size_t pos = 0;
+  while (pos < chunk.size()) {
+    std::size_t eol = chunk.find('\n', pos);
+    if (eol == std::string_view::npos) eol = chunk.size();
+    const std::string_view line = chunk.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    ++out.lines_in;
+    if (const auto event = parse_gem5_line(line)) {
+      out.text += format_nvmain_line(*event);
+      out.text += '\n';
+      ++out.events_out;
+    } else {
+      ++out.skipped;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ConvertStats convert_gem5_to_nvmain(const std::string& input_path,
+                                    const std::string& output_path,
+                                    const ConvertOptions& options) {
+  GMD_REQUIRE(options.chunk_bytes >= 1, "chunk_bytes must be >= 1");
+
+  // Read the input once; chunking happens on the in-memory buffer so
+  // chunk boundaries can be snapped to newlines cheaply.
+  std::ifstream in(input_path, std::ios::binary);
+  GMD_REQUIRE(in.good(), "cannot open input trace '" << input_path << "'");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  GMD_REQUIRE(!in.bad(), "read of '" << input_path << "' failed");
+
+  // Compute newline-aligned chunk boundaries.
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    std::size_t end = std::min(content.size(), start + options.chunk_bytes);
+    if (end < content.size()) {
+      const std::size_t newline = content.find('\n', end);
+      end = newline == std::string::npos ? content.size() : newline + 1;
+    }
+    chunks.emplace_back(start, end);
+    start = end;
+  }
+
+  std::vector<ChunkOutput> outputs(chunks.size());
+  ThreadPool pool(options.num_threads);
+  pool.parallel_for(0, chunks.size(), [&](std::size_t i) {
+    const auto [lo, hi] = chunks[i];
+    outputs[i] =
+        convert_chunk(std::string_view(content).substr(lo, hi - lo));
+  });
+
+  std::ofstream out(output_path, std::ios::binary);
+  GMD_REQUIRE(out.good(), "cannot open output trace '" << output_path << "'");
+  ConvertStats stats;
+  stats.chunks = chunks.size();
+  for (const ChunkOutput& chunk : outputs) {
+    out.write(chunk.text.data(),
+              static_cast<std::streamsize>(chunk.text.size()));
+    stats.lines_in += chunk.lines_in;
+    stats.events_out += chunk.events_out;
+    stats.lines_skipped += chunk.skipped;
+  }
+  GMD_REQUIRE(out.good(), "write of '" << output_path << "' failed");
+  return stats;
+}
+
+}  // namespace gmd::trace

@@ -1,0 +1,55 @@
+#include "gmd/trace/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace gmd::trace {
+
+TraceStats compute_stats(std::span<const cpusim::MemoryEvent> events) {
+  TraceStats stats;
+  stats.events = events.size();
+  if (events.empty()) return stats;
+
+  stats.min_address = events.front().address;
+  stats.max_address = events.front().address;
+  stats.first_tick = events.front().tick;
+  stats.last_tick = events.front().tick;
+
+  std::unordered_set<std::uint64_t> lines;
+  lines.reserve(events.size() / 4);
+  for (const auto& event : events) {
+    if (event.is_write) {
+      ++stats.writes;
+      stats.bytes_written += event.size;
+    } else {
+      ++stats.reads;
+      stats.bytes_read += event.size;
+    }
+    stats.min_address = std::min(stats.min_address, event.address);
+    stats.max_address =
+        std::max(stats.max_address, event.address + event.size - 1);
+    stats.first_tick = std::min(stats.first_tick, event.tick);
+    stats.last_tick = std::max(stats.last_tick, event.tick);
+    lines.insert(event.address >> 6);
+  }
+  stats.unique_lines = lines.size();
+  return stats;
+}
+
+std::string describe(const TraceStats& stats) {
+  std::ostringstream os;
+  os << "events:        " << stats.events << " (" << stats.reads << " reads, "
+     << stats.writes << " writes)\n"
+     << "bytes:         " << stats.bytes_read << " read, "
+     << stats.bytes_written << " written\n"
+     << "address range: [0x" << std::hex << stats.min_address << ", 0x"
+     << stats.max_address << std::dec << "] ("
+     << stats.footprint_bytes() << " bytes)\n"
+     << "unique lines:  " << stats.unique_lines << " (64B)\n"
+     << "tick range:    [" << stats.first_tick << ", " << stats.last_tick
+     << "]\n";
+  return os.str();
+}
+
+}  // namespace gmd::trace

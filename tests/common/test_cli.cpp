@@ -1,0 +1,90 @@
+#include "gmd/common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd {
+namespace {
+
+CliParser make_parser() {
+  CliParser p("demo", "test parser");
+  p.add_option("vertices", "1024", "number of vertices")
+      .add_option("rate", "0.5", "a rate")
+      .add_option("name", "bfs", "workload name")
+      .add_flag("verbose", "enable verbose output");
+  return p;
+}
+
+TEST(CliParser, DefaultsApplyWhenUnset) {
+  auto p = make_parser();
+  const char* argv[] = {"demo"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("vertices"), 1024);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.5);
+  EXPECT_EQ(p.get_string("name"), "bfs");
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(CliParser, SpaceSeparatedValues) {
+  auto p = make_parser();
+  const char* argv[] = {"demo", "--vertices", "64", "--name", "pagerank"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_int("vertices"), 64);
+  EXPECT_EQ(p.get_string("name"), "pagerank");
+}
+
+TEST(CliParser, EqualsSeparatedValues) {
+  auto p = make_parser();
+  const char* argv[] = {"demo", "--rate=0.25", "--verbose"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.25);
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(CliParser, PositionalArgumentsCollected) {
+  auto p = make_parser();
+  const char* argv[] = {"demo", "input.txt", "--vertices", "8", "out.txt"};
+  ASSERT_TRUE(p.parse(5, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.txt");
+  EXPECT_EQ(p.positional()[1], "out.txt");
+}
+
+TEST(CliParser, UnknownOptionThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"demo", "--bogus", "1"};
+  EXPECT_THROW(p.parse(3, argv), Error);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"demo", "--vertices"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(CliParser, NonNumericValueThrowsOnTypedGet) {
+  auto p = make_parser();
+  const char* argv[] = {"demo", "--vertices", "many"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_THROW((void)p.get_int("vertices"), Error);
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  auto p = make_parser();
+  const char* argv[] = {"demo", "--help"};
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(p.parse(2, argv));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("--vertices"), std::string::npos);
+}
+
+TEST(CliParser, UndeclaredOptionAccessThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"demo"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_THROW((void)p.get_string("nope"), Error);
+}
+
+}  // namespace
+}  // namespace gmd

@@ -1,0 +1,59 @@
+#include "gmd/common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace gmd {
+namespace {
+
+class LoggingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    log::set_level(log::Level::kDebug);
+    log::set_sink([this](log::Level level, std::string_view msg) {
+      lines_.emplace_back(log::level_name(level));
+      lines_.back() += ": ";
+      lines_.back() += msg;
+    });
+  }
+  void TearDown() override {
+    log::set_sink(nullptr);
+    log::set_level(log::Level::kInfo);
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LoggingTest, StreamedMessageReachesSink) {
+  GMD_LOG_INFO << "sweep " << 3 << " done";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "INFO: sweep 3 done");
+}
+
+TEST_F(LoggingTest, LevelFilterDropsBelowThreshold) {
+  log::set_level(log::Level::kWarn);
+  GMD_LOG_DEBUG << "dropped";
+  GMD_LOG_INFO << "dropped too";
+  GMD_LOG_WARN << "kept";
+  GMD_LOG_ERROR << "kept too";
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[0], "WARN: kept");
+  EXPECT_EQ(lines_[1], "ERROR: kept too");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  log::set_level(log::Level::kOff);
+  GMD_LOG_ERROR << "nope";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(log::level_name(log::Level::kDebug), "DEBUG");
+  EXPECT_EQ(log::level_name(log::Level::kInfo), "INFO");
+  EXPECT_EQ(log::level_name(log::Level::kWarn), "WARN");
+  EXPECT_EQ(log::level_name(log::Level::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace gmd

@@ -1,0 +1,93 @@
+#include "gmd/common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmd {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(Split, OnDelimiterKeepsEmptyFields) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, SingleFieldAndTrailingDelimiter) {
+  EXPECT_EQ(split("abc", ',').size(), 1u);
+  const auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitWhitespace, DropsEmptyFields) {
+  const auto parts = split_whitespace("  12  R  0x1000\t64 ");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "12");
+  EXPECT_EQ(parts[1], "R");
+  EXPECT_EQ(parts[2], "0x1000");
+  EXPECT_EQ(parts[3], "64");
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(ParseInt, AcceptsValidRejectsGarbage) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-17").value(), -17);
+  EXPECT_EQ(parse_int(" 8 ").value(), 8);
+  EXPECT_FALSE(parse_int("4x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+}
+
+TEST(ParseUint, HandlesHexPrefix) {
+  EXPECT_EQ(parse_uint("255").value(), 255u);
+  EXPECT_EQ(parse_uint("0x1000").value(), 0x1000u);
+  EXPECT_EQ(parse_uint("0XFF").value(), 255u);
+  EXPECT_FALSE(parse_uint("-1").has_value());
+  EXPECT_FALSE(parse_uint("0xZZ").has_value());
+}
+
+TEST(ParseDouble, AcceptsScientificNotation) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("4.13e+07").value(), 4.13e7);
+  EXPECT_DOUBLE_EQ(parse_double("-1e-3").value(), -1e-3);
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.2.3").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("--option", "--"));
+  EXPECT_FALSE(starts_with("-o", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("DRAM"), "dram");
+  EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Format, FixedAndScientific) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_sci(41300000.0, 2), "4.13e+07");
+}
+
+}  // namespace
+}  // namespace gmd

@@ -1,0 +1,82 @@
+#include "gmd/cpusim/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::cpusim {
+namespace {
+
+TEST(AddressSpace, AllocationsAreDisjointAndAligned) {
+  AtomicCpu cpu(CpuModel{});
+  AddressSpace space(0x1000'0000, 64);
+  auto a = space.allocate<std::uint32_t>(cpu, 10, "a");  // 40 bytes
+  auto b = space.allocate<std::uint64_t>(cpu, 5, "b");   // 40 bytes
+  EXPECT_EQ(a.base_address(), 0x1000'0000u);
+  EXPECT_EQ(a.base_address() % 64, 0u);
+  EXPECT_EQ(b.base_address() % 64, 0u);
+  EXPECT_GE(b.base_address(), a.base_address() + 10 * sizeof(std::uint32_t));
+  ASSERT_EQ(space.allocations().size(), 2u);
+  EXPECT_EQ(space.allocations()[0].name, "a");
+  EXPECT_EQ(space.allocations()[1].bytes, 40u);
+}
+
+TEST(AddressSpace, BytesAllocatedTracksUsage) {
+  AtomicCpu cpu(CpuModel{});
+  AddressSpace space(0, 64);
+  EXPECT_EQ(space.bytes_allocated(), 0u);
+  (void)space.allocate<char>(cpu, 100);
+  EXPECT_EQ(space.bytes_allocated(), 128u);  // rounded to alignment
+}
+
+TEST(SimArray, AddressOfIsElementStride) {
+  AtomicCpu cpu(CpuModel{});
+  AddressSpace space(0x100, 64);
+  auto arr = space.allocate<std::uint64_t>(cpu, 4);
+  EXPECT_EQ(arr.address_of(0), 0x100u);
+  EXPECT_EQ(arr.address_of(3), 0x100u + 3 * 8);
+}
+
+TEST(SimArray, LoadStoreRoundTripAndTraffic) {
+  VectorSink sink;
+  AtomicCpu cpu(CpuModel{}, &sink);
+  AddressSpace space(0x200, 64);
+  auto arr = space.allocate<int>(cpu, 8);
+  arr.store(2, 42);
+  EXPECT_EQ(arr.load(2), 42);
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_TRUE(sink.events()[0].is_write);
+  EXPECT_EQ(sink.events()[0].address, 0x200u + 2 * sizeof(int));
+  EXPECT_EQ(sink.events()[0].size, sizeof(int));
+  EXPECT_FALSE(sink.events()[1].is_write);
+}
+
+TEST(SimArray, SilentOperationsEmitNoTraffic) {
+  VectorSink sink;
+  AtomicCpu cpu(CpuModel{}, &sink);
+  AddressSpace space;
+  auto arr = space.allocate<double>(cpu, 16);
+  arr.fill_silent(1.5);
+  arr.assign_silent(std::vector<double>(16, 2.5));
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_DOUBLE_EQ(arr.peek(7), 2.5);
+}
+
+TEST(SimArray, AssignSilentSizeMismatchThrows) {
+  AtomicCpu cpu(CpuModel{});
+  AddressSpace space;
+  auto arr = space.allocate<int>(cpu, 4);
+  EXPECT_THROW(arr.assign_silent({1, 2}), Error);
+}
+
+TEST(SimArray, OutOfRangeAccessThrows) {
+  AtomicCpu cpu(CpuModel{});
+  AddressSpace space;
+  auto arr = space.allocate<int>(cpu, 2);
+  EXPECT_THROW((void)arr.load(2), Error);
+  EXPECT_THROW(arr.store(5, 1), Error);
+  EXPECT_THROW((void)arr.peek(2), Error);
+}
+
+}  // namespace
+}  // namespace gmd::cpusim

@@ -1,0 +1,129 @@
+#include "gmd/cpusim/atomic_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::cpusim {
+namespace {
+
+TEST(AtomicCpu, ComputeAdvancesTicks) {
+  AtomicCpu cpu(CpuModel{});
+  cpu.compute(5);
+  EXPECT_EQ(cpu.ticks(), 5u);
+  EXPECT_EQ(cpu.stats().compute_ops, 5u);
+}
+
+TEST(AtomicCpu, CustomComputeCost) {
+  CpuModel model;
+  model.compute_op_ticks = 3;
+  AtomicCpu cpu(model);
+  cpu.compute(4);
+  EXPECT_EQ(cpu.ticks(), 12u);
+}
+
+TEST(AtomicCpu, LoadStoreEmitEventsWithoutCache) {
+  VectorSink sink;
+  AtomicCpu cpu(CpuModel{}, &sink);
+  cpu.load(0x1000, 8);
+  cpu.store(0x2000, 4);
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].address, 0x1000u);
+  EXPECT_EQ(sink.events()[0].size, 8u);
+  EXPECT_FALSE(sink.events()[0].is_write);
+  EXPECT_EQ(sink.events()[1].address, 0x2000u);
+  EXPECT_TRUE(sink.events()[1].is_write);
+  EXPECT_EQ(cpu.stats().loads, 1u);
+  EXPECT_EQ(cpu.stats().stores, 1u);
+  EXPECT_EQ(cpu.stats().memory_events, 2u);
+}
+
+TEST(AtomicCpu, EventTicksAreMonotone) {
+  VectorSink sink;
+  AtomicCpu cpu(CpuModel{}, &sink);
+  for (int i = 0; i < 10; ++i) {
+    cpu.load(static_cast<std::uint64_t>(i) * 64, 8);
+    cpu.compute(2);
+  }
+  for (std::size_t i = 1; i < sink.events().size(); ++i)
+    EXPECT_GT(sink.events()[i].tick, sink.events()[i - 1].tick);
+}
+
+TEST(AtomicCpu, MemoryOpCostApplied) {
+  CpuModel model;
+  model.memory_op_ticks = 7;
+  AtomicCpu cpu(model);
+  cpu.load(0, 8);
+  EXPECT_EQ(cpu.ticks(), 7u);
+}
+
+TEST(AtomicCpu, NullSinkStillCounts) {
+  AtomicCpu cpu(CpuModel{}, nullptr);
+  cpu.load(0x10, 8);
+  EXPECT_EQ(cpu.stats().memory_events, 1u);
+}
+
+TEST(AtomicCpu, CacheFiltersRepeatAccesses) {
+  CpuModel model;
+  model.cache = CacheConfig{1024, 64, 2};
+  VectorSink sink;
+  AtomicCpu cpu(model, &sink);
+  for (int i = 0; i < 8; ++i) cpu.load(0x1000, 8);
+  // One fill, seven hits.
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].size, 64u);
+  EXPECT_FALSE(sink.events()[0].is_write);
+  EXPECT_EQ(cpu.stats().loads, 8u);
+}
+
+TEST(AtomicCpu, CacheWritebackReachesSink) {
+  CpuModel model;
+  model.cache = CacheConfig{1024, 64, 2};
+  VectorSink sink;
+  AtomicCpu cpu(model, &sink);
+  cpu.store(0x0000, 8);  // dirty set 0
+  cpu.load(0x0200, 8);   // same set
+  cpu.load(0x0400, 8);   // evicts dirty 0x0000
+  bool saw_writeback = false;
+  for (const auto& event : sink.events()) {
+    if (event.is_write && event.address == 0x0000) saw_writeback = true;
+  }
+  EXPECT_TRUE(saw_writeback);
+}
+
+TEST(AtomicCpu, FlushCacheEmitsDirtyLines) {
+  CpuModel model;
+  model.cache = CacheConfig{1024, 64, 2};
+  VectorSink sink;
+  AtomicCpu cpu(model, &sink);
+  cpu.store(0x1000, 8);
+  const auto before = sink.events().size();
+  cpu.flush_cache();
+  ASSERT_EQ(sink.events().size(), before + 1);
+  EXPECT_TRUE(sink.events().back().is_write);
+  EXPECT_EQ(sink.events().back().address, 0x1000u);
+}
+
+TEST(AtomicCpu, FlushWithoutCacheIsNoop) {
+  VectorSink sink;
+  AtomicCpu cpu(CpuModel{}, &sink);
+  cpu.flush_cache();
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(AtomicCpu, RejectsBadModel) {
+  CpuModel model;
+  model.compute_op_ticks = 0;
+  EXPECT_THROW(AtomicCpu{model}, Error);
+  CpuModel model2;
+  model2.memory_op_ticks = 0;
+  EXPECT_THROW(AtomicCpu{model2}, Error);
+}
+
+TEST(AtomicCpu, ZeroSizeAccessRejected) {
+  AtomicCpu cpu(CpuModel{});
+  EXPECT_THROW(cpu.load(0, 0), Error);
+}
+
+}  // namespace
+}  // namespace gmd::cpusim

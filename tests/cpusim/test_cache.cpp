@@ -1,0 +1,125 @@
+#include "gmd/cpusim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::cpusim {
+namespace {
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.size_bytes = 1024;
+  c.line_bytes = 64;
+  c.associativity = 2;
+  return c;  // 8 sets
+}
+
+TEST(Cache, GeometryDerivedCorrectly) {
+  const Cache cache(small_cache());
+  EXPECT_EQ(cache.num_sets(), 8u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  CacheConfig c = small_cache();
+  c.line_bytes = 48;  // not a power of two
+  EXPECT_THROW(Cache{c}, Error);
+  c = small_cache();
+  c.associativity = 0;
+  EXPECT_THROW(Cache{c}, Error);
+  c = small_cache();
+  c.size_bytes = 1000;  // not a multiple of line*assoc
+  EXPECT_THROW(Cache{c}, Error);
+}
+
+TEST(Cache, FirstAccessMissesThenHits) {
+  Cache cache(small_cache());
+  const auto miss = cache.access(0x1000, false);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_TRUE(miss.fill);
+  EXPECT_EQ(miss.fill_address, 0x1000u);
+  const auto hit = cache.access(0x1000, false);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_FALSE(hit.fill);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetHits) {
+  Cache cache(small_cache());
+  (void)cache.access(0x1000, false);
+  const auto result = cache.access(0x103F, false);  // last byte of line
+  EXPECT_TRUE(result.hit);
+  const auto next_line = cache.access(0x1040, false);
+  EXPECT_FALSE(next_line.hit);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  Cache cache(small_cache());
+  // Three lines mapping to set 0 (stride = sets * line = 512B) in a
+  // 2-way set: third fill evicts the LRU clean line silently.
+  (void)cache.access(0x0000, false);
+  (void)cache.access(0x0200, false);
+  const auto evict = cache.access(0x0400, false);
+  EXPECT_FALSE(evict.hit);
+  EXPECT_TRUE(evict.fill);
+  EXPECT_FALSE(evict.writeback);
+}
+
+TEST(Cache, DirtyEvictionEmitsWriteback) {
+  Cache cache(small_cache());
+  (void)cache.access(0x0000, true);  // dirty line
+  (void)cache.access(0x0200, false);
+  const auto evict = cache.access(0x0400, false);
+  EXPECT_TRUE(evict.writeback);
+  EXPECT_EQ(evict.writeback_address, 0x0000u);
+  EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, LruVictimSelection) {
+  Cache cache(small_cache());
+  (void)cache.access(0x0000, false);
+  (void)cache.access(0x0200, false);
+  (void)cache.access(0x0000, false);  // refresh line 0; 0x0200 is now LRU
+  const auto evict = cache.access(0x0400, true);
+  EXPECT_TRUE(evict.fill);
+  // 0x0000 must still be resident.
+  EXPECT_TRUE(cache.access(0x0000, false).hit);
+  // 0x0200 was evicted.
+  EXPECT_FALSE(cache.access(0x0200, false).hit);
+}
+
+TEST(Cache, WriteAllocatePolicy) {
+  Cache cache(small_cache());
+  const auto write_miss = cache.access(0x2000, true);
+  EXPECT_TRUE(write_miss.fill);  // line fetched on write miss
+  EXPECT_TRUE(cache.access(0x2000, false).hit);
+}
+
+TEST(Cache, FlushReturnsDirtyLinesOnly) {
+  Cache cache(small_cache());
+  (void)cache.access(0x0000, true);
+  (void)cache.access(0x1000, false);
+  (void)cache.access(0x2040, true);
+  auto dirty = cache.flush();
+  std::sort(dirty.begin(), dirty.end());
+  ASSERT_EQ(dirty.size(), 2u);
+  EXPECT_EQ(dirty[0], 0x0000u);
+  EXPECT_EQ(dirty[1], 0x2040u);
+  // After flush everything misses again.
+  EXPECT_FALSE(cache.access(0x0000, false).hit);
+}
+
+TEST(Cache, HitRateHighForSequentialScan) {
+  Cache cache(small_cache());
+  // 8 sequential 8-byte reads per line: 1 miss + 7 hits.
+  for (std::uint64_t addr = 0; addr < 1024; addr += 8)
+    (void)cache.access(addr, false);
+  EXPECT_EQ(cache.misses(), 16u);
+  EXPECT_EQ(cache.hits(), 112u);
+}
+
+}  // namespace
+}  // namespace gmd::cpusim

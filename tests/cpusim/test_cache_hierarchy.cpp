@@ -1,0 +1,119 @@
+#include "gmd/cpusim/cache_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+#include "gmd/cpusim/atomic_cpu.hpp"
+
+namespace gmd::cpusim {
+namespace {
+
+CacheHierarchyConfig small_hierarchy() {
+  CacheHierarchyConfig config;
+  config.l1 = CacheConfig{512, 64, 2};   // 4 sets
+  config.l2 = CacheConfig{2048, 64, 4};  // 8 sets
+  return config;
+}
+
+TEST(CacheHierarchy, ColdMissFillsFromMemory) {
+  CacheHierarchy hierarchy(small_hierarchy());
+  const HierarchyTraffic t = hierarchy.access(0x1000, false);
+  EXPECT_FALSE(t.l1_hit);
+  EXPECT_FALSE(t.l2_hit);
+  ASSERT_EQ(t.fills.size(), 1u);
+  EXPECT_EQ(t.fills[0], 0x1000u);
+  EXPECT_TRUE(t.writebacks.empty());
+}
+
+TEST(CacheHierarchy, L1HitProducesNoTraffic) {
+  CacheHierarchy hierarchy(small_hierarchy());
+  (void)hierarchy.access(0x1000, false);
+  const HierarchyTraffic t = hierarchy.access(0x1008, false);
+  EXPECT_TRUE(t.l1_hit);
+  EXPECT_TRUE(t.fills.empty());
+  EXPECT_TRUE(t.writebacks.empty());
+}
+
+TEST(CacheHierarchy, L2CatchesL1Evictions) {
+  CacheHierarchy hierarchy(small_hierarchy());
+  // L1: 4 sets x 64B -> lines 0x000, 0x100, 0x200 map to set 0.
+  (void)hierarchy.access(0x000, false);
+  (void)hierarchy.access(0x100, false);
+  const HierarchyTraffic evict = hierarchy.access(0x200, false);
+  EXPECT_FALSE(evict.l1_hit);
+  // L2 is cold for 0x200 -> one memory fill, no write-back (clean L1
+  // victim).
+  EXPECT_EQ(evict.fills.size(), 1u);
+  // Re-access the evicted 0x000: L1 misses but L2 still holds it.
+  const HierarchyTraffic again = hierarchy.access(0x000, false);
+  EXPECT_FALSE(again.l1_hit);
+  EXPECT_TRUE(again.l2_hit);
+  EXPECT_TRUE(again.fills.empty());
+}
+
+TEST(CacheHierarchy, DirtyL1VictimSpillsIntoL2NotMemory) {
+  CacheHierarchy hierarchy(small_hierarchy());
+  (void)hierarchy.access(0x000, true);  // dirty in L1
+  (void)hierarchy.access(0x100, false);
+  const HierarchyTraffic evict = hierarchy.access(0x200, false);
+  // The dirty L1 victim is absorbed by L2: no memory write-back yet.
+  EXPECT_TRUE(evict.writebacks.empty());
+}
+
+TEST(CacheHierarchy, FlushWritesDirtyLinesOnce) {
+  CacheHierarchy hierarchy(small_hierarchy());
+  (void)hierarchy.access(0x000, true);
+  (void)hierarchy.access(0x400, true);
+  (void)hierarchy.access(0x800, false);  // clean
+  auto lines = hierarchy.flush();
+  std::sort(lines.begin(), lines.end());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], 0x000u);
+  EXPECT_EQ(lines[1], 0x400u);
+}
+
+TEST(CacheHierarchy, RejectsMismatchedGeometry) {
+  CacheHierarchyConfig config = small_hierarchy();
+  config.l2.line_bytes = 128;
+  EXPECT_THROW(CacheHierarchy{config}, Error);
+  config = small_hierarchy();
+  config.l2.size_bytes = 256;  // smaller than L1
+  EXPECT_THROW(CacheHierarchy{config}, Error);
+}
+
+TEST(AtomicCpuHierarchy, FiltersMoreThanSingleLevel) {
+  // A working set that fits L2 but not L1: the hierarchy emits fewer
+  // memory events than a single L1-sized cache.
+  const auto run = [](CpuModel model) {
+    VectorSink sink;
+    AtomicCpu cpu(model, &sink);
+    for (int pass = 0; pass < 4; ++pass) {
+      for (std::uint64_t addr = 0; addr < 1024; addr += 64) {
+        cpu.load(addr, 8);
+      }
+    }
+    cpu.flush_cache();
+    return sink.events().size();
+  };
+
+  CpuModel single;
+  single.cache = CacheConfig{512, 64, 2};
+  CpuModel two_level;
+  two_level.cache_hierarchy = small_hierarchy();
+
+  EXPECT_LT(run(two_level), run(single));
+}
+
+TEST(AtomicCpuHierarchy, HierarchyTakesPrecedenceOverSingleCache) {
+  CpuModel model;
+  model.cache = CacheConfig{512, 64, 2};
+  model.cache_hierarchy = small_hierarchy();
+  AtomicCpu cpu(model);
+  EXPECT_NE(cpu.hierarchy(), nullptr);
+  EXPECT_EQ(cpu.cache(), nullptr);
+}
+
+}  // namespace
+}  // namespace gmd::cpusim

@@ -1,0 +1,216 @@
+#include "gmd/cpusim/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gmd/common/error.hpp"
+#include "gmd/graph/algorithms.hpp"
+#include "gmd/graph/bfs.hpp"
+#include "gmd/graph/generators.hpp"
+
+namespace gmd::cpusim {
+namespace {
+
+graph::CsrGraph paper_graph(std::uint64_t seed = 1) {
+  graph::UniformRandomParams p;
+  p.num_vertices = 256;  // scaled-down paper graph for fast tests
+  p.edge_factor = 16;
+  p.seed = seed;
+  graph::EdgeList list = graph::generate_uniform_random(p);
+  graph::symmetrize(list);
+  graph::remove_self_loops_and_duplicates(list);
+  return graph::CsrGraph::from_edge_list(list);
+}
+
+TEST(BfsWorkload, VisitsSameVerticesAsReferenceBfs) {
+  const auto g = paper_graph();
+  const auto reference = graph::bfs_top_down(g, 7);
+  VectorSink sink;
+  AtomicCpu cpu(CpuModel{}, &sink);
+  const BfsWorkload workload(g, 7);
+  const WorkloadResult result = workload.run(cpu);
+  EXPECT_EQ(result.kernel_output, reference.vertices_visited);
+  EXPECT_FALSE(sink.events().empty());
+}
+
+TEST(BfsWorkload, TraceTouchesAllCsrRegions) {
+  const auto g = paper_graph();
+  VectorSink sink;
+  AtomicCpu cpu(CpuModel{}, &sink);
+  BfsWorkload(g, 0).run(cpu);
+  // The trace must include reads of offsets, neighbors, and parent
+  // arrays: check coverage by address diversity.
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (const auto& e : sink.events()) {
+    lo = std::min(lo, e.address);
+    hi = std::max(hi, e.address);
+  }
+  // CSR offsets (257*8) + neighbors (~8K*4) + 3 vertex arrays: the
+  // span must cover at least the neighbor array size.
+  EXPECT_GT(hi - lo, g.num_edges() * sizeof(graph::VertexId));
+}
+
+TEST(BfsWorkload, ReadsDominateWrites) {
+  const auto g = paper_graph();
+  VectorSink sink;
+  AtomicCpu cpu(CpuModel{}, &sink);
+  BfsWorkload(g, 0).run(cpu);
+  std::size_t reads = 0, writes = 0;
+  for (const auto& e : sink.events()) (e.is_write ? writes : reads)++;
+  EXPECT_GT(reads, writes);  // BFS is read-dominated (graph structure)
+  EXPECT_GT(writes, 0u);
+}
+
+TEST(BfsWorkload, DeterministicTrace) {
+  const auto g = paper_graph();
+  VectorSink s1, s2;
+  AtomicCpu c1(CpuModel{}, &s1), c2(CpuModel{}, &s2);
+  BfsWorkload(g, 3).run(c1);
+  BfsWorkload(g, 3).run(c2);
+  EXPECT_EQ(s1.events(), s2.events());
+}
+
+TEST(BfsWorkload, RejectsBadSource) {
+  const auto g = paper_graph();
+  EXPECT_THROW(BfsWorkload(g, 100000), Error);
+}
+
+TEST(BfsWorkload, CacheReducesTraceSize) {
+  const auto g = paper_graph();
+  VectorSink uncached_sink, cached_sink;
+  AtomicCpu uncached(CpuModel{}, &uncached_sink);
+  CpuModel with_cache;
+  with_cache.cache = CacheConfig{32 * 1024, 64, 4};
+  AtomicCpu cached(with_cache, &cached_sink);
+  BfsWorkload(g, 0).run(uncached);
+  BfsWorkload(g, 0).run(cached);
+  EXPECT_LT(cached_sink.events().size(), uncached_sink.events().size() / 2);
+}
+
+TEST(PageRankWorkload, RunsAndProducesChecksum) {
+  const auto g = paper_graph();
+  VectorSink sink;
+  AtomicCpu cpu(CpuModel{}, &sink);
+  const WorkloadResult result = PageRankWorkload(g, 3).run(cpu);
+  // Scores sum to ~1, checksum is sum * 1e6.
+  EXPECT_NEAR(static_cast<double>(result.kernel_output), 1e6, 1e4);
+  EXPECT_FALSE(sink.events().empty());
+}
+
+TEST(PageRankWorkload, TraceScalesWithIterations) {
+  const auto g = paper_graph();
+  VectorSink s1, s5;
+  AtomicCpu c1(CpuModel{}, &s1), c5(CpuModel{}, &s5);
+  PageRankWorkload(g, 1).run(c1);
+  PageRankWorkload(g, 5).run(c5);
+  EXPECT_GT(s5.events().size(), 4 * s1.events().size());
+}
+
+TEST(ConnectedComponentsWorkload, CountsComponents) {
+  graph::EdgeList list;
+  list.num_vertices = 6;
+  list.edges = {{0, 1}, {1, 2}, {3, 4}};
+  graph::symmetrize(list);
+  const auto g = graph::CsrGraph::from_edge_list(list);
+  AtomicCpu cpu(CpuModel{});
+  const WorkloadResult result = ConnectedComponentsWorkload(g).run(cpu);
+  EXPECT_EQ(result.kernel_output, 3u);
+}
+
+TEST(SsspWorkload, ReachesAllInConnectedGraph) {
+  const auto g = paper_graph();
+  AtomicCpu cpu(CpuModel{});
+  const WorkloadResult result = SsspWorkload(g, 0).run(cpu);
+  EXPECT_EQ(result.kernel_output, g.num_vertices());
+}
+
+TEST(SsspWorkload, RespectsDisconnection) {
+  graph::EdgeList list;
+  list.num_vertices = 4;
+  list.edges = {{0, 1}};
+  graph::symmetrize(list);
+  const auto g = graph::CsrGraph::from_edge_list(list);
+  AtomicCpu cpu(CpuModel{});
+  const WorkloadResult result = SsspWorkload(g, 0).run(cpu);
+  EXPECT_EQ(result.kernel_output, 2u);
+}
+
+TEST(DirectionOptimizingBfsWorkload, MatchesReferenceVisitCount) {
+  const auto g = paper_graph();
+  const auto reference = graph::bfs_top_down(g, 11);
+  cpusim::AtomicCpu cpu(CpuModel{});
+  const WorkloadResult result =
+      DirectionOptimizingBfsWorkload(g, 11).run(cpu);
+  EXPECT_EQ(result.kernel_output, reference.vertices_visited);
+}
+
+TEST(DirectionOptimizingBfsWorkload, TraceDiffersFromTopDown) {
+  // On a dense graph the bottom-up phases change the address stream.
+  const auto g = paper_graph();
+  VectorSink td_sink, dir_sink;
+  AtomicCpu td_cpu(CpuModel{}, &td_sink), dir_cpu(CpuModel{}, &dir_sink);
+  BfsWorkload(g, 0).run(td_cpu);
+  DirectionOptimizingBfsWorkload(g, 0).run(dir_cpu);
+  EXPECT_NE(td_sink.events().size(), dir_sink.events().size());
+}
+
+TEST(DirectionOptimizingBfsWorkload, HandlesDisconnectedGraphs) {
+  graph::EdgeList list;
+  list.num_vertices = 6;
+  list.edges = {{0, 1}, {4, 5}};
+  graph::symmetrize(list);
+  const auto g = graph::CsrGraph::from_edge_list(list);
+  AtomicCpu cpu(CpuModel{});
+  const WorkloadResult result =
+      DirectionOptimizingBfsWorkload(g, 0).run(cpu);
+  EXPECT_EQ(result.kernel_output, 2u);
+}
+
+TEST(TriangleCountWorkload, MatchesReferenceCount) {
+  const auto g = paper_graph();
+  const std::uint64_t reference = graph::count_triangles(g);
+  AtomicCpu cpu(CpuModel{});
+  const WorkloadResult result = TriangleCountWorkload(g).run(cpu);
+  EXPECT_EQ(result.kernel_output, reference);
+  EXPECT_GT(reference, 0u);  // dense random graph has triangles
+}
+
+TEST(WorkloadFactory, CreatesAllKnownWorkloads) {
+  const auto g = paper_graph();
+  for (const std::string name :
+       {"bfs", "dobfs", "pagerank", "cc", "sssp", "triangles"}) {
+    const auto workload = make_workload(name, g, 1);
+    ASSERT_NE(workload, nullptr) << name;
+    EXPECT_EQ(workload->name(), name);
+  }
+  EXPECT_EQ(make_workload("BFS", g, 0)->name(), "bfs");  // case-insensitive
+}
+
+TEST(WorkloadFactory, UnknownNameThrows) {
+  const auto g = paper_graph();
+  EXPECT_THROW(make_workload("quicksort", g), Error);
+}
+
+TEST(Workloads, DifferentKernelsProduceDifferentTraces) {
+  const auto g = paper_graph();
+  VectorSink bfs_sink, pr_sink;
+  AtomicCpu bfs_cpu(CpuModel{}, &bfs_sink), pr_cpu(CpuModel{}, &pr_sink);
+  BfsWorkload(g, 0).run(bfs_cpu);
+  PageRankWorkload(g, 10).run(pr_cpu);
+  EXPECT_NE(bfs_sink.events().size(), pr_sink.events().size());
+}
+
+TEST(Workloads, ResultReportsFootprint) {
+  const auto g = paper_graph();
+  AtomicCpu cpu(CpuModel{});
+  const WorkloadResult result = BfsWorkload(g, 0).run(cpu);
+  // At least the CSR arrays must have been allocated.
+  EXPECT_GT(result.sim_bytes,
+            g.num_edges() * sizeof(graph::VertexId) +
+                (g.num_vertices() + 1) * sizeof(std::uint64_t));
+  EXPECT_GT(result.cpu.ticks, 0u);
+}
+
+}  // namespace
+}  // namespace gmd::cpusim

@@ -1,0 +1,137 @@
+#include "gmd/dse/active_learning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gmd/common/error.hpp"
+#include "gmd/cpusim/workloads.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/graph/generators.hpp"
+#include "gmd/ml/dataset.hpp"
+
+namespace gmd::dse {
+namespace {
+
+class ActiveLearningTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph::UniformRandomParams params;
+    params.num_vertices = 128;
+    params.edge_factor = 8;
+    graph::EdgeList list = graph::generate_uniform_random(params);
+    graph::symmetrize(list);
+    const auto g = graph::CsrGraph::from_edge_list(list);
+    cpusim::VectorSink sink;
+    cpusim::AtomicCpu cpu(cpusim::CpuModel{}, &sink);
+    cpusim::BfsWorkload(g, 0).run(cpu);
+    const auto rows = run_sweep(reduced_design_space(), sink.events());
+    // 75/25 pool/holdout split by index stride.
+    pool_ = new std::vector<SweepRow>();
+    holdout_ = new std::vector<SweepRow>();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      (i % 4 == 0 ? holdout_ : pool_)->push_back(rows[i]);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete pool_;
+    delete holdout_;
+    pool_ = nullptr;
+    holdout_ = nullptr;
+  }
+  static std::vector<SweepRow>* pool_;
+  static std::vector<SweepRow>* holdout_;
+};
+
+std::vector<SweepRow>* ActiveLearningTest::pool_ = nullptr;
+std::vector<SweepRow>* ActiveLearningTest::holdout_ = nullptr;
+
+TEST_F(ActiveLearningTest, CurveTracksBudget) {
+  ActiveLearningOptions options;
+  options.initial_labels = 8;
+  options.label_budget = 24;
+  options.batch_size = 4;
+  const auto result =
+      run_active_learning(*pool_, *holdout_, "power_w", options);
+  ASSERT_FALSE(result.curve.empty());
+  EXPECT_EQ(result.curve.front().labels_used, 8u);
+  EXPECT_EQ(result.curve.back().labels_used, 24u);
+  EXPECT_EQ(result.curve.size(), 5u);  // 8, 12, 16, 20, 24
+}
+
+TEST_F(ActiveLearningTest, AcquisitionOrderHasNoDuplicates) {
+  ActiveLearningOptions options;
+  options.label_budget = 30;
+  const auto result =
+      run_active_learning(*pool_, *holdout_, "latency_cycles", options);
+  std::set<std::size_t> seen(result.acquisition_order.begin(),
+                             result.acquisition_order.end());
+  EXPECT_EQ(seen.size(), result.acquisition_order.size());
+  for (const std::size_t i : result.acquisition_order) {
+    EXPECT_LT(i, pool_->size());
+  }
+}
+
+TEST_F(ActiveLearningTest, AccuracyImprovesWithLabels) {
+  ActiveLearningOptions options;
+  options.initial_labels = 6;
+  options.label_budget = 48;
+  options.batch_size = 6;
+  const auto result =
+      run_active_learning(*pool_, *holdout_, "power_w", options);
+  EXPECT_GT(result.curve.back().r2_on_holdout,
+            result.curve.front().r2_on_holdout);
+  EXPECT_GT(result.curve.back().r2_on_holdout, 0.7);
+}
+
+TEST_F(ActiveLearningTest, ActiveBeatsOrMatchesRandomAtBudgetEnd) {
+  ActiveLearningOptions options;
+  options.initial_labels = 6;
+  options.label_budget = 40;
+  options.batch_size = 2;
+  options.seed = 3;
+  const auto active =
+      run_active_learning(*pool_, *holdout_, "total_latency_cycles", options);
+  const auto random =
+      run_random_sampling(*pool_, *holdout_, "total_latency_cycles", options);
+  // Active learning should not be much worse than random, and usually
+  // better; allow slack for the small pool.
+  EXPECT_GT(active.curve.back().r2_on_holdout,
+            random.curve.back().r2_on_holdout - 0.1);
+}
+
+TEST_F(ActiveLearningTest, RandomBaselineDeterministicPerSeed) {
+  ActiveLearningOptions options;
+  options.label_budget = 20;
+  const auto a = run_random_sampling(*pool_, *holdout_, "power_w", options);
+  const auto b = run_random_sampling(*pool_, *holdout_, "power_w", options);
+  EXPECT_EQ(a.acquisition_order, b.acquisition_order);
+}
+
+TEST_F(ActiveLearningTest, BudgetClampedToPoolSize) {
+  ActiveLearningOptions options;
+  options.initial_labels = 4;
+  options.label_budget = 100000;
+  options.batch_size = 16;
+  const auto result =
+      run_active_learning(*pool_, *holdout_, "power_w", options);
+  EXPECT_LE(result.curve.back().labels_used, pool_->size());
+  EXPECT_EQ(result.acquisition_order.size(),
+            result.curve.back().labels_used);
+}
+
+TEST_F(ActiveLearningTest, BadOptionsThrow) {
+  ActiveLearningOptions options;
+  options.initial_labels = 1;
+  EXPECT_THROW(run_active_learning(*pool_, *holdout_, "power_w", options),
+               Error);
+  options = ActiveLearningOptions{};
+  options.label_budget = 2;
+  options.initial_labels = 10;
+  EXPECT_THROW(run_active_learning(*pool_, *holdout_, "power_w", options),
+               Error);
+  EXPECT_THROW(run_active_learning({}, *holdout_, "power_w", {}), Error);
+}
+
+}  // namespace
+}  // namespace gmd::dse

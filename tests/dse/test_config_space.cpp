@@ -1,0 +1,87 @@
+#include "gmd/dse/config_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::dse {
+namespace {
+
+TEST(PaperDesignSpace, Has416Configurations) {
+  const auto points = paper_design_space();
+  EXPECT_EQ(points.size(), 416u);  // §IV-A3: "total 416 memory configurations"
+}
+
+TEST(PaperDesignSpace, KindBreakdownMatchesPaper) {
+  const auto points = paper_design_space();
+  std::map<MemoryKind, std::size_t> counts;
+  for (const auto& p : points) ++counts[p.kind];
+  EXPECT_EQ(counts[MemoryKind::kDram], 32u);    // 4 cpu x 4 ctrl x 2 ch
+  EXPECT_EQ(counts[MemoryKind::kNvm], 192u);    // 32 cells x 6 tRCD
+  EXPECT_EQ(counts[MemoryKind::kHybrid], 192u);
+}
+
+TEST(PaperDesignSpace, AllPointsDistinct) {
+  const auto points = paper_design_space();
+  std::set<std::string> ids;
+  for (const auto& p : points) ids.insert(p.id());
+  EXPECT_EQ(ids.size(), points.size());
+}
+
+TEST(PaperDesignSpace, TrcdValuesFollowControllerFrequency) {
+  for (const auto& p : paper_design_space()) {
+    if (p.kind == MemoryKind::kDram) {
+      EXPECT_EQ(p.trcd, 9u);
+      continue;
+    }
+    const auto& allowed = memsim::nvm_trcd_set(p.ctrl_freq_mhz);
+    EXPECT_NE(std::find(allowed.begin(), allowed.end(), p.trcd),
+              allowed.end())
+        << p.id();
+  }
+}
+
+TEST(ReducedDesignSpace, Has96PointsCoveringAllCells) {
+  const auto points = reduced_design_space();
+  EXPECT_EQ(points.size(), 96u);  // 32 cells x 3 memory kinds
+  std::set<std::string> cells;
+  for (const auto& p : points) {
+    cells.insert(std::to_string(p.cpu_freq_mhz) + "/" +
+                 std::to_string(p.ctrl_freq_mhz) + "/" +
+                 std::to_string(p.channels) + "/" + to_string(p.kind));
+  }
+  EXPECT_EQ(cells.size(), 96u);
+}
+
+TEST(EnumerateGrid, CustomAxes) {
+  GridAxes axes;
+  axes.kinds = {MemoryKind::kDram, MemoryKind::kNvm};
+  axes.cpu_freqs_mhz = {2000};
+  axes.ctrl_freqs_mhz = {400};
+  axes.channel_counts = {2, 4};
+  axes.trcds = {20, 40};
+  const auto points = enumerate_grid(axes);
+  // DRAM: 1x1x2 = 2; NVM: 1x1x2x2 = 4.
+  EXPECT_EQ(points.size(), 6u);
+}
+
+TEST(EnumerateGrid, EmptyTrcdsUsesPaperSets) {
+  GridAxes axes;
+  axes.kinds = {MemoryKind::kNvm};
+  axes.cpu_freqs_mhz = {2000};
+  axes.ctrl_freqs_mhz = {400};
+  axes.channel_counts = {2};
+  const auto points = enumerate_grid(axes);
+  EXPECT_EQ(points.size(), 6u);  // the 400 MHz tRCD set
+}
+
+TEST(EnumerateGrid, RejectsEmptyAxes) {
+  GridAxes axes;
+  EXPECT_THROW(enumerate_grid(axes), Error);
+}
+
+}  // namespace
+}  // namespace gmd::dse

@@ -1,0 +1,153 @@
+#include "gmd/dse/dataset_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/cpusim/workloads.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/graph/generators.hpp"
+
+namespace gmd::dse {
+namespace {
+
+class DatasetBuilderTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph::UniformRandomParams params;
+    params.num_vertices = 128;
+    params.edge_factor = 8;
+    graph::EdgeList list = graph::generate_uniform_random(params);
+    graph::symmetrize(list);
+    const auto g = graph::CsrGraph::from_edge_list(list);
+    cpusim::VectorSink sink;
+    cpusim::AtomicCpu cpu(cpusim::CpuModel{}, &sink);
+    cpusim::BfsWorkload(g, 0).run(cpu);
+    rows_ = new std::vector<SweepRow>(
+        run_sweep(reduced_design_space(), sink.events()));
+  }
+  static void TearDownTestSuite() {
+    delete rows_;
+    rows_ = nullptr;
+  }
+  static std::vector<SweepRow>* rows_;
+};
+
+std::vector<SweepRow>* DatasetBuilderTest::rows_ = nullptr;
+
+TEST_F(DatasetBuilderTest, DatasetShapeMatchesSweep) {
+  const MetricDataset md = build_metric_dataset(*rows_, "power_w");
+  EXPECT_EQ(md.data.size(), rows_->size());
+  EXPECT_EQ(md.data.num_features(), DesignPoint::feature_names().size());
+  EXPECT_EQ(md.data.target_name, "power_w");
+  EXPECT_NO_THROW(md.data.validate());
+}
+
+TEST_F(DatasetBuilderTest, TargetsAreMinMaxScaled) {
+  for (const std::string& metric : target_metric_names()) {
+    const MetricDataset md = build_metric_dataset(*rows_, metric);
+    double lo = 1e300, hi = -1e300;
+    for (const double y : md.data.y) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+    EXPECT_DOUBLE_EQ(lo, 0.0) << metric;
+    EXPECT_DOUBLE_EQ(hi, 1.0) << metric;
+  }
+}
+
+TEST_F(DatasetBuilderTest, FeaturesAreScaledToUnitBox) {
+  const MetricDataset md = build_metric_dataset(*rows_, "bandwidth_mbs");
+  for (std::size_t r = 0; r < md.data.X.rows(); ++r) {
+    for (const double v : md.data.X.row(r)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST_F(DatasetBuilderTest, RawTargetsRecoverableThroughScaler) {
+  const MetricDataset md = build_metric_dataset(*rows_, "latency_cycles");
+  const auto recovered = md.y_scaler.inverse_transform(md.data.y);
+  ASSERT_EQ(recovered.size(), md.raw_y.size());
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_NEAR(recovered[i], md.raw_y[i], 1e-9);
+  }
+}
+
+TEST_F(DatasetBuilderTest, UnknownMetricThrows) {
+  EXPECT_THROW(build_metric_dataset(*rows_, "nonexistent"), Error);
+  EXPECT_THROW(build_metric_dataset({}, "power_w"), Error);
+}
+
+TEST_F(DatasetBuilderTest, TableHasFeatureAndMetricColumns) {
+  const CsvTable table = sweep_to_table(*rows_);
+  EXPECT_EQ(table.num_rows(), rows_->size());
+  EXPECT_EQ(table.num_columns(), DesignPoint::feature_names().size() +
+                                     target_metric_names().size());
+  EXPECT_TRUE(table.has_column("cpu_freq_mhz"));
+  EXPECT_TRUE(table.has_column("power_w"));
+}
+
+TEST_F(DatasetBuilderTest, TableRoundTripsThroughCsv) {
+  const CsvTable table = sweep_to_table(*rows_);
+  std::stringstream ss;
+  table.write(ss);
+  const CsvTable back = CsvTable::read(ss);
+  const auto rows = table_to_sweep(back);
+  ASSERT_EQ(rows.size(), rows_->size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].point, (*rows_)[i].point) << i;
+    EXPECT_NEAR(rows[i].metrics.avg_power_per_channel_w,
+                (*rows_)[i].metrics.avg_power_per_channel_w, 1e-12);
+    EXPECT_NEAR(rows[i].metrics.avg_reads_per_channel,
+                (*rows_)[i].metrics.avg_reads_per_channel, 1e-9);
+  }
+}
+
+TEST_F(DatasetBuilderTest, TargetMetricNamesMatchMemsim) {
+  EXPECT_EQ(target_metric_names(), memsim::MemoryMetrics::metric_names());
+  EXPECT_EQ(target_metric_names().size(), 6u);
+}
+
+TEST_F(DatasetBuilderTest, MultiWorkloadDatasetAppendsDescriptors) {
+  WorkloadSweep a;
+  a.name = "bfs";
+  a.rows = *rows_;
+  a.log10_events = 4.5;
+  a.read_fraction = 0.95;
+  a.footprint_kb = 140.0;
+  WorkloadSweep b = a;
+  b.name = "pagerank";
+  b.log10_events = 6.0;
+  b.read_fraction = 0.66;
+  b.footprint_kb = 150.0;
+
+  const std::vector<WorkloadSweep> sweeps{a, b};
+  const MetricDataset md = build_multi_workload_dataset(sweeps, "power_w");
+  EXPECT_EQ(md.data.size(), 2 * rows_->size());
+  EXPECT_EQ(md.data.num_features(), DesignPoint::feature_names().size() +
+                                        workload_feature_names().size());
+  // The descriptor columns separate the two workloads: first block has
+  // the min-scaled read fraction 1, second block 0.
+  const std::size_t rf_col = DesignPoint::feature_names().size() + 1;
+  EXPECT_DOUBLE_EQ(md.data.X.at(0, rf_col), 1.0);
+  EXPECT_DOUBLE_EQ(md.data.X.at(rows_->size(), rf_col), 0.0);
+  EXPECT_NO_THROW(md.data.validate());
+}
+
+TEST_F(DatasetBuilderTest, MultiWorkloadRejectsBadInput) {
+  EXPECT_THROW(build_multi_workload_dataset({}, "power_w"), Error);
+  WorkloadSweep empty;
+  empty.name = "empty";
+  const std::vector<WorkloadSweep> sweeps{empty};
+  EXPECT_THROW(build_multi_workload_dataset(sweeps, "power_w"), Error);
+  WorkloadSweep ok;
+  ok.rows = *rows_;
+  const std::vector<WorkloadSweep> ok_sweeps{ok};
+  EXPECT_THROW(build_multi_workload_dataset(ok_sweeps, "bogus"), Error);
+}
+
+}  // namespace
+}  // namespace gmd::dse

@@ -1,0 +1,89 @@
+#include "gmd/dse/design_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::dse {
+namespace {
+
+TEST(DesignPoint, IdEncodesParameters) {
+  DesignPoint p;
+  p.kind = MemoryKind::kNvm;
+  p.cpu_freq_mhz = 5000;
+  p.ctrl_freq_mhz = 666;
+  p.channels = 4;
+  p.trcd = 50;
+  EXPECT_EQ(p.id(), "nvm_c5000_m666_ch4_t50");
+  p.kind = MemoryKind::kDram;
+  EXPECT_EQ(p.id(), "dram_c5000_m666_ch4");
+}
+
+TEST(DesignPoint, FeaturesMatchSchema) {
+  DesignPoint p;
+  p.kind = MemoryKind::kHybrid;
+  p.cpu_freq_mhz = 3000;
+  p.ctrl_freq_mhz = 1250;
+  p.channels = 2;
+  p.trcd = 125;
+  const auto f = p.features();
+  const auto& names = DesignPoint::feature_names();
+  ASSERT_EQ(f.size(), names.size());
+  EXPECT_DOUBLE_EQ(f[0], 3000.0);
+  EXPECT_DOUBLE_EQ(f[1], 1250.0);
+  EXPECT_DOUBLE_EQ(f[2], 2.0);
+  EXPECT_DOUBLE_EQ(f[3], 125.0);
+  EXPECT_DOUBLE_EQ(f[4], 0.0);  // tRAS: 0 for non-DRAM
+  EXPECT_DOUBLE_EQ(f[5], 0.0);  // is_dram
+  EXPECT_DOUBLE_EQ(f[6], 0.0);  // is_nvm
+  EXPECT_DOUBLE_EQ(f[7], 1.0);  // is_hybrid
+}
+
+TEST(DesignPoint, DramFeaturesIncludeTras) {
+  DesignPoint p;  // defaults to DRAM
+  const auto f = p.features();
+  EXPECT_DOUBLE_EQ(f[4], 24.0);
+  EXPECT_DOUBLE_EQ(f[5], 1.0);
+}
+
+TEST(DesignPoint, SingleConfigMaterializesCorrectTechnology) {
+  DesignPoint p;
+  p.kind = MemoryKind::kNvm;
+  p.ctrl_freq_mhz = 666;
+  p.trcd = 67;
+  const auto config = p.single_config();
+  EXPECT_EQ(config.device, memsim::DeviceType::kNvm);
+  EXPECT_EQ(config.timing.tRCD, 67u);
+  EXPECT_EQ(config.clock_mhz, 666u);
+
+  p.kind = MemoryKind::kDram;
+  EXPECT_EQ(p.single_config().device, memsim::DeviceType::kDram);
+}
+
+TEST(DesignPoint, HybridConfigSplitsChannels) {
+  DesignPoint p;
+  p.kind = MemoryKind::kHybrid;
+  p.channels = 4;
+  p.trcd = 30;
+  const auto config = p.hybrid_config();
+  EXPECT_EQ(config.dram.channels, 2u);
+  EXPECT_EQ(config.nvm.channels, 2u);
+  EXPECT_EQ(config.nvm.timing.tRCD, 30u);
+}
+
+TEST(DesignPoint, WrongKindConfigAccessThrows) {
+  DesignPoint p;
+  p.kind = MemoryKind::kHybrid;
+  EXPECT_THROW((void)p.single_config(), Error);
+  p.kind = MemoryKind::kDram;
+  EXPECT_THROW((void)p.hybrid_config(), Error);
+}
+
+TEST(MemoryKind, Names) {
+  EXPECT_EQ(to_string(MemoryKind::kDram), "dram");
+  EXPECT_EQ(to_string(MemoryKind::kNvm), "nvm");
+  EXPECT_EQ(to_string(MemoryKind::kHybrid), "hybrid");
+}
+
+}  // namespace
+}  // namespace gmd::dse

@@ -1,0 +1,137 @@
+#include "gmd/dse/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::dse {
+namespace {
+
+SweepRow make_row(double power, double total_latency, double bandwidth,
+                  MemoryKind kind = MemoryKind::kDram) {
+  SweepRow row;
+  row.point.kind = kind;
+  row.metrics.avg_power_per_channel_w = power;
+  row.metrics.avg_total_latency_cycles = total_latency;
+  row.metrics.avg_bandwidth_per_bank_mbs = bandwidth;
+  return row;
+}
+
+const std::vector<Objective> kPowerLatency = {Objective("power_w"),
+                                              Objective("total_latency_cycles")};
+
+TEST(Dominates, StrictAndPartialDominance) {
+  const SweepRow better = make_row(0.1, 100.0, 500.0);
+  const SweepRow worse = make_row(0.2, 200.0, 400.0);
+  EXPECT_TRUE(dominates(better, worse, kPowerLatency));
+  EXPECT_FALSE(dominates(worse, better, kPowerLatency));
+}
+
+TEST(Dominates, TradeoffMeansNoDomination) {
+  const SweepRow low_power = make_row(0.1, 300.0, 400.0);
+  const SweepRow low_latency = make_row(0.3, 100.0, 400.0);
+  EXPECT_FALSE(dominates(low_power, low_latency, kPowerLatency));
+  EXPECT_FALSE(dominates(low_latency, low_power, kPowerLatency));
+}
+
+TEST(Dominates, EqualPointsDoNotDominate) {
+  const SweepRow a = make_row(0.1, 100.0, 500.0);
+  EXPECT_FALSE(dominates(a, a, kPowerLatency));
+}
+
+TEST(Dominates, MaximizeDirectionRespected) {
+  const std::vector<Objective> bandwidth = {Objective("bandwidth_mbs")};
+  const SweepRow fast = make_row(0.5, 500.0, 900.0);
+  const SweepRow slow = make_row(0.1, 100.0, 300.0);
+  EXPECT_TRUE(dominates(fast, slow, bandwidth));
+}
+
+TEST(ParetoFront, KeepsExactlyTheNonDominated) {
+  const std::vector<SweepRow> rows = {
+      make_row(0.1, 300.0, 400.0),  // front (lowest power)
+      make_row(0.3, 100.0, 400.0),  // front (lowest latency)
+      make_row(0.2, 200.0, 400.0),  // front (balanced)
+      make_row(0.3, 300.0, 400.0),  // dominated by all three
+      make_row(0.2, 250.0, 400.0),  // dominated by row 2
+  };
+  const auto front = pareto_front(rows, kPowerLatency);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFront, SingleObjectiveGivesTheOptimaOnly) {
+  const std::vector<SweepRow> rows = {
+      make_row(0.3, 1.0, 1.0), make_row(0.1, 1.0, 1.0),
+      make_row(0.2, 1.0, 1.0), make_row(0.1, 1.0, 1.0)};  // tie at 0.1
+  const std::vector<Objective> power = {Objective("power_w")};
+  const auto front = pareto_front(rows, power);
+  EXPECT_EQ(front, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(ParetoFront, AllPointsOnFrontWhenNoDomination) {
+  const std::vector<SweepRow> rows = {make_row(0.1, 300.0, 1.0),
+                                      make_row(0.2, 200.0, 1.0),
+                                      make_row(0.3, 100.0, 1.0)};
+  const auto front = pareto_front(rows, kPowerLatency);
+  EXPECT_EQ(front.size(), 3u);
+}
+
+TEST(ParetoFront, ErrorsOnDegenerateInput) {
+  const std::vector<SweepRow> rows = {make_row(0.1, 1.0, 1.0)};
+  EXPECT_THROW(pareto_front({}, kPowerLatency), Error);
+  EXPECT_THROW(pareto_front(rows, {}), Error);
+  const std::vector<Objective> bogus = {Objective("nope")};
+  EXPECT_THROW(pareto_front(rows, bogus), Error);
+}
+
+TEST(Constraints, UpperAndLowerBounds) {
+  const SweepRow row = make_row(0.15, 200.0, 600.0);
+  EXPECT_TRUE((Constraint{"power_w", 0.2, true}).satisfied_by(row));
+  EXPECT_FALSE((Constraint{"power_w", 0.1, true}).satisfied_by(row));
+  EXPECT_TRUE((Constraint{"bandwidth_mbs", 500.0, false}).satisfied_by(row));
+  EXPECT_FALSE((Constraint{"bandwidth_mbs", 700.0, false}).satisfied_by(row));
+}
+
+TEST(BestUnderConstraints, PicksConstrainedOptimum) {
+  const std::vector<SweepRow> rows = {
+      make_row(0.30, 50.0, 400.0),   // fastest but power-hungry
+      make_row(0.15, 120.0, 400.0),  // feasible optimum
+      make_row(0.10, 200.0, 400.0),  // feasible but slower
+  };
+  const std::vector<Constraint> cap = {{"power_w", 0.2, true}};
+  const auto best = best_under_constraints(
+      rows, Objective("total_latency_cycles"), cap);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 1u);
+}
+
+TEST(BestUnderConstraints, InfeasibleReturnsNullopt) {
+  const std::vector<SweepRow> rows = {make_row(0.3, 50.0, 400.0)};
+  const std::vector<Constraint> cap = {{"power_w", 0.01, true}};
+  EXPECT_FALSE(
+      best_under_constraints(rows, Objective("total_latency_cycles"), cap)
+          .has_value());
+}
+
+TEST(BestUnderConstraints, NoConstraintsEqualsGlobalOptimum) {
+  const std::vector<SweepRow> rows = {make_row(0.3, 50.0, 400.0),
+                                      make_row(0.1, 80.0, 400.0)};
+  const auto best =
+      best_under_constraints(rows, Objective("power_w"), {});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 1u);
+}
+
+TEST(FormatParetoFront, ListsConfigurationsAndValues) {
+  const std::vector<SweepRow> rows = {make_row(0.1, 300.0, 1.0),
+                                      make_row(0.3, 100.0, 1.0)};
+  const auto front = pareto_front(rows, kPowerLatency);
+  const std::string text = format_pareto_front(rows, front, kPowerLatency);
+  EXPECT_NE(text.find("Pareto front (2 of 2"), std::string::npos);
+  EXPECT_NE(text.find("power_w"), std::string::npos);
+  EXPECT_NE(text.find("dram"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmd::dse

@@ -1,0 +1,104 @@
+#include "gmd/dse/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmd/common/error.hpp"
+#include "gmd/cpusim/workloads.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/graph/generators.hpp"
+
+namespace gmd::dse {
+namespace {
+
+class SensitivityTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph::UniformRandomParams params;
+    params.num_vertices = 128;
+    params.edge_factor = 8;
+    graph::EdgeList list = graph::generate_uniform_random(params);
+    graph::symmetrize(list);
+    const auto g = graph::CsrGraph::from_edge_list(list);
+    cpusim::VectorSink sink;
+    cpusim::AtomicCpu cpu(cpusim::CpuModel{}, &sink);
+    cpusim::BfsWorkload(g, 0).run(cpu);
+    rows_ = new std::vector<SweepRow>(
+        run_sweep(reduced_design_space(), sink.events()));
+  }
+  static void TearDownTestSuite() {
+    delete rows_;
+    rows_ = nullptr;
+  }
+  static std::vector<SweepRow>* rows_;
+};
+
+std::vector<SweepRow>* SensitivityTest::rows_ = nullptr;
+
+TEST_F(SensitivityTest, ChannelsDominateReadsPerChannel) {
+  // reads/channel is exactly total/channels: the channel count must be
+  // the dominant knob by a wide margin.
+  const auto result = analyze_sensitivity(*rows_, "reads_per_channel");
+  EXPECT_EQ(result.dominant().parameter, "channels");
+  EXPECT_EQ(result.dominant().best_level, "4");  // fewer per channel
+}
+
+TEST_F(SensitivityTest, TechnologyMattersForPower) {
+  const auto result = analyze_sensitivity(*rows_, "power_w");
+  // Memory kind must be among the strong knobs and NVM the best level.
+  bool found = false;
+  for (const auto& effect : result.effects) {
+    if (effect.parameter == "kind") {
+      found = true;
+      EXPECT_EQ(effect.best_level, "nvm");
+      EXPECT_GT(effect.relative_effect, 0.1);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SensitivityTest, EffectsAreSortedByLeverage) {
+  const auto result = analyze_sensitivity(*rows_, "total_latency_cycles");
+  for (std::size_t i = 1; i < result.effects.size(); ++i) {
+    EXPECT_GE(result.effects[i - 1].relative_effect,
+              result.effects[i].relative_effect);
+  }
+  EXPECT_EQ(result.effects.size(),
+            sensitivity_parameter_names().size());
+}
+
+TEST_F(SensitivityTest, LevelMeansBracketOverallMean) {
+  const auto result = analyze_sensitivity(*rows_, "bandwidth_mbs");
+  for (const auto& effect : result.effects) {
+    EXPECT_LE(effect.min_level_mean, result.overall_mean + 1e-9);
+    EXPECT_GE(effect.max_level_mean, result.overall_mean - 1e-9);
+  }
+}
+
+TEST_F(SensitivityTest, SummaryListsAllParameters) {
+  const auto result = analyze_sensitivity(*rows_, "power_w");
+  const std::string text = result.summary();
+  for (const auto& parameter : sensitivity_parameter_names()) {
+    EXPECT_NE(text.find(parameter), std::string::npos) << parameter;
+  }
+}
+
+TEST_F(SensitivityTest, UnsweptParameterSkipped) {
+  // A sweep with a single channel count has no "channels" effect.
+  std::vector<SweepRow> filtered;
+  for (const auto& row : *rows_) {
+    if (row.point.channels == 2) filtered.push_back(row);
+  }
+  const auto result = analyze_sensitivity(filtered, "power_w");
+  for (const auto& effect : result.effects) {
+    EXPECT_NE(effect.parameter, "channels");
+  }
+}
+
+TEST(Sensitivity, ErrorsOnBadInput) {
+  EXPECT_THROW(analyze_sensitivity({}, "power_w"), Error);
+  std::vector<SweepRow> rows(3);
+  EXPECT_THROW(analyze_sensitivity(rows, "bogus"), Error);
+}
+
+}  // namespace
+}  // namespace gmd::dse

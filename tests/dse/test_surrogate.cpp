@@ -1,0 +1,131 @@
+#include "gmd/dse/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmd/common/error.hpp"
+#include "gmd/cpusim/workloads.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/graph/generators.hpp"
+
+namespace gmd::dse {
+namespace {
+
+class SurrogateTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph::UniformRandomParams params;
+    params.num_vertices = 128;
+    params.edge_factor = 8;
+    graph::EdgeList list = graph::generate_uniform_random(params);
+    graph::symmetrize(list);
+    const auto g = graph::CsrGraph::from_edge_list(list);
+    cpusim::VectorSink sink;
+    cpusim::AtomicCpu cpu(cpusim::CpuModel{}, &sink);
+    cpusim::BfsWorkload(g, 0).run(cpu);
+    rows_ = new std::vector<SweepRow>(
+        run_sweep(reduced_design_space(), sink.events()));
+    suite_ = new SurrogateSuite(SurrogateSuite::train(*rows_));
+  }
+  static void TearDownTestSuite() {
+    delete suite_;
+    delete rows_;
+    suite_ = nullptr;
+    rows_ = nullptr;
+  }
+  static std::vector<SweepRow>* rows_;
+  static SurrogateSuite* suite_;
+};
+
+std::vector<SweepRow>* SurrogateTest::rows_ = nullptr;
+SurrogateSuite* SurrogateTest::suite_ = nullptr;
+
+TEST_F(SurrogateTest, AllMetricModelPairsScored) {
+  EXPECT_EQ(suite_->scores().size(),
+            target_metric_names().size() * ml::table1_model_names().size());
+  for (const auto& metric : target_metric_names()) {
+    for (const auto& model : ml::table1_model_names()) {
+      EXPECT_NO_THROW((void)suite_->score(metric, model));
+    }
+  }
+}
+
+TEST_F(SurrogateTest, ScoresAreReasonable) {
+  // Every model family must beat the mean predictor on most metrics;
+  // the best model per metric must be strongly predictive.
+  for (const auto& metric : target_metric_names()) {
+    const auto& best = suite_->best_model(metric);
+    EXPECT_GT(best.r2, 0.85) << metric << " best=" << best.model;
+    EXPECT_LT(best.mse, 0.05) << metric;
+  }
+}
+
+TEST_F(SurrogateTest, ReadsWritesAreEasyForLinear) {
+  // reads/writes per channel are a deterministic function of the
+  // channel count: linear regression nails them (paper Table I).
+  EXPECT_GT(suite_->score("reads_per_channel", "linear").r2, 0.999);
+  EXPECT_GT(suite_->score("writes_per_channel", "linear").r2, 0.999);
+}
+
+TEST_F(SurrogateTest, SeriesCoverEveryMetric) {
+  ASSERT_EQ(suite_->series().size(), target_metric_names().size());
+  for (const auto& series : suite_->series()) {
+    EXPECT_FALSE(series.truth.empty());
+    for (const auto& model : ml::table1_model_names()) {
+      ASSERT_TRUE(series.predictions.count(model)) << model;
+      EXPECT_EQ(series.predictions.at(model).size(), series.truth.size());
+    }
+  }
+}
+
+TEST_F(SurrogateTest, TestSplitIs20Percent) {
+  const std::size_t expected =
+      static_cast<std::size_t>(static_cast<double>(rows_->size()) * 0.2 + 0.5);
+  EXPECT_EQ(suite_->series().front().truth.size(), expected);
+}
+
+TEST_F(SurrogateTest, UnknownLookupThrows) {
+  EXPECT_THROW((void)suite_->score("power_w", "nope"), Error);
+  EXPECT_THROW((void)suite_->best_model("nope"), Error);
+}
+
+TEST_F(SurrogateTest, Table1FormatListsMetricsAndModels) {
+  const std::string table = suite_->format_table1();
+  for (const auto& metric : target_metric_names()) {
+    EXPECT_NE(table.find(metric), std::string::npos) << metric;
+  }
+  EXPECT_NE(table.find("MSE"), std::string::npos);
+  EXPECT_NE(table.find("R2"), std::string::npos);
+  EXPECT_NE(table.find("svr"), std::string::npos);
+}
+
+TEST_F(SurrogateTest, DeployedModelPredictsPhysicalUnits) {
+  const auto deployed =
+      SurrogateSuite::deploy(*rows_, "reads_per_channel", "linear");
+  // Prediction at a training point should be near its simulated value.
+  const SweepRow& probe = (*rows_)[10];
+  const double predicted = deployed.predict(probe.point);
+  const double truth = probe.metrics.avg_reads_per_channel;
+  EXPECT_NEAR(predicted, truth, std::abs(truth) * 0.05 + 1.0);
+}
+
+TEST_F(SurrogateTest, DeterministicTraining) {
+  const SurrogateSuite again = SurrogateSuite::train(*rows_);
+  for (std::size_t i = 0; i < again.scores().size(); ++i) {
+    EXPECT_DOUBLE_EQ(again.scores()[i].mse, suite_->scores()[i].mse);
+  }
+}
+
+TEST_F(SurrogateTest, CustomModelListRespected) {
+  SurrogateOptions options;
+  options.models = {"linear"};
+  const SurrogateSuite small = SurrogateSuite::train(*rows_, options);
+  EXPECT_EQ(small.scores().size(), target_metric_names().size());
+}
+
+TEST(Surrogate, TooFewRowsThrows) {
+  std::vector<SweepRow> rows(3);
+  EXPECT_THROW(SurrogateSuite::train(rows), Error);
+}
+
+}  // namespace
+}  // namespace gmd::dse

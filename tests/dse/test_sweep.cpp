@@ -1,0 +1,105 @@
+#include "gmd/dse/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmd/cpusim/workloads.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/graph/generators.hpp"
+
+namespace gmd::dse {
+namespace {
+
+std::vector<cpusim::MemoryEvent> small_trace() {
+  graph::UniformRandomParams params;
+  params.num_vertices = 128;
+  params.edge_factor = 8;
+  graph::EdgeList list = graph::generate_uniform_random(params);
+  graph::symmetrize(list);
+  const auto g = graph::CsrGraph::from_edge_list(list);
+  cpusim::VectorSink sink;
+  cpusim::AtomicCpu cpu(cpusim::CpuModel{}, &sink);
+  cpusim::BfsWorkload(g, 0).run(cpu);
+  return sink.take();
+}
+
+TEST(Sweep, RowOrderMatchesPointOrder) {
+  const auto trace = small_trace();
+  GridAxes axes;
+  axes.kinds = {MemoryKind::kDram, MemoryKind::kNvm, MemoryKind::kHybrid};
+  axes.cpu_freqs_mhz = {2000, 5000};
+  axes.ctrl_freqs_mhz = {400};
+  axes.channel_counts = {2};
+  axes.trcds = {20};
+  const auto points = enumerate_grid(axes);
+  const auto rows = run_sweep(points, trace);
+  ASSERT_EQ(rows.size(), points.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].point, points[i]);
+  }
+}
+
+TEST(Sweep, AllRowsCarryRealMetrics) {
+  const auto trace = small_trace();
+  const auto points = reduced_design_space();
+  SweepOptions options;
+  options.num_threads = 2;
+  const auto rows = run_sweep(points, trace, options);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.metrics.total_reads + row.metrics.total_writes, 0u)
+        << row.point.id();
+    EXPECT_GT(row.metrics.avg_power_per_channel_w, 0.0) << row.point.id();
+    EXPECT_GT(row.metrics.avg_latency_cycles, 0.0) << row.point.id();
+  }
+}
+
+TEST(Sweep, ParallelMatchesSerial) {
+  const auto trace = small_trace();
+  GridAxes axes;
+  axes.kinds = {MemoryKind::kNvm};
+  axes.cpu_freqs_mhz = {2000, 3000};
+  axes.ctrl_freqs_mhz = {400, 666};
+  axes.channel_counts = {2, 4};
+  const auto points = enumerate_grid(axes);
+  SweepOptions serial;
+  serial.num_threads = 1;
+  SweepOptions parallel;
+  parallel.num_threads = 4;
+  const auto a = run_sweep(points, trace, serial);
+  const auto b = run_sweep(points, trace, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].metrics.metric_values(), b[i].metrics.metric_values());
+  }
+}
+
+TEST(Sweep, SimulatePointDispatchesAllKinds) {
+  const auto trace = small_trace();
+  for (const MemoryKind kind :
+       {MemoryKind::kDram, MemoryKind::kNvm, MemoryKind::kHybrid}) {
+    DesignPoint p;
+    p.kind = kind;
+    p.trcd = kind == MemoryKind::kDram ? 9 : 20;
+    const auto metrics = simulate_point(p, trace);
+    EXPECT_EQ(metrics.channels, p.channels) << to_string(kind);
+    EXPECT_GT(metrics.total_reads, 0u) << to_string(kind);
+  }
+}
+
+TEST(Sweep, ReadsWritesIndependentOfMemoryKind) {
+  // The workload determines reads/writes; the technology must not.
+  const auto trace = small_trace();
+  DesignPoint dram, nvm, hybrid;
+  nvm.kind = MemoryKind::kNvm;
+  nvm.trcd = 20;
+  hybrid.kind = MemoryKind::kHybrid;
+  hybrid.trcd = 20;
+  const auto md = simulate_point(dram, trace);
+  const auto mn = simulate_point(nvm, trace);
+  const auto mh = simulate_point(hybrid, trace);
+  EXPECT_EQ(md.total_reads, mn.total_reads);
+  EXPECT_EQ(mn.total_reads, mh.total_reads);
+  EXPECT_EQ(md.total_writes, mh.total_writes);
+}
+
+}  // namespace
+}  // namespace gmd::dse

@@ -1,0 +1,190 @@
+#include "gmd/graph/algorithms.hpp"
+
+#include "gmd/graph/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gmd/common/error.hpp"
+#include "gmd/graph/generators.hpp"
+
+namespace gmd::graph {
+namespace {
+
+CsrGraph undirected(EdgeList list, bool weighted = false) {
+  symmetrize(list);
+  remove_self_loops_and_duplicates(list);
+  return CsrGraph::from_edge_list(list, weighted);
+}
+
+TEST(PageRank, ScoresSumToOne) {
+  EdgeList list;
+  list.num_vertices = 5;
+  list.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  const auto result = pagerank(g);
+  EXPECT_TRUE(result.converged);
+  const double total =
+      std::accumulate(result.scores.begin(), result.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(PageRank, RingIsUniform) {
+  EdgeList list;
+  list.num_vertices = 4;
+  list.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  const auto result = pagerank(g);
+  for (const double s : result.scores) EXPECT_NEAR(s, 0.25, 1e-6);
+}
+
+TEST(PageRank, HubGetsHigherScore) {
+  // Star: everyone points at vertex 0.
+  EdgeList list;
+  list.num_vertices = 6;
+  for (VertexId v = 1; v < 6; ++v) list.edges.push_back({v, 0});
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  const auto result = pagerank(g);
+  for (VertexId v = 1; v < 6; ++v)
+    EXPECT_GT(result.scores[0], result.scores[v]);
+}
+
+TEST(PageRank, HandlesDanglingVertices) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1}};  // vertices 1 and 2 dangle
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  const auto result = pagerank(g);
+  const double total =
+      std::accumulate(result.scores.begin(), result.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(PageRank, RejectsBadDamping) {
+  const CsrGraph g;
+  PageRankParams p;
+  p.damping = 1.5;
+  EXPECT_THROW(pagerank(g, p), Error);
+}
+
+TEST(ConnectedComponents, TwoIslands) {
+  EdgeList list;
+  list.num_vertices = 6;
+  list.edges = {{0, 1}, {1, 2}, {3, 4}};
+  const CsrGraph g = undirected(std::move(list));
+  const auto result = connected_components(g);
+  EXPECT_EQ(result.num_components, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(result.component[0], result.component[1]);
+  EXPECT_EQ(result.component[1], result.component[2]);
+  EXPECT_EQ(result.component[3], result.component[4]);
+  EXPECT_NE(result.component[0], result.component[3]);
+  EXPECT_NE(result.component[5], result.component[0]);
+}
+
+TEST(ConnectedComponents, FullyConnected) {
+  EdgeList list;
+  list.num_vertices = 8;
+  for (VertexId v = 1; v < 8; ++v) list.edges.push_back({0, v});
+  const CsrGraph g = undirected(std::move(list));
+  const auto result = connected_components(g);
+  EXPECT_EQ(result.num_components, 1u);
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  const CsrGraph g;
+  const auto result = connected_components(g);
+  EXPECT_EQ(result.num_components, 0u);
+}
+
+TEST(ConnectedComponents, AllIsolated) {
+  EdgeList list;
+  list.num_vertices = 4;
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  const auto result = connected_components(g);
+  EXPECT_EQ(result.num_components, 4u);
+}
+
+TEST(Sssp, WeightedShortestPath) {
+  // 0 -> 1 (1), 1 -> 2 (1), 0 -> 2 (5): best path to 2 costs 2.
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}};
+  const CsrGraph g = CsrGraph::from_edge_list(list, /*keep_weights=*/true);
+  const auto result = sssp_dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(result.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(result.distance[2], 2.0);
+  EXPECT_EQ(result.parent[2], 1u);
+}
+
+TEST(Sssp, UnweightedMatchesBfsDepth) {
+  UniformRandomParams p;
+  p.num_vertices = 256;
+  p.edge_factor = 8;
+  EdgeList list = generate_uniform_random(p);
+  symmetrize(list);
+  remove_self_loops_and_duplicates(list);
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  const auto sssp = sssp_dijkstra(g, 0);
+  const auto bfs = bfs_top_down(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!bfs.reached(v)) {
+      EXPECT_TRUE(std::isinf(sssp.distance[v]));
+    } else {
+      EXPECT_DOUBLE_EQ(sssp.distance[v], static_cast<double>(bfs.depth[v]));
+    }
+  }
+}
+
+TEST(Sssp, UnreachedIsInfinity) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, 1.0}};
+  const CsrGraph g = CsrGraph::from_edge_list(list, true);
+  const auto result = sssp_dijkstra(g, 0);
+  EXPECT_TRUE(std::isinf(result.distance[2]));
+  EXPECT_EQ(result.parent[2], kNoParent);
+}
+
+TEST(Sssp, RejectsNegativeWeight) {
+  EdgeList list;
+  list.num_vertices = 2;
+  list.edges = {{0, 1, -1.0}};
+  const CsrGraph g = CsrGraph::from_edge_list(list, true);
+  EXPECT_THROW(sssp_dijkstra(g, 0), Error);
+}
+
+TEST(Sssp, SourceOutOfRangeThrows) {
+  const CsrGraph g;
+  EXPECT_THROW(sssp_dijkstra(g, 0), Error);
+}
+
+TEST(Triangles, TriangleGraphCountsOne) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1}, {1, 2}, {0, 2}};
+  const CsrGraph g = undirected(std::move(list));
+  EXPECT_EQ(count_triangles(g), 1u);
+}
+
+TEST(Triangles, SquareHasNone) {
+  EdgeList list;
+  list.num_vertices = 4;
+  list.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const CsrGraph g = undirected(std::move(list));
+  EXPECT_EQ(count_triangles(g), 0u);
+}
+
+TEST(Triangles, CompleteGraphK5) {
+  EdgeList list;
+  list.num_vertices = 5;
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) list.edges.push_back({u, v});
+  const CsrGraph g = undirected(std::move(list));
+  EXPECT_EQ(count_triangles(g), 10u);  // C(5,3)
+}
+
+}  // namespace
+}  // namespace gmd::graph

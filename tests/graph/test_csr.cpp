@@ -1,0 +1,96 @@
+#include "gmd/graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::graph {
+namespace {
+
+EdgeList triangle() {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1}, {1, 2}, {2, 0}, {0, 2}};
+  return list;
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CsrGraph, BuildBasicStructure) {
+  const CsrGraph g = CsrGraph::from_edge_list(triangle());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(CsrGraph, NeighborsAreSorted) {
+  EdgeList list;
+  list.num_vertices = 4;
+  list.edges = {{0, 3}, {0, 1}, {0, 2}};
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  const auto nbrs = g.neighbors_of(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(CsrGraph, WeightsFollowSortedNeighbors) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 2, 20.0}, {0, 1, 10.0}};
+  const CsrGraph g = CsrGraph::from_edge_list(list, /*keep_weights=*/true);
+  ASSERT_TRUE(g.is_weighted());
+  const auto nbrs = g.neighbors_of(0);
+  const auto w = g.weights_of(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_DOUBLE_EQ(w[0], 10.0);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_DOUBLE_EQ(w[1], 20.0);
+}
+
+TEST(CsrGraph, UnweightedHasEmptyWeightSpans) {
+  const CsrGraph g = CsrGraph::from_edge_list(triangle());
+  EXPECT_FALSE(g.is_weighted());
+  EXPECT_TRUE(g.weights_of(0).empty());
+}
+
+TEST(CsrGraph, IsolatedVerticesHaveZeroDegree) {
+  EdgeList list;
+  list.num_vertices = 5;
+  list.edges = {{0, 1}};
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_TRUE(g.neighbors_of(3).empty());
+}
+
+TEST(CsrGraph, RejectsOutOfRangeEdges) {
+  EdgeList list;
+  list.num_vertices = 2;
+  list.edges = {{0, 5}};
+  EXPECT_THROW(CsrGraph::from_edge_list(list), Error);
+}
+
+TEST(CsrGraph, OffsetsAreMonotone) {
+  EdgeList list;
+  list.num_vertices = 6;
+  list.edges = {{5, 0}, {3, 1}, {3, 2}, {0, 4}};
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  const auto offsets = g.offsets();
+  ASSERT_EQ(offsets.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(offsets.begin(), offsets.end()));
+  EXPECT_EQ(offsets.back(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace gmd::graph

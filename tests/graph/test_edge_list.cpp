@@ -1,0 +1,62 @@
+#include "gmd/graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmd::graph {
+namespace {
+
+TEST(EdgeList, RemoveSelfLoops) {
+  EdgeList list;
+  list.num_vertices = 4;
+  list.edges = {{0, 0}, {0, 1}, {2, 2}, {1, 2}};
+  const auto removed = remove_self_loops_and_duplicates(list);
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(list.num_edges(), 2u);
+  for (const auto& e : list.edges) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(EdgeList, RemoveDuplicatesKeepsFirstWeight) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, 5.0}, {0, 1, 7.0}, {1, 2, 1.0}};
+  const auto removed = remove_self_loops_and_duplicates(list);
+  EXPECT_EQ(removed, 1u);
+  ASSERT_EQ(list.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(list.edges[0].weight, 5.0);
+}
+
+TEST(EdgeList, RemoveOnCleanListIsNoop) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_EQ(remove_self_loops_and_duplicates(list), 0u);
+  EXPECT_EQ(list.num_edges(), 3u);
+}
+
+TEST(EdgeList, SymmetrizeAddsReverseEdges) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, 2.0}, {1, 2, 3.0}};
+  symmetrize(list);
+  ASSERT_EQ(list.num_edges(), 4u);
+  EXPECT_EQ(list.edges[2], (Edge{1, 0, 2.0}));
+  EXPECT_EQ(list.edges[3], (Edge{2, 1, 3.0}));
+}
+
+TEST(EdgeList, SymmetrizeSkipsSelfLoops) {
+  EdgeList list;
+  list.num_vertices = 2;
+  list.edges = {{0, 0}, {0, 1}};
+  symmetrize(list);
+  EXPECT_EQ(list.num_edges(), 3u);
+}
+
+TEST(EdgeList, SymmetrizeEmptyIsNoop) {
+  EdgeList list;
+  list.num_vertices = 5;
+  symmetrize(list);
+  EXPECT_EQ(list.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace gmd::graph

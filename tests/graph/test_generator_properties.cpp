@@ -1,0 +1,116 @@
+/// Property-style invariants of the synthetic generators, swept across
+/// models, sizes, and seeds.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "gmd/graph/bfs.hpp"
+#include "gmd/graph/generators.hpp"
+
+namespace gmd::graph {
+namespace {
+
+enum class Model { kUniform, kRmat, kKronecker };
+
+using ParamTuple = std::tuple<Model, unsigned /*scale*/, std::uint64_t>;
+
+EdgeList generate(Model model, unsigned scale, std::uint64_t seed) {
+  switch (model) {
+    case Model::kUniform: {
+      UniformRandomParams p;
+      p.num_vertices = VertexId{1} << scale;
+      p.edge_factor = 8;
+      p.seed = seed;
+      return generate_uniform_random(p);
+    }
+    case Model::kRmat: {
+      RmatParams p;
+      p.scale = scale;
+      p.edge_factor = 8;
+      p.seed = seed;
+      return generate_rmat(p);
+    }
+    case Model::kKronecker: {
+      KroneckerParams p;
+      p.scale = scale;
+      p.edge_factor = 8;
+      p.seed = seed;
+      return generate_graph500_kronecker(p);
+    }
+  }
+  return {};
+}
+
+class GeneratorProperty : public testing::TestWithParam<ParamTuple> {};
+
+TEST_P(GeneratorProperty, EdgesWithinDeclaredVertexRange) {
+  const auto [model, scale, seed] = GetParam();
+  const EdgeList list = generate(model, scale, seed);
+  EXPECT_EQ(list.num_vertices, VertexId{1} << scale);
+  for (const Edge& e : list.edges) {
+    EXPECT_LT(e.src, list.num_vertices);
+    EXPECT_LT(e.dst, list.num_vertices);
+  }
+}
+
+TEST_P(GeneratorProperty, DeterministicPerSeed) {
+  const auto [model, scale, seed] = GetParam();
+  EXPECT_EQ(generate(model, scale, seed).edges,
+            generate(model, scale, seed).edges);
+  EXPECT_NE(generate(model, scale, seed).edges,
+            generate(model, scale, seed + 1).edges);
+}
+
+TEST_P(GeneratorProperty, CsrBuildsAndDegreesSumToEdges) {
+  const auto [model, scale, seed] = GetParam();
+  EdgeList list = generate(model, scale, seed);
+  remove_self_loops_and_duplicates(list);
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  std::uint64_t degree_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, g.num_edges());
+  EXPECT_EQ(g.num_edges(), list.num_edges());
+}
+
+TEST_P(GeneratorProperty, SymmetrizedBfsValidates) {
+  const auto [model, scale, seed] = GetParam();
+  EdgeList list = generate(model, scale, seed);
+  symmetrize(list);
+  remove_self_loops_and_duplicates(list);
+  const CsrGraph g = CsrGraph::from_edge_list(list);
+  // Pick a connected source.
+  VertexId source = 0;
+  while (source < g.num_vertices() && g.degree(source) == 0) ++source;
+  ASSERT_LT(source, g.num_vertices());
+  const BfsResult result = bfs_top_down(g, source);
+  std::string reason;
+  EXPECT_TRUE(validate_bfs(g, result, &reason)) << reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsSizesSeeds, GeneratorProperty,
+    testing::Combine(testing::Values(Model::kUniform, Model::kRmat,
+                                     Model::kKronecker),
+                     testing::Values(6u, 9u), testing::Values(1ull, 13ull)),
+    [](const testing::TestParamInfo<ParamTuple>& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case Model::kUniform:
+          name = "uniform";
+          break;
+        case Model::kRmat:
+          name = "rmat";
+          break;
+        case Model::kKronecker:
+          name = "kronecker";
+          break;
+      }
+      name += "_s" + std::to_string(std::get<1>(info.param));
+      name += "_seed" + std::to_string(std::get<2>(info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace gmd::graph

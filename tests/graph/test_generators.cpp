@@ -1,0 +1,149 @@
+#include "gmd/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::graph {
+namespace {
+
+TEST(UniformRandom, PaperScaleGraphShape) {
+  UniformRandomParams p;
+  p.num_vertices = 1024;
+  p.edge_factor = 16;
+  p.seed = 1;
+  const EdgeList g = generate_uniform_random(p);
+  EXPECT_EQ(g.num_vertices, 1024u);
+  EXPECT_EQ(g.num_edges(), 1024u * 16u);
+  for (const auto& e : g.edges) {
+    EXPECT_LT(e.src, 1024u);
+    EXPECT_LT(e.dst, 1024u);
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(UniformRandom, Deterministic) {
+  UniformRandomParams p;
+  p.num_vertices = 128;
+  p.edge_factor = 4;
+  p.seed = 7;
+  const EdgeList a = generate_uniform_random(p);
+  const EdgeList b = generate_uniform_random(p);
+  EXPECT_EQ(a.edges, b.edges);
+  p.seed = 8;
+  const EdgeList c = generate_uniform_random(p);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(UniformRandom, WeightsInRange) {
+  UniformRandomParams p;
+  p.num_vertices = 64;
+  p.edge_factor = 4;
+  p.max_weight = 10.0;
+  const EdgeList g = generate_uniform_random(p);
+  for (const auto& e : g.edges) {
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_LE(e.weight, 10.0);
+  }
+}
+
+TEST(UniformRandom, RejectsDegenerateInput) {
+  UniformRandomParams p;
+  p.num_vertices = 1;
+  EXPECT_THROW(generate_uniform_random(p), Error);
+  p.num_vertices = 8;
+  p.max_weight = 0.5;
+  EXPECT_THROW(generate_uniform_random(p), Error);
+}
+
+TEST(Rmat, EdgeCountAndRange) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  const EdgeList g = generate_rmat(p);
+  EXPECT_EQ(g.num_vertices, 256u);
+  EXPECT_EQ(g.num_edges(), 256u * 8u);
+  for (const auto& e : g.edges) {
+    EXPECT_LT(e.src, 256u);
+    EXPECT_LT(e.dst, 256u);
+  }
+}
+
+TEST(Rmat, SkewProducesHubVertices) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 16;
+  p.a = 0.57;
+  p.b = 0.19;
+  p.c = 0.19;
+  p.d = 0.05;
+  const EdgeList g = generate_rmat(p);
+  std::vector<std::size_t> out_degree(g.num_vertices, 0);
+  for (const auto& e : g.edges) ++out_degree[e.src];
+  const auto max_degree =
+      *std::max_element(out_degree.begin(), out_degree.end());
+  // A uniform graph would have max degree near 16; RMAT skew makes hubs.
+  EXPECT_GT(max_degree, 64u);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  RmatParams p;
+  p.a = 0.9;
+  p.b = 0.9;
+  p.c = 0.1;
+  p.d = 0.1;
+  EXPECT_THROW(generate_rmat(p), Error);
+  RmatParams q;
+  q.scale = 0;
+  EXPECT_THROW(generate_rmat(q), Error);
+}
+
+TEST(Graph500Kronecker, SymmetricOutput) {
+  KroneckerParams p;
+  p.scale = 7;
+  p.edge_factor = 8;
+  const EdgeList g = generate_graph500_kronecker(p);
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (const auto& e : g.edges) edges.insert({e.src, e.dst});
+  for (const auto& [u, v] : edges) {
+    EXPECT_TRUE(edges.count({v, u}) == 1 || u == v)
+        << "missing reverse of (" << u << "," << v << ")";
+  }
+}
+
+TEST(Graph500Kronecker, Deterministic) {
+  KroneckerParams p;
+  p.scale = 6;
+  const EdgeList a = generate_graph500_kronecker(p);
+  const EdgeList b = generate_graph500_kronecker(p);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(ErdosRenyi, ProbabilityZeroAndOne) {
+  ErdosRenyiParams p;
+  p.num_vertices = 16;
+  p.edge_probability = 0.0;
+  EXPECT_EQ(generate_erdos_renyi(p).num_edges(), 0u);
+  p.edge_probability = 1.0;
+  EXPECT_EQ(generate_erdos_renyi(p).num_edges(), 16u * 15u);
+}
+
+TEST(ErdosRenyi, DensityNearExpectation) {
+  ErdosRenyiParams p;
+  p.num_vertices = 100;
+  p.edge_probability = 0.2;
+  const EdgeList g = generate_erdos_renyi(p);
+  const double expected = 100.0 * 99.0 * 0.2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.15);
+}
+
+TEST(ErdosRenyi, RejectsBadProbability) {
+  ErdosRenyiParams p;
+  p.edge_probability = 1.5;
+  EXPECT_THROW(generate_erdos_renyi(p), Error);
+}
+
+}  // namespace
+}  // namespace gmd::graph

@@ -1,0 +1,89 @@
+#include "gmd/graph/graph500.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gmd/common/error.hpp"
+#include "gmd/graph/generators.hpp"
+
+namespace gmd::graph {
+namespace {
+
+TEST(SampleBfsRoots, DistinctAndConnected) {
+  KroneckerParams gen;
+  gen.scale = 8;
+  EdgeList list = generate_graph500_kronecker(gen);
+  remove_self_loops_and_duplicates(list);
+  const CsrGraph graph = CsrGraph::from_edge_list(list);
+
+  const auto roots = sample_bfs_roots(graph, 16, 7);
+  EXPECT_EQ(roots.size(), 16u);
+  std::set<VertexId> unique(roots.begin(), roots.end());
+  EXPECT_EQ(unique.size(), 16u);
+  for (const VertexId root : roots) EXPECT_GT(graph.degree(root), 0u);
+}
+
+TEST(SampleBfsRoots, DeterministicPerSeed) {
+  EdgeList list;
+  list.num_vertices = 32;
+  for (VertexId v = 0; v + 1 < 32; ++v) list.edges.push_back({v, v + 1});
+  symmetrize(list);
+  const CsrGraph graph = CsrGraph::from_edge_list(list);
+  EXPECT_EQ(sample_bfs_roots(graph, 8, 1), sample_bfs_roots(graph, 8, 1));
+  EXPECT_NE(sample_bfs_roots(graph, 8, 1), sample_bfs_roots(graph, 8, 2));
+}
+
+TEST(SampleBfsRoots, TooFewConnectedVerticesThrows) {
+  EdgeList list;
+  list.num_vertices = 10;
+  list.edges = {{0, 1}};
+  symmetrize(list);
+  const CsrGraph graph = CsrGraph::from_edge_list(list);
+  EXPECT_THROW(sample_bfs_roots(graph, 5, 1), Error);
+}
+
+TEST(Graph500, RunsAndValidatesAllSearches) {
+  Graph500Params params;
+  params.scale = 8;
+  params.edge_factor = 8;
+  params.num_roots = 8;
+  const Graph500Result result = run_graph500(params);
+  EXPECT_EQ(result.searches_run, 8u);
+  EXPECT_EQ(result.validation_failures, 0u);
+  EXPECT_EQ(result.num_vertices, 256u);
+  EXPECT_GT(result.num_edges, 0u);
+  EXPECT_EQ(result.teps.size(), 8u);
+}
+
+TEST(Graph500, TepsStatisticsAreConsistent) {
+  Graph500Params params;
+  params.scale = 7;
+  params.num_roots = 6;
+  const Graph500Result result = run_graph500(params);
+  EXPECT_LE(result.min_teps, result.harmonic_mean_teps);
+  EXPECT_LE(result.harmonic_mean_teps, result.mean_teps);  // HM <= AM
+  EXPECT_LE(result.mean_teps, result.max_teps);
+  EXPECT_GE(result.median_teps, result.min_teps);
+  EXPECT_LE(result.median_teps, result.max_teps);
+  EXPECT_GT(result.min_teps, 0.0);
+}
+
+TEST(Graph500, SummaryMentionsHeadlineNumbers) {
+  Graph500Params params;
+  params.scale = 6;
+  params.num_roots = 4;
+  const Graph500Result result = run_graph500(params);
+  const std::string text = result.summary();
+  EXPECT_NE(text.find("harmonic mean TEPS"), std::string::npos);
+  EXPECT_NE(text.find("scale 6"), std::string::npos);
+}
+
+TEST(Graph500, RejectsZeroRoots) {
+  Graph500Params params;
+  params.num_roots = 0;
+  EXPECT_THROW(run_graph500(params), Error);
+}
+
+}  // namespace
+}  // namespace gmd::graph

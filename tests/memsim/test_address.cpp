@@ -1,0 +1,98 @@
+#include "gmd/memsim/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::memsim {
+namespace {
+
+MemoryConfig test_config() {
+  MemoryConfig config;
+  config.channels = 2;
+  config.ranks = 1;
+  config.banks = 4;
+  config.rows = 128;
+  config.row_bytes = 1024;
+  config.bus_bytes = 8;
+  config.timing.tBURST = 4;  // access = 64B
+  return config;
+}
+
+TEST(AddressDecoder, ZeroDecodesToOrigin) {
+  const AddressDecoder decoder(test_config());
+  const DecodedAddress a = decoder.decode(0);
+  EXPECT_EQ(a, (DecodedAddress{0, 0, 0, 0, 0}));
+}
+
+TEST(AddressDecoder, ConsecutiveWordsInterleaveChannels) {
+  const AddressDecoder decoder(test_config());
+  EXPECT_EQ(decoder.decode(0).channel, 0u);
+  EXPECT_EQ(decoder.decode(64).channel, 1u);
+  EXPECT_EQ(decoder.decode(128).channel, 0u);
+  // Same column advances only after the channel wraps.
+  EXPECT_EQ(decoder.decode(128).column, 1u);
+}
+
+TEST(AddressDecoder, OffsetWithinWordIgnored) {
+  const AddressDecoder decoder(test_config());
+  EXPECT_EQ(decoder.decode(0), decoder.decode(63));
+  EXPECT_NE(decoder.decode(63), decoder.decode(64));
+}
+
+TEST(AddressDecoder, BankAdvancesAfterRowOfColumns) {
+  const AddressDecoder decoder(test_config());
+  // columns_per_row = 1024/64 = 16; channel stride consumed first.
+  // Address of (channel 0, column 15) = 15 * 2 * 64 = 1920.
+  EXPECT_EQ(decoder.decode(1920).bank, 0u);
+  EXPECT_EQ(decoder.decode(1920).column, 15u);
+  // Next channel-0 word: bank 1, column 0.
+  EXPECT_EQ(decoder.decode(2048).bank, 1u);
+  EXPECT_EQ(decoder.decode(2048).column, 0u);
+}
+
+TEST(AddressDecoder, RowWrapsModuloRows) {
+  const MemoryConfig config = test_config();
+  const AddressDecoder decoder(config);
+  // One full row sweep: channels * banks * columns_per_row words.
+  const std::uint64_t row_stride = 2ULL * 4 * 16 * 64;
+  EXPECT_EQ(decoder.decode(row_stride).row, 1u);
+  EXPECT_EQ(decoder.decode(row_stride * 128).row, 0u);  // wraps at 128 rows
+}
+
+TEST(AddressDecoder, FlatBankCoversAllBanks) {
+  const AddressDecoder decoder(test_config());
+  EXPECT_EQ(decoder.total_banks(), 8u);
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64) {
+    const auto decoded = decoder.decode(addr);
+    const auto flat = decoder.flat_bank(decoded);
+    EXPECT_LT(flat, decoder.total_banks());
+    seen.insert(flat);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // sequential sweep touches every bank
+}
+
+TEST(AddressDecoder, FieldsStayInRange) {
+  const MemoryConfig config = test_config();
+  const AddressDecoder decoder(config);
+  for (std::uint64_t addr = 0; addr < (1ULL << 24); addr += 4093) {
+    const auto a = decoder.decode(addr);
+    EXPECT_LT(a.channel, config.channels);
+    EXPECT_LT(a.rank, config.ranks);
+    EXPECT_LT(a.bank, config.banks);
+    EXPECT_LT(a.row, config.rows);
+    EXPECT_LT(a.column, config.row_bytes / config.access_bytes());
+  }
+}
+
+TEST(AddressDecoder, RejectsRowSmallerThanAccess) {
+  MemoryConfig config = test_config();
+  config.row_bytes = 32;  // smaller than 64B access
+  EXPECT_THROW(AddressDecoder{config}, Error);
+}
+
+}  // namespace
+}  // namespace gmd::memsim

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gmd/common/error.hpp"
+#include "gmd/memsim/address.hpp"
+
+namespace gmd::memsim {
+namespace {
+
+MemoryConfig base() {
+  MemoryConfig config;
+  config.channels = 2;
+  config.ranks = 2;
+  config.banks = 4;
+  config.rows = 64;
+  config.row_bytes = 1024;
+  config.bus_bytes = 8;
+  config.timing.tBURST = 4;  // 64B access
+  return config;
+}
+
+TEST(AddressMapping, DefaultSchemeNormalizes) {
+  const AddressDecoder decoder(base());
+  EXPECT_EQ(decoder.scheme(), "R:RK:BK:C:CH");
+}
+
+TEST(AddressMapping, BankInterleavedScheme) {
+  MemoryConfig config = base();
+  config.address_mapping = "R:RK:CH:C:BK";  // banks at the LSB
+  const AddressDecoder decoder(config);
+  EXPECT_EQ(decoder.scheme(), "R:RK:CH:C:BK");
+  // Consecutive words walk banks first.
+  EXPECT_EQ(decoder.decode(0).bank, 0u);
+  EXPECT_EQ(decoder.decode(64).bank, 1u);
+  EXPECT_EQ(decoder.decode(3 * 64).bank, 3u);
+  EXPECT_EQ(decoder.decode(4 * 64).bank, 0u);
+  EXPECT_EQ(decoder.decode(4 * 64).column, 1u);
+  EXPECT_EQ(decoder.decode(0).channel, decoder.decode(64).channel);
+}
+
+TEST(AddressMapping, CaseAndWhitespaceInsensitive) {
+  MemoryConfig config = base();
+  config.address_mapping = " r : rk : bk : c : ch ";
+  const AddressDecoder decoder(config);
+  EXPECT_EQ(decoder.scheme(), "R:RK:BK:C:CH");
+}
+
+TEST(AddressMapping, AllSchemesCoverAllResources) {
+  for (const char* scheme :
+       {"R:RK:BK:C:CH", "R:RK:CH:C:BK", "R:C:BK:RK:CH", "CH:BK:RK:C:R"}) {
+    MemoryConfig config = base();
+    config.address_mapping = scheme;
+    const AddressDecoder decoder(config);
+    std::set<std::uint32_t> channels, ranks, banks;
+    for (std::uint64_t addr = 0; addr < (1u << 22); addr += 64) {
+      const auto a = decoder.decode(addr);
+      channels.insert(a.channel);
+      ranks.insert(a.rank);
+      banks.insert(a.bank);
+      EXPECT_LT(a.row, 64u);
+      EXPECT_LT(a.column, 16u);
+    }
+    EXPECT_EQ(channels.size(), 2u) << scheme;
+    EXPECT_EQ(ranks.size(), 2u) << scheme;
+    EXPECT_EQ(banks.size(), 4u) << scheme;
+  }
+}
+
+TEST(AddressMapping, DecodeIsBijectiveWithinCapacity) {
+  MemoryConfig config = base();
+  config.address_mapping = "R:BK:C:RK:CH";
+  const AddressDecoder decoder(config);
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                      std::uint32_t, std::uint32_t>>
+      seen;
+  // One full sweep of the capacity must produce all-distinct tuples.
+  const std::uint64_t capacity = config.capacity_bytes();
+  for (std::uint64_t addr = 0; addr < capacity; addr += 64) {
+    const auto a = decoder.decode(addr);
+    EXPECT_TRUE(
+        seen.insert({a.channel, a.rank, a.bank, a.row, a.column}).second)
+        << "alias at 0x" << std::hex << addr;
+  }
+}
+
+TEST(AddressMapping, RejectsMalformedSchemes) {
+  MemoryConfig config = base();
+  config.address_mapping = "R:RK:BK:C";  // missing a field
+  EXPECT_THROW(AddressDecoder{config}, Error);
+  config.address_mapping = "R:R:BK:C:CH";  // duplicate
+  EXPECT_THROW(AddressDecoder{config}, Error);
+  config.address_mapping = "R:RK:BK:C:XX";  // unknown token
+  EXPECT_THROW(AddressDecoder{config}, Error);
+}
+
+}  // namespace
+}  // namespace gmd::memsim

@@ -1,0 +1,113 @@
+#include "gmd/memsim/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::memsim {
+namespace {
+
+TEST(MemoryConfig, DefaultsValidate) {
+  MemoryConfig config;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(MemoryConfig, AccessBytesIsDdrBurst) {
+  MemoryConfig config;
+  config.bus_bytes = 8;
+  config.timing.tBURST = 4;
+  EXPECT_EQ(config.access_bytes(), 64u);  // 8B * 4 cycles * 2 (DDR)
+}
+
+TEST(MemoryConfig, CapacityArithmetic) {
+  MemoryConfig config;
+  config.channels = 2;
+  config.ranks = 1;
+  config.banks = 8;
+  config.rows = 1024;
+  config.row_bytes = 2048;
+  EXPECT_EQ(config.bytes_per_bank(), 1024u * 2048u);
+  EXPECT_EQ(config.capacity_bytes(), 2u * 8u * 1024u * 2048u);
+}
+
+TEST(MemoryConfig, RejectsInvalidGeometry) {
+  MemoryConfig config;
+  config.channels = 0;
+  EXPECT_THROW(config.validate(), Error);
+  config = MemoryConfig{};
+  config.row_bytes = 1000;  // not a power of two
+  EXPECT_THROW(config.validate(), Error);
+  config = MemoryConfig{};
+  config.timing.tRFC = 100;  // refresh fields must come as a pair
+  EXPECT_THROW(config.validate(), Error);
+  config = MemoryConfig{};
+  config.timing.tRFC = 200;
+  config.timing.tREFI = 100;  // interval shorter than refresh itself
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(DramPreset, MatchesPaperTimings) {
+  const MemoryConfig config = make_dram_config(2, 400, 2000);
+  EXPECT_EQ(config.device, DeviceType::kDram);
+  EXPECT_EQ(config.timing.tRCD, 9u);
+  EXPECT_EQ(config.timing.tRAS, 24u);
+  EXPECT_EQ(config.channels, 2u);
+  EXPECT_EQ(config.clock_mhz, 400u);
+  EXPECT_EQ(config.cpu_freq_mhz, 2000u);
+  EXPECT_GT(config.timing.tREFI, 0u);  // DRAM refreshes
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(DramPreset, RefreshScalesWithClock) {
+  const MemoryConfig slow = make_dram_config(2, 400, 2000);
+  const MemoryConfig fast = make_dram_config(2, 1600, 2000);
+  // Same wall-clock refresh interval means 4x the cycles at 4x clock.
+  EXPECT_EQ(fast.timing.tREFI, slow.timing.tREFI * 4);
+}
+
+TEST(NvmPreset, MatchesPaperProperties) {
+  const MemoryConfig config = make_nvm_config(4, 666, 3000, 50);
+  EXPECT_EQ(config.device, DeviceType::kNvm);
+  EXPECT_EQ(config.timing.tRAS, 0u);   // no data restoration
+  EXPECT_EQ(config.timing.tRCD, 50u);  // swept parameter
+  EXPECT_EQ(config.timing.tREFI, 0u);  // no refresh
+  EXPECT_GT(config.timing.tWR, make_dram_config(4, 666, 3000).timing.tWR)
+      << "NVM writes must be slower than DRAM writes";
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(NvmPreset, BackgroundPowerScalesWithClock) {
+  const MemoryConfig nvm = make_nvm_config(2, 400, 2000, 20);
+  const MemoryConfig dram = make_dram_config(2, 400, 2000);
+  EXPECT_GT(nvm.energy.background_mw_per_mhz,
+            dram.energy.background_mw_per_mhz);
+  EXPECT_LT(nvm.energy.static_mw, dram.energy.static_mw);
+}
+
+TEST(PaperAxes, TrcdSetsMatchPaper) {
+  EXPECT_EQ(nvm_trcd_set(400),
+            (std::vector<std::uint32_t>{20, 30, 40, 50, 60, 80}));
+  EXPECT_EQ(nvm_trcd_set(666),
+            (std::vector<std::uint32_t>{33, 50, 67, 83, 100, 133}));
+  EXPECT_EQ(nvm_trcd_set(1250),
+            (std::vector<std::uint32_t>{62, 94, 125, 156, 187, 250}));
+  EXPECT_EQ(nvm_trcd_set(1600),
+            (std::vector<std::uint32_t>{80, 120, 160, 200, 240, 320}));
+  EXPECT_THROW(nvm_trcd_set(123), Error);
+}
+
+TEST(PaperAxes, SweepDimensions) {
+  EXPECT_EQ(paper_cpu_frequencies_mhz(),
+            (std::vector<std::uint32_t>{2000, 3000, 5000, 6500}));
+  EXPECT_EQ(paper_controller_frequencies_mhz(),
+            (std::vector<std::uint32_t>{400, 666, 1250, 1600}));
+  EXPECT_EQ(paper_channel_counts(), (std::vector<std::uint32_t>{2, 4}));
+}
+
+TEST(DeviceType, Names) {
+  EXPECT_EQ(to_string(DeviceType::kDram), "DRAM");
+  EXPECT_EQ(to_string(DeviceType::kNvm), "NVM");
+}
+
+}  // namespace
+}  // namespace gmd::memsim

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "gmd/memsim/hybrid.hpp"
+
+namespace gmd::memsim {
+namespace {
+
+using cpusim::MemoryEvent;
+
+HybridConfig migrating_config(std::uint32_t threshold) {
+  HybridConfig config = make_hybrid_config(2, 666, 3000, 67);
+  config.migration_threshold = threshold;
+  return config;
+}
+
+/// Finds a page that statically routes to NVM.
+std::uint64_t nvm_page(const HybridMemory& memory,
+                       const HybridConfig& config) {
+  for (std::uint64_t page = 0; page < 4096; ++page) {
+    if (!memory.routes_to_dram(page * config.page_bytes)) return page;
+  }
+  ADD_FAILURE() << "no NVM-resident page found";
+  return 0;
+}
+
+TEST(Migration, DisabledByDefault) {
+  const HybridConfig config = make_hybrid_config(2, 666, 3000, 67);
+  HybridMemory memory(config);
+  const std::uint64_t page = nvm_page(memory, config);
+  for (int i = 0; i < 100; ++i) {
+    memory.enqueue_event(
+        {static_cast<std::uint64_t>(i) * 50, page * config.page_bytes, 64,
+         false});
+  }
+  EXPECT_EQ(memory.pages_migrated(), 0u);
+  (void)memory.finish();
+}
+
+TEST(Migration, HotPagePromotedAtThreshold) {
+  const HybridConfig config = migrating_config(8);
+  HybridMemory memory(config);
+  const std::uint64_t page = nvm_page(memory, config);
+  const std::uint64_t base = page * config.page_bytes;
+  for (int i = 0; i < 7; ++i) {
+    memory.enqueue_event({static_cast<std::uint64_t>(i) * 50, base, 64,
+                          false});
+    EXPECT_FALSE(memory.routes_to_dram(base)) << "promoted too early at " << i;
+  }
+  memory.enqueue_event({400, base, 64, false});  // 8th access: promote
+  EXPECT_EQ(memory.pages_migrated(), 1u);
+  EXPECT_TRUE(memory.routes_to_dram(base));
+  // Other addresses in the same page are promoted with it.
+  EXPECT_TRUE(memory.routes_to_dram(base + config.page_bytes - 1));
+  (void)memory.finish();
+}
+
+TEST(Migration, CopyTrafficIsAccounted) {
+  const HybridConfig config = migrating_config(2);
+  HybridMemory without_migration(make_hybrid_config(2, 666, 3000, 67));
+  HybridMemory with_migration(config);
+  const std::uint64_t page = nvm_page(with_migration, config);
+  const std::uint64_t base = page * config.page_bytes;
+  for (int i = 0; i < 4; ++i) {
+    const MemoryEvent event{static_cast<std::uint64_t>(i) * 50, base, 64,
+                            false};
+    without_migration.enqueue_event(event);
+    with_migration.enqueue_event(event);
+  }
+  const MemoryMetrics plain = without_migration.finish();
+  const MemoryMetrics migrated = with_migration.finish();
+  // The page copy adds page_bytes/word reads and as many writes.
+  const std::uint64_t words =
+      config.page_bytes / config.nvm.access_bytes();
+  EXPECT_EQ(migrated.total_reads, plain.total_reads + words);
+  EXPECT_EQ(migrated.total_writes, plain.total_writes + words);
+}
+
+TEST(Migration, RepeatedAccessDoesNotRemigrate) {
+  const HybridConfig config = migrating_config(3);
+  HybridMemory memory(config);
+  const std::uint64_t base = nvm_page(memory, config) * config.page_bytes;
+  for (int i = 0; i < 50; ++i) {
+    memory.enqueue_event({static_cast<std::uint64_t>(i) * 50, base, 64,
+                          i % 2 == 0});
+  }
+  EXPECT_EQ(memory.pages_migrated(), 1u);
+  (void)memory.finish();
+}
+
+TEST(Migration, ColdPagesStayInNvm) {
+  const HybridConfig config = migrating_config(10);
+  HybridMemory memory(config);
+  // Touch many distinct NVM pages once each: nothing gets hot.
+  std::uint64_t tick = 0;
+  int nvm_pages_touched = 0;
+  for (std::uint64_t page = 0; page < 256 && nvm_pages_touched < 20;
+       ++page) {
+    const std::uint64_t base = page * config.page_bytes;
+    if (memory.routes_to_dram(base)) continue;
+    memory.enqueue_event({tick += 50, base, 64, false});
+    ++nvm_pages_touched;
+  }
+  EXPECT_EQ(memory.pages_migrated(), 0u);
+  (void)memory.finish();
+}
+
+TEST(Migration, ReducesNvmPressureOnHotWorkloads) {
+  // A workload hammering a few pages: with migration, most traffic ends
+  // up in DRAM, cutting total latency versus the static split.
+  const auto run = [](std::uint32_t threshold) {
+    HybridConfig config = migrating_config(threshold);
+    HybridMemory memory(config);
+    std::uint64_t tick = 0;
+    // Find 4 NVM pages and hammer them.
+    std::vector<std::uint64_t> bases;
+    for (std::uint64_t page = 0; bases.size() < 4; ++page) {
+      if (!memory.routes_to_dram(page * config.page_bytes)) {
+        bases.push_back(page * config.page_bytes);
+      }
+    }
+    for (int round = 0; round < 500; ++round) {
+      for (const std::uint64_t base : bases) {
+        memory.enqueue_event({tick += 15, base + (round % 64) * 64, 64,
+                              round % 3 == 0});
+      }
+    }
+    return memory.finish();
+  };
+  const MemoryMetrics static_split = run(0);
+  const MemoryMetrics migrating = run(16);
+  EXPECT_LT(migrating.avg_total_latency_cycles,
+            static_split.avg_total_latency_cycles);
+}
+
+}  // namespace
+}  // namespace gmd::memsim

@@ -1,0 +1,158 @@
+/// Property-style invariant checks swept across the configuration
+/// space: whatever the device/geometry/policy, a correct memory
+/// simulator must conserve requests, respect minimum latencies, and
+/// keep its accounting self-consistent.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gmd/memsim/memory_system.hpp"
+
+namespace gmd::memsim {
+namespace {
+
+using cpusim::MemoryEvent;
+
+std::vector<MemoryEvent> mixed_trace(std::size_t n = 2000) {
+  // Deterministic mix of streaming, strided, and clustered accesses.
+  std::vector<MemoryEvent> trace;
+  trace.reserve(n);
+  std::uint64_t tick = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tick += 7 + (i % 5) * 3;
+    std::uint64_t address;
+    switch (i % 3) {
+      case 0:
+        address = 0x100000 + i * 64;  // stream
+        break;
+      case 1:
+        address = 0x400000 + (i % 37) * 8192;  // strided rows
+        break;
+      default:
+        address = 0x800000 + (i % 11) * 64;  // hot cluster
+        break;
+    }
+    trace.push_back({tick, address, 64, i % 4 == 1});
+  }
+  return trace;
+}
+
+// Axes: (is_nvm, channels, clock_mhz, scheduling, page_policy).
+using ConfigTuple = std::tuple<bool, std::uint32_t, std::uint32_t,
+                               SchedulingPolicy, PagePolicy>;
+
+class MemorySystemProperty : public testing::TestWithParam<ConfigTuple> {
+ protected:
+  MemoryConfig make_config() const {
+    const auto [is_nvm, channels, clock, scheduling, page] = GetParam();
+    MemoryConfig config = is_nvm
+                              ? make_nvm_config(channels, clock, 3000, 40)
+                              : make_dram_config(channels, clock, 3000);
+    config.scheduling = scheduling;
+    config.page_policy = page;
+    return config;
+  }
+};
+
+TEST_P(MemorySystemProperty, RequestConservation) {
+  const auto trace = mixed_trace();
+  const MemoryMetrics m = MemorySystem::simulate(make_config(), trace);
+  // Every 64B event maps to exactly one word-sized request.
+  EXPECT_EQ(m.total_reads + m.total_writes, trace.size());
+  EXPECT_EQ(m.row_hits + m.row_misses, trace.size());
+}
+
+TEST_P(MemorySystemProperty, LatencyBounds) {
+  const MemoryConfig config = make_config();
+  const MemoryMetrics m = MemorySystem::simulate(config, mixed_trace());
+  const auto& t = config.timing;
+  // No request completes faster than CAS + burst.
+  EXPECT_GE(m.avg_latency_cycles, static_cast<double>(t.tCAS + t.tBURST));
+  // Queuing can only add to latency.
+  EXPECT_GE(m.avg_total_latency_cycles, m.avg_latency_cycles - 1e-9);
+}
+
+TEST_P(MemorySystemProperty, EnergyAndPowerPositive) {
+  const MemoryMetrics m = MemorySystem::simulate(make_config(), mixed_trace());
+  EXPECT_GT(m.dynamic_energy_j, 0.0);
+  EXPECT_GT(m.background_energy_j, 0.0);
+  EXPECT_GT(m.avg_power_per_channel_w, 0.0);
+  EXPECT_GT(m.execution_seconds, 0.0);
+  EXPECT_GT(m.avg_bandwidth_per_bank_mbs, 0.0);
+}
+
+TEST_P(MemorySystemProperty, PerChannelCountsAverageExactly) {
+  const MemoryConfig config = make_config();
+  const MemoryMetrics m = MemorySystem::simulate(config, mixed_trace());
+  EXPECT_DOUBLE_EQ(
+      m.avg_reads_per_channel,
+      static_cast<double>(m.total_reads) / config.channels);
+  EXPECT_DOUBLE_EQ(
+      m.avg_writes_per_channel,
+      static_cast<double>(m.total_writes) / config.channels);
+}
+
+TEST_P(MemorySystemProperty, Deterministic) {
+  const MemoryConfig config = make_config();
+  const auto trace = mixed_trace(500);
+  const MemoryMetrics a = MemorySystem::simulate(config, trace);
+  const MemoryMetrics b = MemorySystem::simulate(config, trace);
+  EXPECT_EQ(a.metric_values(), b.metric_values());
+  EXPECT_EQ(a.row_hits, b.row_hits);
+}
+
+TEST_P(MemorySystemProperty, EnduranceNeverExceedsWrites) {
+  const MemoryMetrics m = MemorySystem::simulate(make_config(), mixed_trace());
+  EXPECT_LE(m.max_line_writes, m.total_writes);
+  EXPECT_GT(m.unique_lines_written, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, MemorySystemProperty,
+    testing::Combine(testing::Bool(),                  // DRAM / NVM
+                     testing::Values(1u, 2u, 4u),      // channels
+                     testing::Values(400u, 1600u),     // controller clock
+                     testing::Values(SchedulingPolicy::kFcfs,
+                                     SchedulingPolicy::kFrFcfs),
+                     testing::Values(PagePolicy::kOpen,
+                                     PagePolicy::kClosed)),
+    [](const testing::TestParamInfo<ConfigTuple>& info) {
+      std::string name = std::get<0>(info.param) ? "nvm" : "dram";
+      name += std::to_string(std::get<1>(info.param)) + "ch" +
+              std::to_string(std::get<2>(info.param)) + "mhz";
+      name += std::get<3>(info.param) == SchedulingPolicy::kFcfs ? "Fcfs"
+                                                                 : "FrFcfs";
+      name += std::get<4>(info.param) == PagePolicy::kOpen ? "Open"
+                                                           : "Closed";
+      return name;
+    });
+
+TEST(MemorySystemMonotonicity, LatencyNonDecreasingInTrcd) {
+  // Under FCFS the command schedule is order-fixed, so service latency
+  // must be monotone in tRCD.
+  const auto trace = mixed_trace(1000);
+  double previous = 0.0;
+  for (const std::uint32_t trcd : {10u, 20u, 40u, 80u, 160u}) {
+    MemoryConfig config = make_nvm_config(2, 666, 3000, trcd);
+    config.scheduling = SchedulingPolicy::kFcfs;
+    const MemoryMetrics m = MemorySystem::simulate(config, trace);
+    EXPECT_GE(m.avg_latency_cycles, previous) << "tRCD " << trcd;
+    previous = m.avg_latency_cycles;
+  }
+}
+
+TEST(MemorySystemMonotonicity, MoreChannelsNeverSlower) {
+  const auto trace = mixed_trace(2000);
+  double previous_exec = 1e300;
+  for (const std::uint32_t channels : {1u, 2u, 4u, 8u}) {
+    const MemoryMetrics m = MemorySystem::simulate(
+        make_dram_config(channels, 400, 6500), trace);
+    EXPECT_LE(m.execution_seconds, previous_exec * 1.02)
+        << channels << " channels";
+    previous_exec = m.execution_seconds;
+  }
+}
+
+}  // namespace
+}  // namespace gmd::memsim

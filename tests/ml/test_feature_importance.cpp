@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/rng.hpp"
+#include "gmd/ml/forest.hpp"
+#include "gmd/ml/tree.hpp"
+
+namespace gmd::ml {
+namespace {
+
+/// y depends strongly on feature 0, weakly on feature 1, not at all on
+/// feature 2.
+void sample_data(std::size_t n, std::uint64_t seed, Matrix* x,
+                 std::vector<double>* y) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  y->clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.next_double();
+    const double b = rng.next_double();
+    const double c = rng.next_double();
+    rows.push_back({a, b, c});
+    y->push_back(5.0 * a + 0.5 * b);
+  }
+  *x = Matrix::from_rows(rows);
+}
+
+TEST(TreeImportance, SumsToOneAndRanksCorrectly) {
+  Matrix x;
+  std::vector<double> y;
+  sample_data(300, 1, &x, &y);
+  DecisionTree tree;
+  tree.fit(x, y);
+  const auto importances = tree.feature_importances(3);
+  ASSERT_EQ(importances.size(), 3u);
+  double total = 0.0;
+  for (const double v : importances) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(importances[0], importances[1]);
+  EXPECT_GT(importances[1], importances[2]);
+  EXPECT_GT(importances[0], 0.8);
+}
+
+TEST(TreeImportance, SingleLeafIsAllZero) {
+  const Matrix x = Matrix::from_rows({{1.0}, {2.0}});
+  const std::vector<double> y{3.0, 3.0};  // constant target: no split
+  DecisionTree tree;
+  tree.fit(x, y);
+  const auto importances = tree.feature_importances(1);
+  EXPECT_DOUBLE_EQ(importances[0], 0.0);
+}
+
+TEST(TreeImportance, TooFewFeaturesThrows) {
+  Matrix x;
+  std::vector<double> y;
+  sample_data(50, 2, &x, &y);
+  DecisionTree tree;
+  tree.fit(x, y);
+  EXPECT_THROW((void)tree.feature_importances(1), Error);
+}
+
+TEST(ForestImportance, AgreesWithGroundTruthRanking) {
+  Matrix x;
+  std::vector<double> y;
+  sample_data(300, 3, &x, &y);
+  ForestParams params;
+  params.num_trees = 30;
+  RandomForest forest(params);
+  forest.fit(x, y);
+  const auto importances = forest.feature_importances(3);
+  double total = 0.0;
+  for (const double v : importances) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(importances[0], 0.7);
+  EXPECT_LT(importances[2], 0.05);
+}
+
+TEST(ForestImportance, UnfittedThrows) {
+  RandomForest forest;
+  EXPECT_THROW((void)forest.feature_importances(2), Error);
+}
+
+}  // namespace
+}  // namespace gmd::ml

@@ -1,0 +1,101 @@
+#include "gmd/ml/gp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/rng.hpp"
+#include "gmd/ml/metrics.hpp"
+
+namespace gmd::ml {
+namespace {
+
+void sample_smooth(std::size_t n, std::uint64_t seed, Matrix* x,
+                   std::vector<double>* y) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  y->clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.next_double();
+    rows.push_back({a});
+    y->push_back(std::sin(4.0 * a));
+  }
+  *x = Matrix::from_rows(rows);
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPoints) {
+  Matrix x;
+  std::vector<double> y;
+  sample_smooth(40, 1, &x, &y);
+  GpParams params;
+  params.kernel.gamma = 10.0;
+  params.noise = 1e-8;
+  GaussianProcess model(params);
+  model.fit(x, y);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(model.predict_one(x.row(i)), y[i], 1e-3);
+  }
+}
+
+TEST(GaussianProcess, GeneralizesSmoothFunction) {
+  Matrix x;
+  std::vector<double> y;
+  sample_smooth(80, 2, &x, &y);
+  GpParams params;
+  params.kernel.gamma = 10.0;
+  GaussianProcess model(params);
+  model.fit(x, y);
+  Matrix xt;
+  std::vector<double> yt;
+  sample_smooth(40, 3, &xt, &yt);
+  EXPECT_GT(r2_score(yt, model.predict(xt)), 0.99);
+}
+
+TEST(GaussianProcess, VarianceLowNearDataHighFarAway) {
+  const Matrix x = Matrix::from_rows({{0.4}, {0.5}, {0.6}});
+  const std::vector<double> y{0.1, 0.2, 0.3};
+  GpParams params;
+  params.kernel.gamma = 50.0;
+  GaussianProcess model(params);
+  model.fit(x, y);
+  const auto [near_mean, near_var] =
+      model.predict_with_variance(std::vector<double>{0.5});
+  const auto [far_mean, far_var] =
+      model.predict_with_variance(std::vector<double>{5.0});
+  (void)near_mean;
+  (void)far_mean;
+  EXPECT_LT(near_var, far_var);
+  EXPECT_GE(near_var, 0.0);
+}
+
+TEST(GaussianProcess, FarPredictionsRevertToMean) {
+  const Matrix x = Matrix::from_rows({{0.0}, {1.0}});
+  const std::vector<double> y{2.0, 4.0};
+  GpParams params;
+  params.kernel.gamma = 10.0;
+  GaussianProcess model(params);
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict_one(std::vector<double>{100.0}), 3.0, 1e-6);
+}
+
+TEST(GaussianProcess, NoiseSmoothsInterpolation) {
+  const Matrix x = Matrix::from_rows({{0.5}, {0.5}});  // duplicate input
+  const std::vector<double> y{0.0, 1.0};               // conflicting targets
+  GpParams params;
+  params.noise = 0.1;
+  GaussianProcess model(params);
+  model.fit(x, y);  // would be singular without noise
+  EXPECT_NEAR(model.predict_one(std::vector<double>{0.5}), 0.5, 1e-6);
+}
+
+TEST(GaussianProcess, MisuseErrors) {
+  GaussianProcess model;
+  EXPECT_THROW((void)model.predict_one(std::vector<double>{0.0}), Error);
+  GpParams bad;
+  bad.noise = 0.0;
+  EXPECT_THROW(GaussianProcess{bad}, Error);
+}
+
+}  // namespace
+}  // namespace gmd::ml

@@ -1,0 +1,91 @@
+#include "gmd/ml/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/rng.hpp"
+#include "gmd/ml/metrics.hpp"
+
+namespace gmd::ml {
+namespace {
+
+TEST(LinearRegression, RecoversExactLinearFunction) {
+  // y = 2 x0 - 3 x1 + 5.
+  Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.next_double_in(-2.0, 2.0);
+    const double b = rng.next_double_in(-2.0, 2.0);
+    rows.push_back({a, b});
+    y.push_back(2.0 * a - 3.0 * b + 5.0);
+  }
+  LinearRegression model;
+  model.fit(Matrix::from_rows(rows), y);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 1e-8);
+  EXPECT_NEAR(model.coefficients()[1], -3.0, 1e-8);
+  EXPECT_NEAR(model.intercept(), 5.0, 1e-8);
+  EXPECT_NEAR(model.predict_one(std::vector<double>{1.0, 1.0}), 4.0, 1e-8);
+}
+
+TEST(LinearRegression, HandlesNoisyData) {
+  Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.next_double_in(0.0, 1.0);
+    rows.push_back({a});
+    y.push_back(4.0 * a + 1.0 + 0.01 * rng.next_normal());
+  }
+  LinearRegression model;
+  const Matrix x = Matrix::from_rows(rows);
+  model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[0], 4.0, 0.05);
+  EXPECT_GT(r2_score(y, model.predict(x)), 0.99);
+}
+
+TEST(LinearRegression, SingularDesignStillFits) {
+  // Duplicate column: X^T X is singular; jitter fallback must engage.
+  const Matrix x = Matrix::from_rows(
+      {{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}, {4.0, 4.0}});
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  LinearRegression model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict_one(std::vector<double>{5.0, 5.0}), 10.0, 1e-4);
+}
+
+TEST(LinearRegression, RidgeShrinksCoefficients) {
+  const Matrix x = Matrix::from_rows({{0.0}, {1.0}, {2.0}, {3.0}});
+  const std::vector<double> y{0.0, 1.0, 2.0, 3.0};
+  LinearRegression ols(0.0);
+  LinearRegression ridge(10.0);
+  ols.fit(x, y);
+  ridge.fit(x, y);
+  EXPECT_NEAR(ols.coefficients()[0], 1.0, 1e-10);
+  EXPECT_LT(ridge.coefficients()[0], ols.coefficients()[0]);
+  EXPECT_GT(ridge.coefficients()[0], 0.0);
+}
+
+TEST(LinearRegression, CloneIsIndependent) {
+  const Matrix x = Matrix::from_rows({{0.0}, {1.0}});
+  const std::vector<double> y{1.0, 3.0};
+  LinearRegression model;
+  model.fit(x, y);
+  const auto copy = model.clone();
+  EXPECT_TRUE(copy->is_fitted());
+  EXPECT_DOUBLE_EQ(copy->predict_one(std::vector<double>{2.0}),
+                   model.predict_one(std::vector<double>{2.0}));
+}
+
+TEST(LinearRegression, MisuseErrors) {
+  LinearRegression model;
+  EXPECT_THROW((void)model.predict_one(std::vector<double>{1.0}), Error);
+  EXPECT_THROW(LinearRegression{-1.0}, Error);
+  const Matrix x = Matrix::from_rows({{1.0}});
+  EXPECT_THROW(model.fit(x, std::vector<double>{1.0, 2.0}), Error);
+  model.fit(x, std::vector<double>{1.0});
+  EXPECT_THROW((void)model.predict_one(std::vector<double>{1.0, 2.0}), Error);
+}
+
+}  // namespace
+}  // namespace gmd::ml

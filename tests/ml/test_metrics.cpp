@@ -1,0 +1,58 @@
+#include "gmd/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::ml {
+namespace {
+
+TEST(Metrics, PerfectPrediction) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mse(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(mae(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(r2_score(y, y), 1.0);
+}
+
+TEST(Metrics, KnownValues) {
+  const std::vector<double> truth{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pred{1.0, 2.0, 3.0, 2.0};  // one error of 2
+  EXPECT_DOUBLE_EQ(mse(truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(rmse(truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(mae(truth, pred), 0.5);
+  // ss_res = 4; ss_tot = 5 -> r2 = 0.2.
+  EXPECT_NEAR(r2_score(truth, pred), 0.2, 1e-12);
+}
+
+TEST(Metrics, MeanPredictorScoresZeroR2) {
+  const std::vector<double> truth{1.0, 2.0, 3.0};
+  const std::vector<double> pred{2.0, 2.0, 2.0};
+  EXPECT_NEAR(r2_score(truth, pred), 0.0, 1e-12);
+}
+
+TEST(Metrics, WorseThanMeanIsNegative) {
+  const std::vector<double> truth{1.0, 2.0, 3.0};
+  const std::vector<double> pred{3.0, 2.0, 1.0};
+  EXPECT_LT(r2_score(truth, pred), 0.0);
+}
+
+TEST(Metrics, ConstantTruthEdgeCases) {
+  const std::vector<double> truth{5.0, 5.0};
+  const std::vector<double> exact{5.0, 5.0};
+  const std::vector<double> off{5.0, 6.0};
+  EXPECT_DOUBLE_EQ(r2_score(truth, exact), 1.0);
+  EXPECT_DOUBLE_EQ(r2_score(truth, off), 0.0);
+}
+
+TEST(Metrics, ShapeErrors) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(mse(a, b), Error);
+  EXPECT_THROW((void)r2_score({}, {}), Error);
+}
+
+}  // namespace
+}  // namespace gmd::ml

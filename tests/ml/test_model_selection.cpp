@@ -1,0 +1,115 @@
+#include "gmd/ml/model_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/rng.hpp"
+#include "gmd/ml/forest.hpp"
+#include "gmd/ml/linear.hpp"
+#include "gmd/ml/svr.hpp"
+
+namespace gmd::ml {
+namespace {
+
+Dataset sample_dataset(std::size_t n, std::uint64_t seed, double noise = 0.0) {
+  Rng rng(seed);
+  Dataset data;
+  std::vector<std::vector<double>> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.next_double();
+    const double b = rng.next_double();
+    rows.push_back({a, b});
+    data.y.push_back(std::sin(3.0 * a) + b + noise * rng.next_normal());
+  }
+  data.X = Matrix::from_rows(rows);
+  return data;
+}
+
+TEST(CrossValidate, ScoresEveryFold) {
+  const Dataset data = sample_dataset(100, 1);
+  const CvScores scores = cross_validate(Svr{}, data, 5, 7);
+  EXPECT_EQ(scores.fold_mse.size(), 5u);
+  EXPECT_EQ(scores.fold_r2.size(), 5u);
+  EXPECT_GT(scores.mean_r2(), 0.9);
+  EXPECT_LT(scores.mean_mse(), 0.05);
+}
+
+TEST(CrossValidate, GoodModelOutscoresBadModel) {
+  const Dataset data = sample_dataset(150, 2);
+  const CvScores svr = cross_validate(Svr{}, data, 5, 7);
+  const CvScores linear = cross_validate(LinearRegression{}, data, 5, 7);
+  EXPECT_LT(svr.mean_mse(), linear.mean_mse());
+}
+
+TEST(CrossValidate, DeterministicPerSeed) {
+  const Dataset data = sample_dataset(80, 3);
+  const CvScores a = cross_validate(LinearRegression{}, data, 4, 11);
+  const CvScores b = cross_validate(LinearRegression{}, data, 4, 11);
+  EXPECT_EQ(a.fold_mse, b.fold_mse);
+}
+
+TEST(CartesianGrid, ProducesAllCombinations) {
+  const auto grid = cartesian_grid(
+      {{"a", {1.0, 2.0}}, {"b", {10.0, 20.0, 30.0}}});
+  EXPECT_EQ(grid.size(), 6u);
+  // Every combination appears exactly once.
+  int count_a1_b20 = 0;
+  for (const auto& point : grid) {
+    EXPECT_EQ(point.size(), 2u);
+    if (point.at("a") == 1.0 && point.at("b") == 20.0) ++count_a1_b20;
+  }
+  EXPECT_EQ(count_a1_b20, 1);
+}
+
+TEST(CartesianGrid, RejectsEmptyAxes) {
+  EXPECT_THROW(cartesian_grid({}), Error);
+  EXPECT_THROW(cartesian_grid({{"a", {}}}), Error);
+}
+
+TEST(GridSearch, FindsTheBetterHyperparameters) {
+  const Dataset data = sample_dataset(120, 4);
+  // gamma 0.001 badly underfits this target; gamma 2 fits well.
+  const auto result = grid_search_svr(data, {10.0}, {0.001, 2.0}, {0.005},
+                                      /*folds=*/4, /*seed=*/5);
+  ASSERT_EQ(result.candidates.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.best().params.at("gamma"), 2.0);
+  EXPECT_LT(result.best().scores.mean_mse(),
+            result.candidates.back().scores.mean_mse());
+}
+
+TEST(GridSearch, CandidatesSortedByMse) {
+  const Dataset data = sample_dataset(100, 5);
+  const auto result =
+      grid_search_svr(data, {0.1, 10.0}, {0.01, 2.0}, {0.005, 0.1}, 3, 5);
+  EXPECT_EQ(result.candidates.size(), 8u);
+  for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+    EXPECT_LE(result.candidates[i - 1].scores.mean_mse(),
+              result.candidates[i].scores.mean_mse());
+  }
+}
+
+TEST(GridSearch, CustomFactory) {
+  const Dataset data = sample_dataset(100, 6, 0.1);
+  const ModelFactory factory = [](const ParamPoint& params) {
+    ForestParams forest;
+    forest.num_trees = static_cast<std::size_t>(params.at("trees"));
+    return std::make_unique<RandomForest>(forest);
+  };
+  const auto grid = cartesian_grid({{"trees", {1.0, 40.0}}});
+  const auto result = grid_search(factory, grid, data, 3, 7);
+  // More trees should generalize better on noisy data.
+  EXPECT_DOUBLE_EQ(result.best().params.at("trees"), 40.0);
+}
+
+TEST(GridSearch, EmptyGridThrows) {
+  const Dataset data = sample_dataset(30, 7);
+  const ModelFactory factory = [](const ParamPoint&) {
+    return std::make_unique<LinearRegression>();
+  };
+  EXPECT_THROW(grid_search(factory, {}, data), Error);
+}
+
+}  // namespace
+}  // namespace gmd::ml

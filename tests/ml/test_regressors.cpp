@@ -1,0 +1,115 @@
+#include "gmd/ml/regressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/rng.hpp"
+#include "gmd/ml/metrics.hpp"
+
+namespace gmd::ml {
+namespace {
+
+void sample_dse_like(std::size_t n, std::uint64_t seed, Matrix* x,
+                     std::vector<double>* y) {
+  // Mimics the DSE dataset: a few scaled features, a smooth response
+  // with one interaction.
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  y->clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cpu = rng.next_double();
+    const double ctrl = rng.next_double();
+    const double ch = rng.next_bool(0.5) ? 0.0 : 1.0;
+    rows.push_back({cpu, ctrl, ch});
+    y->push_back(0.5 * cpu * ctrl + 0.3 * ctrl - 0.2 * ch + 0.1);
+  }
+  *x = Matrix::from_rows(rows);
+}
+
+class RegressorFamily : public testing::TestWithParam<const char*> {};
+
+TEST_P(RegressorFamily, FactoryCreatesWorkingModel) {
+  const auto model = make_regressor(GetParam(), 7);
+  ASSERT_NE(model, nullptr);
+  EXPECT_FALSE(model->is_fitted());
+
+  Matrix x;
+  std::vector<double> y;
+  sample_dse_like(200, 1, &x, &y);
+  model->fit(x, y);
+  EXPECT_TRUE(model->is_fitted());
+  EXPECT_GT(r2_score(y, model->predict(x)), 0.8) << GetParam();
+}
+
+TEST_P(RegressorFamily, CloneMatchesOriginalPredictions) {
+  const auto model = make_regressor(GetParam(), 7);
+  Matrix x;
+  std::vector<double> y;
+  sample_dse_like(100, 2, &x, &y);
+  model->fit(x, y);
+  const auto copy = model->clone();
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(copy->predict_one(x.row(i)), model->predict_one(x.row(i)))
+        << GetParam();
+  }
+}
+
+TEST_P(RegressorFamily, RefitReplacesModel) {
+  const auto model = make_regressor(GetParam(), 7);
+  Matrix x;
+  std::vector<double> y;
+  sample_dse_like(100, 3, &x, &y);
+  model->fit(x, y);
+  // Retrain on a shifted target; predictions must follow.
+  std::vector<double> shifted(y);
+  for (double& v : shifted) v += 100.0;
+  model->fit(x, shifted);
+  EXPECT_GT(model->predict_one(x.row(0)), 50.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, RegressorFamily,
+                         testing::Values("linear", "svr", "rf", "gb", "gp",
+                                         "tree"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(RegressorFactory, AcceptsSvmAlias) {
+  EXPECT_EQ(make_regressor("svm")->name(), "svr");
+  EXPECT_EQ(make_regressor("SVR")->name(), "svr");
+}
+
+TEST(RegressorFactory, UnknownNameThrows) {
+  EXPECT_THROW(make_regressor("deepnet"), Error);
+}
+
+TEST(RegressorFactory, Table1NamesMatchPaperColumns) {
+  EXPECT_EQ(table1_model_names(),
+            (std::vector<std::string>{"linear", "svr", "rf", "gb"}));
+}
+
+TEST(Regressors, NonlinearTargetSeparatesLinearFromKernels) {
+  // y depends on sin(x): linear must underfit, SVR must not.
+  Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.next_double();
+    rows.push_back({a});
+    y.push_back(std::sin(8.0 * a));
+  }
+  const Matrix x = Matrix::from_rows(rows);
+  const auto linear = make_regressor("linear");
+  const auto svr = make_regressor("svr");
+  linear->fit(x, y);
+  svr->fit(x, y);
+  const double linear_r2 = r2_score(y, linear->predict(x));
+  const double svr_r2 = r2_score(y, svr->predict(x));
+  EXPECT_LT(linear_r2, 0.5);
+  EXPECT_GT(svr_r2, 0.95);
+}
+
+}  // namespace
+}  // namespace gmd::ml

@@ -1,0 +1,78 @@
+#include "gmd/ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::ml {
+namespace {
+
+TEST(MinMaxScaler, MapsColumnsToUnitInterval) {
+  const Matrix x = Matrix::from_rows({{0.0, 100.0}, {5.0, 200.0}, {10.0, 150.0}});
+  MinMaxScaler scaler;
+  const Matrix t = scaler.fit_transform(x);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 0.5);
+}
+
+TEST(MinMaxScaler, ConstantColumnMapsToZero) {
+  const Matrix x = Matrix::from_rows({{5.0}, {5.0}});
+  MinMaxScaler scaler;
+  const Matrix t = scaler.fit_transform(x);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 0.0);
+}
+
+TEST(MinMaxScaler, TransformUsesTrainingRange) {
+  const Matrix train = Matrix::from_rows({{0.0}, {10.0}});
+  MinMaxScaler scaler;
+  scaler.fit(train);
+  const Matrix test = Matrix::from_rows({{20.0}});
+  EXPECT_DOUBLE_EQ(scaler.transform(test).at(0, 0), 2.0);  // extrapolates
+}
+
+TEST(MinMaxScaler, ScalarSeriesRoundTrip) {
+  const std::vector<double> values{10.0, 20.0, 40.0};
+  MinMaxScaler scaler;
+  scaler.fit(std::span<const double>(values));
+  const auto scaled = scaler.transform(values);
+  EXPECT_DOUBLE_EQ(scaled[0], 0.0);
+  EXPECT_DOUBLE_EQ(scaled[2], 1.0);
+  const auto back = scaler.inverse_transform(scaled);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(back[i], values[i], 1e-12);
+}
+
+TEST(MinMaxScaler, ErrorsOnMisuse) {
+  MinMaxScaler scaler;
+  EXPECT_THROW(scaler.transform(Matrix(1, 1)), Error);
+  scaler.fit(Matrix::from_rows({{1.0, 2.0}}));
+  EXPECT_THROW(scaler.transform(Matrix(1, 3)), Error);
+  EXPECT_THROW(scaler.fit(Matrix{}), Error);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  const Matrix x = Matrix::from_rows({{1.0}, {3.0}, {5.0}});
+  StandardScaler scaler;
+  const Matrix t = scaler.fit_transform(x);
+  EXPECT_NEAR(t.at(0, 0) + t.at(1, 0) + t.at(2, 0), 0.0, 1e-12);
+  EXPECT_NEAR(scaler.means()[0], 3.0, 1e-12);
+  // Population stddev of {1,3,5} is sqrt(8/3).
+  EXPECT_NEAR(scaler.stddevs()[0], std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(StandardScaler, ConstantColumnMapsToZero) {
+  const Matrix x = Matrix::from_rows({{2.0}, {2.0}, {2.0}});
+  StandardScaler scaler;
+  const Matrix t = scaler.fit_transform(x);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(t.at(r, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace gmd::ml

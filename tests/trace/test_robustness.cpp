@@ -1,0 +1,116 @@
+/// Robustness of the file-facing trace layers against the messy inputs
+/// real pipelines produce: CRLF endings, missing final newlines,
+/// interleaved noise, and unsorted traces.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/memsim/memory_system.hpp"
+#include "gmd/trace/converter.hpp"
+#include "gmd/trace/formats.hpp"
+
+namespace gmd::trace {
+namespace {
+
+TEST(TraceRobustness, Gem5ParserAcceptsCrlfLines) {
+  const MemoryEvent event{10, 0x100, 8, false};
+  const std::string line = format_gem5_line(event) + " .\r";
+  const auto parsed = parse_gem5_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, event);
+}
+
+TEST(TraceRobustness, NvmainParserAcceptsCrlfLines) {
+  const auto parsed = parse_nvmain_line("10 R 0x100 0x0 0\r");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tick, 10u);
+}
+
+TEST(TraceRobustness, ConverterHandlesMissingTrailingNewline) {
+  const std::string dir = testing::TempDir();
+  const std::string in_path = dir + "/gmd_rob_in.txt";
+  const std::string out_path = dir + "/gmd_rob_out.txt";
+  {
+    std::ofstream out(in_path);
+    out << format_gem5_line({1, 0x100, 8, false}) << " .\n";
+    out << format_gem5_line({2, 0x140, 8, true}) << " .";  // no newline
+  }
+  const ConvertStats stats = convert_gem5_to_nvmain(in_path, out_path);
+  EXPECT_EQ(stats.events_out, 2u);
+}
+
+TEST(TraceRobustness, ConverterHandlesCrlfFile) {
+  const std::string dir = testing::TempDir();
+  const std::string in_path = dir + "/gmd_rob_crlf.txt";
+  const std::string out_path = dir + "/gmd_rob_crlf_out.txt";
+  {
+    std::ofstream out(in_path, std::ios::binary);
+    for (int i = 0; i < 50; ++i) {
+      out << format_gem5_line({static_cast<std::uint64_t>(i), 0x100u + i * 64,
+                               8, false})
+          << " .\r\n";
+    }
+  }
+  ConvertOptions options;
+  options.chunk_bytes = 256;  // multiple chunks across CRLF boundaries
+  const ConvertStats stats =
+      convert_gem5_to_nvmain(in_path, out_path, options);
+  EXPECT_EQ(stats.events_out, 50u);
+  std::ifstream check(out_path);
+  EXPECT_EQ(read_nvmain_trace(check).size(), 50u);
+}
+
+TEST(TraceRobustness, ConverterChunkBoundaryCannotSplitEvents) {
+  // Exhaustive mini-sweep of chunk sizes around line lengths: the
+  // output must be identical regardless of chunking.
+  const std::string dir = testing::TempDir();
+  const std::string in_path = dir + "/gmd_rob_chunks.txt";
+  {
+    std::ofstream out(in_path);
+    for (int i = 0; i < 200; ++i) {
+      out << format_gem5_line({static_cast<std::uint64_t>(i) * 3,
+                               0x1000u + i * 64, 8, i % 2 == 0})
+          << " .\n";
+    }
+  }
+  std::string reference;
+  for (const std::size_t chunk : {1u, 17u, 64u, 100u, 1000u, 1u << 20}) {
+    const std::string out_path =
+        dir + "/gmd_rob_chunks_out_" + std::to_string(chunk) + ".txt";
+    ConvertOptions options;
+    options.chunk_bytes = chunk;
+    convert_gem5_to_nvmain(in_path, out_path, options);
+    std::ifstream in(out_path);
+    std::stringstream content;
+    content << in.rdbuf();
+    if (reference.empty()) {
+      reference = content.str();
+      EXPECT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(content.str(), reference) << "chunk " << chunk;
+    }
+  }
+}
+
+TEST(TraceRobustness, UnsortedTraceRejectedWithClearError) {
+  // The memory system requires tick-ordered input (as NVMain's trace
+  // reader does); feeding a shuffled trace must fail loudly, not
+  // corrupt statistics.
+  memsim::MemorySystem system(memsim::make_dram_config(1, 400, 2000));
+  system.enqueue_event({100, 0x100, 64, false});
+  EXPECT_THROW(system.enqueue_event({50, 0x140, 64, false}), Error);
+}
+
+TEST(TraceRobustness, EqualTicksAreAccepted) {
+  memsim::MemorySystem system(memsim::make_dram_config(1, 400, 2000));
+  system.enqueue_event({100, 0x100, 64, false});
+  system.enqueue_event({100, 0x140, 64, true});
+  const auto m = system.finish();
+  EXPECT_EQ(m.total_reads + m.total_writes, 2u);
+}
+
+}  // namespace
+}  // namespace gmd::trace

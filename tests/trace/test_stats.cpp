@@ -1,0 +1,58 @@
+#include "gmd/trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gmd::trace {
+namespace {
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats stats = compute_stats({});
+  EXPECT_EQ(stats.events, 0u);
+  EXPECT_EQ(stats.footprint_bytes(), 0u);
+  EXPECT_EQ(stats.read_fraction(), 0.0);
+}
+
+TEST(TraceStats, CountsReadsAndWrites) {
+  const std::vector<cpusim::MemoryEvent> events{
+      {10, 0x100, 8, false}, {20, 0x200, 8, true}, {30, 0x300, 4, false}};
+  const TraceStats stats = compute_stats(events);
+  EXPECT_EQ(stats.events, 3u);
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.bytes_read, 12u);
+  EXPECT_EQ(stats.bytes_written, 8u);
+  EXPECT_NEAR(stats.read_fraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TraceStats, AddressAndTickRanges) {
+  const std::vector<cpusim::MemoryEvent> events{
+      {50, 0x1000, 8, false}, {10, 0x400, 64, true}, {90, 0x2000, 4, false}};
+  const TraceStats stats = compute_stats(events);
+  EXPECT_EQ(stats.min_address, 0x400u);
+  EXPECT_EQ(stats.max_address, 0x2003u);  // 0x2000 + 4 - 1
+  EXPECT_EQ(stats.first_tick, 10u);
+  EXPECT_EQ(stats.last_tick, 90u);
+  EXPECT_EQ(stats.footprint_bytes(), 0x2003u - 0x400u + 1);
+}
+
+TEST(TraceStats, UniqueLinesDeduplicates) {
+  const std::vector<cpusim::MemoryEvent> events{
+      {1, 0x00, 8, false},  // line 0
+      {2, 0x38, 8, false},  // line 0 again
+      {3, 0x40, 8, false},  // line 1
+      {4, 0x80, 8, true}};  // line 2
+  const TraceStats stats = compute_stats(events);
+  EXPECT_EQ(stats.unique_lines, 3u);
+}
+
+TEST(TraceStats, DescribeMentionsKeyNumbers) {
+  const std::vector<cpusim::MemoryEvent> events{{1, 0x40, 8, false}};
+  const std::string text = describe(compute_stats(events));
+  EXPECT_NE(text.find("events"), std::string::npos);
+  EXPECT_NE(text.find("1 reads"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmd::trace

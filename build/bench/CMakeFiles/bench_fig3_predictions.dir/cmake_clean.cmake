@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_predictions.dir/bench_fig3_predictions.cpp.o"
+  "CMakeFiles/bench_fig3_predictions.dir/bench_fig3_predictions.cpp.o.d"
+  "bench_fig3_predictions"
+  "bench_fig3_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

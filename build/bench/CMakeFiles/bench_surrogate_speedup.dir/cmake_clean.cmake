@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_surrogate_speedup.dir/bench_surrogate_speedup.cpp.o"
+  "CMakeFiles/bench_surrogate_speedup.dir/bench_surrogate_speedup.cpp.o.d"
+  "bench_surrogate_speedup"
+  "bench_surrogate_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_surrogate_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/active_learning_dse.cpp" "examples/CMakeFiles/active_learning_dse.dir/active_learning_dse.cpp.o" "gcc" "examples/CMakeFiles/active_learning_dse.dir/active_learning_dse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dse/CMakeFiles/gmd_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gmd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/gmd_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/gmd_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gmd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gmd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_learning_dse.dir/active_learning_dse.cpp.o"
+  "CMakeFiles/active_learning_dse.dir/active_learning_dse.cpp.o.d"
+  "active_learning_dse"
+  "active_learning_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_learning_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_generator.dir/config_generator.cpp.o"
+  "CMakeFiles/config_generator.dir/config_generator.cpp.o.d"
+  "config_generator"
+  "config_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

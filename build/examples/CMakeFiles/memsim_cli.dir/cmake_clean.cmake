@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_cli.dir/memsim_cli.cpp.o"
+  "CMakeFiles/memsim_cli.dir/memsim_cli.cpp.o.d"
+  "memsim_cli"
+  "memsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

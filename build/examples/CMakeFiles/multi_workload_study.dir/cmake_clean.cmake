@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_workload_study.dir/multi_workload_study.cpp.o"
+  "CMakeFiles/multi_workload_study.dir/multi_workload_study.cpp.o.d"
+  "multi_workload_study"
+  "multi_workload_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_workload_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_workload_study.
+# This may be replaced when dependencies are built.

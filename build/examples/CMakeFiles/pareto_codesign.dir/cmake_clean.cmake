@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_codesign.dir/pareto_codesign.cpp.o"
+  "CMakeFiles/pareto_codesign.dir/pareto_codesign.cpp.o.d"
+  "pareto_codesign"
+  "pareto_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

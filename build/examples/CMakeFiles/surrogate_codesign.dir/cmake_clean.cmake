@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surrogate_codesign.dir/surrogate_codesign.cpp.o"
+  "CMakeFiles/surrogate_codesign.dir/surrogate_codesign.cpp.o.d"
+  "surrogate_codesign"
+  "surrogate_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surrogate_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

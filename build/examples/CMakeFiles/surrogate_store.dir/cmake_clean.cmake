@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surrogate_store.dir/surrogate_store.cpp.o"
+  "CMakeFiles/surrogate_store.dir/surrogate_store.cpp.o.d"
+  "surrogate_store"
+  "surrogate_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surrogate_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

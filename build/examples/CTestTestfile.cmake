@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--vertices" "96")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_memory_explorer "/root/repo/build/examples/memory_explorer" "--vertices" "96" "--axis" "cpu" "--kind" "dram")
+set_tests_properties(example_memory_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_active_learning "/root/repo/build/examples/active_learning_dse" "--vertices" "96" "--budget" "20" "--initial" "6" "--batch" "4")
+set_tests_properties(example_active_learning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tools "/root/repo/build/examples/trace_tools" "--vertices" "96" "--out-dir" "/root/repo/build/examples/traces")
+set_tests_properties(example_trace_tools PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graph500 "/root/repo/build/examples/graph500_runner" "--scale" "7" "--roots" "4")
+set_tests_properties(example_graph500 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pareto "/root/repo/build/examples/pareto_codesign" "--vertices" "96")
+set_tests_properties(example_pareto PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_surrogate_store "/root/repo/build/examples/surrogate_store" "--vertices" "96" "--dir" "/root/repo/build/examples/models")
+set_tests_properties(example_surrogate_store PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_workload "/root/repo/build/examples/multi_workload_study" "--vertices" "96" "--workloads" "bfs,cc")
+set_tests_properties(example_multi_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_config_generator "/root/repo/build/examples/config_generator" "--dir" "/root/repo/build/examples/configs" "--space" "reduced")
+set_tests_properties(example_config_generator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_common.dir/src/cli.cpp.o"
+  "CMakeFiles/gmd_common.dir/src/cli.cpp.o.d"
+  "CMakeFiles/gmd_common.dir/src/csv.cpp.o"
+  "CMakeFiles/gmd_common.dir/src/csv.cpp.o.d"
+  "CMakeFiles/gmd_common.dir/src/logging.cpp.o"
+  "CMakeFiles/gmd_common.dir/src/logging.cpp.o.d"
+  "CMakeFiles/gmd_common.dir/src/string_util.cpp.o"
+  "CMakeFiles/gmd_common.dir/src/string_util.cpp.o.d"
+  "CMakeFiles/gmd_common.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/gmd_common.dir/src/thread_pool.cpp.o.d"
+  "libgmd_common.a"
+  "libgmd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpusim/src/atomic_cpu.cpp" "src/cpusim/CMakeFiles/gmd_cpusim.dir/src/atomic_cpu.cpp.o" "gcc" "src/cpusim/CMakeFiles/gmd_cpusim.dir/src/atomic_cpu.cpp.o.d"
+  "/root/repo/src/cpusim/src/cache.cpp" "src/cpusim/CMakeFiles/gmd_cpusim.dir/src/cache.cpp.o" "gcc" "src/cpusim/CMakeFiles/gmd_cpusim.dir/src/cache.cpp.o.d"
+  "/root/repo/src/cpusim/src/cache_hierarchy.cpp" "src/cpusim/CMakeFiles/gmd_cpusim.dir/src/cache_hierarchy.cpp.o" "gcc" "src/cpusim/CMakeFiles/gmd_cpusim.dir/src/cache_hierarchy.cpp.o.d"
+  "/root/repo/src/cpusim/src/config_io.cpp" "src/cpusim/CMakeFiles/gmd_cpusim.dir/src/config_io.cpp.o" "gcc" "src/cpusim/CMakeFiles/gmd_cpusim.dir/src/config_io.cpp.o.d"
+  "/root/repo/src/cpusim/src/workloads.cpp" "src/cpusim/CMakeFiles/gmd_cpusim.dir/src/workloads.cpp.o" "gcc" "src/cpusim/CMakeFiles/gmd_cpusim.dir/src/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gmd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_cpusim.dir/src/atomic_cpu.cpp.o"
+  "CMakeFiles/gmd_cpusim.dir/src/atomic_cpu.cpp.o.d"
+  "CMakeFiles/gmd_cpusim.dir/src/cache.cpp.o"
+  "CMakeFiles/gmd_cpusim.dir/src/cache.cpp.o.d"
+  "CMakeFiles/gmd_cpusim.dir/src/cache_hierarchy.cpp.o"
+  "CMakeFiles/gmd_cpusim.dir/src/cache_hierarchy.cpp.o.d"
+  "CMakeFiles/gmd_cpusim.dir/src/config_io.cpp.o"
+  "CMakeFiles/gmd_cpusim.dir/src/config_io.cpp.o.d"
+  "CMakeFiles/gmd_cpusim.dir/src/workloads.cpp.o"
+  "CMakeFiles/gmd_cpusim.dir/src/workloads.cpp.o.d"
+  "libgmd_cpusim.a"
+  "libgmd_cpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/src/active_learning.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/active_learning.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/active_learning.cpp.o.d"
+  "/root/repo/src/dse/src/config_space.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/config_space.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/config_space.cpp.o.d"
+  "/root/repo/src/dse/src/dataset_builder.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/dataset_builder.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/dataset_builder.cpp.o.d"
+  "/root/repo/src/dse/src/design_point.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/design_point.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/design_point.cpp.o.d"
+  "/root/repo/src/dse/src/multi_study.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/multi_study.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/multi_study.cpp.o.d"
+  "/root/repo/src/dse/src/pareto.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/pareto.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/pareto.cpp.o.d"
+  "/root/repo/src/dse/src/recommend.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/recommend.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/recommend.cpp.o.d"
+  "/root/repo/src/dse/src/report.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/report.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/report.cpp.o.d"
+  "/root/repo/src/dse/src/sensitivity.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/sensitivity.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/sensitivity.cpp.o.d"
+  "/root/repo/src/dse/src/surrogate.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/surrogate.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/surrogate.cpp.o.d"
+  "/root/repo/src/dse/src/sweep.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/sweep.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/sweep.cpp.o.d"
+  "/root/repo/src/dse/src/workflow.cpp" "src/dse/CMakeFiles/gmd_dse.dir/src/workflow.cpp.o" "gcc" "src/dse/CMakeFiles/gmd_dse.dir/src/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gmd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/gmd_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gmd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/gmd_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gmd_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

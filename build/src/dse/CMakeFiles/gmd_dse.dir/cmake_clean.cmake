@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_dse.dir/src/active_learning.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/active_learning.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/config_space.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/config_space.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/dataset_builder.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/dataset_builder.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/design_point.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/design_point.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/multi_study.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/multi_study.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/pareto.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/pareto.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/recommend.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/recommend.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/report.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/report.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/sensitivity.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/sensitivity.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/surrogate.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/surrogate.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/sweep.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/sweep.cpp.o.d"
+  "CMakeFiles/gmd_dse.dir/src/workflow.cpp.o"
+  "CMakeFiles/gmd_dse.dir/src/workflow.cpp.o.d"
+  "libgmd_dse.a"
+  "libgmd_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/src/algorithms.cpp" "src/graph/CMakeFiles/gmd_graph.dir/src/algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/gmd_graph.dir/src/algorithms.cpp.o.d"
+  "/root/repo/src/graph/src/bfs.cpp" "src/graph/CMakeFiles/gmd_graph.dir/src/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/gmd_graph.dir/src/bfs.cpp.o.d"
+  "/root/repo/src/graph/src/csr.cpp" "src/graph/CMakeFiles/gmd_graph.dir/src/csr.cpp.o" "gcc" "src/graph/CMakeFiles/gmd_graph.dir/src/csr.cpp.o.d"
+  "/root/repo/src/graph/src/edge_list.cpp" "src/graph/CMakeFiles/gmd_graph.dir/src/edge_list.cpp.o" "gcc" "src/graph/CMakeFiles/gmd_graph.dir/src/edge_list.cpp.o.d"
+  "/root/repo/src/graph/src/generators.cpp" "src/graph/CMakeFiles/gmd_graph.dir/src/generators.cpp.o" "gcc" "src/graph/CMakeFiles/gmd_graph.dir/src/generators.cpp.o.d"
+  "/root/repo/src/graph/src/graph500.cpp" "src/graph/CMakeFiles/gmd_graph.dir/src/graph500.cpp.o" "gcc" "src/graph/CMakeFiles/gmd_graph.dir/src/graph500.cpp.o.d"
+  "/root/repo/src/graph/src/io.cpp" "src/graph/CMakeFiles/gmd_graph.dir/src/io.cpp.o" "gcc" "src/graph/CMakeFiles/gmd_graph.dir/src/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_graph.dir/src/algorithms.cpp.o"
+  "CMakeFiles/gmd_graph.dir/src/algorithms.cpp.o.d"
+  "CMakeFiles/gmd_graph.dir/src/bfs.cpp.o"
+  "CMakeFiles/gmd_graph.dir/src/bfs.cpp.o.d"
+  "CMakeFiles/gmd_graph.dir/src/csr.cpp.o"
+  "CMakeFiles/gmd_graph.dir/src/csr.cpp.o.d"
+  "CMakeFiles/gmd_graph.dir/src/edge_list.cpp.o"
+  "CMakeFiles/gmd_graph.dir/src/edge_list.cpp.o.d"
+  "CMakeFiles/gmd_graph.dir/src/generators.cpp.o"
+  "CMakeFiles/gmd_graph.dir/src/generators.cpp.o.d"
+  "CMakeFiles/gmd_graph.dir/src/graph500.cpp.o"
+  "CMakeFiles/gmd_graph.dir/src/graph500.cpp.o.d"
+  "CMakeFiles/gmd_graph.dir/src/io.cpp.o"
+  "CMakeFiles/gmd_graph.dir/src/io.cpp.o.d"
+  "libgmd_graph.a"
+  "libgmd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/src/address.cpp" "src/memsim/CMakeFiles/gmd_memsim.dir/src/address.cpp.o" "gcc" "src/memsim/CMakeFiles/gmd_memsim.dir/src/address.cpp.o.d"
+  "/root/repo/src/memsim/src/channel.cpp" "src/memsim/CMakeFiles/gmd_memsim.dir/src/channel.cpp.o" "gcc" "src/memsim/CMakeFiles/gmd_memsim.dir/src/channel.cpp.o.d"
+  "/root/repo/src/memsim/src/config.cpp" "src/memsim/CMakeFiles/gmd_memsim.dir/src/config.cpp.o" "gcc" "src/memsim/CMakeFiles/gmd_memsim.dir/src/config.cpp.o.d"
+  "/root/repo/src/memsim/src/config_io.cpp" "src/memsim/CMakeFiles/gmd_memsim.dir/src/config_io.cpp.o" "gcc" "src/memsim/CMakeFiles/gmd_memsim.dir/src/config_io.cpp.o.d"
+  "/root/repo/src/memsim/src/hybrid.cpp" "src/memsim/CMakeFiles/gmd_memsim.dir/src/hybrid.cpp.o" "gcc" "src/memsim/CMakeFiles/gmd_memsim.dir/src/hybrid.cpp.o.d"
+  "/root/repo/src/memsim/src/memory_system.cpp" "src/memsim/CMakeFiles/gmd_memsim.dir/src/memory_system.cpp.o" "gcc" "src/memsim/CMakeFiles/gmd_memsim.dir/src/memory_system.cpp.o.d"
+  "/root/repo/src/memsim/src/metrics.cpp" "src/memsim/CMakeFiles/gmd_memsim.dir/src/metrics.cpp.o" "gcc" "src/memsim/CMakeFiles/gmd_memsim.dir/src/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/gmd_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gmd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_memsim.dir/src/address.cpp.o"
+  "CMakeFiles/gmd_memsim.dir/src/address.cpp.o.d"
+  "CMakeFiles/gmd_memsim.dir/src/channel.cpp.o"
+  "CMakeFiles/gmd_memsim.dir/src/channel.cpp.o.d"
+  "CMakeFiles/gmd_memsim.dir/src/config.cpp.o"
+  "CMakeFiles/gmd_memsim.dir/src/config.cpp.o.d"
+  "CMakeFiles/gmd_memsim.dir/src/config_io.cpp.o"
+  "CMakeFiles/gmd_memsim.dir/src/config_io.cpp.o.d"
+  "CMakeFiles/gmd_memsim.dir/src/hybrid.cpp.o"
+  "CMakeFiles/gmd_memsim.dir/src/hybrid.cpp.o.d"
+  "CMakeFiles/gmd_memsim.dir/src/memory_system.cpp.o"
+  "CMakeFiles/gmd_memsim.dir/src/memory_system.cpp.o.d"
+  "CMakeFiles/gmd_memsim.dir/src/metrics.cpp.o"
+  "CMakeFiles/gmd_memsim.dir/src/metrics.cpp.o.d"
+  "libgmd_memsim.a"
+  "libgmd_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

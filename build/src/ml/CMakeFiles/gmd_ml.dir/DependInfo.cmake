@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/src/dataset.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/dataset.cpp.o.d"
+  "/root/repo/src/ml/src/forest.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/forest.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/forest.cpp.o.d"
+  "/root/repo/src/ml/src/gbt.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/gbt.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/gbt.cpp.o.d"
+  "/root/repo/src/ml/src/gp.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/gp.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/gp.cpp.o.d"
+  "/root/repo/src/ml/src/kernel.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/kernel.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/kernel.cpp.o.d"
+  "/root/repo/src/ml/src/linear.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/linear.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/linear.cpp.o.d"
+  "/root/repo/src/ml/src/matrix.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/ml/src/metrics.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/ml/src/model_selection.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/model_selection.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/model_selection.cpp.o.d"
+  "/root/repo/src/ml/src/regressor.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/regressor.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/regressor.cpp.o.d"
+  "/root/repo/src/ml/src/scaler.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/scaler.cpp.o.d"
+  "/root/repo/src/ml/src/serialize.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/serialize.cpp.o.d"
+  "/root/repo/src/ml/src/svr.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/svr.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/svr.cpp.o.d"
+  "/root/repo/src/ml/src/tree.cpp" "src/ml/CMakeFiles/gmd_ml.dir/src/tree.cpp.o" "gcc" "src/ml/CMakeFiles/gmd_ml.dir/src/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_ml.dir/src/dataset.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/forest.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/forest.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/gbt.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/gbt.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/gp.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/gp.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/kernel.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/kernel.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/linear.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/linear.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/matrix.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/metrics.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/model_selection.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/model_selection.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/regressor.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/regressor.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/scaler.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/scaler.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/serialize.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/serialize.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/svr.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/svr.cpp.o.d"
+  "CMakeFiles/gmd_ml.dir/src/tree.cpp.o"
+  "CMakeFiles/gmd_ml.dir/src/tree.cpp.o.d"
+  "libgmd_ml.a"
+  "libgmd_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgmd_ml.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/src/converter.cpp" "src/trace/CMakeFiles/gmd_trace.dir/src/converter.cpp.o" "gcc" "src/trace/CMakeFiles/gmd_trace.dir/src/converter.cpp.o.d"
+  "/root/repo/src/trace/src/formats.cpp" "src/trace/CMakeFiles/gmd_trace.dir/src/formats.cpp.o" "gcc" "src/trace/CMakeFiles/gmd_trace.dir/src/formats.cpp.o.d"
+  "/root/repo/src/trace/src/stats.cpp" "src/trace/CMakeFiles/gmd_trace.dir/src/stats.cpp.o" "gcc" "src/trace/CMakeFiles/gmd_trace.dir/src/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/gmd_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gmd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_trace.dir/src/converter.cpp.o"
+  "CMakeFiles/gmd_trace.dir/src/converter.cpp.o.d"
+  "CMakeFiles/gmd_trace.dir/src/formats.cpp.o"
+  "CMakeFiles/gmd_trace.dir/src/formats.cpp.o.d"
+  "CMakeFiles/gmd_trace.dir/src/stats.cpp.o"
+  "CMakeFiles/gmd_trace.dir/src/stats.cpp.o.d"
+  "libgmd_trace.a"
+  "libgmd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

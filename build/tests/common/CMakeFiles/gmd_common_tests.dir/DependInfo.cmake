@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_cli.cpp" "tests/common/CMakeFiles/gmd_common_tests.dir/test_cli.cpp.o" "gcc" "tests/common/CMakeFiles/gmd_common_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/common/test_csv.cpp" "tests/common/CMakeFiles/gmd_common_tests.dir/test_csv.cpp.o" "gcc" "tests/common/CMakeFiles/gmd_common_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/common/test_logging.cpp" "tests/common/CMakeFiles/gmd_common_tests.dir/test_logging.cpp.o" "gcc" "tests/common/CMakeFiles/gmd_common_tests.dir/test_logging.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/common/CMakeFiles/gmd_common_tests.dir/test_rng.cpp.o" "gcc" "tests/common/CMakeFiles/gmd_common_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/common/CMakeFiles/gmd_common_tests.dir/test_stats.cpp.o" "gcc" "tests/common/CMakeFiles/gmd_common_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_string_util.cpp" "tests/common/CMakeFiles/gmd_common_tests.dir/test_string_util.cpp.o" "gcc" "tests/common/CMakeFiles/gmd_common_tests.dir/test_string_util.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/common/CMakeFiles/gmd_common_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/common/CMakeFiles/gmd_common_tests.dir/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

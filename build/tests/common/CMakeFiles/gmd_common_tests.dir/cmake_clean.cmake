@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_common_tests.dir/test_cli.cpp.o"
+  "CMakeFiles/gmd_common_tests.dir/test_cli.cpp.o.d"
+  "CMakeFiles/gmd_common_tests.dir/test_csv.cpp.o"
+  "CMakeFiles/gmd_common_tests.dir/test_csv.cpp.o.d"
+  "CMakeFiles/gmd_common_tests.dir/test_logging.cpp.o"
+  "CMakeFiles/gmd_common_tests.dir/test_logging.cpp.o.d"
+  "CMakeFiles/gmd_common_tests.dir/test_rng.cpp.o"
+  "CMakeFiles/gmd_common_tests.dir/test_rng.cpp.o.d"
+  "CMakeFiles/gmd_common_tests.dir/test_stats.cpp.o"
+  "CMakeFiles/gmd_common_tests.dir/test_stats.cpp.o.d"
+  "CMakeFiles/gmd_common_tests.dir/test_string_util.cpp.o"
+  "CMakeFiles/gmd_common_tests.dir/test_string_util.cpp.o.d"
+  "CMakeFiles/gmd_common_tests.dir/test_thread_pool.cpp.o"
+  "CMakeFiles/gmd_common_tests.dir/test_thread_pool.cpp.o.d"
+  "gmd_common_tests"
+  "gmd_common_tests.pdb"
+  "gmd_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

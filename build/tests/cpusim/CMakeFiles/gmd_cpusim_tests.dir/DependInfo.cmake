@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpusim/test_address_space.cpp" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_address_space.cpp.o" "gcc" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_address_space.cpp.o.d"
+  "/root/repo/tests/cpusim/test_atomic_cpu.cpp" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_atomic_cpu.cpp.o" "gcc" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_atomic_cpu.cpp.o.d"
+  "/root/repo/tests/cpusim/test_cache.cpp" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_cache.cpp.o" "gcc" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/cpusim/test_cache_hierarchy.cpp" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_cache_hierarchy.cpp.o" "gcc" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_cache_hierarchy.cpp.o.d"
+  "/root/repo/tests/cpusim/test_config_io.cpp" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_config_io.cpp.o" "gcc" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_config_io.cpp.o.d"
+  "/root/repo/tests/cpusim/test_workload_properties.cpp" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_workload_properties.cpp.o" "gcc" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_workload_properties.cpp.o.d"
+  "/root/repo/tests/cpusim/test_workloads.cpp" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_workloads.cpp.o" "gcc" "tests/cpusim/CMakeFiles/gmd_cpusim_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpusim/CMakeFiles/gmd_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gmd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

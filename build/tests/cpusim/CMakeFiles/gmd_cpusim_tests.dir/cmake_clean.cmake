@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_cpusim_tests.dir/test_address_space.cpp.o"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_address_space.cpp.o.d"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_atomic_cpu.cpp.o"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_atomic_cpu.cpp.o.d"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_cache.cpp.o"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_cache.cpp.o.d"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_cache_hierarchy.cpp.o"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_cache_hierarchy.cpp.o.d"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_config_io.cpp.o"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_config_io.cpp.o.d"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_workload_properties.cpp.o"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_workload_properties.cpp.o.d"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_workloads.cpp.o"
+  "CMakeFiles/gmd_cpusim_tests.dir/test_workloads.cpp.o.d"
+  "gmd_cpusim_tests"
+  "gmd_cpusim_tests.pdb"
+  "gmd_cpusim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_cpusim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

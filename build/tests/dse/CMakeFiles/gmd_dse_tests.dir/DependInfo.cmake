@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dse/test_active_learning.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_active_learning.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_active_learning.cpp.o.d"
+  "/root/repo/tests/dse/test_config_space.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_config_space.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_config_space.cpp.o.d"
+  "/root/repo/tests/dse/test_dataset_builder.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_dataset_builder.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_dataset_builder.cpp.o.d"
+  "/root/repo/tests/dse/test_design_point.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_design_point.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_design_point.cpp.o.d"
+  "/root/repo/tests/dse/test_multi_study.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_multi_study.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_multi_study.cpp.o.d"
+  "/root/repo/tests/dse/test_pareto.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_pareto.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_pareto.cpp.o.d"
+  "/root/repo/tests/dse/test_recommend.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_recommend.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_recommend.cpp.o.d"
+  "/root/repo/tests/dse/test_report.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_report.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/dse/test_sensitivity.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_sensitivity.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/dse/test_surrogate.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_surrogate.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_surrogate.cpp.o.d"
+  "/root/repo/tests/dse/test_sweep.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_sweep.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_sweep.cpp.o.d"
+  "/root/repo/tests/dse/test_workflow.cpp" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_workflow.cpp.o" "gcc" "tests/dse/CMakeFiles/gmd_dse_tests.dir/test_workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dse/CMakeFiles/gmd_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gmd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/gmd_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/gmd_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gmd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gmd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

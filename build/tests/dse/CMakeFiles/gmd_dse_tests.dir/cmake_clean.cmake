@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_dse_tests.dir/test_active_learning.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_active_learning.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_config_space.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_config_space.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_dataset_builder.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_dataset_builder.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_design_point.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_design_point.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_multi_study.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_multi_study.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_pareto.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_pareto.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_recommend.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_recommend.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_report.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_report.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_sensitivity.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_sensitivity.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_surrogate.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_surrogate.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_sweep.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_sweep.cpp.o.d"
+  "CMakeFiles/gmd_dse_tests.dir/test_workflow.cpp.o"
+  "CMakeFiles/gmd_dse_tests.dir/test_workflow.cpp.o.d"
+  "gmd_dse_tests"
+  "gmd_dse_tests.pdb"
+  "gmd_dse_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_dse_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

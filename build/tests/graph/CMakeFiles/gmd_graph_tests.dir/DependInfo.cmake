@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_algorithms.cpp" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_algorithms.cpp.o" "gcc" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_algorithms.cpp.o.d"
+  "/root/repo/tests/graph/test_bfs.cpp" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_bfs.cpp.o" "gcc" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_bfs.cpp.o.d"
+  "/root/repo/tests/graph/test_csr.cpp" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_csr.cpp.o" "gcc" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_csr.cpp.o.d"
+  "/root/repo/tests/graph/test_edge_list.cpp" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_edge_list.cpp.o" "gcc" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_edge_list.cpp.o.d"
+  "/root/repo/tests/graph/test_generator_properties.cpp" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_generator_properties.cpp.o" "gcc" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_generator_properties.cpp.o.d"
+  "/root/repo/tests/graph/test_generators.cpp" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_generators.cpp.o" "gcc" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/graph/test_graph500.cpp" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_graph500.cpp.o" "gcc" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_graph500.cpp.o.d"
+  "/root/repo/tests/graph/test_io.cpp" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_io.cpp.o" "gcc" "tests/graph/CMakeFiles/gmd_graph_tests.dir/test_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gmd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_graph_tests.dir/test_algorithms.cpp.o"
+  "CMakeFiles/gmd_graph_tests.dir/test_algorithms.cpp.o.d"
+  "CMakeFiles/gmd_graph_tests.dir/test_bfs.cpp.o"
+  "CMakeFiles/gmd_graph_tests.dir/test_bfs.cpp.o.d"
+  "CMakeFiles/gmd_graph_tests.dir/test_csr.cpp.o"
+  "CMakeFiles/gmd_graph_tests.dir/test_csr.cpp.o.d"
+  "CMakeFiles/gmd_graph_tests.dir/test_edge_list.cpp.o"
+  "CMakeFiles/gmd_graph_tests.dir/test_edge_list.cpp.o.d"
+  "CMakeFiles/gmd_graph_tests.dir/test_generator_properties.cpp.o"
+  "CMakeFiles/gmd_graph_tests.dir/test_generator_properties.cpp.o.d"
+  "CMakeFiles/gmd_graph_tests.dir/test_generators.cpp.o"
+  "CMakeFiles/gmd_graph_tests.dir/test_generators.cpp.o.d"
+  "CMakeFiles/gmd_graph_tests.dir/test_graph500.cpp.o"
+  "CMakeFiles/gmd_graph_tests.dir/test_graph500.cpp.o.d"
+  "CMakeFiles/gmd_graph_tests.dir/test_io.cpp.o"
+  "CMakeFiles/gmd_graph_tests.dir/test_io.cpp.o.d"
+  "gmd_graph_tests"
+  "gmd_graph_tests.pdb"
+  "gmd_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memsim/test_address.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_address.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_address.cpp.o.d"
+  "/root/repo/tests/memsim/test_address_mapping.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_address_mapping.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_address_mapping.cpp.o.d"
+  "/root/repo/tests/memsim/test_channel.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_channel.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/memsim/test_config.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_config.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/memsim/test_config_io.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_config_io.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_config_io.cpp.o.d"
+  "/root/repo/tests/memsim/test_epochs.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_epochs.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_epochs.cpp.o.d"
+  "/root/repo/tests/memsim/test_hybrid.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_hybrid.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_hybrid.cpp.o.d"
+  "/root/repo/tests/memsim/test_memory_system.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_memory_system.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_memory_system.cpp.o.d"
+  "/root/repo/tests/memsim/test_migration.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_migration.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/memsim/test_properties.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_properties.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/memsim/test_rank_timing.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_rank_timing.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_rank_timing.cpp.o.d"
+  "/root/repo/tests/memsim/test_read_priority.cpp" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_read_priority.cpp.o" "gcc" "tests/memsim/CMakeFiles/gmd_memsim_tests.dir/test_read_priority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/gmd_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/gmd_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gmd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

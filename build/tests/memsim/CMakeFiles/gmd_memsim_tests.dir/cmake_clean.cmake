@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_memsim_tests.dir/test_address.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_address.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_address_mapping.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_address_mapping.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_channel.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_channel.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_config.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_config.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_config_io.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_config_io.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_epochs.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_epochs.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_hybrid.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_hybrid.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_memory_system.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_memory_system.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_migration.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_migration.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_rank_timing.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_rank_timing.cpp.o.d"
+  "CMakeFiles/gmd_memsim_tests.dir/test_read_priority.cpp.o"
+  "CMakeFiles/gmd_memsim_tests.dir/test_read_priority.cpp.o.d"
+  "gmd_memsim_tests"
+  "gmd_memsim_tests.pdb"
+  "gmd_memsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_memsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_dataset.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_dataset.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/ml/test_ensembles.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_ensembles.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_ensembles.cpp.o.d"
+  "/root/repo/tests/ml/test_feature_importance.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_feature_importance.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_feature_importance.cpp.o.d"
+  "/root/repo/tests/ml/test_gp.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_gp.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_gp.cpp.o.d"
+  "/root/repo/tests/ml/test_linear.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_linear.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_linear.cpp.o.d"
+  "/root/repo/tests/ml/test_matrix.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_matrix.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/ml/test_metrics.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_metrics.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_model_selection.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_model_selection.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_model_selection.cpp.o.d"
+  "/root/repo/tests/ml/test_regressors.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_regressors.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_regressors.cpp.o.d"
+  "/root/repo/tests/ml/test_scaler.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_scaler.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_scaler.cpp.o.d"
+  "/root/repo/tests/ml/test_serialize.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_serialize.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/ml/test_svr.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_svr.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_svr.cpp.o.d"
+  "/root/repo/tests/ml/test_tree.cpp" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_tree.cpp.o" "gcc" "tests/ml/CMakeFiles/gmd_ml_tests.dir/test_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/gmd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_ml_tests.dir/test_dataset.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_dataset.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_ensembles.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_ensembles.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_feature_importance.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_feature_importance.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_gp.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_gp.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_linear.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_linear.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_matrix.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_matrix.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_metrics.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_model_selection.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_model_selection.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_regressors.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_regressors.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_scaler.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_scaler.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_serialize.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_serialize.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_svr.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_svr.cpp.o.d"
+  "CMakeFiles/gmd_ml_tests.dir/test_tree.cpp.o"
+  "CMakeFiles/gmd_ml_tests.dir/test_tree.cpp.o.d"
+  "gmd_ml_tests"
+  "gmd_ml_tests.pdb"
+  "gmd_ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

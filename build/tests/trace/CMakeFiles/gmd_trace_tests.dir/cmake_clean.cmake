@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmd_trace_tests.dir/test_converter.cpp.o"
+  "CMakeFiles/gmd_trace_tests.dir/test_converter.cpp.o.d"
+  "CMakeFiles/gmd_trace_tests.dir/test_formats.cpp.o"
+  "CMakeFiles/gmd_trace_tests.dir/test_formats.cpp.o.d"
+  "CMakeFiles/gmd_trace_tests.dir/test_robustness.cpp.o"
+  "CMakeFiles/gmd_trace_tests.dir/test_robustness.cpp.o.d"
+  "CMakeFiles/gmd_trace_tests.dir/test_stats.cpp.o"
+  "CMakeFiles/gmd_trace_tests.dir/test_stats.cpp.o.d"
+  "gmd_trace_tests"
+  "gmd_trace_tests.pdb"
+  "gmd_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmd_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -110,6 +110,33 @@ void BM_MemorySimulationNvm(benchmark::State& state) {
 }
 BENCHMARK(BM_MemorySimulationNvm);
 
+/// The sweep's hot loop: replaying a shared predecoded trace (split,
+/// decode, and tick scaling already amortized across the config group).
+void BM_MemorySimulationPredecoded(benchmark::State& state) {
+  const auto trace = make_trace(1024);
+  const auto config = memsim::make_dram_config(2, 666, 3000);
+  const auto predecoded = memsim::PredecodedTrace::build(config, trace);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memsim::MemorySystem::simulate(config, predecoded));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_MemorySimulationPredecoded);
+
+/// The original scan-and-erase scheduler, as a same-binary baseline for
+/// the fast path (MemSimOptions::reference_mode).
+void BM_MemorySimulationReference(benchmark::State& state) {
+  const auto trace = make_trace(1024);
+  auto config = memsim::make_dram_config(2, 666, 3000);
+  config.sim.reference_mode = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memsim::MemorySystem::simulate(config, trace));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_MemorySimulationReference);
+
 void BM_TraceConverter(benchmark::State& state) {
   const auto trace = make_trace(1024);
   const auto dir = std::filesystem::temp_directory_path() / "gmd_bench_conv";

@@ -1,0 +1,76 @@
+/// \file bench_sweep.cpp
+/// Sweep-throughput gauge: times the memory simulator's event loop on
+/// the default FR-FCFS/open-page DRAM config and the full 416-point
+/// `run_sweep` over the paper's design space, then prints the numbers
+/// as JSON (redirect to BENCH_sweep.json to record a run).
+
+#include <chrono>
+#include <cstdio>
+
+#include "gmd/cpusim/workloads.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/dse/sweep.hpp"
+#include "gmd/graph/generators.hpp"
+#include "gmd/memsim/memory_system.hpp"
+
+namespace {
+
+using namespace gmd;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<cpusim::MemoryEvent> make_trace() {
+  graph::UniformRandomParams params;
+  params.num_vertices = 1024;
+  params.edge_factor = 16;
+  graph::EdgeList list = graph::generate_uniform_random(params);
+  graph::symmetrize(list);
+  graph::remove_self_loops_and_duplicates(list);
+  const auto g = graph::CsrGraph::from_edge_list(list);
+  cpusim::VectorSink sink;
+  cpusim::AtomicCpu cpu(cpusim::CpuModel{}, &sink);
+  cpusim::BfsWorkload(g, 0).run(cpu);
+  return sink.take();
+}
+
+}  // namespace
+
+int main() {
+  const auto trace = make_trace();
+  const auto config = memsim::make_dram_config(2, 666, 3000);
+
+  // Single-config event throughput (the bench_micro BM_MemorySimulation
+  // shape): repeat until ~2 s have elapsed.
+  std::size_t runs = 0;
+  std::uint64_t checksum = 0;
+  const auto micro_start = Clock::now();
+  double micro_seconds = 0.0;
+  do {
+    const auto m = memsim::MemorySystem::simulate(config, trace);
+    checksum += m.total_reads + m.total_writes;
+    ++runs;
+    micro_seconds = seconds_since(micro_start);
+  } while (micro_seconds < 2.0);
+  const double events_per_second =
+      static_cast<double>(trace.size()) * static_cast<double>(runs) /
+      micro_seconds;
+
+  // Full-space sweep wall-clock.
+  const auto points = dse::paper_design_space();
+  const auto sweep_start = Clock::now();
+  const auto rows = dse::run_sweep(points, trace);
+  const double sweep_seconds = seconds_since(sweep_start);
+
+  std::printf("{\n");
+  std::printf("  \"trace_events\": %zu,\n", trace.size());
+  std::printf("  \"memsim_events_per_second\": %.0f,\n", events_per_second);
+  std::printf("  \"sweep_points\": %zu,\n", rows.size());
+  std::printf("  \"sweep_seconds\": %.3f,\n", sweep_seconds);
+  std::printf("  \"checksum\": %llu\n",
+              static_cast<unsigned long long>(checksum));
+  std::printf("}\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Pre-merge check: configure (Release, warnings on), build, run the full
+# test suite, then print the sweep microbenchmark gauges so perf
+# regressions are visible next to the test results.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo
+echo "== memsim microbenchmarks =="
+"$BUILD_DIR/bench/bench_micro" \
+  --benchmark_filter='BM_MemorySimulation' --benchmark_min_time=2
+
+echo
+echo "== sweep gauge (compare against BENCH_sweep.json) =="
+"$BUILD_DIR/bench/bench_sweep"

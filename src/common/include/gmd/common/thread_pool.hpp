@@ -41,9 +41,12 @@ class ThreadPool {
   void wait();
 
   /// Runs fn(i) for i in [begin, end) across the pool and waits.
-  /// Work is divided into contiguous chunks, one per worker.
+  /// Workers claim batches of `grain` consecutive indices from a shared
+  /// atomic counter, so uneven per-index costs rebalance dynamically
+  /// instead of serializing behind the slowest static chunk.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
 
  private:
   void worker_loop();

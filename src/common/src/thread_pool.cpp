@@ -1,6 +1,8 @@
 #include "gmd/common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "gmd/common/error.hpp"
 
@@ -47,17 +49,26 @@ void ThreadPool::wait() {
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
   if (begin >= end) return;
+  GMD_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
   const std::size_t total = end - begin;
-  const std::size_t chunks = std::min(total, workers_.size());
-  const std::size_t chunk_size = (total + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    if (lo >= hi) break;
-    submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+  const std::size_t tasks =
+      std::min(workers_.size(), (total + grain - 1) / grain);
+  // One claiming loop per worker; batches of `grain` indices are handed
+  // out from a shared counter so a worker that draws expensive indices
+  // simply claims fewer batches.
+  const auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([next, begin, total, grain, &fn] {
+      while (true) {
+        const std::size_t lo =
+            next->fetch_add(grain, std::memory_order_relaxed);
+        if (lo >= total) return;
+        const std::size_t hi = std::min(total, lo + grain);
+        for (std::size_t i = lo; i < hi; ++i) fn(begin + i);
+      }
     });
   }
   wait();

@@ -3,7 +3,11 @@
 /// \file sweep.hpp
 /// Runs the memory simulator over a set of design points — the
 /// labeled-data-generation stage of the workflow (NVMain's role in
-/// Figure 1).  Points are simulated in parallel on a thread pool.
+/// Figure 1).  Points are simulated in parallel on a thread pool with
+/// dynamic load balancing (expensive points first, workers claim points
+/// from a shared counter), and points that share a decode geometry
+/// share one predecoded trace instead of re-splitting and re-decoding
+/// the event stream per config.
 
 #include <cstddef>
 #include <span>
@@ -23,6 +27,11 @@ struct SweepRow {
 struct SweepOptions {
   std::size_t num_threads = 0;  ///< 0: hardware concurrency.
   bool log_progress = false;
+  /// Build one PredecodedTrace per unique decode geometry and replay it
+  /// for every point in the group (identical results, much less
+  /// per-point work).  Off = predecode nothing and run every point
+  /// through the raw event path, as a validation baseline.
+  bool share_predecoded_traces = true;
 };
 
 /// Simulates every design point against the same memory trace.

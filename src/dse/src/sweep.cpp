@@ -1,13 +1,49 @@
 #include "gmd/dse/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "gmd/common/logging.hpp"
 #include "gmd/common/thread_pool.hpp"
 #include "gmd/memsim/hybrid.hpp"
 #include "gmd/memsim/memory_system.hpp"
+#include "gmd/memsim/predecoded_trace.hpp"
 
 namespace gmd::dse {
+
+namespace {
+
+/// Per-point simulation plan: which shared trace group (if any) the
+/// point replays, and the materialized config so it is built once.
+struct PointPlan {
+  std::size_t group = kNoGroup;  ///< Index into the group tables.
+  memsim::MemoryConfig single;   ///< kDram / kNvm points.
+  memsim::HybridConfig hybrid;   ///< kHybrid points.
+
+  static constexpr std::size_t kNoGroup = ~std::size_t{0};
+};
+
+/// One shared predecode job: every member point replays these streams.
+struct TraceGroup {
+  bool is_hybrid = false;
+  std::size_t rep = 0;  ///< Point index whose config defines the group.
+  memsim::PredecodedTrace trace;       // single-technology groups
+  memsim::PredecodedTrace dram_side;   // hybrid groups
+  memsim::PredecodedTrace nvm_side;
+};
+
+/// Relative simulation cost used to order points most-expensive-first,
+/// so the dynamic scheduler never strands a long point at the tail of
+/// the sweep.  Hybrid points drive two memory systems.
+double point_cost(const DesignPoint& point) {
+  return point.kind == MemoryKind::kHybrid ? 2.0 : 1.0;
+}
+
+}  // namespace
 
 memsim::MemoryMetrics simulate_point(
     const DesignPoint& point, std::span<const cpusim::MemoryEvent> trace) {
@@ -21,11 +57,73 @@ std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
                                 std::span<const cpusim::MemoryEvent> trace,
                                 const SweepOptions& options) {
   std::vector<SweepRow> rows(points.size());
-  std::atomic<std::size_t> done{0};
   ThreadPool pool(options.num_threads);
-  pool.parallel_for(0, points.size(), [&](std::size_t i) {
+
+  // Group points by decode geometry.  Decode (and, for static hybrids,
+  // routing) depends only on the mapping geometry and clocks, so all
+  // members of a group — e.g. every NVM tRCD variant of a sweep cell —
+  // replay one shared predecoded request stream.
+  std::vector<PointPlan> plans(points.size());
+  std::vector<TraceGroup> groups;
+  if (options.share_predecoded_traces) {
+    std::unordered_map<std::string, std::size_t> group_of_key;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      PointPlan& plan = plans[i];
+      std::string key;
+      bool is_hybrid = false;
+      if (points[i].kind == MemoryKind::kHybrid) {
+        plan.hybrid = points[i].hybrid_config();
+        if (plan.hybrid.migration_threshold != 0) continue;  // dynamic routing
+        key = memsim::hybrid_trace_key(plan.hybrid);
+        is_hybrid = true;
+      } else {
+        plan.single = points[i].single_config();
+        key = memsim::PredecodedTrace::key(plan.single);
+      }
+      const auto [it, inserted] = group_of_key.emplace(key, groups.size());
+      if (inserted) {
+        groups.push_back(TraceGroup{is_hybrid, i, {}, {}, {}});
+      }
+      plan.group = it->second;
+    }
+    // Predecode each group once, in parallel.
+    pool.parallel_for(0, groups.size(), [&](std::size_t g) {
+      TraceGroup& group = groups[g];
+      if (group.is_hybrid) {
+        auto sides = memsim::predecode_hybrid(plans[group.rep].hybrid, trace);
+        group.dram_side = std::move(sides.first);
+        group.nvm_side = std::move(sides.second);
+      } else {
+        group.trace =
+            memsim::PredecodedTrace::build(plans[group.rep].single, trace);
+      }
+    });
+  }
+
+  // Expensive points first: with workers claiming one point at a time,
+  // the costly tail can no longer serialize the sweep.
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return point_cost(points[a]) > point_cost(points[b]);
+                   });
+
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(0, points.size(), [&](std::size_t k) {
+    const std::size_t i = order[k];
+    const PointPlan& plan = plans[i];
     rows[i].point = points[i];
-    rows[i].metrics = simulate_point(points[i], trace);
+    if (plan.group == PointPlan::kNoGroup) {
+      rows[i].metrics = simulate_point(points[i], trace);
+    } else if (groups[plan.group].is_hybrid) {
+      rows[i].metrics = memsim::HybridMemory::simulate(
+          plan.hybrid, groups[plan.group].dram_side,
+          groups[plan.group].nvm_side);
+    } else {
+      rows[i].metrics =
+          memsim::MemorySystem::simulate(plan.single, groups[plan.group].trace);
+    }
     const std::size_t finished = done.fetch_add(1) + 1;
     if (options.log_progress && finished % 50 == 0) {
       GMD_LOG_INFO << "sweep progress: " << finished << "/" << points.size();

@@ -56,6 +56,15 @@ class AddressDecoder {
   std::uint32_t columns_per_row_;
   std::uint64_t access_bytes_;
   std::array<Field, 5> lsb_to_msb_{};  ///< Decode order.
+
+  /// When every field size (and the access size) is a power of two —
+  /// the usual hardware geometry — each field is a fixed bit slice of
+  /// the address and decode() is five shift-and-masks instead of five
+  /// divisions.  shift_/mask_ are indexed by Field.
+  bool pow2_ = false;
+  std::uint32_t access_shift_ = 0;
+  std::array<std::uint32_t, 5> shift_{};
+  std::array<std::uint32_t, 5> mask_{};
 };
 
 }  // namespace gmd::memsim

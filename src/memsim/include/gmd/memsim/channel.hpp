@@ -74,6 +74,18 @@ struct ChannelStats {
 
 /// Channel controller.  Requests must be offered in arrival order
 /// (enqueue() asserts monotone arrivals); drain() finishes the run.
+///
+/// Two scheduler implementations produce identical results:
+///  - the fast path (default): the transaction queue lives in a 64-slot
+///    window whose scheduling state is a handful of 64-bit masks (live
+///    entries, writes, open-row hits, per-bank membership), one bit per
+///    slot.  Slots fill left to right, so bit position is enqueue
+///    (= arrival) order and each pick is a count-trailing-zeros over an
+///    AND of masks instead of an O(queue_depth) scan;
+///  - the reference path (MemSimOptions::reference_mode): the original
+///    vector scan + erase, kept so the equivalence suite can prove the
+///    fast path bit-identical.  Queue depths beyond the fast window
+///    also run here.
 class Channel {
  public:
   /// \param config  Memory configuration (geometry/timing/policy);
@@ -86,6 +98,13 @@ class Channel {
   /// point — the back-pressure NVMain's blocking trace reader applies,
   /// which keeps queuing delays bounded by the queue depth.
   void enqueue(const Request& request);
+
+  /// enqueue() minus the argument checks, for callers that guarantee
+  /// arrival order and rank/bank ranges up front (predecoded traces
+  /// establish both once at build time).  Does not advance the
+  /// arrival-order watermark, so don't mix with checked enqueue() on
+  /// one channel.
+  void enqueue_trusted(const Request& request);
 
   /// Services every queued transaction.
   void drain();
@@ -103,29 +122,80 @@ class Channel {
   };
 
  private:
-  /// Picks the next queue index per scheduling policy.
-  std::size_t pick_next() const;
-  /// Services queue_[index], removing it from the queue; returns the
-  /// request's completion cycle.
-  std::uint64_t service(std::size_t index);
-  /// Pushes `cycle` past any refresh window it falls into and charges
-  /// refresh energy bookkeeping.
-  std::uint64_t after_refresh(std::uint64_t cycle) const;
+  /// Applies the timing algebra and statistics for one request; shared
+  /// by the reference and fast paths.  `b` must be flat_bank(request)
+  /// and `row_hit` whether the bank's open row matches — both callers
+  /// already have them.  Returns the completion cycle.
+  std::uint64_t service_request(Request request, std::size_t b, bool row_hit);
+  /// Pushes `cycle` past any refresh window it falls into.  Caches the
+  /// containing window so the common case (consecutive requests in the
+  /// same window) costs two compares instead of a division.
+  std::uint64_t after_refresh(std::uint64_t cycle);
   /// Delays an ACT at `cycle` until the rank's tRRD/tFAW limits allow
   /// it, then records the activation.
   std::uint64_t constrain_and_record_activate(std::uint32_t rank,
                                               std::uint64_t cycle);
 
+  std::size_t flat_bank(const Request& request) const {
+    return static_cast<std::size_t>(request.rank) * config_.banks +
+           request.bank;
+  }
+
+  // Reference path ----------------------------------------------------
+  /// Picks the next queue index per scheduling policy.
+  std::size_t pick_next() const;
+  /// Services queue_[index], removing it from the queue; returns the
+  /// request's completion cycle.
+  std::uint64_t service(std::size_t index);
+
+  // Fast path ----------------------------------------------------------
+  /// Window capacity: one bit of each scheduling mask per slot.
+  static constexpr std::uint32_t kWindow = 64;
+  /// Largest queue depth the fast path serves.  Depths above this leave
+  /// too little slack between the queue and the window edge (compaction
+  /// runs every kWindow - queue_depth inserts), so such configs use the
+  /// reference path instead.
+  static constexpr std::uint32_t kMaxFastDepth = 48;
+
+  /// Places one admitted request into the window and the masks.
+  void fast_insert(const Request& pending);
+  /// Moves the live slots back to the front of the window, preserving
+  /// order; runs when an insert reaches the window edge.
+  void compact_window();
+  /// Picks and services the scheduler's next request; returns its
+  /// completion cycle.
+  std::uint64_t fast_service_next();
+  std::uint64_t fast_service_slot(std::uint32_t s);
+
   MemoryConfig config_;
+  std::uint64_t access_bytes_;          // config_.access_bytes(), hoisted
   std::vector<BankState> banks_;        // ranks * banks, rank-major
   std::vector<RankState> ranks_;        // activation-rate tracking
-  std::vector<Request> queue_;          // pending, arrival order
   std::uint64_t now_ = 0;               // controller command clock
   std::uint64_t bus_free_ = 0;          // data bus availability
   std::uint64_t last_cas_ = 0;          // channel-level tCCD spacing
   std::uint64_t last_arrival_ = 0;
   std::uint64_t stall_until_ = 0;  // back-pressure point for new arrivals
+  std::uint64_t refresh_window_ = 0;  // cached tREFI window start
   ChannelStats stats_;
+
+  // Reference-path storage.
+  std::vector<Request> queue_;          // pending, arrival order
+
+  // Fast-path storage.
+  bool fast_ = true;
+  bool track_hits_ = false;  // FR-FCFS + open page maintains hit bits
+  std::uint64_t live_mask_ = 0;   // slots holding a pending request
+  std::uint64_t write_mask_ = 0;  // pending writes
+  std::uint64_t hit_mask_ = 0;    // pending open-row hits
+  std::uint32_t pos_ = 0;         // next insert slot; monotone between
+                                  // compactions, so position = age
+  std::uint32_t arrived_ = 0;     // cached arrival<=horizon boundary
+  std::uint32_t queued_reads_ = 0;
+  std::uint32_t queued_writes_ = 0;
+  std::array<Request, kWindow> window_{};
+  std::array<std::uint32_t, kWindow> slot_bank_{};  // flat bank per slot
+  std::vector<std::uint64_t> bank_mask_;  // per flat bank: live members
 };
 
 }  // namespace gmd::memsim

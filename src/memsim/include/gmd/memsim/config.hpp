@@ -60,6 +60,16 @@ struct EnergyParams {
   double static_mw = 20.0;
 };
 
+/// Simulator implementation switches — not part of the modeled
+/// hardware, so presets and config files never touch them.
+struct MemSimOptions {
+  /// Run the original O(queue_depth) vector-scan scheduler instead of
+  /// the bitmask-window fast path.  Both produce identical metrics; the
+  /// flag exists so the equivalence suite can prove it and so a
+  /// regression can be bisected against the reference implementation.
+  bool reference_mode = false;
+};
+
 /// One memory system (a single technology).  Hybrid systems combine two.
 struct MemoryConfig {
   std::string name = "dram";
@@ -118,8 +128,71 @@ struct MemoryConfig {
     return bytes_per_bank() * banks * ranks * channels;
   }
 
+  /// Simulator implementation switches (see MemSimOptions).
+  MemSimOptions sim;
+
   /// Throws gmd::Error when any field is inconsistent.
   void validate() const;
+};
+
+/// Converts a CPU tick to a memory-controller cycle for `config`:
+/// cycle = tick * clock / cpu_freq, with a 128-bit intermediate to stay
+/// exact for long traces.
+inline std::uint64_t tick_to_memory_cycle(const MemoryConfig& config,
+                                          std::uint64_t tick) {
+  return static_cast<std::uint64_t>(static_cast<__uint128_t>(tick) *
+                                    config.clock_mhz / config.cpu_freq_mhz);
+}
+
+/// Incremental tick-to-cycle converter for (mostly) monotone tick
+/// streams.  Carries the running division remainder forward, so the
+/// common case — a small tick delta — costs a multiply and a few
+/// subtractions instead of a 128-bit division per event.  Returns
+/// exactly tick_to_memory_cycle() for every input; out-of-order ticks
+/// take a stateless fallback.
+class TickConverter {
+ public:
+  explicit TickConverter(const MemoryConfig& config)
+      : clock_(config.clock_mhz), cpu_(config.cpu_freq_mhz) {}
+
+  std::uint64_t operator()(std::uint64_t tick) {
+    if (tick < prev_tick_) {  // out of order: exact, state untouched
+      return static_cast<std::uint64_t>(static_cast<__uint128_t>(tick) *
+                                        clock_ / cpu_);
+    }
+    const std::uint64_t dt = tick - prev_tick_;
+    prev_tick_ = tick;
+    if (dt > kMaxDelta) {  // dt * clock could overflow 64 bits: restart
+      const auto num = static_cast<__uint128_t>(tick) * clock_;
+      cycle_ = static_cast<std::uint64_t>(num / cpu_);
+      rem_ = static_cast<std::uint64_t>(num % cpu_);
+      return cycle_;
+    }
+    // Invariant: prev_tick * clock == cycle * cpu + rem, rem < cpu.
+    std::uint64_t num = dt * clock_ + rem_;
+    if (num >= cpu_) {
+      if (num < (static_cast<std::uint64_t>(cpu_) << 4)) {
+        do {
+          num -= cpu_;
+          ++cycle_;
+        } while (num >= cpu_);
+      } else {
+        cycle_ += num / cpu_;
+        num %= cpu_;
+      }
+    }
+    rem_ = num;
+    return cycle_;
+  }
+
+ private:
+  static constexpr std::uint64_t kMaxDelta = std::uint64_t{1} << 32;
+
+  std::uint32_t clock_;
+  std::uint32_t cpu_;
+  std::uint64_t prev_tick_ = 0;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t rem_ = 0;
 };
 
 /// Paper presets ----------------------------------------------------------

@@ -10,13 +10,16 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "gmd/cpusim/memory_event.hpp"
 #include "gmd/memsim/config.hpp"
 #include "gmd/memsim/memory_system.hpp"
 #include "gmd/memsim/metrics.hpp"
+#include "gmd/memsim/predecoded_trace.hpp"
 
 namespace gmd::memsim {
 
@@ -62,9 +65,28 @@ class HybridMemory {
   static MemoryMetrics simulate(const HybridConfig& config,
                                 std::span<const cpusim::MemoryEvent> trace);
 
+  /// Fast path over pre-routed, pre-decoded side traces (see
+  /// predecode_hybrid).  Only valid for static splits
+  /// (migration_threshold == 0), where routing does not depend on the
+  /// access history; identical results to the event path.
+  static MemoryMetrics simulate(const HybridConfig& config,
+                                const PredecodedTrace& dram_trace,
+                                const PredecodedTrace& nvm_trace);
+
   /// True when `address` routes to the DRAM side (static hash or a
   /// promoted hot page).
   bool routes_to_dram(std::uint64_t address) const;
+
+  /// True when `address` hashes to the DRAM side of a static split —
+  /// the routing every access gets before any page is promoted.
+  static bool static_routes_to_dram(const HybridConfig& config,
+                                    std::uint64_t address);
+
+  /// Merges per-side metrics the way finish() reports them: counters
+  /// summed, latencies request-weighted, rate metrics channel- or
+  /// bank-weighted.
+  static MemoryMetrics merge_metrics(const MemoryMetrics& dram,
+                                     const MemoryMetrics& nvm);
 
   /// Pages promoted so far (0 when migration is disabled).
   std::uint64_t pages_migrated() const { return pages_migrated_; }
@@ -79,5 +101,17 @@ class HybridMemory {
   std::unordered_set<std::uint64_t> promoted_pages_;
   std::uint64_t pages_migrated_ = 0;
 };
+
+/// Routes and predecodes a trace for a static-split hybrid config
+/// (migration_threshold == 0): returns the {DRAM side, NVM side}
+/// request streams ready for HybridMemory::simulate's fast path.  Both
+/// sides can be shared by every hybrid point with the same
+/// hybrid_trace_key().
+std::pair<PredecodedTrace, PredecodedTrace> predecode_hybrid(
+    const HybridConfig& config, std::span<const cpusim::MemoryEvent> trace);
+
+/// Sharing key for predecode_hybrid results: both sides' decode keys
+/// plus the routing fields (dram_fraction, page_bytes).
+std::string hybrid_trace_key(const HybridConfig& config);
 
 }  // namespace gmd::memsim

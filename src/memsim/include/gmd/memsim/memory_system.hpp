@@ -8,14 +8,15 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "gmd/common/flat_counter.hpp"
 #include "gmd/cpusim/memory_event.hpp"
 #include "gmd/memsim/address.hpp"
 #include "gmd/memsim/channel.hpp"
 #include "gmd/memsim/config.hpp"
 #include "gmd/memsim/metrics.hpp"
+#include "gmd/memsim/predecoded_trace.hpp"
 
 namespace gmd::memsim {
 
@@ -30,6 +31,11 @@ class MemorySystem {
   /// the memory clock.  Accesses wider than one memory word are split.
   void enqueue_event(const cpusim::MemoryEvent& event);
 
+  /// Feeds an already split/decoded/scaled request stream.  The trace's
+  /// decode key must match this system's config (GMD_REQUIRE'd);
+  /// produces results identical to replaying the raw events.
+  void enqueue_predecoded(const PredecodedTrace& trace);
+
   /// Drains all controllers and computes the final metrics.
   MemoryMetrics finish();
 
@@ -37,18 +43,25 @@ class MemorySystem {
   static MemoryMetrics simulate(const MemoryConfig& config,
                                 std::span<const cpusim::MemoryEvent> trace);
 
+  /// One-shot fast path over a shared predecoded trace — the sweep's
+  /// hot loop, which skips per-config word splitting and address
+  /// decoding entirely.
+  static MemoryMetrics simulate(const MemoryConfig& config,
+                                const PredecodedTrace& trace);
+
   /// Converts a CPU tick to a memory-controller cycle.
   std::uint64_t tick_to_memory_cycle(std::uint64_t tick) const;
 
   const std::vector<Channel>& channels() const { return channels_; }
 
  private:
-  void enqueue_word(std::uint64_t tick, std::uint64_t address, bool is_write);
+  void enqueue_word(std::uint64_t cycle, std::uint64_t address, bool is_write);
 
   MemoryConfig config_;
   AddressDecoder decoder_;
   std::vector<Channel> channels_;
-  std::unordered_map<std::uint64_t, std::uint64_t> line_writes_;
+  TickConverter ticker_{config_};  ///< Per-event tick scaling.
+  FlatCounter line_writes_;  ///< 64B-line write counts (endurance).
   bool finished_ = false;
 };
 

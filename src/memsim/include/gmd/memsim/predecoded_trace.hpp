@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file predecoded_trace.hpp
+/// A memory-event trace with the per-config preprocessing already done:
+/// wide accesses split into word-granular requests, addresses decoded to
+/// (channel, rank, bank, row, column), CPU ticks scaled to controller
+/// cycles, and 64B endurance line indexes computed.  The decode depends
+/// only on the mapping geometry and the two clocks — not on timing,
+/// energy, or controller policy — so one predecoded trace feeds every
+/// sweep point that shares those fields (e.g. all six NVM tRCD variants
+/// of a cell), instead of re-running AddressDecoder::decode per event
+/// per config.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gmd/cpusim/memory_event.hpp"
+#include "gmd/memsim/address.hpp"
+#include "gmd/memsim/channel.hpp"
+#include "gmd/memsim/config.hpp"
+
+namespace gmd::memsim {
+
+/// Ready-to-enqueue request stream, one entry per word-granular
+/// request, in arrival order.  Replay hands each Request straight to
+/// its channel — no per-event assembly left.
+struct PredecodedTrace {
+  std::vector<Request> request;        ///< Decoded, cycle-stamped.
+  std::vector<std::uint32_t> channel;  ///< Target channel per request.
+  std::vector<std::uint64_t> line;     ///< 64B line index (endurance).
+
+  /// The decode key this trace was built for (see key()); simulate()
+  /// refuses a config with a different key.
+  std::string config_key;
+
+  std::size_t size() const { return request.size(); }
+  void reserve(std::size_t n);
+
+  /// Splits, scales, and decodes one event onto the end of the arrays.
+  /// `decoder` and `ticker` must have been built from `config` (the
+  /// ticker carries the incremental tick-scaling state across events).
+  void append_event(const MemoryConfig& config, const AddressDecoder& decoder,
+                    TickConverter& ticker, const cpusim::MemoryEvent& event);
+
+  /// Predecodes a whole trace for `config`'s decode geometry.
+  static PredecodedTrace build(const MemoryConfig& config,
+                               std::span<const cpusim::MemoryEvent> trace);
+
+  /// The fields the predecode depends on, serialized: mapping scheme,
+  /// geometry, access size, and the two clocks.  Configs with equal
+  /// keys can share one predecoded trace.
+  static std::string key(const MemoryConfig& config);
+};
+
+}  // namespace gmd::memsim

@@ -1,6 +1,7 @@
 #include "gmd/memsim/address.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "gmd/common/error.hpp"
 #include "gmd/common/string_util.hpp"
@@ -49,6 +50,20 @@ AddressDecoder::AddressDecoder(const MemoryConfig& config)
     // tokens are MSB first; store reversed.
     lsb_to_msb_[4 - i] = field;
   }
+
+  const auto is_pow2 = [](std::uint64_t v) { return v && (v & (v - 1)) == 0; };
+  pow2_ = is_pow2(access_bytes_);
+  std::uint32_t shift = 0;
+  for (const Field field : lsb_to_msb_) {
+    const std::uint32_t size = field_size(field);
+    pow2_ = pow2_ && is_pow2(size);
+    const auto index = static_cast<std::size_t>(field);
+    shift_[index] = shift;
+    mask_[index] = size - 1;
+    shift += static_cast<std::uint32_t>(std::countr_zero(size));
+  }
+  access_shift_ = static_cast<std::uint32_t>(std::countr_zero(
+      static_cast<std::uint32_t>(access_bytes_)));
 }
 
 std::uint32_t AddressDecoder::field_size(Field field) const {
@@ -68,6 +83,22 @@ std::uint32_t AddressDecoder::field_size(Field field) const {
 }
 
 DecodedAddress AddressDecoder::decode(std::uint64_t address) const {
+  if (pow2_) {
+    // Power-of-two geometry: each field is a bit slice (the shift/mask
+    // pair computes exactly the division/modulo of the general path).
+    const std::uint64_t unit = address >> access_shift_;
+    const auto field = [&](Field f) {
+      const auto i = static_cast<std::size_t>(f);
+      return static_cast<std::uint32_t>(unit >> shift_[i]) & mask_[i];
+    };
+    DecodedAddress out;
+    out.row = field(Field::kRow);
+    out.rank = field(Field::kRank);
+    out.bank = field(Field::kBank);
+    out.column = field(Field::kColumn);
+    out.channel = field(Field::kChannel);
+    return out;
+  }
   std::uint64_t unit = address / access_bytes_;
   DecodedAddress out;
   for (const Field field : lsb_to_msb_) {

@@ -1,17 +1,39 @@
 #include "gmd/memsim/channel.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "gmd/common/error.hpp"
 
 namespace gmd::memsim {
 
-Channel::Channel(const MemoryConfig& config) : config_(config) {
+namespace {
+
+/// Mask with bits [0, n) set; n may be 64.
+inline std::uint64_t low_bits(std::uint32_t n) {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+inline std::uint32_t first_bit(std::uint64_t mask) {
+  return static_cast<std::uint32_t>(std::countr_zero(mask));
+}
+
+}  // namespace
+
+Channel::Channel(const MemoryConfig& config)
+    : config_(config), access_bytes_(config.access_bytes()) {
   config.validate();
   banks_.resize(static_cast<std::size_t>(config.ranks) * config.banks);
   ranks_.resize(config.ranks);
   stats_.bank_bytes.assign(banks_.size(), 0);
-  queue_.reserve(config.queue_depth);
+  fast_ = !config.sim.reference_mode && config.queue_depth <= kMaxFastDepth;
+  track_hits_ = fast_ && config.scheduling == SchedulingPolicy::kFrFcfs &&
+                config.page_policy == PagePolicy::kOpen;
+  if (fast_) {
+    bank_mask_.assign(banks_.size(), 0);
+  } else {
+    queue_.reserve(config.queue_depth);
+  }
 }
 
 std::uint64_t Channel::constrain_and_record_activate(std::uint32_t rank,
@@ -40,11 +62,23 @@ void Channel::enqueue(const Request& request) {
   last_arrival_ = request.arrival;
   GMD_REQUIRE(request.rank < config_.ranks && request.bank < config_.banks,
               "request rank/bank out of range");
+  enqueue_trusted(request);
+}
+
+void Channel::enqueue_trusted(const Request& request) {
   Request pending = request;
   pending.arrival = std::max(pending.arrival, stall_until_);
+  if (fast_) {
+    while (queued_reads_ + queued_writes_ >= config_.queue_depth) {
+      // Queue full: the trace reader blocks until the controller retires
+      // an entry; the incoming request cannot arrive before that.
+      stall_until_ = std::max(stall_until_, fast_service_next());
+      pending.arrival = std::max(pending.arrival, stall_until_);
+    }
+    fast_insert(pending);
+    return;
+  }
   while (queue_.size() >= config_.queue_depth) {
-    // Queue full: the trace reader blocks until the controller retires
-    // an entry; the incoming request cannot arrive before that.
     stall_until_ = std::max(stall_until_, service(pick_next()));
     pending.arrival = std::max(pending.arrival, stall_until_);
   }
@@ -52,20 +86,35 @@ void Channel::enqueue(const Request& request) {
 }
 
 void Channel::drain() {
-  while (!queue_.empty()) {
-    service(pick_next());
+  if (fast_) {
+    while (live_mask_ != 0) fast_service_next();
+  } else {
+    while (!queue_.empty()) service(pick_next());
+  }
+  // Per-bank byte totals and the refresh count are pure functions of
+  // final bank state / wall clock: one pass here instead of bookkeeping
+  // on every retire.
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    stats_.bank_bytes[i] = banks_[i].bytes_transferred;
+  }
+  if (config_.timing.tREFI != 0) {
+    stats_.refreshes = stats_.last_completion / config_.timing.tREFI;
   }
 }
 
-std::uint64_t Channel::after_refresh(std::uint64_t cycle) const {
-  if (config_.timing.tREFI == 0) return cycle;
-  const std::uint64_t window = cycle / config_.timing.tREFI;
-  const std::uint64_t window_start = window * config_.timing.tREFI;
-  if (cycle < window_start + config_.timing.tRFC) {
-    return window_start + config_.timing.tRFC;
+std::uint64_t Channel::after_refresh(std::uint64_t cycle) {
+  const TimingParams& t = config_.timing;
+  if (t.tREFI == 0) return cycle;
+  // Command times cluster, so `cycle` almost always falls in the cached
+  // window; recompute (one division) only on a window change.
+  if (cycle < refresh_window_ || cycle - refresh_window_ >= t.tREFI) {
+    refresh_window_ = cycle / t.tREFI * t.tREFI;
   }
+  if (cycle < refresh_window_ + t.tRFC) return refresh_window_ + t.tRFC;
   return cycle;
 }
+
+// Reference path ------------------------------------------------------
 
 std::size_t Channel::pick_next() const {
   GMD_ASSERT(!queue_.empty(), "pick_next on empty queue");
@@ -107,8 +156,7 @@ std::size_t Channel::pick_next() const {
     const Request& r = queue_[i];
     if (r.arrival > horizon) break;  // queue is arrival-ordered
     if (!eligible(r)) continue;
-    const BankState& bank =
-        banks_[static_cast<std::size_t>(r.rank) * config_.banks + r.bank];
+    const BankState& bank = banks_[flat_bank(r)];
     if (bank.open_row && *bank.open_row == r.row) return i;
   }
   return oldest;
@@ -116,13 +164,130 @@ std::size_t Channel::pick_next() const {
 
 std::uint64_t Channel::service(std::size_t index) {
   GMD_ASSERT(index < queue_.size(), "service index out of range");
-  Request request = queue_[index];
+  const Request request = queue_[index];
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  const std::size_t b = flat_bank(request);
+  const BankState& bank = banks_[b];
+  const bool row_hit = bank.open_row && *bank.open_row == request.row;
+  return service_request(request, b, row_hit);
+}
 
+// Fast path -----------------------------------------------------------
+
+void Channel::fast_insert(const Request& pending) {
+  if (pos_ == kWindow) compact_window();
+  const std::uint32_t s = pos_++;
+  const std::uint64_t bit = std::uint64_t{1} << s;
+  window_[s] = pending;
+  const auto b = static_cast<std::uint32_t>(flat_bank(pending));
+  slot_bank_[s] = b;
+  live_mask_ |= bit;
+  bank_mask_[b] |= bit;
+  if (pending.is_write) {
+    write_mask_ |= bit;
+    ++queued_writes_;
+  } else {
+    ++queued_reads_;
+  }
+  if (track_hits_) {
+    const BankState& bank = banks_[b];
+    if (bank.open_row && *bank.open_row == pending.row) hit_mask_ |= bit;
+  }
+}
+
+void Channel::compact_window() {
+  std::fill(bank_mask_.begin(), bank_mask_.end(), 0);
+  std::uint64_t write_mask = 0;
+  std::uint64_t hit_mask = 0;
+  std::uint32_t n = 0;
+  for (std::uint64_t m = live_mask_; m != 0; m &= m - 1) {
+    const std::uint32_t s = first_bit(m);
+    if (n != s) {
+      window_[n] = window_[s];
+      slot_bank_[n] = slot_bank_[s];
+    }
+    const std::uint64_t old_bit = std::uint64_t{1} << s;
+    const std::uint64_t new_bit = std::uint64_t{1} << n;
+    if ((write_mask_ & old_bit) != 0) write_mask |= new_bit;
+    if ((hit_mask_ & old_bit) != 0) hit_mask |= new_bit;
+    bank_mask_[slot_bank_[n]] |= new_bit;
+    ++n;
+  }
+  live_mask_ = low_bits(n);
+  write_mask_ = write_mask;
+  hit_mask_ = hit_mask;
+  pos_ = n;
+  arrived_ = 0;  // re-derived lazily against the next horizon
+}
+
+std::uint64_t Channel::fast_service_next() {
+  GMD_ASSERT(live_mask_ != 0, "service on empty queue");
+  // Read priority decision from running counters; the oldest (eligible)
+  // request is the lowest set bit.
+  const bool reads_only = config_.prioritize_reads && queued_reads_ > 0 &&
+                          queued_writes_ < config_.write_drain_watermark;
+  const std::uint64_t eligible =
+      reads_only ? live_mask_ & ~write_mask_ : live_mask_;
+  std::uint32_t victim = first_bit(eligible);
+  // FR-FCFS: the oldest eligible row hit that has arrived by the horizon
+  // beats the oldest request.  hit_mask_ is only maintained under
+  // FR-FCFS + open page (closed page never has an open row at pick
+  // time), so a zero mask covers every other policy combination.
+  std::uint64_t hits = hit_mask_ & eligible;
+  if (hits != 0) {
+    const std::uint64_t horizon = std::max(now_, window_[victim].arrival);
+    // Arrivals are monotone in slot position, so the slots with
+    // arrival <= horizon form a prefix; the cached boundary usually
+    // moves at most a step between picks.
+    while (arrived_ < pos_ && window_[arrived_].arrival <= horizon) {
+      ++arrived_;
+    }
+    while (arrived_ > 0 && window_[arrived_ - 1].arrival > horizon) {
+      --arrived_;
+    }
+    hits &= low_bits(arrived_);
+    if (hits != 0) victim = first_bit(hits);
+  }
+  return fast_service_slot(victim);
+}
+
+std::uint64_t Channel::fast_service_slot(std::uint32_t s) {
+  const Request request = window_[s];
+  const std::uint32_t b = slot_bank_[s];
+  const std::uint64_t bit = std::uint64_t{1} << s;
+  live_mask_ &= ~bit;
+  bank_mask_[b] &= ~bit;
+  hit_mask_ &= ~bit;
+  if (request.is_write) {
+    write_mask_ &= ~bit;
+    --queued_writes_;
+  } else {
+    --queued_reads_;
+  }
+  const BankState& bank = banks_[b];
+  const bool row_hit = bank.open_row && *bank.open_row == request.row;
+  const std::uint64_t completion = service_request(request, b, row_hit);
+  if (track_hits_ && !row_hit) {
+    // The miss re-opened the bank on request.row: recompute which of
+    // the bank's queued requests hit the new row.  Hits leave the open
+    // row alone, so their retirement needs no mask work beyond the
+    // clears above.
+    std::uint64_t hits = 0;
+    for (std::uint64_t m = bank_mask_[b]; m != 0; m &= m - 1) {
+      const std::uint32_t i = first_bit(m);
+      if (window_[i].row == request.row) hits |= std::uint64_t{1} << i;
+    }
+    hit_mask_ = (hit_mask_ & ~bank_mask_[b]) | hits;
+  }
+  return completion;
+}
+
+// Shared timing algebra ------------------------------------------------
+
+std::uint64_t Channel::service_request(Request request, std::size_t b,
+                                       bool row_hit) {
   const TimingParams& t = config_.timing;
-  BankState& bank = banks_[static_cast<std::size_t>(request.rank) *
-                               config_.banks +
-                           request.bank];
+  BankState& bank = banks_[b];
 
   // The controller takes the request up once it has both arrived and
   // the command engine has finished earlier work.
@@ -130,7 +295,7 @@ std::uint64_t Channel::service(std::size_t index) {
 
   std::uint64_t cas_ready;       // earliest CAS issue from bank state
   std::uint64_t first_command;   // service_start
-  if (bank.open_row && *bank.open_row == request.row) {
+  if (row_hit) {
     // Row hit: CAS only.
     first_command = after_refresh(std::max(take_up, bank.ready_for_cas));
     cas_ready = first_command;
@@ -213,10 +378,9 @@ std::uint64_t Channel::service(std::size_t index) {
   stats_.sum_service_latency += request.service_latency();
   stats_.sum_total_latency += request.total_latency();
   stats_.last_completion = std::max(stats_.last_completion, data_end);
-  const std::uint64_t bytes = config_.access_bytes();
+  // Bytes only feed the final per-bank totals, assembled in drain().
+  const std::uint64_t bytes = access_bytes_;
   bank.bytes_transferred += bytes;
-  stats_.bank_bytes[static_cast<std::size_t>(request.rank) * config_.banks +
-                    request.bank] += bytes;
 
   // Epoch time series (NVMain PrintGraphs), bucketed by completion.
   if (config_.epoch_cycles > 0) {
@@ -230,12 +394,6 @@ std::uint64_t Channel::service(std::size_t index) {
 
   // The command engine is busy until it has issued this CAS.
   now_ = cas_issue;
-
-  // Refresh accounting: refreshes elapsed so far (recomputed cheaply at
-  // the end by the memory system; track max completion only here).
-  if (config_.timing.tREFI != 0) {
-    stats_.refreshes = stats_.last_completion / config_.timing.tREFI;
-  }
   return data_end;
 }
 

@@ -1,6 +1,7 @@
 #include "gmd/memsim/hybrid.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "gmd/common/error.hpp"
 #include "gmd/common/rng.hpp"
@@ -44,15 +45,21 @@ HybridMemory::HybridMemory(const HybridConfig& config)
 }
 
 bool HybridMemory::routes_to_dram(std::uint64_t address) const {
-  std::uint64_t page = address / config_.page_bytes;
+  const std::uint64_t page = address / config_.page_bytes;
   if (promoted_pages_.contains(page)) return true;
+  return static_routes_to_dram(config_, address);
+}
+
+bool HybridMemory::static_routes_to_dram(const HybridConfig& config,
+                                         std::uint64_t address) {
   // Stateless page hash: a SplitMix64 of the page number compared
   // against the fraction.  Hashing (vs. a low/high address split)
   // exposes both technologies to the same access-pattern mix.
+  std::uint64_t page = address / config.page_bytes;
   const std::uint64_t h = splitmix64(page);
   const double unit =
       static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
-  return unit < config_.dram_fraction;
+  return unit < config.dram_fraction;
 }
 
 void HybridMemory::migrate_page(std::uint64_t page, std::uint64_t tick) {
@@ -88,9 +95,11 @@ void HybridMemory::enqueue_event(const cpusim::MemoryEvent& event) {
 }
 
 MemoryMetrics HybridMemory::finish() {
-  const MemoryMetrics d = dram_.finish();
-  const MemoryMetrics n = nvm_.finish();
+  return merge_metrics(dram_.finish(), nvm_.finish());
+}
 
+MemoryMetrics HybridMemory::merge_metrics(const MemoryMetrics& d,
+                                          const MemoryMetrics& n) {
   MemoryMetrics m;
   m.channels = d.channels + n.channels;
   m.banks_total = d.banks_total + n.banks_total;
@@ -140,6 +149,52 @@ MemoryMetrics HybridMemory::simulate(
   HybridMemory memory(config);
   for (const auto& event : trace) memory.enqueue_event(event);
   return memory.finish();
+}
+
+MemoryMetrics HybridMemory::simulate(const HybridConfig& config,
+                                     const PredecodedTrace& dram_trace,
+                                     const PredecodedTrace& nvm_trace) {
+  GMD_REQUIRE(config.migration_threshold == 0,
+              "predecoded hybrid simulation requires a static split "
+              "(migration routes pages dynamically)");
+  config.validate();
+  // With a static split the two sides never interact, so each side can
+  // replay its pre-routed stream independently; the merge is the same
+  // one finish() applies.
+  return merge_metrics(MemorySystem::simulate(config.dram, dram_trace),
+                       MemorySystem::simulate(config.nvm, nvm_trace));
+}
+
+std::pair<PredecodedTrace, PredecodedTrace> predecode_hybrid(
+    const HybridConfig& config, std::span<const cpusim::MemoryEvent> trace) {
+  GMD_REQUIRE(config.migration_threshold == 0,
+              "predecode_hybrid requires a static split");
+  config.validate();
+  const AddressDecoder dram_decoder(config.dram);
+  const AddressDecoder nvm_decoder(config.nvm);
+  TickConverter dram_ticker(config.dram);
+  TickConverter nvm_ticker(config.nvm);
+  PredecodedTrace dram_side;
+  PredecodedTrace nvm_side;
+  dram_side.config_key = PredecodedTrace::key(config.dram);
+  nvm_side.config_key = PredecodedTrace::key(config.nvm);
+  for (const cpusim::MemoryEvent& event : trace) {
+    if (HybridMemory::static_routes_to_dram(config, event.address)) {
+      dram_side.append_event(config.dram, dram_decoder, dram_ticker, event);
+    } else {
+      nvm_side.append_event(config.nvm, nvm_decoder, nvm_ticker, event);
+    }
+  }
+  return {std::move(dram_side), std::move(nvm_side)};
+}
+
+std::string hybrid_trace_key(const HybridConfig& config) {
+  std::ostringstream os;
+  os.precision(17);
+  os << PredecodedTrace::key(config.dram) << "||"
+     << PredecodedTrace::key(config.nvm) << "||f" << config.dram_fraction
+     << "|pb" << config.page_bytes;
+  return os.str();
 }
 
 }  // namespace gmd::memsim

@@ -16,37 +16,57 @@ MemorySystem::MemorySystem(const MemoryConfig& config)
 }
 
 std::uint64_t MemorySystem::tick_to_memory_cycle(std::uint64_t tick) const {
-  // cycle = tick * clock / cpu_freq, with 128-bit intermediate to stay
-  // exact for long traces.
-  return static_cast<std::uint64_t>(static_cast<__uint128_t>(tick) *
-                                    config_.clock_mhz / config_.cpu_freq_mhz);
+  return memsim::tick_to_memory_cycle(config_, tick);
 }
 
 void MemorySystem::enqueue_event(const cpusim::MemoryEvent& event) {
   GMD_REQUIRE(!finished_, "enqueue_event after finish()");
   GMD_REQUIRE(event.size > 0, "event size must be positive");
   const std::uint64_t word = config_.access_bytes();
+  const std::uint64_t cycle = ticker_(event.tick);
   // Split wide accesses into word-granular requests, as a memory
-  // controller's transaction splitter would.
-  const std::uint64_t first = event.address / word * word;
-  const std::uint64_t last = (event.address + event.size - 1) / word * word;
+  // controller's transaction splitter would.  Power-of-two words (the
+  // usual case) round with a mask instead of a division pair.
+  std::uint64_t first;
+  std::uint64_t last;
+  if ((word & (word - 1)) == 0) {
+    first = event.address & ~(word - 1);
+    last = (event.address + event.size - 1) & ~(word - 1);
+  } else {
+    first = event.address / word * word;
+    last = (event.address + event.size - 1) / word * word;
+  }
   for (std::uint64_t addr = first; addr <= last; addr += word) {
-    enqueue_word(event.tick, addr, event.is_write);
+    enqueue_word(cycle, addr, event.is_write);
   }
 }
 
-void MemorySystem::enqueue_word(std::uint64_t tick, std::uint64_t address,
+void MemorySystem::enqueue_word(std::uint64_t cycle, std::uint64_t address,
                                 bool is_write) {
   const DecodedAddress loc = decoder_.decode(address);
   Request request;
-  request.arrival = tick_to_memory_cycle(tick);
+  request.arrival = cycle;
   request.rank = loc.rank;
   request.bank = loc.bank;
   request.row = loc.row;
   request.column = loc.column;
   request.is_write = is_write;
   channels_[loc.channel].enqueue(request);
-  if (is_write) ++line_writes_[address / 64];
+  if (is_write) line_writes_.bump(address / 64);
+}
+
+void MemorySystem::enqueue_predecoded(const PredecodedTrace& trace) {
+  GMD_REQUIRE(!finished_, "enqueue_predecoded after finish()");
+  GMD_REQUIRE(trace.config_key == PredecodedTrace::key(config_),
+              "predecoded trace was built for a different decode geometry ('"
+                  << trace.config_key << "' vs '"
+                  << PredecodedTrace::key(config_) << "')");
+  const std::size_t n = trace.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Request& request = trace.request[i];
+    channels_[trace.channel[i]].enqueue_trusted(request);
+    if (request.is_write) line_writes_.bump(trace.line[i]);
+  }
 }
 
 MemoryMetrics MemorySystem::finish() {
@@ -92,11 +112,11 @@ MemoryMetrics MemorySystem::finish() {
                   static_cast<double>(s.reads) * e.read_nj +
                   static_cast<double>(s.writes) * e.write_nj +
                   static_cast<double>(refreshes) * e.refresh_nj;
-    for (const std::uint64_t bytes : s.bank_bytes) {
-      bank_bw_sum_mbs += m.execution_seconds > 0.0
-                             ? static_cast<double>(bytes) / 1e6 /
-                                   m.execution_seconds
-                             : 0.0;
+    if (m.execution_seconds > 0.0) {
+      for (const std::uint64_t bytes : s.bank_bytes) {
+        bank_bw_sum_mbs +=
+            static_cast<double>(bytes) / 1e6 / m.execution_seconds;
+      }
     }
   }
 
@@ -131,10 +151,7 @@ MemoryMetrics MemorySystem::finish() {
                 (m.execution_seconds * static_cast<double>(config_.channels))
           : 0.0;
 
-  for (const auto& [line, writes] : line_writes_) {
-    (void)line;
-    m.max_line_writes = std::max(m.max_line_writes, writes);
-  }
+  m.max_line_writes = line_writes_.max_count();
   m.unique_lines_written = line_writes_.size();
 
   // Merge epoch series across channels (NVMain PrintGraphs output).
@@ -175,6 +192,13 @@ MemoryMetrics MemorySystem::simulate(
     const MemoryConfig& config, std::span<const cpusim::MemoryEvent> trace) {
   MemorySystem system(config);
   for (const auto& event : trace) system.enqueue_event(event);
+  return system.finish();
+}
+
+MemoryMetrics MemorySystem::simulate(const MemoryConfig& config,
+                                     const PredecodedTrace& trace) {
+  MemorySystem system(config);
+  system.enqueue_predecoded(trace);
   return system.finish();
 }
 

@@ -1,0 +1,71 @@
+#include "gmd/memsim/predecoded_trace.hpp"
+
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::memsim {
+
+void PredecodedTrace::reserve(std::size_t n) {
+  request.reserve(n);
+  channel.reserve(n);
+  line.reserve(n);
+}
+
+void PredecodedTrace::append_event(const MemoryConfig& config,
+                                   const AddressDecoder& decoder,
+                                   TickConverter& ticker,
+                                   const cpusim::MemoryEvent& event) {
+  GMD_REQUIRE(event.size > 0, "event size must be positive");
+  const std::uint64_t word = config.access_bytes();
+  const std::uint64_t cycle = ticker(event.tick);
+  // Split wide accesses into word-granular requests, as a memory
+  // controller's transaction splitter would (MemorySystem::enqueue_event
+  // does the same split on the undecoded path).
+  std::uint64_t first;
+  std::uint64_t last;
+  if ((word & (word - 1)) == 0) {  // power-of-two word: mask, not divide
+    first = event.address & ~(word - 1);
+    last = (event.address + event.size - 1) & ~(word - 1);
+  } else {
+    first = event.address / word * word;
+    last = (event.address + event.size - 1) / word * word;
+  }
+  for (std::uint64_t addr = first; addr <= last; addr += word) {
+    const DecodedAddress loc = decoder.decode(addr);
+    Request req;
+    req.arrival = cycle;
+    req.rank = loc.rank;
+    req.bank = loc.bank;
+    req.row = loc.row;
+    req.column = loc.column;
+    req.is_write = event.is_write;
+    request.push_back(req);
+    channel.push_back(loc.channel);
+    line.push_back(addr / 64);
+  }
+}
+
+PredecodedTrace PredecodedTrace::build(
+    const MemoryConfig& config, std::span<const cpusim::MemoryEvent> trace) {
+  const AddressDecoder decoder(config);
+  TickConverter ticker(config);
+  PredecodedTrace out;
+  out.config_key = key(config);
+  out.reserve(trace.size());
+  for (const cpusim::MemoryEvent& event : trace) {
+    out.append_event(config, decoder, ticker, event);
+  }
+  return out;
+}
+
+std::string PredecodedTrace::key(const MemoryConfig& config) {
+  std::ostringstream os;
+  os << config.address_mapping << "|ch" << config.channels << "|rk"
+     << config.ranks << "|bk" << config.banks << "|r" << config.rows << "|rb"
+     << config.row_bytes << "|ab" << config.access_bytes() << "|clk"
+     << config.clock_mhz << "|cpu" << config.cpu_freq_mhz;
+  return os.str();
+}
+
+}  // namespace gmd::memsim

@@ -151,7 +151,8 @@ TEST(MemorySystem, RowHitRateHighForSequentialTrace) {
 }
 
 TEST(MemorySystem, EmptyTraceYieldsZeroMetrics) {
-  const MemoryMetrics m = MemorySystem::simulate(small_config(), {});
+  const MemoryMetrics m = MemorySystem::simulate(
+      small_config(), std::span<const cpusim::MemoryEvent>{});
   EXPECT_EQ(m.total_reads, 0u);
   EXPECT_EQ(m.execution_seconds, 0.0);
   EXPECT_EQ(m.avg_power_per_channel_w, 0.0);

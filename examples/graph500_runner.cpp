@@ -35,6 +35,10 @@ int main(int argc, char** argv) {
     std::cout << result.summary();
     return result.validation_failures == 0 ? 0 : 2;
   } catch (const Error& e) {
+    std::cerr << "error [" << to_string(e.code()) << "]: " << e.what()
+              << "\n";
+    return 1;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

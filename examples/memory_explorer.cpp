@@ -6,7 +6,10 @@
 /// Usage: memory_explorer [--workload bfs|dobfs|pagerank|cc|sssp|triangles]
 ///                        [--vertices N] [--axis ctrl|cpu|channels|trcd]
 ///                        [--kind dram|nvm|hybrid]
+///                        [--policy failfast|skip|retry] [--retries N]
+///                        [--deadline-ms N] [--checkpoint PATH] [--resume]
 
+#include <chrono>
 #include <iomanip>
 #include <iostream>
 
@@ -60,6 +63,14 @@ std::vector<dse::DesignPoint> axis_points(const std::string& axis,
   return points;
 }
 
+dse::FailurePolicy parse_policy(const std::string& policy) {
+  if (policy == "failfast") return dse::FailurePolicy::kFailFast;
+  if (policy == "skip") return dse::FailurePolicy::kSkip;
+  if (policy == "retry") return dse::FailurePolicy::kRetry;
+  throw Error(ErrorCode::kConfig,
+              "unknown failure policy '" + policy + "' (failfast|skip|retry)");
+}
+
 dse::MemoryKind parse_kind(const std::string& kind) {
   if (kind == "dram") return dse::MemoryKind::kDram;
   if (kind == "nvm") return dse::MemoryKind::kNvm;
@@ -76,7 +87,15 @@ int main(int argc, char** argv) {
   cli.add_option("workload", "bfs", "bfs | dobfs | pagerank | cc | sssp | triangles")
       .add_option("vertices", "256", "graph size")
       .add_option("axis", "ctrl", "axis to sweep: ctrl | cpu | channels | trcd")
-      .add_option("kind", "nvm", "memory technology: dram | nvm | hybrid");
+      .add_option("kind", "nvm", "memory technology: dram | nvm | hybrid")
+      .add_option("policy", "failfast",
+                  "failure policy: failfast | skip | retry")
+      .add_option("retries", "3", "max attempts per point under --policy retry")
+      .add_option("deadline-ms", "0",
+                  "per-point wall budget in milliseconds (0: unlimited)")
+      .add_option("checkpoint", "",
+                  "journal completed rows to this file (atomic rewrite)")
+      .add_flag("resume", "resume from an existing --checkpoint journal");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -89,7 +108,15 @@ int main(int argc, char** argv) {
 
     const auto points =
         axis_points(cli.get_string("axis"), parse_kind(cli.get_string("kind")));
-    const auto rows = dse::run_sweep(points, trace);
+    dse::SweepOptions sweep;
+    sweep.failure_policy = parse_policy(cli.get_string("policy"));
+    sweep.max_attempts =
+        static_cast<std::uint32_t>(cli.get_int("retries"));
+    sweep.point_wall_budget =
+        std::chrono::milliseconds(cli.get_int("deadline-ms"));
+    sweep.checkpoint_path = cli.get_string("checkpoint");
+    sweep.resume = cli.get_flag("resume");
+    const auto rows = dse::run_sweep(points, trace, sweep);
 
     std::cout << std::left << std::setw(28) << "configuration"
               << std::right << std::setw(10) << "power(W)" << std::setw(12)
@@ -97,6 +124,12 @@ int main(int argc, char** argv) {
               << "totlat(cy)" << std::setw(12) << "rd/ch" << std::setw(12)
               << "wr/ch" << "\n";
     for (const auto& row : rows) {
+      if (!row.ok()) {
+        std::cout << std::left << std::setw(28) << row.point.id()
+                  << "  <" << dse::to_string(row.outcome) << "> ["
+                  << to_string(row.error_code) << "] " << row.error << "\n";
+        continue;
+      }
       const auto& m = row.metrics;
       std::cout << std::left << std::setw(28) << row.point.id() << std::right
                 << std::fixed << std::setprecision(4) << std::setw(10)
@@ -107,8 +140,16 @@ int main(int argc, char** argv) {
                 << m.avg_reads_per_channel << std::setw(12)
                 << m.avg_writes_per_channel << "\n";
     }
+    const dse::SweepHealth health = dse::summarize_health(rows);
+    if (!health.all_ok()) {
+      std::cout << "\nsweep health: " << health.summary() << "\n";
+    }
     return 0;
   } catch (const Error& e) {
+    std::cerr << "error [" << to_string(e.code()) << "]: " << e.what()
+              << "\n";
+    return 1;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     config.surrogate_model = cli.get_string("model");
     config.workloads.clear();
-    for (const auto part : split(cli.get_string("workloads"), ',')) {
+    const std::string workloads = cli.get_string("workloads");
+    for (const auto part : split(workloads, ',')) {
       config.workloads.emplace_back(trim(part));
     }
 
@@ -44,6 +45,10 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const Error& e) {
+    std::cerr << "error [" << to_string(e.code()) << "]: " << e.what()
+              << "\n";
+    return 1;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

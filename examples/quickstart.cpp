@@ -37,6 +37,10 @@ int main(int argc, char** argv) {
     std::cout << result.report();
     return 0;
   } catch (const Error& e) {
+    std::cerr << "error [" << to_string(e.code()) << "]: " << e.what()
+              << "\n";
+    return 1;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

@@ -27,7 +27,12 @@ int main(int argc, char** argv) {
                   "round-trip the trace through gem5/NVMain format files "
                   "in this directory")
       .add_option("report", "", "write a markdown study report to this path")
-      .add_option("seed", "1", "random seed");
+      .add_option("seed", "1", "random seed")
+      .add_option("policy", "failfast",
+                  "sweep failure policy: failfast | skip | retry")
+      .add_option("checkpoint", "",
+                  "journal completed sweep rows to this file")
+      .add_flag("resume", "resume from an existing --checkpoint journal");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -39,22 +44,36 @@ int main(int argc, char** argv) {
     config.log_progress = true;
     // Full paper design space (design_points left empty).
 
+    const std::string policy = cli.get_string("policy");
+    if (policy == "skip") {
+      config.sweep.failure_policy = dse::FailurePolicy::kSkip;
+    } else if (policy == "retry") {
+      config.sweep.failure_policy = dse::FailurePolicy::kRetry;
+    } else if (policy != "failfast") {
+      throw Error(ErrorCode::kConfig, "unknown failure policy '" + policy +
+                                          "' (failfast|skip|retry)");
+    }
+    config.sweep.checkpoint_path = cli.get_string("checkpoint");
+    config.sweep.resume = cli.get_flag("resume");
+
     const dse::WorkflowResult result = dse::run_workflow(config);
     std::cout << result.report() << "\n";
 
     // Surrogate-driven recommendation over the same space: what the
-    // trained model would pick without consulting the simulator.
+    // trained model would pick without consulting the simulator.  Only
+    // rows that actually simulated feed the model or the dataset.
+    const std::vector<dse::SweepRow> completed = result.ok_rows();
     std::vector<dse::DesignPoint> candidates;
     candidates.reserve(result.sweep.size());
     for (const auto& row : result.sweep) candidates.push_back(row.point);
     const auto surrogate_recs =
-        dse::recommend_from_surrogate(result.sweep, candidates, "svr");
+        dse::recommend_from_surrogate(completed, candidates, "svr");
     std::cout << "Surrogate-predicted optima (no further simulation):\n"
               << dse::format_recommendations(surrogate_recs);
 
     const std::string csv_path = cli.get_string("csv");
     if (!csv_path.empty()) {
-      dse::sweep_to_table(result.sweep).save(csv_path);
+      dse::sweep_to_table(completed).save(csv_path);
       std::cout << "\ndataset written to " << csv_path << "\n";
     }
     const std::string report_path = cli.get_string("report");
@@ -64,6 +83,10 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const Error& e) {
+    std::cerr << "error [" << to_string(e.code()) << "]: " << e.what()
+              << "\n";
+    return 1;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

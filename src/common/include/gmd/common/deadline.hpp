@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file deadline.hpp
+/// Cooperative deadline / cancellation token.
+///
+/// Long-running simulation loops (the memsim drain loop, the sweep
+/// runner) poll a Deadline at safe points via check(), which throws a
+/// typed gmd::Error — kTimeout when the wall budget expires, kCancelled
+/// when another thread called cancel().  The loops unwind cleanly
+/// through their normal exception path instead of being killed, so a
+/// stuck design point can never hang a sweep worker.
+///
+/// cancel() is the only cross-thread entry point and is an atomic
+/// store; check() amortizes the wall-clock read so polling once per
+/// serviced request adds a relaxed atomic load in the common case.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd {
+
+class Deadline {
+ public:
+  /// No wall budget: only explicit cancel() (or the parent) fires.
+  Deadline() = default;
+
+  /// Expires `wall_budget` from now.  A non-null `parent` is also
+  /// consulted on every check, so a sweep-wide token cancels work that
+  /// is mid-flight under a per-point deadline.  The parent must outlive
+  /// this object.
+  explicit Deadline(std::chrono::nanoseconds wall_budget,
+                    const Deadline* parent = nullptr)
+      : deadline_(std::chrono::steady_clock::now() + wall_budget),
+        has_deadline_(true),
+        parent_(parent) {}
+
+  Deadline(const Deadline&) = delete;
+  Deadline& operator=(const Deadline&) = delete;
+
+  /// Requests cooperative cancellation.  Thread-safe; idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancel() was called here or on the parent chain.
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->cancelled());
+  }
+
+  /// True when the wall budget has elapsed (never for budget-less
+  /// tokens).  Reads the clock.
+  bool expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Poll point: throws Error(kCancelled) on cancellation and
+  /// Error(kTimeout) when the wall budget has expired.  The clock is
+  /// read on the first call and then every 256th, so this is cheap
+  /// enough for per-request polling.  Must be polled by one thread at a
+  /// time (cancel() may race freely).
+  void check() {
+    if (cancelled()) {
+      throw Error(ErrorCode::kCancelled, "operation cancelled");
+    }
+    if (!has_deadline_) return;
+    if ((check_count_++ & 0xFFu) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      throw Error(ErrorCode::kTimeout, "deadline exceeded");
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  const Deadline* parent_ = nullptr;
+  std::uint32_t check_count_ = 0;  ///< Amortizes clock reads; owner-thread only.
+};
+
+}  // namespace gmd

@@ -5,9 +5,10 @@
 ///
 /// The library reports recoverable misuse (bad configuration, malformed
 /// input files) via `gmd::Error`, a `std::runtime_error` carrying a
-/// formatted message.  Internal invariants use `GMD_ASSERT`, which is
-/// compiled in for all build types: a simulator that silently corrupts
-/// state is worse than one that stops.
+/// formatted message and an `ErrorCode` classifying which pipeline
+/// stage the failure belongs to.  Internal invariants use `GMD_ASSERT`,
+/// which is compiled in for all build types: a simulator that silently
+/// corrupts state is worse than one that stops.
 
 #include <sstream>
 #include <stdexcept>
@@ -16,19 +17,62 @@
 
 namespace gmd {
 
+/// Failure classification carried by gmd::Error.  The sweep runner's
+/// skip/retry policies and the health report key off these codes, so a
+/// failed design point can be attributed to the stage that broke it.
+enum class ErrorCode {
+  kUnspecified,  ///< Legacy/uncategorized errors (GMD_REQUIRE default).
+  kConfig,       ///< Invalid configuration or design point.
+  kTrace,        ///< Malformed or inconsistent trace input.
+  kSimulation,   ///< Failure inside a simulation run.
+  kIo,           ///< File-system read/write failure.
+  kTimeout,      ///< A deadline/budget expired (see gmd::Deadline).
+  kCancelled,    ///< Cooperative cancellation was requested.
+};
+
+std::string_view to_string(ErrorCode code);
+
 /// Exception type thrown for all recoverable graphmemdse errors.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kUnspecified;
 };
+
+inline std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnspecified:
+      return "unspecified";
+    case ErrorCode::kConfig:
+      return "config";
+    case ErrorCode::kTrace:
+      return "trace";
+    case ErrorCode::kSimulation:
+      return "simulation";
+    case ErrorCode::kIo:
+      return "io";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
 
 namespace detail {
 
 [[noreturn]] inline void throw_error(std::string_view file, int line,
-                                     const std::string& msg) {
+                                     const std::string& msg,
+                                     ErrorCode code = ErrorCode::kUnspecified) {
   std::ostringstream os;
   os << msg << " (" << file << ":" << line << ")";
-  throw Error(os.str());
+  throw Error(code, os.str());
 }
 
 }  // namespace detail
@@ -42,6 +86,18 @@ namespace detail {
       gmd_require_os_ << "requirement failed: " << msg;               \
       ::gmd::detail::throw_error(__FILE__, __LINE__,                    \
                                  gmd_require_os_.str());                \
+    }                                                                   \
+  } while (0)
+
+/// GMD_REQUIRE with an explicit ErrorCode, for callers whose failures
+/// feed the sweep runner's typed outcome accounting.
+#define GMD_REQUIRE_AS(code, cond, msg)                                 \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream gmd_require_os_;                               \
+      gmd_require_os_ << "requirement failed: " << msg;               \
+      ::gmd::detail::throw_error(__FILE__, __LINE__,                    \
+                                 gmd_require_os_.str(), (code));        \
     }                                                                   \
   } while (0)
 

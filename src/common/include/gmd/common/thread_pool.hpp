@@ -37,8 +37,15 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks have finished; rethrows the first
-  /// captured task exception, if any.
+  /// captured task exception, if any.  Every captured exception from
+  /// that batch (not just the rethrown one) stays available through
+  /// collected_errors() until the next failing wait().
   void wait();
+
+  /// All task exceptions captured by the most recent wait() that threw,
+  /// in completion order.  Lets callers that run one task per work item
+  /// attribute every failure instead of losing all but the first.
+  std::vector<std::exception_ptr> collected_errors() const;
 
   /// Runs fn(i) for i in [begin, end) across the pool and waits.
   /// Workers claim batches of `grain` consecutive indices from a shared
@@ -53,12 +60,13 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
-  std::exception_ptr first_error_;  // guarded by mutex_
+  std::vector<std::exception_ptr> errors_;       // pending batch; guarded by mutex_
+  std::vector<std::exception_ptr> last_errors_;  // drained by last failing wait()
 };
 
 }  // namespace gmd

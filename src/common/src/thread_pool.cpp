@@ -41,11 +41,18 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    const std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(error);
+  if (!errors_.empty()) {
+    last_errors_ = std::move(errors_);
+    errors_.clear();
+    const std::exception_ptr first = last_errors_.front();
+    lock.unlock();
+    std::rethrow_exception(first);
   }
+}
+
+std::vector<std::exception_ptr> ThreadPool::collected_errors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_errors_;
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -93,7 +100,7 @@ void ThreadPool::worker_loop() {
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (error && !first_error_) first_error_ = error;
+      if (error) errors_.push_back(error);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

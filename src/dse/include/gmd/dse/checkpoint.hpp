@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Sweep checkpoint journal: persists completed sweep rows so an
+/// interrupted labeled-data-generation run resumes where it stopped
+/// instead of re-simulating hours of finished points.
+///
+/// File format (plain text, one record per line):
+///
+///   gmd-sweep-journal v1 trace=<16-hex> points=<16-hex> count=<n>
+///   row <index> <attempts> <8 u64 fields> <9 double fields> <nepochs>
+///       [<epoch> <reads> <writes> <2 double fields> ...]
+///
+/// The header hash pair is FNV-1a 64 over the trace events and over the
+/// design-point list; resume refuses a journal whose hashes or point
+/// count do not match the current invocation.  Doubles are stored as
+/// IEEE-754 bit patterns in hex, so resumed rows are bit-identical to
+/// the rows an uninterrupted sweep would have produced.  Every flush
+/// rewrites the whole journal to `<path>.tmp` and renames it over the
+/// target — a crash mid-write can never leave a torn journal, only the
+/// previous consistent one.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gmd/cpusim/memory_event.hpp"
+#include "gmd/dse/design_point.hpp"
+#include "gmd/dse/sweep.hpp"
+
+namespace gmd::dse {
+
+/// Identity of a sweep invocation: a journal is only resumable against
+/// the same trace and point list it was written for.
+struct JournalKey {
+  std::uint64_t trace_hash = 0;
+  std::uint64_t points_hash = 0;
+  std::size_t num_points = 0;
+
+  friend bool operator==(const JournalKey&, const JournalKey&) = default;
+};
+
+/// FNV-1a 64 checksum of a memory trace (ticks, addresses, sizes, ops).
+std::uint64_t trace_checksum(std::span<const cpusim::MemoryEvent> trace);
+
+/// FNV-1a 64 checksum of a design-point list (all fields, in order).
+std::uint64_t points_checksum(std::span<const DesignPoint> points);
+
+JournalKey make_journal_key(std::span<const DesignPoint> points,
+                            std::span<const cpusim::MemoryEvent> trace);
+
+/// Append-only journal of completed (ok) sweep rows.  Thread-safe:
+/// sweep workers record rows concurrently; each record is flushed with
+/// an atomic temp-then-rename rewrite.
+class SweepJournal {
+ public:
+  /// Binds the journal to `path` for the sweep identified by `key`.
+  /// Nothing is written until the first record().
+  SweepJournal(std::string path, const JournalKey& key);
+
+  /// Reads an existing journal at `path` and returns its completed rows
+  /// as (point index, row) pairs; the loaded entries are retained so
+  /// later flushes preserve them.  A missing file yields an empty
+  /// result.  Throws Error(kConfig) when the header does not match
+  /// `key` (wrong trace, wrong point list) and Error(kIo) on a
+  /// corrupted or unreadable journal.
+  std::vector<std::pair<std::size_t, SweepRow>> load();
+
+  /// Records one completed row and flushes the journal atomically.
+  void record(std::size_t index, const SweepRow& row);
+
+  /// Number of rows currently journaled.
+  std::size_t size() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void flush_locked();  ///< Rewrite temp file + rename; mutex_ held.
+
+  std::string path_;
+  JournalKey key_;
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::size_t, SweepRow>> entries_;  // metrics + attempts
+};
+
+}  // namespace gmd::dse

@@ -43,4 +43,10 @@ struct DesignPoint {
   memsim::HybridConfig hybrid_config() const;   ///< kHybrid only.
 };
 
+/// Upfront design-point validation: materializes and validates the
+/// point's simulator configuration without running anything.  Throws
+/// gmd::Error with ErrorCode::kConfig naming the point, so misconfigured
+/// points are rejected before a sweep spends any simulation time.
+void validate(const DesignPoint& point);
+
 }  // namespace gmd::dse

@@ -8,21 +8,70 @@
 /// from a shared counter), and points that share a decode geometry
 /// share one predecoded trace instead of re-splitting and re-decoding
 /// the event stream per config.
+///
+/// Execution is fault-tolerant: each point carries a typed outcome, a
+/// FailurePolicy selects fail-fast / skip-and-report / retry-with-
+/// backoff, per-point wall budgets cancel stuck simulations via
+/// gmd::Deadline, and an optional journal checkpoints completed rows so
+/// an interrupted sweep can resume without re-simulating (see
+/// checkpoint.hpp for the journal format).
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "gmd/common/deadline.hpp"
+#include "gmd/common/error.hpp"
 #include "gmd/cpusim/memory_event.hpp"
 #include "gmd/dse/design_point.hpp"
 #include "gmd/memsim/metrics.hpp"
 
 namespace gmd::dse {
 
+/// Terminal state of one design point in a sweep.
+enum class PointOutcome {
+  kOk,        ///< Simulated successfully; metrics are valid.
+  kFailed,    ///< Simulation (or validation) raised an error.
+  kTimedOut,  ///< The per-point wall budget expired mid-simulation.
+  kSkipped,   ///< Never simulated (sweep cancelled before its turn).
+};
+
+std::string to_string(PointOutcome outcome);
+
 struct SweepRow {
   DesignPoint point;
-  memsim::MemoryMetrics metrics;
+  memsim::MemoryMetrics metrics;  ///< Valid only when ok().
+
+  PointOutcome outcome = PointOutcome::kOk;
+  ErrorCode error_code = ErrorCode::kUnspecified;  ///< Set when !ok().
+  std::string error;         ///< One-line failure message; empty when ok.
+  std::uint32_t attempts = 1;  ///< Simulation attempts made (retry policy).
+
+  bool ok() const { return outcome == PointOutcome::kOk; }
 };
+
+/// What run_sweep does when a point fails.
+enum class FailurePolicy {
+  /// Rethrow the first failure and abandon the sweep — the historical
+  /// behavior, and the right default for tests where any failure is a
+  /// bug.  All worker errors remain visible via
+  /// ThreadPool::collected_errors() semantics inside run_sweep.
+  kFailFast,
+  /// Record the failure on its row (typed outcome + message) and keep
+  /// sweeping; partial results survive a bad point.
+  kSkip,
+  /// Like kSkip, but transient failures (simulation/trace/io/
+  /// unspecified codes) are retried up to max_attempts with exponential
+  /// backoff.  Config errors, timeouts, and cancellations are not
+  /// retried: they are deterministic or already budget-bounded.
+  kRetry,
+};
+
+std::string to_string(FailurePolicy policy);
 
 struct SweepOptions {
   std::size_t num_threads = 0;  ///< 0: hardware concurrency.
@@ -32,6 +81,40 @@ struct SweepOptions {
   /// per-point work).  Off = predecode nothing and run every point
   /// through the raw event path, as a validation baseline.
   bool share_predecoded_traces = true;
+
+  // --- fault tolerance -------------------------------------------------
+  FailurePolicy failure_policy = FailurePolicy::kFailFast;
+  /// Upfront validate() pass over all points; config errors are
+  /// rejected (fail-fast) or recorded (skip/retry) before any
+  /// simulation runs.
+  bool validate_points = true;
+  /// Maximum simulation attempts per point under kRetry (>= 1).
+  std::uint32_t max_attempts = 3;
+  /// Backoff before attempt k+1 is backoff * 2^(k-1); 0 disables
+  /// sleeping (attempts are still counted), keeping tests fast.
+  std::chrono::milliseconds retry_backoff{0};
+  /// Per-point wall budget; a point still running past it is cancelled
+  /// cooperatively (outcome kTimedOut).  0 = unlimited.
+  std::chrono::milliseconds point_wall_budget{0};
+  /// Sweep-wide cancellation token: once cancelled, in-flight points
+  /// unwind (kCancelled) and unstarted points are marked kSkipped.
+  /// Non-owning; must outlive run_sweep.
+  Deadline* cancel = nullptr;
+  /// Deterministic fault injection for tests: invoked before every
+  /// simulation attempt with (point index, 1-based attempt).  Throwing
+  /// from the hook is treated exactly like the simulation failing, so
+  /// every policy path is testable without real crashes.
+  std::function<void(std::size_t, std::uint32_t)> fault_hook;
+
+  // --- checkpoint / resume ---------------------------------------------
+  /// When non-empty, completed rows are journaled here (atomic
+  /// temp-then-rename per record batch) so a killed sweep loses at most
+  /// the in-flight points.
+  std::string checkpoint_path;
+  /// Load an existing journal at checkpoint_path and skip its completed
+  /// points after verifying the header hash of (trace checksum, point
+  /// list).  A missing journal file simply starts fresh.
+  bool resume = false;
 };
 
 /// Simulates every design point against the same memory trace.
@@ -43,5 +126,25 @@ std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
 /// Simulates a single point.
 memsim::MemoryMetrics simulate_point(
     const DesignPoint& point, std::span<const cpusim::MemoryEvent> trace);
+
+/// Outcome tallies over a sweep's rows — the health section of
+/// WorkflowResult::report().
+struct SweepHealth {
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t timed_out = 0;
+  std::size_t skipped = 0;
+  std::size_t retries = 0;  ///< Extra attempts beyond the first, summed.
+  /// Non-ok point counts keyed by ErrorCode enum value.
+  std::vector<std::size_t> by_code;
+
+  bool all_ok() const { return ok == total; }
+  /// e.g. "416 points: 414 ok, 1 failed, 1 timed-out (2 retries;
+  /// failures: simulation=1, timeout=1)".
+  std::string summary() const;
+};
+
+SweepHealth summarize_health(std::span<const SweepRow> rows);
 
 }  // namespace gmd::dse

@@ -36,6 +36,11 @@ struct WorkflowConfig {
   std::vector<DesignPoint> design_points;  ///< Empty: paper_design_space().
   std::size_t num_threads = 0;
   bool log_progress = false;
+  /// Fault-tolerant execution knobs for the sweep stage: failure
+  /// policy, retries, per-point deadlines, checkpoint/resume (see
+  /// SweepOptions).  num_threads and log_progress above take precedence
+  /// over the same fields here.
+  SweepOptions sweep;
 
   // Surrogates.
   SurrogateOptions surrogate;
@@ -49,8 +54,12 @@ struct WorkflowResult {
   SurrogateSuite surrogates;
   std::vector<Recommendation> recommendations;
 
-  /// Multi-section text report (workflow summary + Table I +
-  /// recommendations).
+  /// Rows that simulated successfully — the training set.  Equals
+  /// `sweep` when every point completed.
+  std::vector<SweepRow> ok_rows() const;
+
+  /// Multi-section text report (workflow summary + sweep health +
+  /// Table I + recommendations).
   std::string report() const;
 };
 

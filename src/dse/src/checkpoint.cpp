@@ -1,0 +1,254 @@
+#include "gmd/dse/checkpoint.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::dse {
+
+namespace {
+
+constexpr std::string_view kMagic = "gmd-sweep-journal";
+constexpr std::string_view kVersion = "v1";
+
+struct Fnv1a {
+  std::uint64_t state = 0xCBF29CE484222325ULL;
+
+  void mix(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      state ^= (value >> shift) & 0xFFu;
+      state *= 0x100000001B3ULL;
+    }
+  }
+  void mix_double(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+};
+
+std::string hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// Doubles are journaled as IEEE-754 bit patterns so parsing them back
+/// is exact — resumed rows must be bit-identical to fresh ones.
+void put_double(std::ostream& os, double value) {
+  os << ' ' << hex16(std::bit_cast<std::uint64_t>(value));
+}
+
+/// Token-stream reader with typed-error reporting for corrupt journals.
+class Reader {
+ public:
+  explicit Reader(std::istringstream& is, const std::string& path)
+      : is_(is), path_(path) {}
+
+  std::uint64_t u64() {
+    std::uint64_t value = 0;
+    GMD_REQUIRE_AS(ErrorCode::kIo, static_cast<bool>(is_ >> value),
+                   "corrupt sweep journal '" << path_ << "'");
+    return value;
+  }
+  std::uint64_t hex_u64() {
+    std::string token;
+    GMD_REQUIRE_AS(ErrorCode::kIo, static_cast<bool>(is_ >> token),
+                   "corrupt sweep journal '" << path_ << "'");
+    std::uint64_t value = 0;
+    const int got = std::sscanf(token.c_str(), "%llx",
+                                reinterpret_cast<unsigned long long*>(&value));
+    GMD_REQUIRE_AS(ErrorCode::kIo, got == 1,
+                   "corrupt sweep journal '" << path_ << "': bad hex token '"
+                                             << token << "'");
+    return value;
+  }
+  double f64() { return std::bit_cast<double>(hex_u64()); }
+
+ private:
+  std::istringstream& is_;
+  const std::string& path_;
+};
+
+}  // namespace
+
+std::uint64_t trace_checksum(std::span<const cpusim::MemoryEvent> trace) {
+  Fnv1a h;
+  h.mix(trace.size());
+  for (const auto& event : trace) {
+    h.mix(event.tick);
+    h.mix(event.address);
+    h.mix(event.size);
+    h.mix(event.is_write ? 1 : 0);
+  }
+  return h.state;
+}
+
+std::uint64_t points_checksum(std::span<const DesignPoint> points) {
+  Fnv1a h;
+  h.mix(points.size());
+  for (const auto& p : points) {
+    h.mix(static_cast<std::uint64_t>(p.kind));
+    h.mix(p.cpu_freq_mhz);
+    h.mix(p.ctrl_freq_mhz);
+    h.mix(p.channels);
+    h.mix(p.trcd);
+    h.mix_double(p.dram_fraction);
+  }
+  return h.state;
+}
+
+JournalKey make_journal_key(std::span<const DesignPoint> points,
+                            std::span<const cpusim::MemoryEvent> trace) {
+  return JournalKey{trace_checksum(trace), points_checksum(points),
+                    points.size()};
+}
+
+SweepJournal::SweepJournal(std::string path, const JournalKey& key)
+    : path_(std::move(path)), key_(key) {}
+
+std::vector<std::pair<std::size_t, SweepRow>> SweepJournal::load() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  if (!std::filesystem::exists(path_)) return entries_;
+  std::ifstream in(path_);
+  GMD_REQUIRE_AS(ErrorCode::kIo, in.good(),
+                 "cannot read sweep journal '" << path_ << "'");
+
+  std::string line;
+  GMD_REQUIRE_AS(ErrorCode::kIo, static_cast<bool>(std::getline(in, line)),
+                 "sweep journal '" << path_ << "' is empty");
+  {
+    std::istringstream header(line);
+    std::string magic, version, trace_field, points_field, count_field;
+    header >> magic >> version >> trace_field >> points_field >> count_field;
+    GMD_REQUIRE_AS(ErrorCode::kIo, magic == kMagic && version == kVersion,
+                   "'" << path_ << "' is not a " << kVersion
+                       << " sweep journal");
+    const auto field_value = [&](const std::string& field,
+                                 std::string_view name) {
+      GMD_REQUIRE_AS(ErrorCode::kIo,
+                     field.rfind(name, 0) == 0 && field.size() > name.size(),
+                     "corrupt sweep journal header in '" << path_ << "'");
+      return field.substr(name.size());
+    };
+    GMD_REQUIRE_AS(
+        ErrorCode::kConfig,
+        field_value(trace_field, "trace=") == hex16(key_.trace_hash),
+        "sweep journal '"
+            << path_
+            << "' was written for a different trace (checksum mismatch); "
+               "refusing to resume");
+    GMD_REQUIRE_AS(
+        ErrorCode::kConfig,
+        field_value(points_field, "points=") == hex16(key_.points_hash) &&
+            field_value(count_field, "count=") ==
+                std::to_string(key_.num_points),
+        "sweep journal '"
+            << path_
+            << "' was written for a different design-point list; "
+               "refusing to resume");
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    GMD_REQUIRE_AS(ErrorCode::kIo, tag == "row",
+                   "corrupt sweep journal '" << path_ << "': unexpected '"
+                                             << tag << "' record");
+    Reader r(is, path_);
+    const std::size_t index = r.u64();
+    GMD_REQUIRE_AS(ErrorCode::kIo, index < key_.num_points,
+                   "corrupt sweep journal '" << path_
+                                             << "': row index out of range");
+    SweepRow row;
+    row.outcome = PointOutcome::kOk;
+    row.attempts = static_cast<std::uint32_t>(r.u64());
+    memsim::MemoryMetrics& m = row.metrics;
+    m.total_reads = r.u64();
+    m.total_writes = r.u64();
+    m.channels = static_cast<std::uint32_t>(r.u64());
+    m.banks_total = static_cast<std::uint32_t>(r.u64());
+    m.row_hits = r.u64();
+    m.row_misses = r.u64();
+    m.max_line_writes = r.u64();
+    m.unique_lines_written = r.u64();
+    m.avg_power_per_channel_w = r.f64();
+    m.avg_bandwidth_per_bank_mbs = r.f64();
+    m.avg_latency_cycles = r.f64();
+    m.avg_total_latency_cycles = r.f64();
+    m.avg_reads_per_channel = r.f64();
+    m.avg_writes_per_channel = r.f64();
+    m.execution_seconds = r.f64();
+    m.dynamic_energy_j = r.f64();
+    m.background_energy_j = r.f64();
+    const std::size_t num_epochs = r.u64();
+    m.epochs.resize(num_epochs);
+    for (auto& epoch : m.epochs) {
+      epoch.epoch = r.u64();
+      epoch.reads = r.u64();
+      epoch.writes = r.u64();
+      epoch.avg_total_latency_cycles = r.f64();
+      epoch.bandwidth_mbs = r.f64();
+    }
+    entries_.emplace_back(index, std::move(row));
+  }
+  return entries_;
+}
+
+void SweepJournal::record(std::size_t index, const SweepRow& row) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.emplace_back(index, row);
+  flush_locked();
+}
+
+std::size_t SweepJournal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SweepJournal::flush_locked() {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
+                   "cannot write sweep journal '" << tmp << "'");
+    out << kMagic << ' ' << kVersion << " trace=" << hex16(key_.trace_hash)
+        << " points=" << hex16(key_.points_hash)
+        << " count=" << key_.num_points << '\n';
+    for (const auto& [index, row] : entries_) {
+      const memsim::MemoryMetrics& m = row.metrics;
+      out << "row " << index << ' ' << row.attempts << ' ' << m.total_reads
+          << ' ' << m.total_writes << ' ' << m.channels << ' '
+          << m.banks_total << ' ' << m.row_hits << ' ' << m.row_misses << ' '
+          << m.max_line_writes << ' ' << m.unique_lines_written;
+      put_double(out, m.avg_power_per_channel_w);
+      put_double(out, m.avg_bandwidth_per_bank_mbs);
+      put_double(out, m.avg_latency_cycles);
+      put_double(out, m.avg_total_latency_cycles);
+      put_double(out, m.avg_reads_per_channel);
+      put_double(out, m.avg_writes_per_channel);
+      put_double(out, m.execution_seconds);
+      put_double(out, m.dynamic_energy_j);
+      put_double(out, m.background_energy_j);
+      out << ' ' << m.epochs.size();
+      for (const auto& epoch : m.epochs) {
+        out << ' ' << epoch.epoch << ' ' << epoch.reads << ' '
+            << epoch.writes;
+        put_double(out, epoch.avg_total_latency_cycles);
+        put_double(out, epoch.bandwidth_mbs);
+      }
+      out << '\n';
+    }
+    out.flush();
+    GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
+                   "write of sweep journal '" << tmp << "' failed");
+  }
+  GMD_REQUIRE_AS(ErrorCode::kIo, std::rename(tmp.c_str(), path_.c_str()) == 0,
+                 "cannot rename '" << tmp << "' over '" << path_ << "'");
+}
+
+}  // namespace gmd::dse

@@ -65,4 +65,23 @@ memsim::HybridConfig DesignPoint::hybrid_config() const {
                                     trcd, dram_fraction);
 }
 
+void validate(const DesignPoint& point) {
+  try {
+    GMD_REQUIRE(point.channels >= 1, "need at least one channel");
+    GMD_REQUIRE(point.cpu_freq_mhz >= 1, "CPU frequency must be positive");
+    GMD_REQUIRE(point.ctrl_freq_mhz >= 1,
+                "controller frequency must be positive");
+    if (point.kind == MemoryKind::kHybrid) {
+      point.hybrid_config().validate();
+    } else {
+      GMD_REQUIRE(point.kind != MemoryKind::kNvm || point.trcd >= 1,
+                  "NVM tRCD must be positive");
+      point.single_config().validate();
+    }
+  } catch (const Error& e) {
+    throw Error(ErrorCode::kConfig,
+                "invalid design point " + point.id() + ": " + e.what());
+  }
+}
+
 }  // namespace gmd::dse

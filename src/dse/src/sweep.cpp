@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "gmd/common/logging.hpp"
 #include "gmd/common/thread_pool.hpp"
+#include "gmd/dse/checkpoint.hpp"
 #include "gmd/memsim/hybrid.hpp"
 #include "gmd/memsim/memory_system.hpp"
 #include "gmd/memsim/predecoded_trace.hpp"
@@ -43,7 +48,51 @@ double point_cost(const DesignPoint& point) {
   return point.kind == MemoryKind::kHybrid ? 2.0 : 1.0;
 }
 
+/// Classifies a caught failure: errors raised mid-simulation without an
+/// explicit code are simulation failures; std::exception likewise.
+ErrorCode classify_code(const Error& e) {
+  return e.code() == ErrorCode::kUnspecified ? ErrorCode::kSimulation
+                                             : e.code();
+}
+
+PointOutcome outcome_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kTimeout:
+      return PointOutcome::kTimedOut;
+    case ErrorCode::kCancelled:
+      return PointOutcome::kSkipped;
+    default:
+      return PointOutcome::kFailed;
+  }
+}
+
 }  // namespace
+
+std::string to_string(PointOutcome outcome) {
+  switch (outcome) {
+    case PointOutcome::kOk:
+      return "ok";
+    case PointOutcome::kFailed:
+      return "failed";
+    case PointOutcome::kTimedOut:
+      return "timed-out";
+    case PointOutcome::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+std::string to_string(FailurePolicy policy) {
+  switch (policy) {
+    case FailurePolicy::kFailFast:
+      return "fail-fast";
+    case FailurePolicy::kSkip:
+      return "skip";
+    case FailurePolicy::kRetry:
+      return "retry";
+  }
+  return "?";
+}
 
 memsim::MemoryMetrics simulate_point(
     const DesignPoint& point, std::span<const cpusim::MemoryEvent> trace) {
@@ -53,10 +102,106 @@ memsim::MemoryMetrics simulate_point(
   return memsim::MemorySystem::simulate(point.single_config(), trace);
 }
 
+SweepHealth summarize_health(std::span<const SweepRow> rows) {
+  SweepHealth health;
+  health.total = rows.size();
+  health.by_code.assign(static_cast<std::size_t>(ErrorCode::kCancelled) + 1,
+                        0);
+  for (const SweepRow& row : rows) {
+    switch (row.outcome) {
+      case PointOutcome::kOk:
+        ++health.ok;
+        break;
+      case PointOutcome::kFailed:
+        ++health.failed;
+        break;
+      case PointOutcome::kTimedOut:
+        ++health.timed_out;
+        break;
+      case PointOutcome::kSkipped:
+        ++health.skipped;
+        break;
+    }
+    if (row.outcome != PointOutcome::kOk) {
+      ++health.by_code[static_cast<std::size_t>(row.error_code)];
+    }
+    health.retries += row.attempts > 1 ? row.attempts - 1 : 0;
+  }
+  return health;
+}
+
+std::string SweepHealth::summary() const {
+  std::ostringstream os;
+  os << total << " points: " << ok << " ok";
+  if (failed) os << ", " << failed << " failed";
+  if (timed_out) os << ", " << timed_out << " timed-out";
+  if (skipped) os << ", " << skipped << " skipped";
+  if (retries || !all_ok()) {
+    os << " (" << retries << (retries == 1 ? " retry" : " retries");
+    bool first = true;
+    for (std::size_t c = 0; c < by_code.size(); ++c) {
+      if (by_code[c] == 0) continue;
+      os << (first ? "; failures: " : ", ")
+         << to_string(static_cast<ErrorCode>(c)) << "=" << by_code[c];
+      first = false;
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
 std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
                                 std::span<const cpusim::MemoryEvent> trace,
                                 const SweepOptions& options) {
+  const bool fail_fast = options.failure_policy == FailurePolicy::kFailFast;
   std::vector<SweepRow> rows(points.size());
+
+  // Points with a terminal row before simulation starts: rejected by
+  // validation, or restored from a resumed checkpoint.
+  std::vector<char> settled(points.size(), 0);
+
+  // Upfront validation: a misconfigured point must never cost
+  // simulation time (and under fail-fast must abort before any point
+  // runs).
+  if (options.validate_points) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      try {
+        validate(points[i]);
+      } catch (const Error& e) {
+        if (fail_fast) throw;
+        rows[i].point = points[i];
+        rows[i].outcome = PointOutcome::kFailed;
+        rows[i].error_code = ErrorCode::kConfig;
+        rows[i].error = e.what();
+        rows[i].attempts = 0;
+        settled[i] = 1;
+      }
+    }
+  }
+
+  // Checkpoint journal: restore completed rows on resume, then record
+  // every newly completed row.
+  std::unique_ptr<SweepJournal> journal;
+  if (!options.checkpoint_path.empty()) {
+    journal = std::make_unique<SweepJournal>(
+        options.checkpoint_path, make_journal_key(points, trace));
+    if (options.resume) {
+      std::size_t restored = 0;
+      for (auto& [index, row] : journal->load()) {
+        if (settled[index]) continue;
+        rows[index] = std::move(row);
+        rows[index].point = points[index];
+        settled[index] = 1;
+        ++restored;
+      }
+      if (restored > 0) {
+        GMD_LOG_INFO << "sweep resume: " << restored << "/" << points.size()
+                     << " points restored from '" << options.checkpoint_path
+                     << "'";
+      }
+    }
+  }
+
   ThreadPool pool(options.num_threads);
 
   // Group points by decode geometry.  Decode (and, for static hybrids,
@@ -68,6 +213,7 @@ std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
   if (options.share_predecoded_traces) {
     std::unordered_map<std::string, std::size_t> group_of_key;
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (settled[i]) continue;  // nothing left to simulate
       PointPlan& plan = plans[i];
       std::string key;
       bool is_hybrid = false;
@@ -100,35 +246,114 @@ std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
     });
   }
 
+  // One simulation attempt; `deadline` (nullable) rides in on a config
+  // copy and is polled by the channel service loops.
+  const auto run_point = [&](std::size_t i,
+                             Deadline* deadline) -> memsim::MemoryMetrics {
+    const PointPlan& plan = plans[i];
+    if (plan.group == PointPlan::kNoGroup) {
+      if (points[i].kind == MemoryKind::kHybrid) {
+        memsim::HybridConfig config = points[i].hybrid_config();
+        config.dram.sim.deadline = deadline;
+        config.nvm.sim.deadline = deadline;
+        return memsim::HybridMemory::simulate(config, trace);
+      }
+      memsim::MemoryConfig config = points[i].single_config();
+      config.sim.deadline = deadline;
+      return memsim::MemorySystem::simulate(config, trace);
+    }
+    const TraceGroup& group = groups[plan.group];
+    if (group.is_hybrid) {
+      memsim::HybridConfig config = plan.hybrid;
+      config.dram.sim.deadline = deadline;
+      config.nvm.sim.deadline = deadline;
+      return memsim::HybridMemory::simulate(config, group.dram_side,
+                                            group.nvm_side);
+    }
+    memsim::MemoryConfig config = plan.single;
+    config.sim.deadline = deadline;
+    return memsim::MemorySystem::simulate(config, group.trace);
+  };
+
+  // Full per-point execution under the failure policy.
+  const std::uint32_t max_attempts =
+      options.failure_policy == FailurePolicy::kRetry
+          ? std::max<std::uint32_t>(1, options.max_attempts)
+          : 1;
+  const auto execute = [&](std::size_t i) {
+    SweepRow& row = rows[i];
+    row.point = points[i];
+    for (std::uint32_t attempt = 1;; ++attempt) {
+      row.attempts = attempt;
+      try {
+        // The wall budget starts before the attempt (including the test
+        // fault hook), so a hook that stalls past it exercises the same
+        // timeout path as a stuck simulation.
+        std::optional<Deadline> budget;
+        Deadline* deadline = options.cancel;
+        if (options.point_wall_budget.count() > 0) {
+          budget.emplace(options.point_wall_budget, options.cancel);
+          deadline = &*budget;
+        }
+        if (options.cancel != nullptr && options.cancel->cancelled()) {
+          throw Error(ErrorCode::kCancelled, "sweep cancelled");
+        }
+        if (options.fault_hook) options.fault_hook(i, attempt);
+        row.metrics = run_point(i, deadline);
+        row.outcome = PointOutcome::kOk;
+        row.error_code = ErrorCode::kUnspecified;
+        row.error.clear();
+        if (journal) journal->record(i, row);
+        return;
+      } catch (const Error& e) {
+        if (fail_fast) throw;
+        row.error_code = classify_code(e);
+        row.error = e.what();
+      } catch (const std::exception& e) {
+        if (fail_fast) throw;
+        row.error_code = ErrorCode::kSimulation;
+        row.error = e.what();
+      }
+      row.outcome = outcome_for(row.error_code);
+      row.metrics = memsim::MemoryMetrics{};
+      const bool retryable = options.failure_policy == FailurePolicy::kRetry &&
+                             row.outcome == PointOutcome::kFailed &&
+                             row.error_code != ErrorCode::kConfig &&
+                             attempt < max_attempts;
+      if (!retryable) return;
+      if (options.retry_backoff.count() > 0) {
+        std::this_thread::sleep_for(options.retry_backoff * (1u << (attempt - 1)));
+      }
+    }
+  };
+
   // Expensive points first: with workers claiming one point at a time,
   // the costly tail can no longer serialize the sweep.
-  std::vector<std::size_t> order(points.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::size_t> order;
+  order.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!settled[i]) order.push_back(i);
+  }
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
                      return point_cost(points[a]) > point_cost(points[b]);
                    });
 
   std::atomic<std::size_t> done{0};
-  pool.parallel_for(0, points.size(), [&](std::size_t k) {
-    const std::size_t i = order[k];
-    const PointPlan& plan = plans[i];
-    rows[i].point = points[i];
-    if (plan.group == PointPlan::kNoGroup) {
-      rows[i].metrics = simulate_point(points[i], trace);
-    } else if (groups[plan.group].is_hybrid) {
-      rows[i].metrics = memsim::HybridMemory::simulate(
-          plan.hybrid, groups[plan.group].dram_side,
-          groups[plan.group].nvm_side);
-    } else {
-      rows[i].metrics =
-          memsim::MemorySystem::simulate(plan.single, groups[plan.group].trace);
-    }
+  pool.parallel_for(0, order.size(), [&](std::size_t k) {
+    execute(order[k]);
     const std::size_t finished = done.fetch_add(1) + 1;
     if (options.log_progress && finished % 50 == 0) {
-      GMD_LOG_INFO << "sweep progress: " << finished << "/" << points.size();
+      GMD_LOG_INFO << "sweep progress: " << finished << "/" << order.size();
     }
   });
+
+  if (options.log_progress && !fail_fast) {
+    const SweepHealth health = summarize_health(rows);
+    if (!health.all_ok()) {
+      GMD_LOG_WARN << "sweep health: " << health.summary();
+    }
+  }
   return rows;
 }
 

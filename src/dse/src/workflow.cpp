@@ -89,23 +89,41 @@ WorkflowResult run_workflow(const WorkflowConfig& config) {
   const std::vector<DesignPoint> points = config.design_points.empty()
                                               ? paper_design_space()
                                               : config.design_points;
-  SweepOptions sweep_options;
+  SweepOptions sweep_options = config.sweep;
   sweep_options.num_threads = config.num_threads;
   sweep_options.log_progress = config.log_progress;
   result.sweep = run_sweep(points, result.trace, sweep_options);
 
-  result.surrogates = SurrogateSuite::train(result.sweep, config.surrogate);
-  result.recommendations = recommend_from_sweep(result.sweep);
+  // Train only on points that actually simulated; a skipped or failed
+  // row carries no metrics and must not poison the surrogates.
+  const std::vector<SweepRow> training = result.ok_rows();
+  GMD_REQUIRE_AS(ErrorCode::kSimulation, !training.empty(),
+                 "every sweep point failed ("
+                     << summarize_health(result.sweep).summary()
+                     << "); nothing to train on");
+  result.surrogates = SurrogateSuite::train(training, config.surrogate);
+  result.recommendations = recommend_from_sweep(training);
   return result;
 }
 
+std::vector<SweepRow> WorkflowResult::ok_rows() const {
+  std::vector<SweepRow> rows;
+  rows.reserve(sweep.size());
+  for (const SweepRow& row : sweep) {
+    if (row.ok()) rows.push_back(row);
+  }
+  return rows;
+}
+
 std::string WorkflowResult::report() const {
+  const SweepHealth health = summarize_health(sweep);
   std::ostringstream os;
   os << "=== Co-design workflow report ===\n"
      << "graph: " << graph.num_vertices() << " vertices, "
      << graph.num_edges() << " directed edges\n"
      << "trace: " << trace.size() << " memory events\n"
-     << "sweep: " << sweep.size() << " configurations simulated\n\n"
+     << "sweep: " << sweep.size() << " configurations simulated\n"
+     << "sweep health: " << health.summary() << "\n\n"
      << surrogates.format_table1() << "\n"
      << format_recommendations(recommendations);
   return os.str();

@@ -11,6 +11,10 @@
 #include <string>
 #include <vector>
 
+namespace gmd {
+class Deadline;  // common/deadline.hpp
+}
+
 namespace gmd::memsim {
 
 enum class DeviceType { kDram, kNvm };
@@ -68,6 +72,14 @@ struct MemSimOptions {
   /// flag exists so the equivalence suite can prove it and so a
   /// regression can be bisected against the reference implementation.
   bool reference_mode = false;
+
+  /// Cooperative deadline/cancellation token, polled by the channel
+  /// service loops (drain and queue-full back-pressure).  When the
+  /// token's wall budget expires or it is cancelled, the simulation
+  /// unwinds with a typed gmd::Error (kTimeout / kCancelled) instead of
+  /// running on — this is how the sweep runner bounds a stuck point.
+  /// Non-owning; must outlive the simulation.  nullptr = never cancel.
+  Deadline* deadline = nullptr;
 };
 
 /// One memory system (a single technology).  Hybrid systems combine two.

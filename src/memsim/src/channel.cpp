@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
 
 namespace gmd::memsim {
@@ -66,12 +67,14 @@ void Channel::enqueue(const Request& request) {
 }
 
 void Channel::enqueue_trusted(const Request& request) {
+  Deadline* const deadline = config_.sim.deadline;
   Request pending = request;
   pending.arrival = std::max(pending.arrival, stall_until_);
   if (fast_) {
     while (queued_reads_ + queued_writes_ >= config_.queue_depth) {
       // Queue full: the trace reader blocks until the controller retires
       // an entry; the incoming request cannot arrive before that.
+      if (deadline) deadline->check();
       stall_until_ = std::max(stall_until_, fast_service_next());
       pending.arrival = std::max(pending.arrival, stall_until_);
     }
@@ -79,6 +82,7 @@ void Channel::enqueue_trusted(const Request& request) {
     return;
   }
   while (queue_.size() >= config_.queue_depth) {
+    if (deadline) deadline->check();
     stall_until_ = std::max(stall_until_, service(pick_next()));
     pending.arrival = std::max(pending.arrival, stall_until_);
   }
@@ -86,10 +90,17 @@ void Channel::enqueue_trusted(const Request& request) {
 }
 
 void Channel::drain() {
+  Deadline* const deadline = config_.sim.deadline;
   if (fast_) {
-    while (live_mask_ != 0) fast_service_next();
+    while (live_mask_ != 0) {
+      if (deadline) deadline->check();
+      fast_service_next();
+    }
   } else {
-    while (!queue_.empty()) service(pick_next());
+    while (!queue_.empty()) {
+      if (deadline) deadline->check();
+      service(pick_next());
+    }
   }
   // Per-bank byte totals and the refresh count are pure functions of
   // final bank state / wall clock: one pass here instead of bookkeeping

@@ -11,13 +11,26 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <vector>
 
 namespace gmd::trace {
 
 struct ConvertOptions {
   std::size_t num_threads = 0;          ///< 0: hardware concurrency.
   std::size_t chunk_bytes = 4u << 20;   ///< Target bytes per chunk.
+
+  /// Malformed-line budget for the lenient path: when more than this
+  /// many input lines fail to parse, the conversion fails with a
+  /// trace-coded gmd::Error quoting the first quarantined lines instead
+  /// of silently dropping an arbitrarily corrupt input.  gem5 traces
+  /// legitimately interleave non-memory records, so the default is
+  /// unlimited; 0 is strict mode (every line must parse).
+  std::uint64_t max_skipped_lines = std::numeric_limits<std::uint64_t>::max();
+  /// How many quarantined (unparseable) lines to retain for error
+  /// reporting and ConvertStats::quarantined.
+  std::size_t quarantine_limit = 5;
 };
 
 struct ConvertStats {
@@ -25,11 +38,15 @@ struct ConvertStats {
   std::uint64_t events_out = 0;     ///< NVMain lines written.
   std::uint64_t lines_skipped = 0;  ///< Non-memory / malformed lines.
   std::size_t chunks = 0;           ///< Chunks processed.
+  /// First quarantine_limit unparseable lines, in input order.
+  std::vector<std::string> quarantined;
 };
 
 /// Converts a gem5 text trace file into NVMain trace format.
 /// Chunk boundaries are snapped to newlines so no line is split; output
-/// order equals input order.  Throws gmd::Error on I/O failure.
+/// order equals input order.  Throws gmd::Error on I/O failure (kIo)
+/// and when the malformed-line budget is exceeded (kTrace); the output
+/// file is not written in the latter case.
 ConvertStats convert_gem5_to_nvmain(const std::string& input_path,
                                     const std::string& output_path,
                                     const ConvertOptions& options = {});

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <fstream>
+#include <sstream>
 #include <string_view>
 #include <vector>
 
@@ -20,9 +21,11 @@ struct ChunkOutput {
   std::uint64_t lines_in = 0;
   std::uint64_t events_out = 0;
   std::uint64_t skipped = 0;
+  std::vector<std::string> quarantined;  ///< First unparseable lines.
 };
 
-ChunkOutput convert_chunk(std::string_view chunk) {
+ChunkOutput convert_chunk(std::string_view chunk,
+                          std::size_t quarantine_limit) {
   ChunkOutput out;
   out.text.reserve(chunk.size() / 2);
   std::size_t pos = 0;
@@ -39,6 +42,9 @@ ChunkOutput convert_chunk(std::string_view chunk) {
       ++out.events_out;
     } else {
       ++out.skipped;
+      if (out.quarantined.size() < quarantine_limit) {
+        out.quarantined.emplace_back(line);
+      }
     }
   }
   return out;
@@ -76,22 +82,47 @@ ConvertStats convert_gem5_to_nvmain(const std::string& input_path,
   ThreadPool pool(options.num_threads);
   pool.parallel_for(0, chunks.size(), [&](std::size_t i) {
     const auto [lo, hi] = chunks[i];
-    outputs[i] =
-        convert_chunk(std::string_view(content).substr(lo, hi - lo));
+    outputs[i] = convert_chunk(std::string_view(content).substr(lo, hi - lo),
+                               options.quarantine_limit);
   });
 
-  std::ofstream out(output_path, std::ios::binary);
-  GMD_REQUIRE(out.good(), "cannot open output trace '" << output_path << "'");
+  // Tally first (quarantined lines in input order), and enforce the
+  // malformed-line budget before any output is written.
   ConvertStats stats;
   stats.chunks = chunks.size();
   for (const ChunkOutput& chunk : outputs) {
-    out.write(chunk.text.data(),
-              static_cast<std::streamsize>(chunk.text.size()));
     stats.lines_in += chunk.lines_in;
     stats.events_out += chunk.events_out;
     stats.lines_skipped += chunk.skipped;
+    for (const std::string& line : chunk.quarantined) {
+      if (stats.quarantined.size() >= options.quarantine_limit) break;
+      stats.quarantined.push_back(line);
+    }
   }
-  GMD_REQUIRE(out.good(), "write of '" << output_path << "' failed");
+  if (stats.lines_skipped > options.max_skipped_lines) {
+    std::ostringstream os;
+    os << "trace '" << input_path << "': " << stats.lines_skipped << " of "
+       << stats.lines_in << " lines failed to parse (budget "
+       << options.max_skipped_lines << ")";
+    if (!stats.quarantined.empty()) {
+      os << "; first quarantined line" << (stats.quarantined.size() > 1 ? "s" : "")
+         << ":";
+      for (const std::string& line : stats.quarantined) {
+        os << "\n  | " << line;
+      }
+    }
+    throw Error(ErrorCode::kTrace, os.str());
+  }
+
+  std::ofstream out(output_path, std::ios::binary);
+  GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
+                 "cannot open output trace '" << output_path << "'");
+  for (const ChunkOutput& chunk : outputs) {
+    out.write(chunk.text.data(),
+              static_cast<std::streamsize>(chunk.text.size()));
+  }
+  GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
+                 "write of '" << output_path << "' failed");
   return stats;
 }
 

@@ -1,0 +1,72 @@
+#include "gmd/common/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd {
+namespace {
+
+TEST(Deadline, DefaultTokenNeverFires) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.cancelled());
+  EXPECT_FALSE(deadline.expired());
+  for (int i = 0; i < 1000; ++i) deadline.check();
+}
+
+TEST(Deadline, CancelThrowsCancelledError) {
+  Deadline deadline;
+  deadline.cancel();
+  EXPECT_TRUE(deadline.cancelled());
+  try {
+    deadline.check();
+    FAIL() << "check() must throw after cancel()";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+}
+
+TEST(Deadline, ExpiredBudgetThrowsTimeoutError) {
+  Deadline deadline(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(deadline.expired());
+  try {
+    deadline.check();
+    FAIL() << "check() must throw once the budget elapsed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+}
+
+TEST(Deadline, GenerousBudgetDoesNotFire) {
+  Deadline deadline(std::chrono::hours(1));
+  EXPECT_FALSE(deadline.expired());
+  for (int i = 0; i < 1000; ++i) deadline.check();
+}
+
+TEST(Deadline, ParentCancellationPropagates) {
+  Deadline parent;
+  Deadline child(std::chrono::hours(1), &parent);
+  child.check();
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_THROW(child.check(), Error);
+}
+
+TEST(Deadline, ClockReadIsAmortizedButEventuallySeen) {
+  // The clock is only consulted every 256th check; an expiry between
+  // polls must still be caught within one amortization window.
+  Deadline deadline(std::chrono::milliseconds(1));
+  auto poll_all = [&deadline] {
+    for (int i = 0; i < 600; ++i) deadline.check();
+  };
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(2);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+  EXPECT_THROW(poll_all(), Error);
+}
+
+}  // namespace
+}  // namespace gmd

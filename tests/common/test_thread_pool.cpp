@@ -65,6 +65,40 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                Error);
 }
 
+TEST(ThreadPool, CollectedErrorsExposeEveryFailure) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([i] { throw Error("task " + std::to_string(i)); });
+  }
+  EXPECT_THROW(pool.wait(), Error);
+  const std::vector<std::exception_ptr> errors = pool.collected_errors();
+  EXPECT_EQ(errors.size(), 4u);
+  for (const std::exception_ptr& error : errors) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("task "), std::string::npos);
+    }
+  }
+}
+
+TEST(ThreadPool, CollectedErrorsHoldLastFailingBatch) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("first batch"); });
+  EXPECT_THROW(pool.wait(), Error);
+  ASSERT_EQ(pool.collected_errors().size(), 1u);
+
+  // A clean batch leaves the previous error record untouched; a new
+  // failing batch replaces it.
+  pool.submit([] {});
+  pool.wait();
+  EXPECT_EQ(pool.collected_errors().size(), 1u);
+  pool.submit([] { throw Error("second batch a"); });
+  pool.submit([] { throw Error("second batch b"); });
+  EXPECT_THROW(pool.wait(), Error);
+  EXPECT_EQ(pool.collected_errors().size(), 2u);
+}
+
 TEST(ThreadPool, NullTaskRejected) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(nullptr), Error);

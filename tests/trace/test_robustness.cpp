@@ -95,6 +95,74 @@ TEST(TraceRobustness, ConverterChunkBoundaryCannotSplitEvents) {
   }
 }
 
+TEST(TraceRobustness, SkippedLineBudgetFailsWithTraceError) {
+  const std::string dir = testing::TempDir();
+  const std::string in_path = dir + "/gmd_rob_budget.txt";
+  const std::string out_path = dir + "/gmd_rob_budget_out.txt";
+  {
+    std::ofstream out(in_path);
+    out << format_gem5_line({1, 0x100, 8, false}) << " .\n";
+    out << "garbage line one\n";
+    out << "garbage line two\n";
+    out << format_gem5_line({2, 0x140, 8, true}) << " .\n";
+    out << "garbage line three\n";
+  }
+  ConvertOptions options;
+  options.max_skipped_lines = 2;
+  try {
+    convert_gem5_to_nvmain(in_path, out_path, options);
+    FAIL() << "budget of 2 with 3 malformed lines must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTrace);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("garbage line one"), std::string::npos) << what;
+    EXPECT_NE(what.find("budget 2"), std::string::npos) << what;
+  }
+  // The output file must not have been written.
+  std::ifstream check(out_path);
+  EXPECT_FALSE(check.good());
+}
+
+TEST(TraceRobustness, StrictModeRejectsAnyMalformedLine) {
+  const std::string dir = testing::TempDir();
+  const std::string in_path = dir + "/gmd_rob_strict.txt";
+  const std::string out_path = dir + "/gmd_rob_strict_out.txt";
+  {
+    std::ofstream out(in_path);
+    out << format_gem5_line({1, 0x100, 8, false}) << " .\n";
+    out << "not a memory record\n";
+  }
+  ConvertOptions strict;
+  strict.max_skipped_lines = 0;
+  EXPECT_THROW(convert_gem5_to_nvmain(in_path, out_path, strict), Error);
+
+  // The same input passes under the default (unlimited) budget and
+  // reports the quarantined line in the stats.
+  const ConvertStats stats = convert_gem5_to_nvmain(in_path, out_path);
+  EXPECT_EQ(stats.events_out, 1u);
+  EXPECT_EQ(stats.lines_skipped, 1u);
+  ASSERT_EQ(stats.quarantined.size(), 1u);
+  EXPECT_EQ(stats.quarantined[0], "not a memory record");
+}
+
+TEST(TraceRobustness, QuarantineLimitCapsReportedLines) {
+  const std::string dir = testing::TempDir();
+  const std::string in_path = dir + "/gmd_rob_quarantine.txt";
+  const std::string out_path = dir + "/gmd_rob_quarantine_out.txt";
+  {
+    std::ofstream out(in_path);
+    for (int i = 0; i < 10; ++i) out << "bad " << i << "\n";
+  }
+  ConvertOptions options;
+  options.quarantine_limit = 3;
+  const ConvertStats stats =
+      convert_gem5_to_nvmain(in_path, out_path, options);
+  EXPECT_EQ(stats.lines_skipped, 10u);
+  ASSERT_EQ(stats.quarantined.size(), 3u);
+  EXPECT_EQ(stats.quarantined[0], "bad 0");
+  EXPECT_EQ(stats.quarantined[2], "bad 2");
+}
+
 TEST(TraceRobustness, UnsortedTraceRejectedWithClearError) {
   // The memory system requires tick-ordered input (as NVMain's trace
   // reader does); feeding a shuffled trace must fail loudly, not

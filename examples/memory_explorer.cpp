@@ -6,10 +6,17 @@
 /// Usage: memory_explorer [--workload bfs|dobfs|pagerank|cc|sssp|triangles]
 ///                        [--vertices N] [--axis ctrl|cpu|channels|trcd]
 ///                        [--kind dram|nvm|hybrid]
+///                        [--trace-dir DIR] [--trace-format text|gmdt]
 ///                        [--policy failfast|skip|retry] [--retries N]
 ///                        [--deadline-ms N] [--checkpoint PATH] [--resume]
+///
+/// With --trace-dir the workload trace goes through the on-disk
+/// pipeline first (gem5 text, then the chosen container); the gmdt
+/// path feeds the sweep straight from the memory-mapped store.
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 
@@ -17,6 +24,9 @@
 #include "gmd/common/error.hpp"
 #include "gmd/dse/sweep.hpp"
 #include "gmd/dse/workflow.hpp"
+#include "gmd/trace/converter.hpp"
+#include "gmd/trace/formats.hpp"
+#include "gmd/tracestore/reader.hpp"
 
 namespace {
 
@@ -88,6 +98,10 @@ int main(int argc, char** argv) {
       .add_option("vertices", "256", "graph size")
       .add_option("axis", "ctrl", "axis to sweep: ctrl | cpu | channels | trcd")
       .add_option("kind", "nvm", "memory technology: dram | nvm | hybrid")
+      .add_option("trace-dir", "",
+                  "round-trip the trace through files in this directory")
+      .add_option("trace-format", "text",
+                  "on-disk trace container under --trace-dir: text | gmdt")
       .add_option("policy", "failfast",
                   "failure policy: failfast | skip | retry")
       .add_option("retries", "3", "max attempts per point under --policy retry")
@@ -116,7 +130,41 @@ int main(int argc, char** argv) {
         std::chrono::milliseconds(cli.get_int("deadline-ms"));
     sweep.checkpoint_path = cli.get_string("checkpoint");
     sweep.resume = cli.get_flag("resume");
-    const auto rows = dse::run_sweep(points, trace, sweep);
+
+    const std::string trace_dir = cli.get_string("trace-dir");
+    const std::string trace_format = cli.get_string("trace-format");
+    std::vector<dse::SweepRow> rows;
+    if (trace_dir.empty()) {
+      rows = dse::run_sweep(points, trace, sweep);
+    } else {
+      std::filesystem::create_directories(trace_dir);
+      const std::string gem5_path = trace_dir + "/explorer.gem5.txt";
+      {
+        std::ofstream out(gem5_path);
+        GMD_REQUIRE(out.good(), "cannot write '" << gem5_path << "'");
+        trace::Gem5TraceWriter writer(out);
+        for (const auto& event : trace) writer.on_event(event);
+      }
+      if (trace_format == "gmdt") {
+        const std::string store_path = trace_dir + "/explorer.gmdt";
+        trace::convert_gem5_to_gmdt(gem5_path, store_path);
+        const tracestore::TraceStoreReader store(store_path);
+        std::cout << "trace store: " << store.num_chunks() << " chunks, "
+                  << store.file_bytes() << " bytes\n\n";
+        rows = dse::run_sweep(points, store, sweep);
+      } else if (trace_format == "text") {
+        const std::string nvmain_path = trace_dir + "/explorer.nvmain.txt";
+        trace::convert_gem5_to_nvmain(gem5_path, nvmain_path);
+        std::ifstream in(nvmain_path);
+        GMD_REQUIRE(in.good(), "cannot read '" << nvmain_path << "'");
+        const auto events = trace::read_nvmain_trace(in);
+        rows = dse::run_sweep(points, events, sweep);
+      } else {
+        throw Error(ErrorCode::kConfig,
+                    "--trace-format expects 'text' or 'gmdt', got '" +
+                        trace_format + "'");
+      }
+    }
 
     std::cout << std::left << std::setw(28) << "configuration"
               << std::right << std::setw(10) << "power(W)" << std::setw(12)

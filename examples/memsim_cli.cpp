@@ -5,6 +5,7 @@
 /// scripts can drive this simulator file-for-file.
 ///
 /// Usage: memsim_cli --config mem.cfg --trace trace.nvt
+///        memsim_cli --config mem.cfg --trace trace.gmdt --trace-format gmdt
 ///        memsim_cli --emit-config dram|nvm > mem.cfg
 
 #include <fstream>
@@ -16,6 +17,7 @@
 #include "gmd/memsim/hybrid.hpp"
 #include "gmd/memsim/memory_system.hpp"
 #include "gmd/trace/formats.hpp"
+#include "gmd/tracestore/reader.hpp"
 
 int main(int argc, char** argv) {
   using namespace gmd;
@@ -28,7 +30,9 @@ int main(int argc, char** argv) {
                   "hybrid mode: NVM-side configuration file")
       .add_option("dram-fraction", "0.5",
                   "hybrid mode: fraction of pages routed to DRAM")
-      .add_option("trace", "", "NVMain-format trace file")
+      .add_option("trace", "", "trace file (NVMain text or GMDT store)")
+      .add_option("trace-format", "text",
+                  "trace container: text (NVMain) | gmdt (trace store)")
       .add_option("emit-config", "",
                   "print a preset config (dram or nvm) to stdout and exit");
   try {
@@ -56,9 +60,20 @@ int main(int argc, char** argv) {
                 "need --trace plus --config, or --config-dram/--config-nvm "
                 "(or --emit-config)");
 
-    std::ifstream trace_in(trace_path);
-    GMD_REQUIRE(trace_in.good(), "cannot open trace '" << trace_path << "'");
-    const auto events = trace::read_nvmain_trace(trace_in);
+    const std::string trace_format = cli.get_string("trace-format");
+    std::vector<cpusim::MemoryEvent> events;
+    if (trace_format == "gmdt") {
+      events = tracestore::TraceStoreReader(trace_path).read_all();
+    } else if (trace_format == "text") {
+      std::ifstream trace_in(trace_path);
+      GMD_REQUIRE(trace_in.good(),
+                  "cannot open trace '" << trace_path << "'");
+      events = trace::read_nvmain_trace(trace_in);
+    } else {
+      throw Error(ErrorCode::kConfig,
+                  "--trace-format expects 'text' or 'gmdt', got '" +
+                      trace_format + "'");
+    }
 
     memsim::MemoryMetrics metrics;
     std::string description;

@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
       .add_option("trace-dir", "",
                   "round-trip the trace through gem5/NVMain format files "
                   "in this directory")
+      .add_option("trace-format", "text",
+                  "on-disk trace container under --trace-dir: text | gmdt")
       .add_option("report", "", "write a markdown study report to this path")
       .add_option("seed", "1", "random seed")
       .add_option("policy", "failfast",
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
     config.edge_factor = static_cast<unsigned>(cli.get_int("edge-factor"));
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     config.trace_dir = cli.get_string("trace-dir");
+    config.trace_format = cli.get_string("trace-format");
     config.log_progress = true;
     // Full paper design space (design_points left empty).
 

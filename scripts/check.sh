@@ -18,6 +18,20 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo
+echo "== GMDT pack -> verify -> unpack smoke =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$BUILD_DIR/examples/trace_tools" --out-dir "$SMOKE_DIR" --vertices 256
+"$BUILD_DIR/examples/trace_tools" pack \
+  --input "$SMOKE_DIR/workload.gem5.txt" --input-format gem5 \
+  --output "$SMOKE_DIR/smoke.gmdt"
+"$BUILD_DIR/examples/trace_tools" verify --input "$SMOKE_DIR/smoke.gmdt"
+"$BUILD_DIR/examples/trace_tools" unpack \
+  --input "$SMOKE_DIR/smoke.gmdt" --output "$SMOKE_DIR/smoke.nvmain.txt"
+cmp "$SMOKE_DIR/smoke.nvmain.txt" "$SMOKE_DIR/workload.nvmain.txt"
+echo "GMDT round trip matches the text converter output"
+
+echo
 echo "== memsim microbenchmarks =="
 "$BUILD_DIR/bench/bench_micro" \
   --benchmark_filter='BM_MemorySimulation' --benchmark_min_time=2

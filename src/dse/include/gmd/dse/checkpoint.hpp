@@ -32,6 +32,10 @@
 #include "gmd/dse/design_point.hpp"
 #include "gmd/dse/sweep.hpp"
 
+namespace gmd::tracestore {
+class TraceStoreReader;
+}
+
 namespace gmd::dse {
 
 /// Identity of a sweep invocation: a journal is only resumable against
@@ -52,6 +56,16 @@ std::uint64_t points_checksum(std::span<const DesignPoint> points);
 
 JournalKey make_journal_key(std::span<const DesignPoint> points,
                             std::span<const cpusim::MemoryEvent> trace);
+
+/// Trace identity straight off a GMDT store's header and chunk
+/// directory (a hash of the per-chunk payload checksums) — no event
+/// decode or whole-file re-hash.  Note this is a different identity
+/// domain than trace_checksum(events): a journal keyed against a store
+/// is resumable only against the same store content.
+std::uint64_t trace_checksum(const tracestore::TraceStoreReader& store);
+
+JournalKey make_journal_key(std::span<const DesignPoint> points,
+                            const tracestore::TraceStoreReader& store);
 
 /// Append-only journal of completed (ok) sweep rows.  Thread-safe:
 /// sweep workers record rows concurrently; each record is flushed with

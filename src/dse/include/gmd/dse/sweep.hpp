@@ -30,6 +30,10 @@
 #include "gmd/dse/design_point.hpp"
 #include "gmd/memsim/metrics.hpp"
 
+namespace gmd::tracestore {
+class TraceStoreReader;
+}  // namespace gmd::tracestore
+
 namespace gmd::dse {
 
 /// Terminal state of one design point in a sweep.
@@ -121,6 +125,16 @@ struct SweepOptions {
 /// Row order matches `points` order.
 std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
                                 std::span<const cpusim::MemoryEvent> trace,
+                                const SweepOptions& options = {});
+
+/// Store-fed sweep: replays a GMDT trace store without first
+/// materializing the whole event vector — single-technology groups
+/// predecode chunk-by-chunk straight off the shared mapping, and the
+/// raw event vector is decoded (in parallel, once) only when some point
+/// needs it (hybrid groups, ungrouped points, or sharing disabled).
+/// Metrics are bit-identical to the span overload on the same events.
+std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
+                                const tracestore::TraceStoreReader& store,
                                 const SweepOptions& options = {});
 
 /// Simulates a single point.

@@ -28,9 +28,14 @@ struct WorkflowConfig {
 
   // Trace round-trip: when non-empty, the CPU trace is written in gem5
   // format to `<trace_dir>/gem5_trace.txt`, converted in parallel to
-  // `<trace_dir>/nvmain_trace.txt`, and re-read — exercising the same
-  // file pipeline the paper ran.  Empty: events stream in memory.
+  // the simulator input format, and re-read — exercising the same file
+  // pipeline the paper ran.  Empty: events stream in memory.
   std::string trace_dir;
+  /// File format of the converted trace when trace_dir is set:
+  /// "text" — NVMain text at `<trace_dir>/nvmain_trace.txt`;
+  /// "gmdt" — GMDT trace store at `<trace_dir>/trace.gmdt` (compressed,
+  /// chunk-indexed; yields event-identical sweep inputs).
+  std::string trace_format = "text";
 
   // Sweep.
   std::vector<DesignPoint> design_points;  ///< Empty: paper_design_space().

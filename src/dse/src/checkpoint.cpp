@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "gmd/common/error.hpp"
+#include "gmd/common/hash.hpp"
+#include "gmd/tracestore/reader.hpp"
 
 namespace gmd::dse {
 
@@ -14,18 +16,6 @@ namespace {
 
 constexpr std::string_view kMagic = "gmd-sweep-journal";
 constexpr std::string_view kVersion = "v1";
-
-struct Fnv1a {
-  std::uint64_t state = 0xCBF29CE484222325ULL;
-
-  void mix(std::uint64_t value) {
-    for (int shift = 0; shift < 64; shift += 8) {
-      state ^= (value >> shift) & 0xFFu;
-      state *= 0x100000001B3ULL;
-    }
-  }
-  void mix_double(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
-};
 
 std::string hex16(std::uint64_t value) {
   char buffer[17];
@@ -102,6 +92,19 @@ std::uint64_t points_checksum(std::span<const DesignPoint> points) {
 JournalKey make_journal_key(std::span<const DesignPoint> points,
                             std::span<const cpusim::MemoryEvent> trace) {
   return JournalKey{trace_checksum(trace), points_checksum(points),
+                    points.size()};
+}
+
+std::uint64_t trace_checksum(const tracestore::TraceStoreReader& store) {
+  // The store's header and chunk directory already carry FNV-1a
+  // checksums of every payload byte, so the trace identity is a hash of
+  // hashes — no re-decode of the events.
+  return store.content_checksum();
+}
+
+JournalKey make_journal_key(std::span<const DesignPoint> points,
+                            const tracestore::TraceStoreReader& store) {
+  return JournalKey{trace_checksum(store), points_checksum(points),
                     points.size()};
 }
 

@@ -17,10 +17,72 @@
 #include "gmd/memsim/hybrid.hpp"
 #include "gmd/memsim/memory_system.hpp"
 #include "gmd/memsim/predecoded_trace.hpp"
+#include "gmd/tracestore/reader.hpp"
 
 namespace gmd::dse {
 
 namespace {
+
+/// Uniform view over the two trace feeds (in-memory span / GMDT store).
+/// A store-fed sweep only decodes the full event vector when some point
+/// actually needs the raw path; grouped single-technology points
+/// predecode chunk-by-chunk off the shared mapping instead.
+class TraceAccess {
+ public:
+  explicit TraceAccess(std::span<const cpusim::MemoryEvent> events)
+      : events_(events), materialized_(true) {}
+  explicit TraceAccess(const tracestore::TraceStoreReader& store)
+      : store_(&store) {}
+
+  std::size_t num_events() const {
+    return store_ != nullptr ? static_cast<std::size_t>(store_->num_events())
+                             : events_.size();
+  }
+
+  JournalKey journal_key(std::span<const DesignPoint> points) const {
+    return store_ != nullptr ? make_journal_key(points, *store_)
+                             : make_journal_key(points, events_);
+  }
+
+  /// Full in-memory event view.  For a store feed the first call
+  /// decodes every chunk in parallel on `pool`; must not be called from
+  /// inside a pool task (use raw() there, after materializing here).
+  std::span<const cpusim::MemoryEvent> materialize(ThreadPool& pool) {
+    if (!materialized_) {
+      storage_ = store_->read_all(pool);
+      events_ = storage_;
+      materialized_ = true;
+    }
+    return events_;
+  }
+
+  /// The materialized view; empty unless materialize() ran (or the feed
+  /// was a span to begin with).
+  std::span<const cpusim::MemoryEvent> raw() const { return events_; }
+
+  /// Predecodes the whole trace for `config` without materializing:
+  /// streams chunks off the store mapping when not yet materialized.
+  /// Safe to call from pool tasks.
+  memsim::PredecodedTrace predecode(const memsim::MemoryConfig& config) const {
+    if (materialized_) {
+      return memsim::PredecodedTrace::build(config, events_);
+    }
+    tracestore::ChunkIterator it(*store_);
+    return memsim::PredecodedTrace::build(
+        config,
+        [&it]() -> std::span<const cpusim::MemoryEvent> {
+          return it.next() ? it.events()
+                           : std::span<const cpusim::MemoryEvent>{};
+        },
+        num_events());
+  }
+
+ private:
+  std::span<const cpusim::MemoryEvent> events_;
+  const tracestore::TraceStoreReader* store_ = nullptr;
+  std::vector<cpusim::MemoryEvent> storage_;
+  bool materialized_ = false;
+};
 
 /// Per-point simulation plan: which shared trace group (if any) the
 /// point replays, and the materialized config so it is built once.
@@ -150,9 +212,11 @@ std::string SweepHealth::summary() const {
   return os.str();
 }
 
-std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
-                                std::span<const cpusim::MemoryEvent> trace,
-                                const SweepOptions& options) {
+namespace {
+
+std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
+                                     TraceAccess& access,
+                                     const SweepOptions& options) {
   const bool fail_fast = options.failure_policy == FailurePolicy::kFailFast;
   std::vector<SweepRow> rows(points.size());
 
@@ -183,8 +247,8 @@ std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
   // every newly completed row.
   std::unique_ptr<SweepJournal> journal;
   if (!options.checkpoint_path.empty()) {
-    journal = std::make_unique<SweepJournal>(
-        options.checkpoint_path, make_journal_key(points, trace));
+    journal = std::make_unique<SweepJournal>(options.checkpoint_path,
+                                             access.journal_key(points));
     if (options.resume) {
       std::size_t restored = 0;
       for (auto& [index, row] : journal->load()) {
@@ -232,16 +296,33 @@ std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
       }
       plan.group = it->second;
     }
+  }
+
+  // A store feed only pays for the full event vector when some point
+  // actually replays raw events: a hybrid group (the hybrid splitter
+  // takes a span), an unsettled point outside every group (dynamic
+  // hybrids, or sharing disabled).  Must happen before the group
+  // predecode below — materialize() uses the pool itself.
+  bool need_raw = false;
+  for (std::size_t i = 0; i < points.size() && !need_raw; ++i) {
+    need_raw = !settled[i] && plans[i].group == PointPlan::kNoGroup;
+  }
+  for (const TraceGroup& group : groups) {
+    need_raw = need_raw || group.is_hybrid;
+  }
+  if (need_raw) access.materialize(pool);
+
+  if (!groups.empty()) {
     // Predecode each group once, in parallel.
     pool.parallel_for(0, groups.size(), [&](std::size_t g) {
       TraceGroup& group = groups[g];
       if (group.is_hybrid) {
-        auto sides = memsim::predecode_hybrid(plans[group.rep].hybrid, trace);
+        auto sides =
+            memsim::predecode_hybrid(plans[group.rep].hybrid, access.raw());
         group.dram_side = std::move(sides.first);
         group.nvm_side = std::move(sides.second);
       } else {
-        group.trace =
-            memsim::PredecodedTrace::build(plans[group.rep].single, trace);
+        group.trace = access.predecode(plans[group.rep].single);
       }
     });
   }
@@ -256,11 +337,11 @@ std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
         memsim::HybridConfig config = points[i].hybrid_config();
         config.dram.sim.deadline = deadline;
         config.nvm.sim.deadline = deadline;
-        return memsim::HybridMemory::simulate(config, trace);
+        return memsim::HybridMemory::simulate(config, access.raw());
       }
       memsim::MemoryConfig config = points[i].single_config();
       config.sim.deadline = deadline;
-      return memsim::MemorySystem::simulate(config, trace);
+      return memsim::MemorySystem::simulate(config, access.raw());
     }
     const TraceGroup& group = groups[plan.group];
     if (group.is_hybrid) {
@@ -355,6 +436,22 @@ std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
     }
   }
   return rows;
+}
+
+}  // namespace
+
+std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
+                                std::span<const cpusim::MemoryEvent> trace,
+                                const SweepOptions& options) {
+  TraceAccess access(trace);
+  return run_sweep_impl(points, access, options);
+}
+
+std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
+                                const tracestore::TraceStoreReader& store,
+                                const SweepOptions& options) {
+  TraceAccess access(store);
+  return run_sweep_impl(points, access, options);
 }
 
 }  // namespace gmd::dse

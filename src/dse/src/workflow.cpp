@@ -1,5 +1,6 @@
 #include "gmd/dse/workflow.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -11,6 +12,7 @@
 #include "gmd/graph/generators.hpp"
 #include "gmd/trace/converter.hpp"
 #include "gmd/trace/formats.hpp"
+#include "gmd/tracestore/reader.hpp"
 
 namespace gmd::dse {
 
@@ -46,14 +48,20 @@ std::vector<cpusim::MemoryEvent> generate_workload_trace(
 
 namespace {
 
-/// Writes the trace in gem5 text format, converts it to NVMain format
-/// with the parallel converter, and reads the result back — the
-/// paper's file-based pipeline between its two simulators.
+/// Writes the trace in gem5 text format, converts it to the requested
+/// simulator input format (NVMain text or a GMDT store) with the
+/// parallel converter, and reads the result back — the paper's
+/// file-based pipeline between its two simulators.
 std::vector<cpusim::MemoryEvent> round_trip_through_files(
     const std::vector<cpusim::MemoryEvent>& events,
-    const std::string& trace_dir, std::size_t num_threads) {
+    const std::string& trace_dir, const std::string& trace_format,
+    std::size_t num_threads) {
+  GMD_REQUIRE_AS(ErrorCode::kConfig,
+                 trace_format == "text" || trace_format == "gmdt",
+                 "trace_format must be 'text' or 'gmdt', got '"
+                     << trace_format << "'");
+  std::filesystem::create_directories(trace_dir);
   const std::string gem5_path = trace_dir + "/gem5_trace.txt";
-  const std::string nvmain_path = trace_dir + "/nvmain_trace.txt";
   {
     std::ofstream out(gem5_path);
     GMD_REQUIRE(out.good(), "cannot write '" << gem5_path << "'");
@@ -62,6 +70,16 @@ std::vector<cpusim::MemoryEvent> round_trip_through_files(
   }
   trace::ConvertOptions options;
   options.num_threads = num_threads;
+  if (trace_format == "gmdt") {
+    const std::string store_path = trace_dir + "/trace.gmdt";
+    const trace::ConvertStats stats =
+        trace::convert_gem5_to_gmdt(gem5_path, store_path, options);
+    GMD_LOG_INFO << "trace conversion: " << stats.lines_in << " lines in, "
+                 << stats.events_out << " events out across " << stats.chunks
+                 << " chunks (gmdt)";
+    return tracestore::TraceStoreReader(store_path).read_all();
+  }
+  const std::string nvmain_path = trace_dir + "/nvmain_trace.txt";
   const trace::ConvertStats stats =
       trace::convert_gem5_to_nvmain(gem5_path, nvmain_path, options);
   GMD_LOG_INFO << "trace conversion: " << stats.lines_in << " lines in, "
@@ -83,6 +101,7 @@ WorkflowResult run_workflow(const WorkflowConfig& config) {
 
   if (!config.trace_dir.empty()) {
     result.trace = round_trip_through_files(result.trace, config.trace_dir,
+                                            config.trace_format,
                                             config.num_threads);
   }
 

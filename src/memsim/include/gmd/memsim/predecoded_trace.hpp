@@ -12,6 +12,7 @@
 /// per config.
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -47,6 +48,22 @@ struct PredecodedTrace {
   /// Predecodes a whole trace for `config`'s decode geometry.
   static PredecodedTrace build(const MemoryConfig& config,
                                std::span<const cpusim::MemoryEvent> trace);
+
+  /// Pull-based chunk source: each call returns the next span of events
+  /// (valid until the next call); an empty span ends the stream.  Lets
+  /// callers predecode straight off a chunked container (e.g. a GMDT
+  /// trace store's ChunkIterator) without materializing the whole event
+  /// vector first.
+  using EventChunkSource =
+      std::function<std::span<const cpusim::MemoryEvent>()>;
+
+  /// Streaming predecode: pulls chunks from `source` until it returns
+  /// an empty span.  `size_hint` (total events, if known) pre-sizes the
+  /// arrays.  Equivalent to the span overload on the concatenation of
+  /// the chunks.
+  static PredecodedTrace build(const MemoryConfig& config,
+                               const EventChunkSource& source,
+                               std::size_t size_hint = 0);
 
   /// The fields the predecode depends on, serialized: mapping scheme,
   /// geometry, access size, and the two clocks.  Configs with equal

@@ -59,6 +59,22 @@ PredecodedTrace PredecodedTrace::build(
   return out;
 }
 
+PredecodedTrace PredecodedTrace::build(const MemoryConfig& config,
+                                       const EventChunkSource& source,
+                                       std::size_t size_hint) {
+  const AddressDecoder decoder(config);
+  TickConverter ticker(config);
+  PredecodedTrace out;
+  out.config_key = key(config);
+  if (size_hint > 0) out.reserve(size_hint);
+  for (auto chunk = source(); !chunk.empty(); chunk = source()) {
+    for (const cpusim::MemoryEvent& event : chunk) {
+      out.append_event(config, decoder, ticker, event);
+    }
+  }
+  return out;
+}
+
 std::string PredecodedTrace::key(const MemoryConfig& config) {
   std::ostringstream os;
   os << config.address_mapping << "|ch" << config.channels << "|rk"

@@ -20,6 +20,9 @@ namespace gmd::trace {
 struct ConvertOptions {
   std::size_t num_threads = 0;          ///< 0: hardware concurrency.
   std::size_t chunk_bytes = 4u << 20;   ///< Target bytes per chunk.
+  /// Events per GMDT chunk when the output is a trace store
+  /// (convert_gem5_to_gmdt); matches tracestore::kDefaultEventsPerChunk.
+  std::size_t gmdt_chunk_events = std::size_t{1} << 16;
 
   /// Malformed-line budget for the lenient path: when more than this
   /// many input lines fail to parse, the conversion fails with a
@@ -50,5 +53,28 @@ struct ConvertStats {
 ConvertStats convert_gem5_to_nvmain(const std::string& input_path,
                                     const std::string& output_path,
                                     const ConvertOptions& options = {});
+
+/// Converts a gem5 text trace straight into a GMDT trace store, with
+/// the same parallel newline-snapped chunking and malformed-line budget
+/// as convert_gem5_to_nvmain.  Events carry NVMain request semantics
+/// (to_nvmain_event), so reading the store back is byte-for-byte equal
+/// to reading the NVMain text the classic converter would have written.
+ConvertStats convert_gem5_to_gmdt(const std::string& input_path,
+                                  const std::string& output_path,
+                                  const ConvertOptions& options = {});
+
+/// Expands a GMDT trace store into NVMain text (chunks formatted in
+/// parallel, concatenated in order).  ConvertStats::lines_in counts the
+/// store's events.
+ConvertStats convert_gmdt_to_nvmain(const std::string& input_path,
+                                    const std::string& output_path,
+                                    const ConvertOptions& options = {});
+
+/// One-line skipped/quarantined summary, e.g.
+///   "3 of 100 lines failed to parse (budget unlimited)".
+/// The converter's budget-exceeded error and every tool that reports
+/// conversion stats use this same wording, so logs and errors agree.
+std::string summarize_skipped(const ConvertStats& stats,
+                              const ConvertOptions& options);
 
 }  // namespace gmd::trace

@@ -29,6 +29,18 @@ using cpusim::MemoryEvent;
 /// Access size assumed when a format (NVMain) does not carry one.
 inline constexpr std::uint32_t kNvmainWordBytes = 64;
 
+/// Applies NVMain's request semantics to an event: the address is
+/// aligned down to the memory word and the size widened to one word —
+/// exactly what a format_nvmain_line/parse_nvmain_line round trip
+/// produces.  The GMDT converter uses this so a store packed from a
+/// gem5 trace holds byte-for-byte the events an NVMain text round trip
+/// would yield.
+inline MemoryEvent to_nvmain_event(const MemoryEvent& event) {
+  return MemoryEvent{event.tick,
+                     event.address / kNvmainWordBytes * kNvmainWordBytes,
+                     kNvmainWordBytes, event.is_write};
+}
+
 // --- gem5 text format ------------------------------------------------
 
 std::string format_gem5_line(const MemoryEvent& event);
@@ -74,12 +86,21 @@ class NvmainTraceWriter final : public cpusim::TraceSink {
 
 std::vector<MemoryEvent> read_nvmain_trace(std::istream& is);
 
-// --- binary format -----------------------------------------------------
+// --- binary format (legacy) --------------------------------------------
+//
+// The original magic-tagged packed blob ("GMDTRC01": 8-byte magic, u64
+// count, 24-byte fixed records).  Superseded by the GMDT chunk-indexed
+// store (gmd/tracestore) for anything new; kept readable so old traces
+// can still be inspected and migrated (`trace_tools unpack` accepts
+// both).
 
-/// Writes a magic-tagged packed trace.
+/// Writes a magic-tagged packed trace (legacy format).
 void write_binary_trace(std::ostream& os, std::span<const MemoryEvent> events);
 
-/// Reads a packed trace; throws gmd::Error on a bad header or truncation.
+/// Reads a packed legacy trace.  Throws gmd::Error(kTrace) on a bad
+/// magic and gmd::Error(kIo) on truncation — including a header whose
+/// event count exceeds what the stream can possibly hold, which is
+/// rejected before any allocation.
 std::vector<MemoryEvent> read_binary_trace(std::istream& is);
 
 }  // namespace gmd::trace

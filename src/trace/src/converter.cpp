@@ -5,29 +5,37 @@
 #include <fstream>
 #include <sstream>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "gmd/common/error.hpp"
 #include "gmd/common/thread_pool.hpp"
 #include "gmd/trace/formats.hpp"
+#include "gmd/tracestore/reader.hpp"
+#include "gmd/tracestore/writer.hpp"
 
 namespace gmd::trace {
 
 namespace {
 
-/// Per-chunk conversion result, concatenated in chunk order.
+/// Per-chunk conversion result, concatenated in chunk order.  Either
+/// `text` (NVMain output) or `events` (GMDT output) is populated,
+/// depending on the target format.
 struct ChunkOutput {
   std::string text;
+  std::vector<MemoryEvent> events;
   std::uint64_t lines_in = 0;
   std::uint64_t events_out = 0;
   std::uint64_t skipped = 0;
   std::vector<std::string> quarantined;  ///< First unparseable lines.
 };
 
-ChunkOutput convert_chunk(std::string_view chunk,
+enum class OutputKind { kNvmainText, kEvents };
+
+ChunkOutput convert_chunk(std::string_view chunk, OutputKind kind,
                           std::size_t quarantine_limit) {
   ChunkOutput out;
-  out.text.reserve(chunk.size() / 2);
+  if (kind == OutputKind::kNvmainText) out.text.reserve(chunk.size() / 2);
   std::size_t pos = 0;
   while (pos < chunk.size()) {
     std::size_t eol = chunk.find('\n', pos);
@@ -37,8 +45,12 @@ ChunkOutput convert_chunk(std::string_view chunk,
     if (line.empty()) continue;
     ++out.lines_in;
     if (const auto event = parse_gem5_line(line)) {
-      out.text += format_nvmain_line(*event);
-      out.text += '\n';
+      if (kind == OutputKind::kNvmainText) {
+        out.text += format_nvmain_line(*event);
+        out.text += '\n';
+      } else {
+        out.events.push_back(to_nvmain_event(*event));
+      }
       ++out.events_out;
     } else {
       ++out.skipped;
@@ -50,26 +62,22 @@ ChunkOutput convert_chunk(std::string_view chunk,
   return out;
 }
 
-}  // namespace
-
-ConvertStats convert_gem5_to_nvmain(const std::string& input_path,
-                                    const std::string& output_path,
-                                    const ConvertOptions& options) {
-  GMD_REQUIRE(options.chunk_bytes >= 1, "chunk_bytes must be >= 1");
-
-  // Read the input once; chunking happens on the in-memory buffer so
-  // chunk boundaries can be snapped to newlines cheaply.
-  std::ifstream in(input_path, std::ios::binary);
-  GMD_REQUIRE(in.good(), "cannot open input trace '" << input_path << "'");
+std::string load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GMD_REQUIRE(in.good(), "cannot open input trace '" << path << "'");
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-  GMD_REQUIRE(!in.bad(), "read of '" << input_path << "' failed");
+  GMD_REQUIRE(!in.bad(), "read of '" << path << "' failed");
+  return content;
+}
 
-  // Compute newline-aligned chunk boundaries.
+/// Newline-aligned [start, end) chunk boundaries over `content`.
+std::vector<std::pair<std::size_t, std::size_t>> chunk_boundaries(
+    const std::string& content, std::size_t chunk_bytes) {
   std::vector<std::pair<std::size_t, std::size_t>> chunks;
   std::size_t start = 0;
   while (start < content.size()) {
-    std::size_t end = std::min(content.size(), start + options.chunk_bytes);
+    std::size_t end = std::min(content.size(), start + chunk_bytes);
     if (end < content.size()) {
       const std::size_t newline = content.find('\n', end);
       end = newline == std::string::npos ? content.size() : newline + 1;
@@ -77,18 +85,28 @@ ConvertStats convert_gem5_to_nvmain(const std::string& input_path,
     chunks.emplace_back(start, end);
     start = end;
   }
+  return chunks;
+}
 
+/// Parses a gem5 text file in parallel chunks and returns the per-chunk
+/// outputs plus the tallied stats, enforcing the malformed-line budget.
+/// Throws before anything is written when the budget is exceeded.
+std::vector<ChunkOutput> parse_gem5_chunks(const std::string& input_path,
+                                           const std::string& content,
+                                           OutputKind kind,
+                                           const ConvertOptions& options,
+                                           ConvertStats& stats) {
+  const auto chunks = chunk_boundaries(content, options.chunk_bytes);
   std::vector<ChunkOutput> outputs(chunks.size());
   ThreadPool pool(options.num_threads);
   pool.parallel_for(0, chunks.size(), [&](std::size_t i) {
     const auto [lo, hi] = chunks[i];
     outputs[i] = convert_chunk(std::string_view(content).substr(lo, hi - lo),
-                               options.quarantine_limit);
+                               kind, options.quarantine_limit);
   });
 
   // Tally first (quarantined lines in input order), and enforce the
   // malformed-line budget before any output is written.
-  ConvertStats stats;
   stats.chunks = chunks.size();
   for (const ChunkOutput& chunk : outputs) {
     stats.lines_in += chunk.lines_in;
@@ -101,18 +119,48 @@ ConvertStats convert_gem5_to_nvmain(const std::string& input_path,
   }
   if (stats.lines_skipped > options.max_skipped_lines) {
     std::ostringstream os;
-    os << "trace '" << input_path << "': " << stats.lines_skipped << " of "
-       << stats.lines_in << " lines failed to parse (budget "
-       << options.max_skipped_lines << ")";
+    os << "trace '" << input_path << "': " << summarize_skipped(stats, options);
     if (!stats.quarantined.empty()) {
-      os << "; first quarantined line" << (stats.quarantined.size() > 1 ? "s" : "")
-         << ":";
+      os << "; first quarantined line"
+         << (stats.quarantined.size() > 1 ? "s" : "") << ":";
       for (const std::string& line : stats.quarantined) {
         os << "\n  | " << line;
       }
     }
     throw Error(ErrorCode::kTrace, os.str());
   }
+  return outputs;
+}
+
+}  // namespace
+
+std::string summarize_skipped(const ConvertStats& stats,
+                              const ConvertOptions& options) {
+  std::ostringstream os;
+  os << stats.lines_skipped << " of " << stats.lines_in
+     << " lines failed to parse (budget ";
+  if (options.max_skipped_lines ==
+      std::numeric_limits<std::uint64_t>::max()) {
+    os << "unlimited";
+  } else {
+    os << options.max_skipped_lines;
+  }
+  os << ")";
+  return os.str();
+}
+
+ConvertStats convert_gem5_to_nvmain(const std::string& input_path,
+                                    const std::string& output_path,
+                                    const ConvertOptions& options) {
+  GMD_REQUIRE(options.chunk_bytes >= 1, "chunk_bytes must be >= 1");
+
+  // Read the input once; chunking happens on the in-memory buffer so
+  // chunk boundaries can be snapped to newlines cheaply.
+  const std::string content = load_file(input_path);
+  ConvertStats stats;
+  const auto outputs = parse_gem5_chunks(input_path, content,
+                                         OutputKind::kNvmainText, options,
+                                         stats);
 
   std::ofstream out(output_path, std::ios::binary);
   GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
@@ -123,6 +171,64 @@ ConvertStats convert_gem5_to_nvmain(const std::string& input_path,
   }
   GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
                  "write of '" << output_path << "' failed");
+  return stats;
+}
+
+ConvertStats convert_gem5_to_gmdt(const std::string& input_path,
+                                  const std::string& output_path,
+                                  const ConvertOptions& options) {
+  GMD_REQUIRE(options.chunk_bytes >= 1, "chunk_bytes must be >= 1");
+  GMD_REQUIRE(options.gmdt_chunk_events >= 1,
+              "gmdt_chunk_events must be >= 1");
+
+  const std::string content = load_file(input_path);
+  ConvertStats stats;
+  const auto outputs = parse_gem5_chunks(input_path, content,
+                                         OutputKind::kEvents, options, stats);
+
+  tracestore::TraceStoreWriterOptions store_options;
+  store_options.events_per_chunk = options.gmdt_chunk_events;
+  tracestore::TraceStoreWriter writer(output_path, store_options);
+  for (const ChunkOutput& chunk : outputs) {
+    writer.append(chunk.events);
+  }
+  writer.close();
+  return stats;
+}
+
+ConvertStats convert_gmdt_to_nvmain(const std::string& input_path,
+                                    const std::string& output_path,
+                                    const ConvertOptions& options) {
+  tracestore::TraceStoreReader reader(input_path);
+  const std::size_t num_chunks = reader.num_chunks();
+
+  // Decode and format chunks in parallel, concatenate in order.
+  std::vector<std::string> texts(num_chunks);
+  ThreadPool pool(options.num_threads);
+  pool.parallel_for(0, num_chunks, [&](std::size_t i) {
+    std::vector<MemoryEvent> events;
+    reader.decode_chunk(i, events);
+    std::string& text = texts[i];
+    text.reserve(events.size() * 32);
+    for (const MemoryEvent& event : events) {
+      text += format_nvmain_line(event);
+      text += '\n';
+    }
+  });
+
+  std::ofstream out(output_path, std::ios::binary);
+  GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
+                 "cannot open output trace '" << output_path << "'");
+  for (const std::string& text : texts) {
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  }
+  GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
+                 "write of '" << output_path << "' failed");
+
+  ConvertStats stats;
+  stats.lines_in = reader.num_events();
+  stats.events_out = reader.num_events();
+  stats.chunks = num_chunks;
   return stats;
 }
 

@@ -170,18 +170,36 @@ void write_binary_trace(std::ostream& os,
 std::vector<MemoryEvent> read_binary_trace(std::istream& is) {
   std::array<char, 8> magic{};
   is.read(magic.data(), magic.size());
-  GMD_REQUIRE(is.good() && magic == kBinaryMagic,
-              "not a graphmemdse binary trace (bad magic)");
+  GMD_REQUIRE_AS(ErrorCode::kTrace, is.good() && magic == kBinaryMagic,
+                 "not a graphmemdse binary trace (bad magic)");
   std::uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
-  GMD_REQUIRE(is.good(), "binary trace truncated (missing count)");
+  GMD_REQUIRE_AS(ErrorCode::kIo, is.good(),
+                 "binary trace truncated (missing count)");
+  // Validate the claimed count against the bytes actually present
+  // before reserving: a corrupt or truncated header must produce a
+  // typed I/O error, not a bad_alloc from an absurd reserve.
+  const std::istream::pos_type body_start = is.tellg();
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type stream_end = is.tellg();
+  is.seekg(body_start);
+  if (body_start != std::istream::pos_type(-1) &&
+      stream_end != std::istream::pos_type(-1)) {
+    const auto available =
+        static_cast<std::uint64_t>(stream_end - body_start);
+    GMD_REQUIRE_AS(ErrorCode::kIo, count <= available / sizeof(PackedEvent),
+                   "binary trace header claims "
+                       << count << " events but only " << available
+                       << " payload bytes follow (truncated or corrupt)");
+  }
   std::vector<MemoryEvent> events;
   events.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     PackedEvent packed{};
     is.read(reinterpret_cast<char*>(&packed), sizeof(packed));
-    GMD_REQUIRE(is.good(),
-                "binary trace truncated at record " << i << " of " << count);
+    GMD_REQUIRE_AS(ErrorCode::kIo, is.good(),
+                   "binary trace truncated at record " << i << " of "
+                                                       << count);
     events.push_back(MemoryEvent{packed.tick, packed.address, packed.size,
                                  packed.is_write != 0});
   }

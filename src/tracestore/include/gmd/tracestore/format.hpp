@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file format.hpp
+/// GMDT v1 — the graphmemdse on-disk trace container.
+///
+/// The paper's pipeline turns a 91.5M-line gem5 text trace into a 14 GB
+/// NVMain text trace before a single simulation cycle runs; trace I/O,
+/// not simulation, is the storage and startup bottleneck.  GMDT stores
+/// the same MemoryEvent stream compressed and chunk-indexed so that
+///   * a streaming writer emits it with bounded memory,
+///   * a memory-mapped reader decodes any chunk without touching the
+///     rest of the file (random access, parallel decode, tick seeking),
+///   * corruption is detected per chunk, not discovered mid-sweep.
+///
+/// Byte layout (all integers little-endian):
+///
+///   header (56 bytes)
+///     [ 0..7 ]  magic            "GMDTSTR1"
+///     [ 8..11]  version          u32, currently 1
+///     [12..15]  flags            u32, bit 0 = delta+zigzag+varint payload
+///     [16..23]  event_count      u64
+///     [24..31]  chunk_count      u64
+///     [32..39]  events_per_chunk u64 (nominal; the last chunk may be short)
+///     [40..47]  directory_offset u64 (byte offset of the chunk directory)
+///     [48..55]  header_checksum  u64, FNV-1a 64 of bytes [0..47]
+///
+///   chunk payloads (back to back, starting at byte 56)
+///     per event, relative to the previous event in the same chunk
+///     (the first event of a chunk is relative to tick 0 / address 0):
+///       varint(zigzag(tick - prev_tick))
+///       varint(zigzag(address - prev_address))
+///       varint((size << 1) | is_write)
+///
+///   chunk directory (at directory_offset)
+///     chunk_count entries of 48 bytes:
+///       [ 0..7 ]  offset         u64, byte offset of the chunk payload
+///       [ 8..15]  encoded_bytes  u64, payload length
+///       [16..23]  event_count    u64
+///       [24..31]  checksum       u64, FNV-1a 64 of the payload bytes
+///       [32..39]  min_tick       u64 (0 for an empty chunk)
+///       [40..47]  max_tick       u64
+///     followed by
+///       [ 0..7 ]  directory_checksum  u64, FNV-1a 64 of all entry bytes
+///
+/// Deltas use two's-complement wraparound arithmetic, so any 64-bit
+/// jump (including address swings of 2^64 - 1 and non-monotonic ticks)
+/// round-trips exactly; zigzag keeps small positive and negative deltas
+/// in one or two varint bytes, which is what makes graph memory traces
+/// — highly local, mostly small strides — compress well.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gmd::tracestore {
+
+inline constexpr std::array<char, 8> kMagic = {'G', 'M', 'D', 'T',
+                                               'S', 'T', 'R', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Payload codec flag: delta + zigzag + varint events (the only codec
+/// defined by v1; readers must reject files without it).
+inline constexpr std::uint32_t kFlagDeltaVarint = 1u << 0;
+
+inline constexpr std::size_t kHeaderBytes = 56;
+inline constexpr std::size_t kDirEntryBytes = 48;
+inline constexpr std::size_t kDefaultEventsPerChunk = std::size_t{1} << 16;
+
+/// Decoded fixed header.
+struct Header {
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t flags = kFlagDeltaVarint;
+  std::uint64_t event_count = 0;
+  std::uint64_t chunk_count = 0;
+  std::uint64_t events_per_chunk = kDefaultEventsPerChunk;
+  std::uint64_t directory_offset = 0;
+};
+
+/// Decoded chunk-directory entry.
+struct ChunkEntry {
+  std::uint64_t offset = 0;
+  std::uint64_t encoded_bytes = 0;
+  std::uint64_t event_count = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t min_tick = 0;
+  std::uint64_t max_tick = 0;
+};
+
+// --- little-endian field encoding ------------------------------------
+
+inline void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+inline std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+inline std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+// --- zigzag ----------------------------------------------------------
+
+inline std::uint64_t zigzag_encode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+// --- LEB128 varint ----------------------------------------------------
+
+/// Appends `value` as a base-128 varint (1..10 bytes).
+inline void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>(0x80u | (value & 0x7Fu)));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+/// Reads one varint from [*cursor, end); advances *cursor past it.
+/// Returns false on truncation or a varint wider than 64 bits.
+inline bool get_varint(const unsigned char** cursor, const unsigned char* end,
+                       std::uint64_t* value) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  const unsigned char* p = *cursor;
+  while (p < end) {
+    const unsigned char byte = *p++;
+    if (shift == 63 && (byte & 0x7Eu) != 0) return false;  // > 64 bits
+    if (shift > 63) return false;
+    result |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      *cursor = p;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // ran off the payload mid-varint
+}
+
+}  // namespace gmd::tracestore

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file mapped_file.hpp
+/// Read-only memory-mapped file, RAII style (idiom: the mio library).
+///
+/// A mapping is the sharing primitive the trace store is built on: N
+/// sweep workers decoding chunks of one GMDT file all read the same
+/// physical pages instead of each holding a private copy of the trace,
+/// and the OS pages data in on demand — opening a multi-gigabyte store
+/// costs header+directory validation, not a full read.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace gmd::tracestore {
+
+/// Move-only owner of a read-only file mapping (POSIX mmap /
+/// Windows MapViewOfFile).  An empty file maps to a valid zero-length
+/// view.  All failures throw gmd::Error with ErrorCode::kIo.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  /// Opens and maps `path` read-only.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  bool is_open() const { return open_; }
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  void reset() noexcept;
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool open_ = false;
+  std::string path_;
+#ifdef _WIN32
+  void* file_handle_ = nullptr;
+  void* mapping_handle_ = nullptr;
+#endif
+};
+
+}  // namespace gmd::tracestore

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file writer.hpp
+/// Streaming GMDT writer.  Implements cpusim::TraceSink so a workload
+/// run on AtomicCpu emits a compressed, chunk-indexed store directly —
+/// memory stays bounded by one chunk regardless of trace length,
+/// unlike write_binary_trace, which needs the whole event vector.
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gmd/cpusim/memory_event.hpp"
+#include "gmd/tracestore/format.hpp"
+
+namespace gmd::tracestore {
+
+struct TraceStoreWriterOptions {
+  /// Events per chunk.  Smaller chunks = finer random access and more
+  /// parallel decode slack; larger chunks = slightly better compression
+  /// (fewer per-chunk delta restarts) and a smaller directory.
+  std::size_t events_per_chunk = kDefaultEventsPerChunk;
+};
+
+/// Writes a GMDT v1 store.  Events are appended via on_event()/append()
+/// and the file is finalized by close(): chunk directory, then the real
+/// header patched over the placeholder.  A writer abandoned without
+/// close() leaves a file the reader rejects (zero chunk count and a
+/// failing header checksum) — never a silently short trace.
+class TraceStoreWriter final : public cpusim::TraceSink {
+ public:
+  explicit TraceStoreWriter(const std::string& path,
+                            const TraceStoreWriterOptions& options = {});
+  ~TraceStoreWriter() override;
+
+  TraceStoreWriter(const TraceStoreWriter&) = delete;
+  TraceStoreWriter& operator=(const TraceStoreWriter&) = delete;
+
+  void on_event(const cpusim::MemoryEvent& event) override;
+  void append(std::span<const cpusim::MemoryEvent> events);
+
+  /// Flushes the pending chunk, writes the directory, patches the
+  /// header, and closes the file.  Idempotent.
+  void close();
+
+  bool closed() const { return closed_; }
+  std::uint64_t events_written() const { return events_written_; }
+  std::uint64_t chunks_written() const { return directory_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void flush_chunk();
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t events_per_chunk_;
+  std::vector<cpusim::MemoryEvent> pending_;  ///< Current chunk.
+  std::string encode_buffer_;
+  std::vector<ChunkEntry> directory_;
+  std::uint64_t events_written_ = 0;
+  std::uint64_t next_offset_ = kHeaderBytes;
+  bool closed_ = false;
+};
+
+/// Convenience: writes `events` to `path` as one GMDT store.
+void write_trace_store(const std::string& path,
+                       std::span<const cpusim::MemoryEvent> events,
+                       const TraceStoreWriterOptions& options = {});
+
+}  // namespace gmd::tracestore

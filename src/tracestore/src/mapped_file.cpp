@@ -1,0 +1,156 @@
+#include "gmd/tracestore/mapped_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "gmd/common/error.hpp"
+
+#ifdef _WIN32
+#define WIN32_LEAN_AND_MEAN
+#include <windows.h>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace gmd::tracestore {
+
+#ifdef _WIN32
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  HANDLE file =
+      CreateFileA(path.c_str(), GENERIC_READ, FILE_SHARE_READ, nullptr,
+                  OPEN_EXISTING, FILE_ATTRIBUTE_NORMAL, nullptr);
+  GMD_REQUIRE_AS(ErrorCode::kIo, file != INVALID_HANDLE_VALUE,
+                 "cannot open '" << path << "' for mapping");
+  LARGE_INTEGER size{};
+  if (!GetFileSizeEx(file, &size)) {
+    CloseHandle(file);
+    GMD_REQUIRE_AS(ErrorCode::kIo, false,
+                   "cannot stat '" << path << "' for mapping");
+  }
+  file_handle_ = file;
+  size_ = static_cast<std::size_t>(size.QuadPart);
+  if (size_ > 0) {
+    HANDLE mapping =
+        CreateFileMappingA(file, nullptr, PAGE_READONLY, 0, 0, nullptr);
+    if (mapping == nullptr) {
+      CloseHandle(file);
+      file_handle_ = nullptr;
+      GMD_REQUIRE_AS(ErrorCode::kIo, false, "cannot map '" << path << "'");
+    }
+    mapping_handle_ = mapping;
+    void* view = MapViewOfFile(mapping, FILE_MAP_READ, 0, 0, 0);
+    if (view == nullptr) {
+      CloseHandle(mapping);
+      CloseHandle(file);
+      mapping_handle_ = nullptr;
+      file_handle_ = nullptr;
+      GMD_REQUIRE_AS(ErrorCode::kIo, false,
+                     "cannot map view of '" << path << "'");
+    }
+    data_ = static_cast<const unsigned char*>(view);
+  }
+  open_ = true;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) {
+    UnmapViewOfFile(const_cast<unsigned char*>(data_));
+  }
+  if (mapping_handle_ != nullptr) CloseHandle(mapping_handle_);
+  if (file_handle_ != nullptr) CloseHandle(file_handle_);
+  mapping_handle_ = nullptr;
+  file_handle_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+}
+
+#else  // POSIX
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  GMD_REQUIRE_AS(ErrorCode::kIo, fd >= 0,
+                 "cannot open '" << path
+                                 << "' for mapping: " << std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    GMD_REQUIRE_AS(ErrorCode::kIo, false,
+                   "cannot stat '" << path
+                                   << "': " << std::strerror(saved));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      size_ = 0;
+      GMD_REQUIRE_AS(ErrorCode::kIo, false,
+                     "cannot mmap '" << path
+                                     << "': " << std::strerror(saved));
+    }
+    data_ = static_cast<const unsigned char*>(mapped);
+  }
+  // The mapping outlives the descriptor; holding the fd open would only
+  // burn a descriptor per open store.
+  ::close(fd);
+  open_ = true;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+}
+
+#endif
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      open_(other.open_),
+      path_(std::move(other.path_)) {
+#ifdef _WIN32
+  file_handle_ = other.file_handle_;
+  mapping_handle_ = other.mapping_handle_;
+  other.file_handle_ = nullptr;
+  other.mapping_handle_ = nullptr;
+#endif
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.open_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    open_ = other.open_;
+    path_ = std::move(other.path_);
+#ifdef _WIN32
+    file_handle_ = other.file_handle_;
+    mapping_handle_ = other.mapping_handle_;
+    other.file_handle_ = nullptr;
+    other.mapping_handle_ = nullptr;
+#endif
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.open_ = false;
+  }
+  return *this;
+}
+
+}  // namespace gmd::tracestore

@@ -1,0 +1,215 @@
+#include "gmd/tracestore/reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/hash.hpp"
+#include "gmd/common/thread_pool.hpp"
+
+namespace gmd::tracestore {
+
+TraceStoreReader::TraceStoreReader(const std::string& path) : file_(path) {
+  const unsigned char* base = file_.data();
+  GMD_REQUIRE_AS(ErrorCode::kTrace, file_.size() >= kHeaderBytes,
+                 "'" << path << "' is too small to be a GMDT trace store ("
+                     << file_.size() << " bytes)");
+  GMD_REQUIRE_AS(ErrorCode::kTrace,
+                 std::memcmp(base, kMagic.data(), kMagic.size()) == 0,
+                 "'" << path << "' is not a GMDT trace store (bad magic)");
+  header_.version = get_u32(base + 8);
+  header_.flags = get_u32(base + 12);
+  header_.event_count = get_u64(base + 16);
+  header_.chunk_count = get_u64(base + 24);
+  header_.events_per_chunk = get_u64(base + 32);
+  header_.directory_offset = get_u64(base + 40);
+  const std::uint64_t stored_header_checksum = get_u64(base + 48);
+  GMD_REQUIRE_AS(ErrorCode::kTrace,
+                 stored_header_checksum == fnv1a_bytes(base, 48),
+                 "'" << path << "': GMDT header checksum mismatch "
+                     << "(truncated write or corruption)");
+  GMD_REQUIRE_AS(ErrorCode::kTrace, header_.version == kFormatVersion,
+                 "'" << path << "': unsupported GMDT version "
+                     << header_.version << " (this build reads version "
+                     << kFormatVersion << ")");
+  GMD_REQUIRE_AS(ErrorCode::kTrace,
+                 (header_.flags & kFlagDeltaVarint) != 0,
+                 "'" << path << "': unknown GMDT payload codec (flags=0x"
+                     << std::hex << header_.flags << ")");
+
+  // Directory bounds: entries plus the trailing directory checksum.
+  // The count is range-checked first so dir_bytes below cannot overflow
+  // (and so an absurd count is rejected before the resize allocates).
+  GMD_REQUIRE_AS(ErrorCode::kTrace,
+                 header_.chunk_count <= file_.size() / kDirEntryBytes,
+                 "'" << path << "': GMDT header claims " << header_.chunk_count
+                     << " chunks, more than the file could hold");
+  const std::uint64_t dir_bytes =
+      header_.chunk_count * kDirEntryBytes + sizeof(std::uint64_t);
+  GMD_REQUIRE_AS(ErrorCode::kTrace,
+                 header_.directory_offset >= kHeaderBytes &&
+                     header_.directory_offset <= file_.size() &&
+                     dir_bytes <= file_.size() - header_.directory_offset,
+                 "'" << path << "': GMDT chunk directory out of bounds "
+                     << "(truncated file?)");
+  const unsigned char* dir = base + header_.directory_offset;
+  const std::uint64_t stored_dir_checksum =
+      get_u64(dir + header_.chunk_count * kDirEntryBytes);
+  GMD_REQUIRE_AS(ErrorCode::kTrace,
+                 stored_dir_checksum ==
+                     fnv1a_bytes(dir, header_.chunk_count * kDirEntryBytes),
+                 "'" << path << "': GMDT chunk directory checksum mismatch");
+
+  directory_.resize(header_.chunk_count);
+  std::uint64_t events_total = 0;
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    const unsigned char* entry = dir + i * kDirEntryBytes;
+    ChunkEntry& e = directory_[i];
+    e.offset = get_u64(entry);
+    e.encoded_bytes = get_u64(entry + 8);
+    e.event_count = get_u64(entry + 16);
+    e.checksum = get_u64(entry + 24);
+    e.min_tick = get_u64(entry + 32);
+    e.max_tick = get_u64(entry + 40);
+    GMD_REQUIRE_AS(ErrorCode::kTrace,
+                   e.offset >= kHeaderBytes &&
+                       e.offset <= header_.directory_offset &&
+                       e.encoded_bytes <=
+                           header_.directory_offset - e.offset,
+                   "'" << path << "': chunk " << i
+                       << " payload out of bounds");
+    // An event needs at least 3 payload bytes (one varint byte each for
+    // tick delta, address delta, and op/size) — reject counts the
+    // payload cannot possibly hold before anyone allocates for them.
+    GMD_REQUIRE_AS(ErrorCode::kTrace, e.event_count <= e.encoded_bytes / 3,
+                   "'" << path << "': chunk " << i << " claims "
+                       << e.event_count << " events in " << e.encoded_bytes
+                       << " payload bytes");
+    events_total += e.event_count;
+  }
+  GMD_REQUIRE_AS(ErrorCode::kTrace, events_total == header_.event_count,
+                 "'" << path << "': header claims " << header_.event_count
+                     << " events but chunks hold " << events_total);
+}
+
+const ChunkEntry& TraceStoreReader::chunk_info(std::size_t index) const {
+  GMD_REQUIRE_AS(ErrorCode::kTrace, index < directory_.size(),
+                 "chunk index " << index << " out of range (store has "
+                                << directory_.size() << " chunks)");
+  return directory_[index];
+}
+
+void TraceStoreReader::decode_into(std::size_t index,
+                                   cpusim::MemoryEvent* out) const {
+  const ChunkEntry& entry = directory_[index];
+  const unsigned char* payload = file_.data() + entry.offset;
+  GMD_REQUIRE_AS(
+      ErrorCode::kTrace,
+      fnv1a_bytes(payload, entry.encoded_bytes) == entry.checksum,
+      "'" << path() << "': chunk " << index
+          << " checksum mismatch (corrupted payload)");
+
+  const unsigned char* cursor = payload;
+  const unsigned char* end = payload + entry.encoded_bytes;
+  std::uint64_t prev_tick = 0;
+  std::uint64_t prev_address = 0;
+  for (std::uint64_t i = 0; i < entry.event_count; ++i) {
+    std::uint64_t tick_delta = 0;
+    std::uint64_t address_delta = 0;
+    std::uint64_t op_size = 0;
+    GMD_REQUIRE_AS(ErrorCode::kTrace,
+                   get_varint(&cursor, end, &tick_delta) &&
+                       get_varint(&cursor, end, &address_delta) &&
+                       get_varint(&cursor, end, &op_size),
+                   "'" << path() << "': chunk " << index
+                       << " payload truncated at event " << i << " of "
+                       << entry.event_count);
+    GMD_REQUIRE_AS(ErrorCode::kTrace, (op_size >> 1) <= 0xFFFFFFFFULL,
+                   "'" << path() << "': chunk " << index << " event " << i
+                       << " has an impossible access size");
+    prev_tick += static_cast<std::uint64_t>(zigzag_decode(tick_delta));
+    prev_address += static_cast<std::uint64_t>(zigzag_decode(address_delta));
+    out[i] = cpusim::MemoryEvent{prev_tick, prev_address,
+                                 static_cast<std::uint32_t>(op_size >> 1),
+                                 (op_size & 1) != 0};
+  }
+  GMD_REQUIRE_AS(ErrorCode::kTrace, cursor == end,
+                 "'" << path() << "': chunk " << index << " has "
+                     << (end - cursor) << " trailing payload bytes");
+}
+
+void TraceStoreReader::decode_chunk(
+    std::size_t index, std::vector<cpusim::MemoryEvent>& out) const {
+  const ChunkEntry& entry = chunk_info(index);
+  out.resize(entry.event_count);
+  decode_into(index, out.data());
+}
+
+std::vector<cpusim::MemoryEvent> TraceStoreReader::decode_chunk(
+    std::size_t index) const {
+  std::vector<cpusim::MemoryEvent> events;
+  decode_chunk(index, events);
+  return events;
+}
+
+std::vector<cpusim::MemoryEvent> TraceStoreReader::read_all() const {
+  std::vector<cpusim::MemoryEvent> events(header_.event_count);
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    decode_into(i, events.data() + written);
+    written += directory_[i].event_count;
+  }
+  return events;
+}
+
+std::vector<cpusim::MemoryEvent> TraceStoreReader::read_all(
+    ThreadPool& pool) const {
+  std::vector<cpusim::MemoryEvent> events(header_.event_count);
+  // Exclusive prefix sum of chunk event counts = each chunk's slice.
+  std::vector<std::size_t> offsets(directory_.size() + 1, 0);
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    offsets[i + 1] = offsets[i] + directory_[i].event_count;
+  }
+  pool.parallel_for(0, directory_.size(), [&](std::size_t i) {
+    decode_into(i, events.data() + offsets[i]);
+  });
+  return events;
+}
+
+std::size_t TraceStoreReader::first_chunk_at_or_after(
+    std::uint64_t tick) const {
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    if (directory_[i].max_tick >= tick) return i;
+  }
+  return directory_.size();
+}
+
+void TraceStoreReader::verify() const {
+  std::vector<cpusim::MemoryEvent> scratch;
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    decode_chunk(i, scratch);
+  }
+}
+
+std::uint64_t TraceStoreReader::content_checksum() const {
+  Fnv1a h;
+  h.mix(header_.event_count);
+  h.mix(header_.chunk_count);
+  for (const ChunkEntry& entry : directory_) {
+    h.mix(entry.event_count);
+    h.mix(entry.checksum);
+  }
+  return h.state;
+}
+
+bool ChunkIterator::next() {
+  if (next_index_ >= reader_->num_chunks()) {
+    buffer_.clear();
+    return false;
+  }
+  reader_->decode_chunk(next_index_, buffer_);
+  ++next_index_;
+  return true;
+}
+
+}  // namespace gmd::tracestore

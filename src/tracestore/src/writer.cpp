@@ -1,0 +1,154 @@
+#include "gmd/tracestore/writer.hpp"
+
+#include <algorithm>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/hash.hpp"
+
+namespace gmd::tracestore {
+
+namespace {
+
+std::string encode_header(const Header& header) {
+  std::string bytes;
+  bytes.reserve(kHeaderBytes);
+  bytes.append(kMagic.data(), kMagic.size());
+  put_u32(bytes, header.version);
+  put_u32(bytes, header.flags);
+  put_u64(bytes, header.event_count);
+  put_u64(bytes, header.chunk_count);
+  put_u64(bytes, header.events_per_chunk);
+  put_u64(bytes, header.directory_offset);
+  put_u64(bytes, fnv1a_bytes(bytes.data(), bytes.size()));
+  GMD_ASSERT(bytes.size() == kHeaderBytes, "GMDT header must be 56 bytes");
+  return bytes;
+}
+
+}  // namespace
+
+TraceStoreWriter::TraceStoreWriter(const std::string& path,
+                                   const TraceStoreWriterOptions& options)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      events_per_chunk_(options.events_per_chunk) {
+  GMD_REQUIRE_AS(ErrorCode::kConfig, events_per_chunk_ >= 1,
+                 "events_per_chunk must be >= 1");
+  GMD_REQUIRE_AS(ErrorCode::kIo, out_.good(),
+                 "cannot open trace store '" << path_ << "' for writing");
+  pending_.reserve(std::min<std::size_t>(events_per_chunk_, 1u << 20));
+  // Placeholder header: all-zero counts and a checksum of zeros, which
+  // the reader rejects — an unclosed store is never a valid empty one.
+  const std::string placeholder(kHeaderBytes, '\0');
+  out_.write(placeholder.data(),
+             static_cast<std::streamsize>(placeholder.size()));
+  GMD_REQUIRE_AS(ErrorCode::kIo, out_.good(),
+                 "write of trace store '" << path_ << "' failed");
+}
+
+TraceStoreWriter::~TraceStoreWriter() {
+  // Best-effort finalize; callers that care about I/O failures call
+  // close() themselves (a destructor must not throw).
+  try {
+    close();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void TraceStoreWriter::on_event(const cpusim::MemoryEvent& event) {
+  GMD_REQUIRE_AS(ErrorCode::kIo, !closed_,
+                 "trace store '" << path_ << "' is already closed");
+  pending_.push_back(event);
+  ++events_written_;
+  if (pending_.size() >= events_per_chunk_) flush_chunk();
+}
+
+void TraceStoreWriter::append(std::span<const cpusim::MemoryEvent> events) {
+  for (const cpusim::MemoryEvent& event : events) on_event(event);
+}
+
+void TraceStoreWriter::flush_chunk() {
+  if (pending_.empty()) return;
+
+  encode_buffer_.clear();
+  ChunkEntry entry;
+  entry.offset = next_offset_;
+  entry.event_count = pending_.size();
+  entry.min_tick = pending_.front().tick;
+  entry.max_tick = pending_.front().tick;
+
+  // Delta state restarts per chunk so every chunk decodes standalone.
+  std::uint64_t prev_tick = 0;
+  std::uint64_t prev_address = 0;
+  for (const cpusim::MemoryEvent& event : pending_) {
+    // Wraparound subtraction: any 64-bit jump (non-monotonic ticks,
+    // maximal address swings) is a well-defined signed delta.
+    put_varint(encode_buffer_,
+               zigzag_encode(static_cast<std::int64_t>(event.tick - prev_tick)));
+    put_varint(encode_buffer_,
+               zigzag_encode(
+                   static_cast<std::int64_t>(event.address - prev_address)));
+    put_varint(encode_buffer_, (static_cast<std::uint64_t>(event.size) << 1) |
+                                   (event.is_write ? 1u : 0u));
+    prev_tick = event.tick;
+    prev_address = event.address;
+    entry.min_tick = std::min(entry.min_tick, event.tick);
+    entry.max_tick = std::max(entry.max_tick, event.tick);
+  }
+  entry.encoded_bytes = encode_buffer_.size();
+  entry.checksum = fnv1a_bytes(encode_buffer_.data(), encode_buffer_.size());
+
+  out_.write(encode_buffer_.data(),
+             static_cast<std::streamsize>(encode_buffer_.size()));
+  GMD_REQUIRE_AS(ErrorCode::kIo, out_.good(),
+                 "write of trace store '" << path_ << "' failed");
+  next_offset_ += encode_buffer_.size();
+  directory_.push_back(entry);
+  pending_.clear();
+}
+
+void TraceStoreWriter::close() {
+  if (closed_) return;
+  flush_chunk();
+
+  Header header;
+  header.event_count = events_written_;
+  header.chunk_count = directory_.size();
+  header.events_per_chunk = events_per_chunk_;
+  header.directory_offset = next_offset_;
+
+  std::string directory_bytes;
+  directory_bytes.reserve(directory_.size() * kDirEntryBytes + 8);
+  for (const ChunkEntry& entry : directory_) {
+    put_u64(directory_bytes, entry.offset);
+    put_u64(directory_bytes, entry.encoded_bytes);
+    put_u64(directory_bytes, entry.event_count);
+    put_u64(directory_bytes, entry.checksum);
+    put_u64(directory_bytes, entry.min_tick);
+    put_u64(directory_bytes, entry.max_tick);
+  }
+  const std::uint64_t directory_checksum =
+      fnv1a_bytes(directory_bytes.data(), directory_bytes.size());
+  put_u64(directory_bytes, directory_checksum);
+  out_.write(directory_bytes.data(),
+             static_cast<std::streamsize>(directory_bytes.size()));
+
+  out_.seekp(0);
+  const std::string header_bytes = encode_header(header);
+  out_.write(header_bytes.data(),
+             static_cast<std::streamsize>(header_bytes.size()));
+  out_.flush();
+  GMD_REQUIRE_AS(ErrorCode::kIo, out_.good(),
+                 "finalize of trace store '" << path_ << "' failed");
+  out_.close();
+  closed_ = true;
+}
+
+void write_trace_store(const std::string& path,
+                       std::span<const cpusim::MemoryEvent> events,
+                       const TraceStoreWriterOptions& options) {
+  TraceStoreWriter writer(path, options);
+  writer.append(events);
+  writer.close();
+}
+
+}  // namespace gmd::tracestore

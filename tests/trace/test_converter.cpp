@@ -117,5 +117,74 @@ TEST_F(ConverterTest, BadChunkSizeThrows) {
   EXPECT_THROW(convert_gem5_to_nvmain(path("x"), path("y"), options), Error);
 }
 
+TEST_F(ConverterTest, SummarizeSkippedWording) {
+  ConvertStats stats;
+  stats.lines_in = 100;
+  stats.lines_skipped = 3;
+  ConvertOptions unlimited;
+  EXPECT_EQ(summarize_skipped(stats, unlimited),
+            "3 of 100 lines failed to parse (budget unlimited)");
+  ConvertOptions bounded;
+  bounded.max_skipped_lines = 2;
+  EXPECT_EQ(summarize_skipped(stats, bounded),
+            "3 of 100 lines failed to parse (budget 2)");
+}
+
+TEST_F(ConverterTest, BudgetErrorUsesSummaryWording) {
+  // Satellite requirement: the budget-exceeded error and the one-line
+  // stats summary must use identical wording.
+  const auto in = path("in_budget.txt");
+  write_input(in, 100, /*garbage_every=*/10);
+  ConvertOptions options;
+  options.max_skipped_lines = 2;
+  try {
+    convert_gem5_to_nvmain(in, path("out_budget.txt"), options);
+    FAIL() << "expected budget error";
+  } catch (const Error& e) {
+    ConvertStats expected;
+    expected.lines_in = 110;
+    expected.lines_skipped = 10;
+    EXPECT_NE(std::string(e.what()).find(summarize_skipped(expected, options)),
+              std::string::npos)
+        << e.what();
+  }
+  // The GMDT converter enforces the same budget with the same message.
+  try {
+    convert_gem5_to_gmdt(in, path("out_budget.gmdt"), options);
+    FAIL() << "expected budget error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTrace);
+    EXPECT_NE(std::string(e.what()).find("10 of 110 lines failed to parse"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ConverterTest, GmdtRoundTripMatchesTextConversion) {
+  const auto in = path("in_gmdt.txt");
+  write_input(in, 3000, /*garbage_every=*/13);
+  const auto text_out = path("out_gmdt.txt");
+  const auto store_out = path("out_store.gmdt");
+  ConvertOptions options;
+  options.chunk_bytes = 2048;  // many parse chunks
+  options.gmdt_chunk_events = 256;  // many store chunks
+  const ConvertStats text_stats = convert_gem5_to_nvmain(in, text_out, options);
+  const ConvertStats store_stats = convert_gem5_to_gmdt(in, store_out, options);
+  EXPECT_EQ(text_stats.events_out, store_stats.events_out);
+  EXPECT_EQ(text_stats.lines_in, store_stats.lines_in);
+  EXPECT_EQ(text_stats.lines_skipped, store_stats.lines_skipped);
+
+  // unpack(pack(gem5)) must equal the direct gem5 -> NVMain conversion,
+  // byte for byte.
+  const auto unpacked = path("out_unpacked.txt");
+  convert_gmdt_to_nvmain(store_out, unpacked, options);
+  std::ifstream a(text_out), b(unpacked);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_FALSE(sa.str().empty());
+}
+
 }  // namespace
 }  // namespace gmd::trace

@@ -140,5 +140,44 @@ TEST(BinaryFormat, TruncationDetected) {
   EXPECT_THROW(read_binary_trace(truncated), Error);
 }
 
+TEST(BinaryFormat, AbsurdHeaderCountIsTypedIoErrorNotBadAlloc) {
+  // Magic + a count claiming ~10^18 events with no payload behind it:
+  // must fail with Error(kIo) before trying to reserve that much.
+  std::stringstream ss;
+  ss.write("GMDTRC01", 8);
+  const std::uint64_t absurd = 1ull << 60;
+  ss.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  try {
+    read_binary_trace(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_NE(std::string(e.what()).find("payload bytes follow"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BinaryFormat, BadMagicIsTraceError) {
+  std::stringstream ss("NOTATRACE_______");
+  try {
+    read_binary_trace(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTrace);
+  }
+}
+
+TEST(NvmainSemantics, ToNvmainEventMatchesTextRoundTrip) {
+  const MemoryEvent event{77, 0x1234567, 8, true};
+  const MemoryEvent direct = to_nvmain_event(event);
+  const auto reparsed = parse_nvmain_line(format_nvmain_line(event));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(direct.tick, reparsed->tick);
+  EXPECT_EQ(direct.address, reparsed->address);
+  EXPECT_EQ(direct.size, reparsed->size);
+  EXPECT_EQ(direct.is_write, reparsed->is_write);
+}
+
 }  // namespace
 }  // namespace gmd::trace

@@ -1,0 +1,102 @@
+#include "gmd/tracestore/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gmd::tracestore {
+namespace {
+
+TEST(GmdtFormat, ZigzagRoundTripsSignedValues) {
+  const std::int64_t values[] = {0,
+                                 1,
+                                 -1,
+                                 63,
+                                 -64,
+                                 1 << 20,
+                                 -(1 << 20),
+                                 std::numeric_limits<std::int64_t>::max(),
+                                 std::numeric_limits<std::int64_t>::min()};
+  for (const std::int64_t v : values) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  }
+}
+
+TEST(GmdtFormat, ZigzagKeepsSmallMagnitudesSmall) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+TEST(GmdtFormat, VarintRoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  0x7F,
+                                  0x80,
+                                  0x3FFF,
+                                  0x4000,
+                                  0xFFFFFFFFull,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : values) {
+    std::string buffer;
+    put_varint(buffer, v);
+    const auto* cursor =
+        reinterpret_cast<const unsigned char*>(buffer.data());
+    const auto* end = cursor + buffer.size();
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(get_varint(&cursor, end, &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(cursor, end) << "decoder must consume exactly the varint";
+  }
+}
+
+TEST(GmdtFormat, VarintUsesOneByteBelow128) {
+  std::string buffer;
+  put_varint(buffer, 0x7F);
+  EXPECT_EQ(buffer.size(), 1u);
+  put_varint(buffer, 0x80);
+  EXPECT_EQ(buffer.size(), 3u);  // second value needs two bytes
+}
+
+TEST(GmdtFormat, VarintRejectsTruncation) {
+  std::string buffer;
+  put_varint(buffer, std::numeric_limits<std::uint64_t>::max());
+  for (std::size_t keep = 0; keep < buffer.size(); ++keep) {
+    const auto* cursor =
+        reinterpret_cast<const unsigned char*>(buffer.data());
+    const auto* end = cursor + keep;
+    std::uint64_t decoded = 0;
+    EXPECT_FALSE(get_varint(&cursor, end, &decoded)) << keep;
+  }
+}
+
+TEST(GmdtFormat, VarintRejectsOverlongEncoding) {
+  // 11 continuation bytes: wider than any 64-bit value.
+  const std::string buffer(11, static_cast<char>(0xFF));
+  const auto* cursor = reinterpret_cast<const unsigned char*>(buffer.data());
+  const auto* end = cursor + buffer.size();
+  std::uint64_t decoded = 0;
+  EXPECT_FALSE(get_varint(&cursor, end, &decoded));
+}
+
+TEST(GmdtFormat, FixedWidthFieldsAreLittleEndian) {
+  std::string buffer;
+  put_u32(buffer, 0x01020304u);
+  put_u64(buffer, 0x0102030405060708ull);
+  ASSERT_EQ(buffer.size(), 12u);
+  const auto* bytes = reinterpret_cast<const unsigned char*>(buffer.data());
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[3], 0x01);
+  EXPECT_EQ(bytes[4], 0x08);
+  EXPECT_EQ(bytes[11], 0x01);
+  EXPECT_EQ(get_u32(bytes), 0x01020304u);
+  EXPECT_EQ(get_u64(bytes + 4), 0x0102030405060708ull);
+}
+
+}  // namespace
+}  // namespace gmd::tracestore

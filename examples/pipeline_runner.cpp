@@ -1,0 +1,149 @@
+/// \file pipeline_runner.cpp
+/// Crash-safe pipeline driver: runs the five-stage orchestrator
+/// (cpusim -> pack -> sweep -> train -> recommend) over an output
+/// directory, journaling every stage in manifest.txt so `--resume`
+/// picks up exactly where a previous (possibly killed) run stopped.
+///
+/// Typical round trip:
+///
+///   pipeline_runner --out-dir run1                  # full run
+///   pipeline_runner --out-dir run1 --resume         # all stages skip
+///
+/// Fault injection for resilience testing (used by scripts/check.sh and
+/// CI): `--kill-stage NAME` SIGKILL-exits the process right before that
+/// stage runs; `--kill-after-points N` kills mid-sweep after N points
+/// have started; `--fail-stage NAME` throws a typed error instead.  A
+/// killed run resumed with `--resume` must produce artifacts
+/// bit-identical to an uninterrupted run.
+///
+/// Usage: pipeline_runner [--out-dir DIR] [--vertices N] [--workload W]
+///          [--resume] [--stage-budget-ms MS] [--deadline-ms MS]
+///          [--kill-stage NAME] [--kill-after-points N]
+///          [--fail-stage NAME] [--summary-only]
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "gmd/common/cli.hpp"
+#include "gmd/common/error.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/pipeline/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmd;
+
+  CliParser cli("pipeline_runner",
+                "crash-safe co-design pipeline with kill-and-resume");
+  cli.add_option("out-dir", "pipeline-out", "artifact + manifest directory")
+      .add_option("vertices", "192", "graph size (paper uses 1024)")
+      .add_option("edge-factor", "8", "edges per vertex")
+      .add_option("workload", "bfs", "bfs|dobfs|pagerank|cc|sssp|triangles")
+      .add_option("seed", "1", "random seed")
+      .add_option("threads", "0", "worker threads (0 = hardware)")
+      .add_option("space", "reduced", "design space: reduced | paper")
+      .add_option("deadline-ms", "0",
+                  "whole-pipeline wall budget in ms (0 = unlimited)")
+      .add_option("stage-budget-ms", "0",
+                  "per-stage wall budget in ms (0 = unlimited)")
+      .add_option("kill-stage", "",
+                  "fault injection: _Exit(137) right before this stage")
+      .add_option("kill-after-points", "0",
+                  "fault injection: _Exit(137) after N sweep points start")
+      .add_option("fail-stage", "",
+                  "fault injection: throw right before this stage")
+      .add_flag("resume", "skip stages whose manifest entries verify")
+      .add_flag("summary-only", "print only the one-line stage summary");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    pipeline::PipelineOptions options;
+    options.out_dir = cli.get_string("out-dir");
+    options.graph_vertices =
+        static_cast<std::uint32_t>(cli.get_int("vertices"));
+    options.edge_factor = static_cast<unsigned>(cli.get_int("edge-factor"));
+    options.workload = cli.get_string("workload");
+    options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    options.num_threads = static_cast<std::size_t>(cli.get_int("threads"));
+    options.resume = cli.get_flag("resume");
+
+    const std::string space = cli.get_string("space");
+    GMD_REQUIRE_AS(ErrorCode::kConfig,
+                   space == "reduced" || space == "paper",
+                   "--space must be 'reduced' or 'paper', got '" << space
+                                                                 << "'");
+    options.design_points = space == "paper" ? dse::paper_design_space()
+                                             : dse::reduced_design_space();
+    // Survive injected per-point faults instead of aborting the sweep.
+    options.sweep.failure_policy = dse::FailurePolicy::kRetry;
+
+    const auto stage_budget =
+        std::chrono::milliseconds(cli.get_int("stage-budget-ms"));
+    options.budgets.cpusim = stage_budget;
+    options.budgets.pack = stage_budget;
+    options.budgets.sweep = stage_budget;
+    options.budgets.train = stage_budget;
+    options.budgets.recommend = stage_budget;
+
+    const auto deadline_ms =
+        std::chrono::milliseconds(cli.get_int("deadline-ms"));
+    std::unique_ptr<Deadline> pipeline_deadline;
+    if (deadline_ms.count() > 0) {
+      pipeline_deadline = std::make_unique<Deadline>(
+          std::chrono::nanoseconds(deadline_ms));
+      options.cancel = pipeline_deadline.get();
+    }
+
+    // Deterministic fault injection.  _Exit skips every destructor and
+    // atexit handler — the closest portable stand-in for SIGKILL, so
+    // no writer gets a chance to flush or rename on the way down.
+    const std::string kill_stage = cli.get_string("kill-stage");
+    const std::string fail_stage = cli.get_string("fail-stage");
+    if (!kill_stage.empty() || !fail_stage.empty()) {
+      options.stage_hook = [kill_stage, fail_stage](const std::string& name) {
+        if (name == kill_stage) {
+          std::cerr << "[fault] killing before stage '" << name << "'\n";
+          std::_Exit(137);
+        }
+        if (name == fail_stage) {
+          throw Error(ErrorCode::kSimulation,
+                      "injected failure before stage '" + name + "'");
+        }
+      };
+    }
+    const auto kill_after_points = cli.get_int("kill-after-points");
+    auto points_started = std::make_shared<std::atomic<std::int64_t>>(0);
+    if (kill_after_points > 0) {
+      options.sweep_fault_hook = [kill_after_points, points_started](
+                                     std::size_t, std::uint32_t) {
+        if (points_started->fetch_add(1) + 1 >= kill_after_points) {
+          std::cerr << "[fault] killing after " << kill_after_points
+                    << " sweep points started\n";
+          std::_Exit(137);
+        }
+      };
+    }
+
+    const pipeline::PipelineResult result = pipeline::run_pipeline(options);
+    std::cout << result.summary() << "\n";
+    if (!cli.get_flag("summary-only")) {
+      std::cout << "artifacts:\n"
+                << "  trace:           " << result.trace_path << "\n"
+                << "  store:           " << result.store_path << "\n"
+                << "  sweep csv:       " << result.sweep_csv << "\n"
+                << "  table I:         " << result.table1_path << "\n"
+                << "  recommendations: " << result.recommendations_path
+                << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error [" << to_string(e.code()) << "]: " << e.what()
+              << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

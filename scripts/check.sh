@@ -32,6 +32,46 @@ cmp "$SMOKE_DIR/smoke.nvmain.txt" "$SMOKE_DIR/workload.nvmain.txt"
 echo "GMDT round trip matches the text converter output"
 
 echo
+echo "== pipeline kill-and-resume smoke =="
+PIPE_REF="$SMOKE_DIR/pipeline-ref"
+PIPE_KILLED="$SMOKE_DIR/pipeline-killed"
+# Reference: one uninterrupted run.
+"$BUILD_DIR/examples/pipeline_runner" --vertices 96 --out-dir "$PIPE_REF" \
+  --summary-only
+# Same configuration, killed twice (SIGKILL stand-in: no destructors, no
+# flushes) and failed once, resumed after each fault.
+if "$BUILD_DIR/examples/pipeline_runner" --vertices 96 \
+    --out-dir "$PIPE_KILLED" --kill-after-points 5 --summary-only; then
+  echo "expected the mid-sweep kill to terminate the run" >&2; exit 1
+fi
+if "$BUILD_DIR/examples/pipeline_runner" --vertices 96 \
+    --out-dir "$PIPE_KILLED" --resume --kill-stage train --summary-only; then
+  echo "expected the pre-train kill to terminate the run" >&2; exit 1
+fi
+if "$BUILD_DIR/examples/pipeline_runner" --vertices 96 \
+    --out-dir "$PIPE_KILLED" --resume --fail-stage recommend \
+    --summary-only; then
+  echo "expected the injected recommend failure to fail the run" >&2; exit 1
+fi
+"$BUILD_DIR/examples/pipeline_runner" --vertices 96 --out-dir "$PIPE_KILLED" \
+  --resume --summary-only
+# The recovered artifacts must be bit-identical to the uninterrupted run,
+# and no uncommitted temp file may survive.
+cmp "$PIPE_REF/sweep.csv" "$PIPE_KILLED/sweep.csv"
+cmp "$PIPE_REF/table1.txt" "$PIPE_KILLED/table1.txt"
+cmp "$PIPE_REF/recommendations.txt" "$PIPE_KILLED/recommendations.txt"
+for model in "$PIPE_REF"/models/*.model; do
+  cmp "$model" "$PIPE_KILLED/models/$(basename "$model")"
+done
+LEFTOVER_TEMPS="$(find "$PIPE_REF" "$PIPE_KILLED" -name '*.tmp')"
+if [ -n "$LEFTOVER_TEMPS" ]; then
+  echo "uncommitted temp files left behind:" >&2
+  echo "$LEFTOVER_TEMPS" >&2
+  exit 1
+fi
+echo "killed-and-resumed pipeline matches the uninterrupted run bit for bit"
+
+echo
 echo "== memsim microbenchmarks =="
 "$BUILD_DIR/bench/bench_micro" \
   --benchmark_filter='BM_MemorySimulation' --benchmark_min_time=2

@@ -55,18 +55,36 @@ class Deadline {
     return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
   }
 
+  /// Wall-clock expiry here or anywhere up the parent chain, so a
+  /// per-point token honors its stage-wide budget even when the stage
+  /// token is never polled directly.  Budget-less chains never read the
+  /// clock.
+  bool expired_chain() const {
+    return expired() || (parent_ != nullptr && parent_->expired_chain());
+  }
+
   /// Poll point: throws Error(kCancelled) on cancellation and
-  /// Error(kTimeout) when the wall budget has expired.  The clock is
-  /// read on the first call and then every 256th, so this is cheap
-  /// enough for per-request polling.  Must be polled by one thread at a
-  /// time (cancel() may race freely).
+  /// Error(kTimeout) when the wall budget (own or a parent's) has
+  /// expired.  The clock is read on the first call and then every
+  /// 256th, so this is cheap enough for per-request polling.  Must be
+  /// polled by one thread at a time (cancel() may race freely).
   void check() {
     if (cancelled()) {
       throw Error(ErrorCode::kCancelled, "operation cancelled");
     }
-    if (!has_deadline_) return;
-    if ((check_count_++ & 0xFFu) == 0 &&
-        std::chrono::steady_clock::now() >= deadline_) {
+    if ((check_count_++ & 0xFFu) == 0 && expired_chain()) {
+      throw Error(ErrorCode::kTimeout, "deadline exceeded");
+    }
+  }
+
+  /// Thread-safe, unamortized poll for coarse-grained work items (one
+  /// forest tree, one boosting stage): reads the clock every call and
+  /// touches no mutable state, so pool workers may share one token.
+  void check_now() const {
+    if (cancelled()) {
+      throw Error(ErrorCode::kCancelled, "operation cancelled");
+    }
+    if (expired_chain()) {
       throw Error(ErrorCode::kTimeout, "deadline exceeded");
     }
   }

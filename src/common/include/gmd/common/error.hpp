@@ -28,7 +28,11 @@ enum class ErrorCode {
   kIo,           ///< File-system read/write failure.
   kTimeout,      ///< A deadline/budget expired (see gmd::Deadline).
   kCancelled,    ///< Cooperative cancellation was requested.
+  kInvalidData,  ///< Non-finite or semantically invalid data values.
 };
+
+/// Largest ErrorCode enum value, for code-indexed tally tables.
+inline constexpr ErrorCode kLastErrorCode = ErrorCode::kInvalidData;
 
 std::string_view to_string(ErrorCode code);
 
@@ -61,6 +65,8 @@ inline std::string_view to_string(ErrorCode code) {
       return "timeout";
     case ErrorCode::kCancelled:
       return "cancelled";
+    case ErrorCode::kInvalidData:
+      return "invalid-data";
   }
   return "?";
 }

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "gmd/common/atomic_file.hpp"
 #include "gmd/common/error.hpp"
 #include "gmd/common/string_util.hpp"
 
@@ -73,10 +74,9 @@ void CsvTable::write(std::ostream& os) const {
 }
 
 void CsvTable::save(const std::string& path) const {
-  std::ofstream out(path);
-  GMD_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
-  write(out);
-  GMD_REQUIRE(out.good(), "write to '" << path << "' failed");
+  // Temp-then-rename: a crash mid-save leaves the previous CSV (or no
+  // file), never a truncated table.
+  atomic_write_file(path, [this](std::ostream& os) { write(os); });
 }
 
 CsvTable CsvTable::read(std::istream& is) {

@@ -15,6 +15,10 @@
 #include "gmd/cpusim/cache_hierarchy.hpp"
 #include "gmd/cpusim/memory_event.hpp"
 
+namespace gmd {
+class Deadline;
+}
+
 namespace gmd::cpusim {
 
 /// Fixed-cost CPU timing parameters (gem5 "atomic" mode analog).
@@ -67,12 +71,20 @@ class AtomicCpu {
   /// memory trace accounts for every store even with a cache configured.
   void flush_cache();
 
+  /// Cooperative cancellation: the memory-access path polls `deadline`
+  /// (amortized — the clock is read every few hundred accesses) and
+  /// throws Error(kTimeout/kCancelled) once it trips, so a hung or
+  /// oversized workload honors wall budgets instead of running
+  /// unbounded.  Non-owning; nullptr (the default) disables polling.
+  void set_deadline(Deadline* deadline) { deadline_ = deadline; }
+
  private:
   void access(std::uint64_t address, std::uint32_t size, bool is_write);
   void emit(std::uint64_t address, std::uint32_t size, bool is_write);
 
   CpuModel model_;
   TraceSink* sink_;
+  Deadline* deadline_ = nullptr;
   std::optional<Cache> cache_;
   std::optional<CacheHierarchy> hierarchy_;
   CpuStats stats_;

@@ -1,5 +1,6 @@
 #include "gmd/cpusim/atomic_cpu.hpp"
 
+#include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
 
 namespace gmd::cpusim {
@@ -33,6 +34,10 @@ void AtomicCpu::store(std::uint64_t address, std::uint32_t size) {
 void AtomicCpu::access(std::uint64_t address, std::uint32_t size,
                        bool is_write) {
   GMD_REQUIRE(size > 0, "memory access size must be positive");
+  // Every memory access polls the deadline; check() amortizes the clock
+  // read internally, so the hot loop stays cheap.  A workload stuck in
+  // a tight access loop unwinds with kTimeout/kCancelled here.
+  if (deadline_ != nullptr) deadline_->check();
   stats_.ticks += model_.memory_op_ticks;
   if (hierarchy_) {
     const HierarchyTraffic traffic = hierarchy_->access(address, is_write);

@@ -16,9 +16,9 @@
 /// count do not match the current invocation.  Doubles are stored as
 /// IEEE-754 bit patterns in hex, so resumed rows are bit-identical to
 /// the rows an uninterrupted sweep would have produced.  Every flush
-/// rewrites the whole journal to `<path>.tmp` and renames it over the
-/// target — a crash mid-write can never leave a torn journal, only the
-/// previous consistent one.
+/// rewrites the whole journal through gmd::atomic_write_file (temp,
+/// fsync, rename) — a crash mid-write can never leave a torn journal,
+/// only the previous consistent one.
 
 #include <cstddef>
 #include <cstdint>
@@ -81,7 +81,9 @@ class SweepJournal {
   /// later flushes preserve them.  A missing file yields an empty
   /// result.  Throws Error(kConfig) when the header does not match
   /// `key` (wrong trace, wrong point list) and Error(kIo) on a
-  /// corrupted or unreadable journal.
+  /// corrupted or unreadable journal; on throw no entries are retained,
+  /// so a caller that catches and continues starts from scratch and the
+  /// next record() rewrites a consistent journal.
   std::vector<std::pair<std::size_t, SweepRow>> load();
 
   /// Records one completed row and flushes the journal atomically.

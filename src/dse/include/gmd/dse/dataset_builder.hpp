@@ -23,13 +23,22 @@ struct MetricDataset {
   ml::MinMaxScaler x_scaler;   ///< Fitted on the raw feature matrix.
   ml::MinMaxScaler y_scaler;   ///< Fitted on the raw target series.
   std::vector<double> raw_y;   ///< Unscaled target, aligned with rows.
+  /// Input rows dropped because a feature or the target was non-finite
+  /// (NaN/Inf).  Quarantined rows are excluded from the dataset and the
+  /// scaler fits; the count is surfaced so degraded training runs are
+  /// visible rather than silent.
+  std::size_t quarantined_rows = 0;
 };
 
 /// The six target metrics the paper models, by dataset column name
 /// (matches memsim::MemoryMetrics::metric_names()).
 const std::vector<std::string>& target_metric_names();
 
-/// Builds the scaled dataset for `metric_name`.
+/// Builds the scaled dataset for `metric_name`.  Rows carrying a
+/// non-finite feature or target are quarantined (dropped and counted in
+/// MetricDataset::quarantined_rows, with a warning) instead of poisoning
+/// the scalers; when no finite row remains the build throws
+/// Error(kInvalidData).
 MetricDataset build_metric_dataset(std::span<const SweepRow> rows,
                                    const std::string& metric_name);
 

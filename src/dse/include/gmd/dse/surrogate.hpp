@@ -38,17 +38,46 @@ struct SurrogateOptions {
   std::vector<std::string> models;  ///< Empty: the paper's four families.
   double test_fraction = 0.2;
   std::uint64_t seed = 1;
+  /// Cooperative cancellation: polled between metrics/models and wired
+  /// into the tree-ensemble training loops (rf per tree, gb per stage).
+  /// Non-owning; must outlive train().
+  Deadline* deadline = nullptr;
+  /// Degraded mode: a metric whose dataset build or model training
+  /// fails is recorded in skipped() and training continues with the
+  /// remaining metrics, instead of the whole suite aborting.  Timeouts
+  /// and cancellations still propagate — they mean "stop", not "this
+  /// metric is bad".  Off by default: tests and small runs should see
+  /// every failure.
+  bool skip_failed_metrics = false;
 };
 
 /// Results of training all models on all metrics.
 class SurrogateSuite {
  public:
+  /// A metric that could not be trained under skip_failed_metrics,
+  /// with the typed error that felled it.
+  struct SkippedMetric {
+    std::string metric;
+    ErrorCode code = ErrorCode::kUnspecified;
+    std::string error;
+  };
+
   /// Trains and evaluates on the sweep results.
   static SurrogateSuite train(std::span<const SweepRow> rows,
                               const SurrogateOptions& options = {});
 
   const std::vector<SurrogateScore>& scores() const { return scores_; }
   const std::vector<PredictionSeries>& series() const { return series_; }
+
+  /// Metrics skipped in degraded mode (empty unless
+  /// SurrogateOptions::skip_failed_metrics caught failures).
+  const std::vector<SkippedMetric>& skipped() const { return skipped_; }
+
+  /// Rows quarantined per metric during dataset builds (only metrics
+  /// with a nonzero count appear).
+  const std::map<std::string, std::size_t>& quarantined() const {
+    return quarantined_;
+  }
 
   /// The score for one (metric, model) pair; throws when absent.
   const SurrogateScore& score(const std::string& metric,
@@ -75,11 +104,15 @@ class SurrogateSuite {
                               std::uint64_t seed = 1);
 
   /// Renders Table I: rows = metrics, columns = models, MSE and R².
+  /// Metrics skipped in degraded mode are omitted from the body and
+  /// reported in footer lines, along with quarantine counts.
   std::string format_table1() const;
 
  private:
   std::vector<SurrogateScore> scores_;
   std::vector<PredictionSeries> series_;
+  std::vector<SkippedMetric> skipped_;
+  std::map<std::string, std::size_t> quarantined_;
 };
 
 }  // namespace gmd::dse

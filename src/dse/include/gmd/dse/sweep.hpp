@@ -117,7 +117,10 @@ struct SweepOptions {
   std::string checkpoint_path;
   /// Load an existing journal at checkpoint_path and skip its completed
   /// points after verifying the header hash of (trace checksum, point
-  /// list).  A missing journal file simply starts fresh.
+  /// list).  A missing journal file simply starts fresh; so does an
+  /// unusable one (truncated, corrupted, or written for a different
+  /// trace/point list), with a typed warning — stale rows are never
+  /// silently reused and a bad journal never aborts the sweep.
   bool resume = false;
 };
 

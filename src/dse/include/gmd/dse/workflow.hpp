@@ -72,9 +72,12 @@ struct WorkflowResult {
 WorkflowResult run_workflow(const WorkflowConfig& config);
 
 /// The workload-execution stage alone: builds the paper's graph and
-/// returns the memory trace of the requested kernel.
+/// returns the memory trace of the requested kernel.  When `deadline`
+/// is non-null the CPU model polls it on every memory access, so a
+/// hung or oversized workload unwinds with Error(kTimeout/kCancelled)
+/// instead of running unbounded.
 std::vector<cpusim::MemoryEvent> generate_workload_trace(
     const WorkflowConfig& config, graph::CsrGraph* graph_out = nullptr,
-    std::uint64_t* checksum_out = nullptr);
+    std::uint64_t* checksum_out = nullptr, Deadline* deadline = nullptr);
 
 }  // namespace gmd::dse

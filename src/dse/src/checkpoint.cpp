@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "gmd/common/atomic_file.hpp"
 #include "gmd/common/error.hpp"
 #include "gmd/common/hash.hpp"
 #include "gmd/tracestore/reader.hpp"
@@ -114,6 +115,10 @@ SweepJournal::SweepJournal(std::string path, const JournalKey& key)
 std::vector<std::pair<std::size_t, SweepRow>> SweepJournal::load() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  // Parse into a local list and publish only on success, so a corrupt
+  // journal leaves the in-memory state empty (the caller can warn and
+  // start fresh; the next record() rewrites a consistent file).
+  std::vector<std::pair<std::size_t, SweepRow>> loaded;
   if (!std::filesystem::exists(path_)) return entries_;
   std::ifstream in(path_);
   GMD_REQUIRE_AS(ErrorCode::kIo, in.good(),
@@ -197,8 +202,9 @@ std::vector<std::pair<std::size_t, SweepRow>> SweepJournal::load() {
       epoch.avg_total_latency_cycles = r.f64();
       epoch.bandwidth_mbs = r.f64();
     }
-    entries_.emplace_back(index, std::move(row));
+    loaded.emplace_back(index, std::move(row));
   }
+  entries_ = std::move(loaded);
   return entries_;
 }
 
@@ -214,11 +220,7 @@ std::size_t SweepJournal::size() const {
 }
 
 void SweepJournal::flush_locked() {
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
-                   "cannot write sweep journal '" << tmp << "'");
+  atomic_write_file(path_, [this](std::ostream& out) {
     out << kMagic << ' ' << kVersion << " trace=" << hex16(key_.trace_hash)
         << " points=" << hex16(key_.points_hash)
         << " count=" << key_.num_points << '\n';
@@ -246,12 +248,7 @@ void SweepJournal::flush_locked() {
       }
       out << '\n';
     }
-    out.flush();
-    GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
-                   "write of sweep journal '" << tmp << "' failed");
-  }
-  GMD_REQUIRE_AS(ErrorCode::kIo, std::rename(tmp.c_str(), path_.c_str()) == 0,
-                 "cannot rename '" << tmp << "' over '" << path_ << "'");
+  });
 }
 
 }  // namespace gmd::dse

@@ -1,10 +1,28 @@
 #include "gmd/dse/dataset_builder.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "gmd/common/error.hpp"
+#include "gmd/common/logging.hpp"
 
 namespace gmd::dse {
+
+namespace {
+
+/// True when every feature and the target of this candidate dataset row
+/// are finite.  A non-finite value anywhere would poison the min-max
+/// scaler fit (and through it every scaled value), so such rows are
+/// quarantined at build time.
+bool row_is_finite(std::span<const double> features, double target) {
+  if (!std::isfinite(target)) return false;
+  for (const double v : features) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 const std::vector<std::string>& target_metric_names() {
   return memsim::MemoryMetrics::metric_names();
@@ -24,13 +42,34 @@ MetricDataset build_metric_dataset(std::span<const SweepRow> rows,
   GMD_REQUIRE(metric_index < names.size(),
               "unknown metric '" << metric_name << "'");
 
-  ml::Matrix raw_x(rows.size(), DesignPoint::feature_names().size());
   MetricDataset out;
+  std::vector<std::vector<double>> kept_features;
+  kept_features.reserve(rows.size());
   out.raw_y.reserve(rows.size());
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const auto features = rows[r].point.features();
-    std::copy(features.begin(), features.end(), raw_x.row(r).begin());
-    out.raw_y.push_back(rows[r].metrics.metric_values()[metric_index]);
+    const double target = rows[r].metrics.metric_values()[metric_index];
+    if (!row_is_finite(features, target)) {
+      ++out.quarantined_rows;
+      continue;
+    }
+    kept_features.push_back(features);
+    out.raw_y.push_back(target);
+  }
+  if (out.quarantined_rows > 0) {
+    GMD_LOG_WARN << "dataset '" << metric_name << "': quarantined "
+                 << out.quarantined_rows << "/" << rows.size()
+                 << " rows with non-finite values";
+  }
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, !kept_features.empty(),
+                 "dataset '" << metric_name
+                             << "': every row has non-finite values");
+
+  ml::Matrix raw_x(kept_features.size(),
+                   DesignPoint::feature_names().size());
+  for (std::size_t r = 0; r < kept_features.size(); ++r) {
+    std::copy(kept_features[r].begin(), kept_features[r].end(),
+              raw_x.row(r).begin());
   }
 
   out.data.X = out.x_scaler.fit_transform(raw_x);
@@ -71,22 +110,41 @@ MetricDataset build_multi_workload_dataset(
 
   const std::size_t design_features = DesignPoint::feature_names().size();
   const std::size_t workload_features = workload_feature_names().size();
-  ml::Matrix raw_x(total_rows, design_features + workload_features);
   MetricDataset out;
+  std::vector<std::vector<double>> kept_features;
+  kept_features.reserve(total_rows);
   out.raw_y.reserve(total_rows);
 
-  std::size_t r = 0;
   for (const WorkloadSweep& sweep : sweeps) {
     for (const SweepRow& row : sweep.rows) {
-      const auto features = row.point.features();
-      const auto dst = raw_x.row(r);
-      std::copy(features.begin(), features.end(), dst.begin());
-      dst[design_features + 0] = sweep.log10_events;
-      dst[design_features + 1] = sweep.read_fraction;
-      dst[design_features + 2] = sweep.footprint_kb;
-      out.raw_y.push_back(row.metrics.metric_values()[metric_index]);
-      ++r;
+      std::vector<double> features = row.point.features();
+      features.resize(design_features + workload_features);
+      features[design_features + 0] = sweep.log10_events;
+      features[design_features + 1] = sweep.read_fraction;
+      features[design_features + 2] = sweep.footprint_kb;
+      const double target = row.metrics.metric_values()[metric_index];
+      if (!row_is_finite(features, target)) {
+        ++out.quarantined_rows;
+        continue;
+      }
+      kept_features.push_back(std::move(features));
+      out.raw_y.push_back(target);
     }
+  }
+  if (out.quarantined_rows > 0) {
+    GMD_LOG_WARN << "multi-workload dataset '" << metric_name
+                 << "': quarantined " << out.quarantined_rows << "/"
+                 << total_rows << " rows with non-finite values";
+  }
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, !kept_features.empty(),
+                 "multi-workload dataset '"
+                     << metric_name << "': every row has non-finite values");
+
+  ml::Matrix raw_x(kept_features.size(),
+                   design_features + workload_features);
+  for (std::size_t r = 0; r < kept_features.size(); ++r) {
+    std::copy(kept_features[r].begin(), kept_features[r].end(),
+              raw_x.row(r).begin());
   }
 
   out.data.X = out.x_scaler.fit_transform(raw_x);

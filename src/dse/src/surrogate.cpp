@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
+#include "gmd/common/logging.hpp"
 #include "gmd/common/string_util.hpp"
 #include "gmd/ml/metrics.hpp"
 
@@ -17,29 +19,49 @@ SurrogateSuite SurrogateSuite::train(std::span<const SweepRow> rows,
 
   SurrogateSuite suite;
   for (const std::string& metric : target_metric_names()) {
-    const MetricDataset metric_data = build_metric_dataset(rows, metric);
-    const auto [train_set, test_set] = ml::train_test_split(
-        metric_data.data, options.test_fraction, options.seed);
+    if (options.deadline != nullptr) options.deadline->check_now();
+    try {
+      const MetricDataset metric_data = build_metric_dataset(rows, metric);
+      if (metric_data.quarantined_rows > 0) {
+        suite.quarantined_[metric] = metric_data.quarantined_rows;
+      }
+      const auto [train_set, test_set] = ml::train_test_split(
+          metric_data.data, options.test_fraction, options.seed);
 
-    PredictionSeries series;
-    series.metric = metric;
-    series.truth = test_set.y;
+      PredictionSeries series;
+      series.metric = metric;
+      series.truth = test_set.y;
 
-    for (const std::string& model_name : models) {
-      const auto model = ml::make_regressor(model_name, options.seed);
-      model->fit(train_set.X, train_set.y);
-      std::vector<double> predicted = model->predict(test_set.X);
+      for (const std::string& model_name : models) {
+        const auto model =
+            ml::make_regressor(model_name, options.seed, options.deadline);
+        model->fit(train_set.X, train_set.y);
+        std::vector<double> predicted = model->predict(test_set.X);
 
-      SurrogateScore score;
-      score.metric = metric;
-      score.model = model_name;
-      score.mse = ml::mse(test_set.y, predicted);
-      score.r2 = ml::r2_score(test_set.y, predicted);
-      suite.scores_.push_back(score);
-      series.predictions[model_name] = std::move(predicted);
+        SurrogateScore score;
+        score.metric = metric;
+        score.model = model_name;
+        score.mse = ml::mse(test_set.y, predicted);
+        score.r2 = ml::r2_score(test_set.y, predicted);
+        suite.scores_.push_back(score);
+        series.predictions[model_name] = std::move(predicted);
+      }
+      suite.series_.push_back(std::move(series));
+    } catch (const Error& e) {
+      // kTimeout/kCancelled mean "stop training", not "this metric is
+      // bad" — they always propagate.  Other failures are degraded-mode
+      // material: record the metric and keep training the rest.
+      if (!options.skip_failed_metrics || e.code() == ErrorCode::kTimeout ||
+          e.code() == ErrorCode::kCancelled) {
+        throw;
+      }
+      GMD_LOG_WARN << "surrogate training: skipping metric '" << metric
+                   << "' [" << to_string(e.code()) << "]: " << e.what();
+      suite.skipped_.push_back(SkippedMetric{metric, e.code(), e.what()});
     }
-    suite.series_.push_back(std::move(series));
   }
+  GMD_REQUIRE(!suite.scores_.empty(),
+              "surrogate training failed for every metric");
   return suite;
 }
 
@@ -105,6 +127,12 @@ std::string SurrogateSuite::format_table1() const {
   }
   os << "\n";
   for (const std::string& metric : target_metric_names()) {
+    // A metric skipped in degraded mode has no scores; it is reported
+    // in the footer instead of rendering a row of holes.
+    const bool have_scores = std::any_of(
+        scores_.begin(), scores_.end(),
+        [&metric](const SurrogateScore& s) { return s.metric == metric; });
+    if (!have_scores) continue;
     os << metric << std::string(metric.size() < 22 ? 22 - metric.size() : 1, ' ')
        << "| MSE  |";
     for (const auto& m : models) {
@@ -115,6 +143,14 @@ std::string SurrogateSuite::format_table1() const {
       os << " " << format_sci(score(metric, m).r2, 2) << " |";
     }
     os << "   best: " << best_model(metric).model << "\n";
+  }
+  for (const SkippedMetric& s : skipped_) {
+    os << "skipped: " << s.metric << " [" << to_string(s.code)
+       << "]: " << s.error << "\n";
+  }
+  for (const auto& [metric, count] : quarantined_) {
+    os << "quarantined: " << metric << " dropped " << count
+       << " non-finite rows\n";
   }
   return os.str();
 }

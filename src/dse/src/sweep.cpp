@@ -167,8 +167,7 @@ memsim::MemoryMetrics simulate_point(
 SweepHealth summarize_health(std::span<const SweepRow> rows) {
   SweepHealth health;
   health.total = rows.size();
-  health.by_code.assign(static_cast<std::size_t>(ErrorCode::kCancelled) + 1,
-                        0);
+  health.by_code.assign(static_cast<std::size_t>(kLastErrorCode) + 1, 0);
   for (const SweepRow& row : rows) {
     switch (row.outcome) {
       case PointOutcome::kOk:
@@ -250,8 +249,23 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
     journal = std::make_unique<SweepJournal>(options.checkpoint_path,
                                              access.journal_key(points));
     if (options.resume) {
+      // A journal that fails to load — truncated file, flipped header
+      // byte, or a checksum from a different trace/point list — must
+      // not take the sweep down with it: the worst case of resuming is
+      // re-simulating, so warn with the typed code and start fresh.
+      // load() retains nothing on failure, and the first record()
+      // rewrites a consistent journal for the current invocation.
+      std::vector<std::pair<std::size_t, SweepRow>> restored_rows;
+      try {
+        restored_rows = journal->load();
+      } catch (const Error& e) {
+        GMD_LOG_WARN << "sweep resume: ignoring unusable journal '"
+                     << options.checkpoint_path << "' ["
+                     << to_string(e.code()) << "]: " << e.what()
+                     << "; starting from scratch";
+      }
       std::size_t restored = 0;
-      for (auto& [index, row] : journal->load()) {
+      for (auto& [index, row] : restored_rows) {
         if (settled[index]) continue;
         rows[index] = std::move(row);
         rows[index].point = points[index];

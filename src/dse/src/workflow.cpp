@@ -18,7 +18,7 @@ namespace gmd::dse {
 
 std::vector<cpusim::MemoryEvent> generate_workload_trace(
     const WorkflowConfig& config, graph::CsrGraph* graph_out,
-    std::uint64_t* checksum_out) {
+    std::uint64_t* checksum_out, Deadline* deadline) {
   // GTGraph "random" model graph, symmetrized for Graph500 semantics.
   graph::UniformRandomParams params;
   params.num_vertices = config.graph_vertices;
@@ -37,6 +37,7 @@ std::vector<cpusim::MemoryEvent> generate_workload_trace(
   cpusim::VectorSink sink;
   cpusim::CpuModel cpu_model;
   cpusim::AtomicCpu cpu(cpu_model, &sink);
+  cpu.set_deadline(deadline);
   const auto workload =
       cpusim::make_workload(config.workload, graph, source);
   const cpusim::WorkloadResult result = workload->run(cpu);

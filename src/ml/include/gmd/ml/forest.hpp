@@ -13,6 +13,10 @@
 
 #include "gmd/ml/tree.hpp"
 
+namespace gmd {
+class Deadline;
+}
+
 namespace gmd::ml {
 
 struct ForestParams {
@@ -26,6 +30,11 @@ struct ForestParams {
   bool bootstrap = true;
   std::uint64_t seed = 1;
   std::size_t num_threads = 0;  ///< 0: hardware concurrency.
+  /// Cooperative cancellation: polled (thread-safely, via check_now())
+  /// before each tree is fitted, so a training run honors wall budgets
+  /// and Ctrl-C-style cancellation at tree granularity.  Non-owning;
+  /// must outlive fit().
+  Deadline* deadline = nullptr;
 };
 
 class RandomForest final : public Regressor {

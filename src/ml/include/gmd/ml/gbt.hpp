@@ -12,6 +12,10 @@
 
 #include "gmd/ml/tree.hpp"
 
+namespace gmd {
+class Deadline;
+}
+
 namespace gmd::ml {
 
 struct GbtParams {
@@ -23,6 +27,10 @@ struct GbtParams {
   /// 1.0 disables subsampling.
   double subsample = 1.0;
   std::uint64_t seed = 1;
+  /// Cooperative cancellation: polled before each boosting stage (via
+  /// check_now()) so long fits honor wall budgets.  Non-owning; must
+  /// outlive fit().
+  Deadline* deadline = nullptr;
 };
 
 class GradientBoosting final : public Regressor {

@@ -11,6 +11,10 @@
 
 #include "gmd/ml/matrix.hpp"
 
+namespace gmd {
+class Deadline;
+}
+
 namespace gmd::ml {
 
 class Regressor {
@@ -42,6 +46,15 @@ class Regressor {
 /// <= ~10 features, min-max scaled).
 std::unique_ptr<Regressor> make_regressor(const std::string& name,
                                           std::uint64_t seed = 1);
+
+/// Like make_regressor, but wires `deadline` into the model families
+/// with long training loops (rf polls per tree, gb per boosting stage)
+/// so fit() honors wall budgets and cancellation.  `deadline` is
+/// non-owning and may be null; families without a training loop worth
+/// interrupting ignore it.
+std::unique_ptr<Regressor> make_regressor(const std::string& name,
+                                          std::uint64_t seed,
+                                          Deadline* deadline);
 
 /// The model families Table I compares, in its column order.
 const std::vector<std::string>& table1_model_names();

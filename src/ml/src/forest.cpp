@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 
+#include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
 #include "gmd/common/rng.hpp"
 #include "gmd/common/thread_pool.hpp"
@@ -44,6 +45,11 @@ void RandomForest::fit(const Matrix& x, std::span<const double> y) {
   trees_.assign(params_.num_trees, DecisionTree(TreeParams{}));
   ThreadPool pool(params_.num_threads);
   pool.parallel_for(0, jobs.size(), [&](std::size_t t) {
+    // Deadline::check() is owner-thread-only; pool workers use the
+    // thread-safe unamortized poll.  One tree is the cancellation
+    // granularity — parallel_for rethrows the kTimeout/kCancelled
+    // Error to the fit() caller.
+    if (params_.deadline != nullptr) params_.deadline->check_now();
     TreeParams tree_params;
     tree_params.max_depth = params_.max_depth;
     tree_params.min_samples_leaf = params_.min_samples_leaf;

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 
+#include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
 #include "gmd/common/rng.hpp"
 
@@ -38,6 +39,8 @@ void GradientBoosting::fit(const Matrix& x, std::span<const double> y) {
   std::iota(all.begin(), all.end(), std::size_t{0});
 
   for (std::size_t stage = 0; stage < params_.num_stages; ++stage) {
+    // One boosting stage is the cancellation granularity.
+    if (params_.deadline != nullptr) params_.deadline->check_now();
     for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - prediction[i];
 
     TreeParams tree_params;

@@ -22,6 +22,12 @@ std::vector<double> Regressor::predict(const Matrix& x) const {
 
 std::unique_ptr<Regressor> make_regressor(const std::string& name,
                                           std::uint64_t seed) {
+  return make_regressor(name, seed, nullptr);
+}
+
+std::unique_ptr<Regressor> make_regressor(const std::string& name,
+                                          std::uint64_t seed,
+                                          Deadline* deadline) {
   const std::string key = to_lower(name);
   if (key == "linear") return std::make_unique<LinearRegression>();
   if (key == "svr" || key == "svm") {
@@ -34,11 +40,13 @@ std::unique_ptr<Regressor> make_regressor(const std::string& name,
   if (key == "rf") {
     ForestParams params;
     params.seed = seed;
+    params.deadline = deadline;
     return std::make_unique<RandomForest>(params);
   }
   if (key == "gb") {
     GbtParams params;
     params.seed = seed;
+    params.deadline = deadline;
     return std::make_unique<GradientBoosting>(params);
   }
   if (key == "gp") {

@@ -10,15 +10,25 @@ namespace gmd::ml {
 
 void MinMaxScaler::fit(const Matrix& x) {
   GMD_REQUIRE(x.rows() >= 1, "cannot fit scaler on empty data");
-  mins_.assign(x.cols(), std::numeric_limits<double>::infinity());
-  maxs_.assign(x.cols(), -std::numeric_limits<double>::infinity());
+  // Scan into locals and publish only on success, so a failed fit
+  // leaves the scaler unfitted rather than holding sentinel bounds.
+  std::vector<double> mins(x.cols(), std::numeric_limits<double>::infinity());
+  std::vector<double> maxs(x.cols(), -std::numeric_limits<double>::infinity());
   for (std::size_t r = 0; r < x.rows(); ++r) {
     const auto row = x.row(r);
     for (std::size_t c = 0; c < x.cols(); ++c) {
-      mins_[c] = std::min(mins_[c], row[c]);
-      maxs_[c] = std::max(maxs_[c], row[c]);
+      // A single NaN would silently poison min/max (and through them
+      // every transformed value), so fitting on non-finite data is a
+      // typed error the caller can quarantine around.
+      GMD_REQUIRE_AS(ErrorCode::kInvalidData, std::isfinite(row[c]),
+                     "non-finite value at row " << r << ", column " << c
+                                                << " while fitting scaler");
+      mins[c] = std::min(mins[c], row[c]);
+      maxs[c] = std::max(maxs[c], row[c]);
     }
   }
+  mins_ = std::move(mins);
+  maxs_ = std::move(maxs);
 }
 
 Matrix MinMaxScaler::transform(const Matrix& x) const {
@@ -43,6 +53,11 @@ Matrix MinMaxScaler::fit_transform(const Matrix& x) {
 
 void MinMaxScaler::fit(std::span<const double> values) {
   GMD_REQUIRE(!values.empty(), "cannot fit scaler on empty data");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    GMD_REQUIRE_AS(ErrorCode::kInvalidData, std::isfinite(values[i]),
+                   "non-finite value at index " << i
+                                                << " while fitting scaler");
+  }
   mins_.assign(1, *std::min_element(values.begin(), values.end()));
   maxs_.assign(1, *std::max_element(values.begin(), values.end()));
 }

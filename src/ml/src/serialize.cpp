@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "gmd/common/atomic_file.hpp"
 #include "gmd/common/error.hpp"
 #include "gmd/ml/forest.hpp"
 #include "gmd/ml/gbt.hpp"
@@ -40,9 +41,10 @@ void save_model(std::ostream& os, const Regressor& model) {
 }
 
 void save_model_file(const std::string& path, const Regressor& model) {
-  std::ofstream out(path);
-  GMD_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
-  save_model(out, model);
+  // Temp-then-rename: a crash mid-serialization never leaves a torn
+  // model file where a previous good one stood.
+  atomic_write_file(path,
+                    [&model](std::ostream& out) { save_model(out, model); });
 }
 
 std::unique_ptr<Regressor> load_model(std::istream& is) {

@@ -1,0 +1,214 @@
+#include "gmd/pipeline/manifest.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gmd/common/atomic_file.hpp"
+#include "gmd/common/error.hpp"
+#include "gmd/common/logging.hpp"
+
+namespace gmd::pipeline {
+
+namespace {
+
+constexpr std::string_view kMagic = "gmd-pipeline-manifest";
+constexpr std::string_view kVersion = "v1";
+
+std::string hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::uint64_t parse_hex16(const std::string& token, const std::string& path) {
+  // Exactly 16 hex digits: a shorter token is a truncation tear, not a
+  // smaller number.
+  unsigned long long parsed = 0;
+  int consumed = 0;
+  const int got = std::sscanf(token.c_str(), "%llx%n", &parsed, &consumed);
+  GMD_REQUIRE_AS(ErrorCode::kIo,
+                 got == 1 && token.size() == 16 &&
+                     static_cast<std::size_t>(consumed) == token.size(),
+                 "corrupt pipeline manifest '" << path << "': bad hex token '"
+                                               << token << "'");
+  return parsed;
+}
+
+}  // namespace
+
+Manifest::Manifest(std::string path) : path_(std::move(path)) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  dir_ = parent.empty() ? "." : parent.string();
+}
+
+std::string Manifest::resolve(const std::string& relpath) const {
+  return (std::filesystem::path(dir_) / relpath).string();
+}
+
+std::size_t Manifest::load() {
+  stages_.clear();
+  if (!std::filesystem::exists(path_)) return 0;
+  // Parse into a local list and publish only on success: a corrupt
+  // manifest is worth a warning and a from-scratch run, never an abort
+  // or a half-loaded state.
+  try {
+    std::ifstream in(path_);
+    GMD_REQUIRE_AS(ErrorCode::kIo, in.good(),
+                   "cannot read pipeline manifest '" << path_ << "'");
+    std::string line;
+    GMD_REQUIRE_AS(ErrorCode::kIo, static_cast<bool>(std::getline(in, line)),
+                   "pipeline manifest '" << path_ << "' is empty");
+    {
+      std::istringstream header(line);
+      std::string magic, version;
+      header >> magic >> version;
+      GMD_REQUIRE_AS(ErrorCode::kIo, magic == kMagic && version == kVersion,
+                     "'" << path_ << "' is not a " << kVersion
+                         << " pipeline manifest");
+    }
+    std::vector<StageRecord> loaded;
+    std::vector<std::size_t> declared_outputs;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream is(line);
+      std::string tag;
+      is >> tag;
+      if (tag == "stage") {
+        StageRecord stage;
+        std::string inputs_field, outputs_field;
+        is >> stage.name >> inputs_field >> outputs_field;
+        GMD_REQUIRE_AS(ErrorCode::kIo,
+                       !stage.name.empty() &&
+                           inputs_field.rfind("inputs=", 0) == 0 &&
+                           outputs_field.rfind("outputs=", 0) == 0,
+                       "corrupt pipeline manifest '"
+                           << path_ << "': bad stage record '" << line << "'");
+        stage.inputs_hash =
+            parse_hex16(inputs_field.substr(7), path_);
+        unsigned long long outputs = 0;
+        const int got =
+            std::sscanf(outputs_field.c_str() + 8, "%llu", &outputs);
+        GMD_REQUIRE_AS(ErrorCode::kIo, got == 1,
+                       "corrupt pipeline manifest '"
+                           << path_ << "': bad stage record '" << line << "'");
+        declared_outputs.push_back(static_cast<std::size_t>(outputs));
+        loaded.push_back(std::move(stage));
+      } else if (tag == "artifact") {
+        GMD_REQUIRE_AS(ErrorCode::kIo, !loaded.empty(),
+                       "corrupt pipeline manifest '"
+                           << path_ << "': artifact before any stage");
+        ArtifactRecord artifact;
+        std::string checksum_field;
+        is >> artifact.relpath >> artifact.bytes >> checksum_field;
+        GMD_REQUIRE_AS(ErrorCode::kIo,
+                       !artifact.relpath.empty() && !checksum_field.empty() &&
+                           !is.fail(),
+                       "corrupt pipeline manifest '"
+                           << path_ << "': bad artifact record '" << line
+                           << "'");
+        artifact.checksum = parse_hex16(checksum_field, path_);
+        loaded.back().artifacts.push_back(std::move(artifact));
+      } else {
+        GMD_REQUIRE_AS(ErrorCode::kIo, false,
+                       "corrupt pipeline manifest '"
+                           << path_ << "': unexpected '" << tag
+                           << "' record");
+      }
+    }
+    // The declared outputs count catches a tear that removed whole
+    // trailing artifact lines.
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+      GMD_REQUIRE_AS(ErrorCode::kIo,
+                     loaded[i].artifacts.size() == declared_outputs[i],
+                     "corrupt pipeline manifest '"
+                         << path_ << "': stage '" << loaded[i].name
+                         << "' declares " << declared_outputs[i]
+                         << " outputs but lists "
+                         << loaded[i].artifacts.size());
+    }
+    stages_ = std::move(loaded);
+  } catch (const Error& e) {
+    GMD_LOG_WARN << "pipeline resume: ignoring unusable manifest '" << path_
+                 << "' [" << to_string(e.code()) << "]: " << e.what()
+                 << "; all stages will re-run";
+    stages_.clear();
+  }
+  return stages_.size();
+}
+
+const StageRecord* Manifest::find(const std::string& name) const {
+  for (const StageRecord& stage : stages_) {
+    if (stage.name == name) return &stage;
+  }
+  return nullptr;
+}
+
+bool Manifest::stage_valid(const std::string& name,
+                           std::uint64_t inputs_hash) const {
+  const StageRecord* stage = find(name);
+  if (stage == nullptr || stage->inputs_hash != inputs_hash) return false;
+  for (const ArtifactRecord& artifact : stage->artifacts) {
+    const std::string full = resolve(artifact.relpath);
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(full, ec);
+    if (ec || size != artifact.bytes) return false;
+    try {
+      if (fnv1a_file(full) != artifact.checksum) return false;
+    } catch (const Error&) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Manifest::record_stage(const std::string& name,
+                            std::uint64_t inputs_hash,
+                            std::span<const std::string> artifact_relpaths) {
+  StageRecord stage;
+  stage.name = name;
+  stage.inputs_hash = inputs_hash;
+  for (const std::string& relpath : artifact_relpaths) {
+    ArtifactRecord artifact;
+    artifact.relpath = relpath;
+    const std::string full = resolve(relpath);
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(full, ec);
+    GMD_REQUIRE_AS(ErrorCode::kIo, !ec,
+                   "stage '" << name << "' recorded missing artifact '"
+                             << full << "'");
+    artifact.bytes = static_cast<std::uint64_t>(size);
+    artifact.checksum = fnv1a_file(full);
+    stage.artifacts.push_back(std::move(artifact));
+  }
+
+  bool replaced = false;
+  for (StageRecord& existing : stages_) {
+    if (existing.name == name) {
+      existing = std::move(stage);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) stages_.push_back(std::move(stage));
+  flush();
+}
+
+void Manifest::flush() const {
+  atomic_write_file(path_, [this](std::ostream& out) {
+    out << kMagic << ' ' << kVersion << '\n';
+    for (const StageRecord& stage : stages_) {
+      out << "stage " << stage.name << " inputs=" << hex16(stage.inputs_hash)
+          << " outputs=" << stage.artifacts.size() << '\n';
+      for (const ArtifactRecord& artifact : stage.artifacts) {
+        out << "artifact " << artifact.relpath << ' ' << artifact.bytes
+            << ' ' << hex16(artifact.checksum) << '\n';
+      }
+    }
+  });
+}
+
+}  // namespace gmd::pipeline

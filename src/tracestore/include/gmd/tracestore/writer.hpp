@@ -7,11 +7,11 @@
 /// unlike write_binary_trace, which needs the whole event vector.
 
 #include <cstdint>
-#include <fstream>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "gmd/common/atomic_file.hpp"
 #include "gmd/cpusim/memory_event.hpp"
 #include "gmd/tracestore/format.hpp"
 
@@ -26,9 +26,13 @@ struct TraceStoreWriterOptions {
 
 /// Writes a GMDT v1 store.  Events are appended via on_event()/append()
 /// and the file is finalized by close(): chunk directory, then the real
-/// header patched over the placeholder.  A writer abandoned without
-/// close() leaves a file the reader rejects (zero chunk count and a
-/// failing header checksum) — never a silently short trace.
+/// header patched over the placeholder.  All bytes go to `<path>.tmp`
+/// via gmd::AtomicFileWriter; close() fsyncs and renames it over the
+/// target, so `path` either holds a complete store or does not exist —
+/// a writer killed mid-stream (even by SIGKILL) leaves at worst a stale
+/// temp file that remove_stale_temp_files() sweeps, never a torn or
+/// silently short trace.  (The in-progress temp additionally carries a
+/// placeholder header the reader rejects.)
 class TraceStoreWriter final : public cpusim::TraceSink {
  public:
   explicit TraceStoreWriter(const std::string& path,
@@ -42,19 +46,22 @@ class TraceStoreWriter final : public cpusim::TraceSink {
   void append(std::span<const cpusim::MemoryEvent> events);
 
   /// Flushes the pending chunk, writes the directory, patches the
-  /// header, and closes the file.  Idempotent.
+  /// header, and atomically publishes the temp file at path().
+  /// Idempotent.
   void close();
 
   bool closed() const { return closed_; }
   std::uint64_t events_written() const { return events_written_; }
   std::uint64_t chunks_written() const { return directory_.size(); }
   const std::string& path() const { return path_; }
+  /// Where bytes accumulate until close() renames them over path().
+  const std::string& temp_path() const { return file_.temp_path(); }
 
  private:
   void flush_chunk();
 
   std::string path_;
-  std::ofstream out_;
+  AtomicFileWriter file_;
   std::size_t events_per_chunk_;
   std::vector<cpusim::MemoryEvent> pending_;  ///< Current chunk.
   std::string encode_buffer_;

@@ -29,19 +29,19 @@ std::string encode_header(const Header& header) {
 TraceStoreWriter::TraceStoreWriter(const std::string& path,
                                    const TraceStoreWriterOptions& options)
     : path_(path),
-      out_(path, std::ios::binary | std::ios::trunc),
+      file_(path, std::ios::binary),
       events_per_chunk_(options.events_per_chunk) {
   GMD_REQUIRE_AS(ErrorCode::kConfig, events_per_chunk_ >= 1,
                  "events_per_chunk must be >= 1");
-  GMD_REQUIRE_AS(ErrorCode::kIo, out_.good(),
-                 "cannot open trace store '" << path_ << "' for writing");
   pending_.reserve(std::min<std::size_t>(events_per_chunk_, 1u << 20));
   // Placeholder header: all-zero counts and a checksum of zeros, which
-  // the reader rejects — an unclosed store is never a valid empty one.
+  // the reader rejects — an unclosed store is never a valid empty one
+  // (defense in depth: the temp file is never published anyway).
   const std::string placeholder(kHeaderBytes, '\0');
-  out_.write(placeholder.data(),
-             static_cast<std::streamsize>(placeholder.size()));
-  GMD_REQUIRE_AS(ErrorCode::kIo, out_.good(),
+  std::ostream& out = file_.stream();
+  out.write(placeholder.data(),
+            static_cast<std::streamsize>(placeholder.size()));
+  GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
                  "write of trace store '" << path_ << "' failed");
 }
 
@@ -97,9 +97,10 @@ void TraceStoreWriter::flush_chunk() {
   entry.encoded_bytes = encode_buffer_.size();
   entry.checksum = fnv1a_bytes(encode_buffer_.data(), encode_buffer_.size());
 
-  out_.write(encode_buffer_.data(),
-             static_cast<std::streamsize>(encode_buffer_.size()));
-  GMD_REQUIRE_AS(ErrorCode::kIo, out_.good(),
+  std::ostream& out = file_.stream();
+  out.write(encode_buffer_.data(),
+            static_cast<std::streamsize>(encode_buffer_.size()));
+  GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
                  "write of trace store '" << path_ << "' failed");
   next_offset_ += encode_buffer_.size();
   directory_.push_back(entry);
@@ -129,17 +130,17 @@ void TraceStoreWriter::close() {
   const std::uint64_t directory_checksum =
       fnv1a_bytes(directory_bytes.data(), directory_bytes.size());
   put_u64(directory_bytes, directory_checksum);
-  out_.write(directory_bytes.data(),
-             static_cast<std::streamsize>(directory_bytes.size()));
+  std::ostream& out = file_.stream();
+  out.write(directory_bytes.data(),
+            static_cast<std::streamsize>(directory_bytes.size()));
 
-  out_.seekp(0);
+  out.seekp(0);
   const std::string header_bytes = encode_header(header);
-  out_.write(header_bytes.data(),
-             static_cast<std::streamsize>(header_bytes.size()));
-  out_.flush();
-  GMD_REQUIRE_AS(ErrorCode::kIo, out_.good(),
+  out.write(header_bytes.data(),
+            static_cast<std::streamsize>(header_bytes.size()));
+  GMD_REQUIRE_AS(ErrorCode::kIo, out.good(),
                  "finalize of trace store '" << path_ << "' failed");
-  out_.close();
+  file_.commit();  // fsync + rename: the store appears at path_ whole.
   closed_ = true;
 }
 

@@ -1,0 +1,116 @@
+#include "gmd/common/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/hash.hpp"
+
+namespace gmd {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("gmd_atomic_file_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesContentAndRemovesTemp) {
+  AtomicFileWriter writer(path("a.txt"));
+  writer.stream() << "hello";
+  EXPECT_FALSE(fs::exists(path("a.txt")));
+  EXPECT_TRUE(fs::exists(writer.temp_path()));
+  writer.commit();
+  EXPECT_TRUE(writer.committed());
+  EXPECT_EQ(slurp(path("a.txt")), "hello");
+  EXPECT_FALSE(fs::exists(writer.temp_path()));
+}
+
+TEST_F(AtomicFileTest, DestructionWithoutCommitLeavesOldArtifact) {
+  atomic_write_text(path("a.txt"), "old");
+  {
+    AtomicFileWriter writer(path("a.txt"));
+    writer.stream() << "new-but-never-committed";
+  }
+  EXPECT_EQ(slurp(path("a.txt")), "old");
+  EXPECT_FALSE(fs::exists(path("a.txt") + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, AtomicWriteFileRoundTrips) {
+  atomic_write_file(path("b.bin"),
+                    [](std::ostream& os) { os << "x\0y" << 42; },
+                    std::ios::binary);
+  EXPECT_TRUE(fs::exists(path("b.bin")));
+  EXPECT_FALSE(fs::exists(path("b.bin") + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, Fnv1aFileMatchesInMemoryHash) {
+  const std::string content = "the quick brown fox";
+  atomic_write_text(path("c.txt"), content);
+  EXPECT_EQ(fnv1a_file(path("c.txt")),
+            fnv1a_bytes(content.data(), content.size()));
+}
+
+TEST_F(AtomicFileTest, Fnv1aFileThrowsOnMissingFile) {
+  try {
+    fnv1a_file(path("missing.txt"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
+}
+
+TEST_F(AtomicFileTest, RemoveStaleTempFilesSweepsRecursively) {
+  fs::create_directories(dir_ / "sub");
+  atomic_write_text(path("keep.txt"), "keep");
+  std::ofstream(path("dead.tmp")) << "torn";
+  std::ofstream((dir_ / "sub" / "dead2.tmp").string()) << "torn";
+  EXPECT_EQ(remove_stale_temp_files(dir_.string()), 2u);
+  EXPECT_TRUE(fs::exists(path("keep.txt")));
+  EXPECT_FALSE(fs::exists(path("dead.tmp")));
+  EXPECT_EQ(remove_stale_temp_files(dir_.string()), 0u);
+}
+
+TEST_F(AtomicFileTest, RemoveStaleTempFilesMissingDirYieldsZero) {
+  EXPECT_EQ(remove_stale_temp_files((dir_ / "nope").string()), 0u);
+}
+
+TEST_F(AtomicFileTest, CommitIsIdempotent) {
+  AtomicFileWriter writer(path("d.txt"));
+  writer.stream() << "once";
+  writer.commit();
+  writer.commit();
+  EXPECT_EQ(slurp(path("d.txt")), "once");
+}
+
+TEST_F(AtomicFileTest, OverwriteReplacesWholeFile) {
+  atomic_write_text(path("e.txt"), "a much longer original content line");
+  atomic_write_text(path("e.txt"), "short");
+  EXPECT_EQ(slurp(path("e.txt")), "short");
+}
+
+}  // namespace
+}  // namespace gmd

@@ -54,6 +54,42 @@ TEST(Deadline, ParentCancellationPropagates) {
   EXPECT_THROW(child.check(), Error);
 }
 
+TEST(Deadline, ParentExpiryPropagatesToChild) {
+  // A stage-wide budget must fell work polling only a per-item token.
+  Deadline parent(std::chrono::nanoseconds(0));
+  Deadline child(std::chrono::hours(1), &parent);
+  EXPECT_FALSE(child.expired());
+  EXPECT_TRUE(child.expired_chain());
+  try {
+    child.check_now();
+    FAIL() << "check_now() must see the parent's expired budget";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+}
+
+TEST(Deadline, CheckNowThrowsTypedErrors) {
+  Deadline fine(std::chrono::hours(1));
+  fine.check_now();
+
+  Deadline cancelled;
+  cancelled.cancel();
+  try {
+    cancelled.check_now();
+    FAIL() << "check_now() must throw after cancel()";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+
+  Deadline expired(std::chrono::nanoseconds(0));
+  try {
+    expired.check_now();
+    FAIL() << "check_now() must throw once the budget elapsed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+}
+
 TEST(Deadline, ClockReadIsAmortizedButEventuallySeen) {
   // The clock is only consulted every 256th check; an expiry between
   // polls must still be caught within one amortization window.

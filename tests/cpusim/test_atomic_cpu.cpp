@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
 
 namespace gmd::cpusim {
@@ -123,6 +126,43 @@ TEST(AtomicCpu, RejectsBadModel) {
 TEST(AtomicCpu, ZeroSizeAccessRejected) {
   AtomicCpu cpu(CpuModel{});
   EXPECT_THROW(cpu.load(0, 0), Error);
+}
+
+TEST(AtomicCpu, CancelledDeadlineStopsTheAccessPath) {
+  AtomicCpu cpu(CpuModel{});
+  Deadline cancelled;
+  cancelled.cancel();
+  cpu.set_deadline(&cancelled);
+  try {
+    cpu.load(0x1000, 8);
+    FAIL() << "expected Error(kCancelled)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled) << e.what();
+  }
+}
+
+TEST(AtomicCpu, ExpiredDeadlineStopsTheAccessPath) {
+  AtomicCpu cpu(CpuModel{});
+  Deadline expired(std::chrono::nanoseconds{0});
+  cpu.set_deadline(&expired);
+  // check() reads the clock on its very first poll, so an
+  // already-expired budget fires on the first access.
+  try {
+    cpu.load(0x1000, 8);
+    FAIL() << "expected Error(kTimeout)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout) << e.what();
+  }
+}
+
+TEST(AtomicCpu, NullDeadlineClearsCancellation) {
+  AtomicCpu cpu(CpuModel{});
+  Deadline cancelled;
+  cancelled.cancel();
+  cpu.set_deadline(&cancelled);
+  cpu.set_deadline(nullptr);
+  EXPECT_NO_THROW(cpu.load(0x1000, 8));
+  EXPECT_EQ(cpu.stats().loads, 1u);
 }
 
 }  // namespace

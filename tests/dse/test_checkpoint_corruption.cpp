@@ -1,0 +1,167 @@
+/// Checkpoint-journal corruption: every way a journal can rot on disk —
+/// truncation mid-record, a flipped header byte, a checksum from a
+/// different trace — must resume cleanly from scratch with a typed
+/// warning, and the re-swept rows must be bit-identical to a fresh run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/logging.hpp"
+#include "gmd/cpusim/workloads.hpp"
+#include "gmd/dse/checkpoint.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/dse/sweep.hpp"
+#include "gmd/graph/generators.hpp"
+
+namespace gmd::dse {
+namespace {
+
+std::vector<cpusim::MemoryEvent> small_trace() {
+  graph::UniformRandomParams params;
+  params.num_vertices = 64;
+  params.edge_factor = 8;
+  graph::EdgeList list = graph::generate_uniform_random(params);
+  graph::symmetrize(list);
+  const auto g = graph::CsrGraph::from_edge_list(list);
+  cpusim::VectorSink sink;
+  cpusim::AtomicCpu cpu(cpusim::CpuModel{}, &sink);
+  cpusim::BfsWorkload(g, 0).run(cpu);
+  return sink.take();
+}
+
+std::vector<DesignPoint> small_space() {
+  GridAxes axes;
+  axes.kinds = {MemoryKind::kDram, MemoryKind::kNvm};
+  axes.cpu_freqs_mhz = {2000, 3000};
+  axes.ctrl_freqs_mhz = {800};
+  axes.channel_counts = {1, 2};
+  axes.trcds = {9};
+  return enumerate_grid(axes);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void spill(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+class CheckpointCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = small_trace();
+    points_ = small_space();
+    journal_path_ = testing::TempDir() + "/gmd_corrupt_" +
+                    ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+                    ".journal";
+    std::remove(journal_path_.c_str());
+
+    // A complete, valid journal and the bit-exact reference rows.
+    reference_ = run_sweep(points_, trace_);
+    SweepOptions write;
+    write.checkpoint_path = journal_path_;
+    run_sweep(points_, trace_, write);
+  }
+
+  void TearDown() override {
+    log::set_sink(nullptr);
+    std::remove(journal_path_.c_str());
+  }
+
+  /// Resumes against the (by now corrupted) journal and asserts: one
+  /// typed warning naming the journal, every point re-simulated, rows
+  /// bit-identical to the fresh reference.
+  void expect_fresh_resume_with_warning(ErrorCode expected_code) {
+    SweepOptions resume;
+    resume.checkpoint_path = journal_path_;
+    resume.resume = true;
+    std::atomic<int> simulated{0};
+    resume.fault_hook = [&](std::size_t, std::uint32_t) { ++simulated; };
+
+    std::vector<std::string> warnings;
+    log::set_sink([&warnings](log::Level level, std::string_view msg) {
+      if (level == log::Level::kWarn) warnings.emplace_back(msg);
+    });
+    const auto rows = run_sweep(points_, trace_, resume);
+    log::set_sink(nullptr);
+
+    EXPECT_EQ(simulated.load(), static_cast<int>(points_.size()))
+        << "a corrupt journal must not suppress any re-simulation";
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("unusable journal"), std::string::npos);
+    EXPECT_NE(warnings[0].find(to_string(expected_code)), std::string::npos);
+
+    ASSERT_EQ(rows.size(), reference_.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_TRUE(rows[i].ok());
+      EXPECT_EQ(rows[i].metrics.metric_values(),
+                reference_[i].metrics.metric_values());
+    }
+    // The resumed run rewrote a consistent journal for its own
+    // invocation: a second resume restores every row.
+    SweepJournal journal(journal_path_, make_journal_key(points_, trace_));
+    EXPECT_EQ(journal.load().size(), points_.size());
+  }
+
+  std::vector<cpusim::MemoryEvent> trace_;
+  std::vector<DesignPoint> points_;
+  std::vector<SweepRow> reference_;
+  std::string journal_path_;
+};
+
+TEST_F(CheckpointCorruption, TruncatedJournalResumesFromScratch) {
+  const std::string full = slurp(journal_path_);
+  // Cut mid-row so the last record is torn.
+  spill(journal_path_, full.substr(0, full.size() * 2 / 3));
+  expect_fresh_resume_with_warning(ErrorCode::kIo);
+}
+
+TEST_F(CheckpointCorruption, FlippedHeaderByteResumesFromScratch) {
+  std::string full = slurp(journal_path_);
+  // Flip one byte inside the header's trace checksum field.
+  const std::size_t pos = full.find("trace=") + 8;
+  ASSERT_LT(pos, full.size());
+  full[pos] = full[pos] == '0' ? '1' : '0';
+  spill(journal_path_, full);
+  expect_fresh_resume_with_warning(ErrorCode::kConfig);
+}
+
+TEST_F(CheckpointCorruption, MismatchedTraceChecksumResumesFromScratch) {
+  // Unchanged journal, changed trace: the identity key no longer
+  // matches what the journal was written for.
+  trace_.push_back({trace_.back().tick + 7, 0xBEEF40, 8, true});
+  reference_ = run_sweep(points_, trace_);
+  expect_fresh_resume_with_warning(ErrorCode::kConfig);
+}
+
+TEST_F(CheckpointCorruption, GarbageRowResumesFromScratch) {
+  std::string full = slurp(journal_path_);
+  full += "row not-a-number garbage\n";
+  spill(journal_path_, full);
+  expect_fresh_resume_with_warning(ErrorCode::kIo);
+}
+
+TEST_F(CheckpointCorruption, LoadRetainsNothingOnThrow) {
+  // Direct journal-level contract: a corrupt file throws AND leaves the
+  // in-memory journal empty, so the caller's next record() rewrites a
+  // consistent file from scratch.
+  spill(journal_path_, "gmd-sweep-journal v1 garbage\n");
+  SweepJournal journal(journal_path_, make_journal_key(points_, trace_));
+  EXPECT_THROW(journal.load(), Error);
+  EXPECT_EQ(journal.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gmd::dse

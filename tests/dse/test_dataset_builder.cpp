@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "gmd/common/error.hpp"
+#include "gmd/common/logging.hpp"
 #include "gmd/cpusim/workloads.hpp"
 #include "gmd/dse/config_space.hpp"
 #include "gmd/graph/generators.hpp"
@@ -109,6 +114,47 @@ TEST_F(DatasetBuilderTest, TableRoundTripsThroughCsv) {
 TEST_F(DatasetBuilderTest, TargetMetricNamesMatchMemsim) {
   EXPECT_EQ(target_metric_names(), memsim::MemoryMetrics::metric_names());
   EXPECT_EQ(target_metric_names().size(), 6u);
+}
+
+TEST_F(DatasetBuilderTest, NonFiniteRowsAreQuarantinedNotFatal) {
+  std::vector<SweepRow> rows = *rows_;
+  rows[0].metrics.avg_power_per_channel_w = std::nan("");
+  rows[2].metrics.avg_power_per_channel_w =
+      std::numeric_limits<double>::infinity();
+
+  std::vector<std::string> warnings;
+  log::set_sink([&warnings](log::Level level, std::string_view msg) {
+    if (level == log::Level::kWarn) warnings.emplace_back(msg);
+  });
+  const MetricDataset md = build_metric_dataset(rows, "power_w");
+  log::set_sink(nullptr);
+
+  EXPECT_EQ(md.quarantined_rows, 2u);
+  EXPECT_EQ(md.data.size(), rows.size() - 2);
+  EXPECT_NO_THROW(md.data.validate());
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("quarantin"), std::string::npos) << warnings[0];
+
+  // Other metrics are untouched by the poisoned power column.
+  const MetricDataset clean = build_metric_dataset(rows, "latency_cycles");
+  EXPECT_EQ(clean.quarantined_rows, 0u);
+  EXPECT_EQ(clean.data.size(), rows.size());
+}
+
+TEST_F(DatasetBuilderTest, AllRowsNonFiniteIsTypedInvalidData) {
+  std::vector<SweepRow> rows = *rows_;
+  for (SweepRow& row : rows) {
+    row.metrics.avg_power_per_channel_w = std::nan("");
+  }
+  log::set_sink([](log::Level, std::string_view) {});
+  try {
+    build_metric_dataset(rows, "power_w");
+    log::set_sink(nullptr);
+    FAIL() << "expected Error(kInvalidData)";
+  } catch (const Error& e) {
+    log::set_sink(nullptr);
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidData) << e.what();
+  }
 }
 
 TEST_F(DatasetBuilderTest, MultiWorkloadDatasetAppendsDescriptors) {

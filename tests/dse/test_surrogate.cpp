@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
+#include "gmd/common/logging.hpp"
 #include "gmd/cpusim/workloads.hpp"
 #include "gmd/dse/config_space.hpp"
 #include "gmd/graph/generators.hpp"
@@ -120,6 +127,90 @@ TEST_F(SurrogateTest, CustomModelListRespected) {
   options.models = {"linear"};
   const SurrogateSuite small = SurrogateSuite::train(*rows_, options);
   EXPECT_EQ(small.scores().size(), target_metric_names().size());
+}
+
+TEST_F(SurrogateTest, SkipFailedMetricsDegradesInsteadOfAborting) {
+  // Poison one metric across every row: its dataset build fails with
+  // kInvalidData.  Degraded mode records the skip and keeps training
+  // the other five metrics.
+  std::vector<SweepRow> rows = *rows_;
+  for (SweepRow& row : rows) {
+    row.metrics.avg_power_per_channel_w = std::nan("");
+  }
+  SurrogateOptions options;
+  options.models = {"linear"};
+  options.skip_failed_metrics = true;
+  log::set_sink([](log::Level, std::string_view) {});
+  const SurrogateSuite suite = SurrogateSuite::train(rows, options);
+  log::set_sink(nullptr);
+
+  ASSERT_EQ(suite.skipped().size(), 1u);
+  EXPECT_EQ(suite.skipped()[0].metric, "power_w");
+  EXPECT_EQ(suite.skipped()[0].code, ErrorCode::kInvalidData);
+  EXPECT_EQ(suite.scores().size(), target_metric_names().size() - 1);
+  // Table I names the casualty instead of silently shrinking.
+  const std::string table = suite.format_table1();
+  EXPECT_NE(table.find("skipped: power_w"), std::string::npos) << table;
+
+  // Without the flag the same failure is fatal.
+  options.skip_failed_metrics = false;
+  log::set_sink([](log::Level, std::string_view) {});
+  try {
+    SurrogateSuite::train(rows, options);
+    log::set_sink(nullptr);
+    FAIL() << "expected Error(kInvalidData)";
+  } catch (const Error& e) {
+    log::set_sink(nullptr);
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidData) << e.what();
+  }
+}
+
+TEST_F(SurrogateTest, QuarantinedRowCountsSurfacePerMetric) {
+  std::vector<SweepRow> rows = *rows_;
+  rows[1].metrics.avg_latency_cycles = std::nan("");
+  SurrogateOptions options;
+  options.models = {"linear"};
+  log::set_sink([](log::Level, std::string_view) {});
+  const SurrogateSuite suite = SurrogateSuite::train(rows, options);
+  log::set_sink(nullptr);
+  ASSERT_EQ(suite.quarantined().count("latency_cycles"), 1u);
+  EXPECT_EQ(suite.quarantined().at("latency_cycles"), 1u);
+  EXPECT_EQ(suite.quarantined().count("power_w"), 0u);
+  EXPECT_NE(suite.format_table1().find("quarantined: latency_cycles"),
+            std::string::npos);
+}
+
+TEST_F(SurrogateTest, CancellationPropagatesEvenInDegradedMode) {
+  // kCancelled means "stop the run", not "this metric is bad": it must
+  // escape even with skip_failed_metrics on.
+  Deadline cancelled;
+  cancelled.cancel();
+  SurrogateOptions options;
+  options.models = {"linear"};
+  options.skip_failed_metrics = true;
+  options.deadline = &cancelled;
+  try {
+    SurrogateSuite::train(*rows_, options);
+    FAIL() << "expected Error(kCancelled)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled) << e.what();
+  }
+}
+
+TEST_F(SurrogateTest, ExpiredDeadlineStopsTreeEnsembleTraining) {
+  // The deadline reaches inside rf/gb training (per tree / per boosting
+  // stage), so even a single-metric run cannot overshoot its budget by
+  // a whole model fit.
+  Deadline expired(std::chrono::nanoseconds{0});
+  SurrogateOptions options;
+  options.models = {"rf"};
+  options.deadline = &expired;
+  try {
+    SurrogateSuite::train(*rows_, options);
+    FAIL() << "expected Error(kTimeout)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout) << e.what();
+  }
 }
 
 TEST(Surrogate, TooFewRowsThrows) {

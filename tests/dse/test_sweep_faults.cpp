@@ -12,6 +12,7 @@
 
 #include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
+#include "gmd/common/logging.hpp"
 #include "gmd/cpusim/workloads.hpp"
 #include "gmd/dse/checkpoint.hpp"
 #include "gmd/dse/config_space.hpp"
@@ -293,7 +294,7 @@ TEST(SweepFaults, CheckpointResumeIsBitIdenticalAndSimulatesOnlyTheRest) {
   std::remove(journal_path.c_str());
 }
 
-TEST(SweepFaults, ResumeRejectsJournalFromDifferentTrace) {
+TEST(SweepFaults, ResumeIgnoresJournalFromDifferentTrace) {
   const auto trace = small_trace();
   const auto points = small_space();
   const std::string journal_path =
@@ -304,23 +305,35 @@ TEST(SweepFaults, ResumeRejectsJournalFromDifferentTrace) {
   write.checkpoint_path = journal_path;
   run_sweep(points, trace, write);
 
-  // The same journal against a modified trace must be refused.
+  // The same journal against a modified trace must not be reused —
+  // every point re-simulates, and the mismatch is warned with the
+  // typed code (stale rows would be silently wrong, but aborting the
+  // sweep would be worse than re-simulating).
   auto other_trace = trace;
   other_trace.push_back({other_trace.back().tick + 1, 0xDEAD40, 8, true});
   SweepOptions resume;
   resume.checkpoint_path = journal_path;
   resume.resume = true;
-  try {
-    run_sweep(points, other_trace, resume);
-    FAIL() << "resume against a different trace must be refused";
-  } catch (const Error& e) {
-    EXPECT_EQ(e.code(), ErrorCode::kConfig);
-    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
-  }
+  std::atomic<int> simulated{0};
+  resume.fault_hook = [&](std::size_t, std::uint32_t) { ++simulated; };
+
+  std::vector<std::string> warnings;
+  log::set_sink([&warnings](log::Level level, std::string_view msg) {
+    if (level == log::Level::kWarn) warnings.emplace_back(msg);
+  });
+  const auto rows = run_sweep(points, other_trace, resume);
+  log::set_sink(nullptr);
+
+  EXPECT_TRUE(summarize_health(rows).all_ok());
+  EXPECT_EQ(simulated.load(), static_cast<int>(points.size()));
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("unusable journal"), std::string::npos);
+  EXPECT_NE(warnings[0].find(to_string(ErrorCode::kConfig)),
+            std::string::npos);
   std::remove(journal_path.c_str());
 }
 
-TEST(SweepFaults, ResumeRejectsJournalFromDifferentPointList) {
+TEST(SweepFaults, ResumeIgnoresJournalFromDifferentPointList) {
   const auto trace = small_trace();
   const auto points = small_space();
   const std::string journal_path =
@@ -336,7 +349,11 @@ TEST(SweepFaults, ResumeRejectsJournalFromDifferentPointList) {
   SweepOptions resume;
   resume.checkpoint_path = journal_path;
   resume.resume = true;
-  EXPECT_THROW(run_sweep(other_points, trace, resume), Error);
+  std::atomic<int> simulated{0};
+  resume.fault_hook = [&](std::size_t, std::uint32_t) { ++simulated; };
+  const auto rows = run_sweep(other_points, trace, resume);
+  EXPECT_TRUE(summarize_health(rows).all_ok());
+  EXPECT_EQ(simulated.load(), static_cast<int>(other_points.size()));
   std::remove(journal_path.c_str());
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "gmd/common/error.hpp"
 
@@ -55,6 +57,35 @@ TEST(MinMaxScaler, ErrorsOnMisuse) {
   scaler.fit(Matrix::from_rows({{1.0, 2.0}}));
   EXPECT_THROW(scaler.transform(Matrix(1, 3)), Error);
   EXPECT_THROW(scaler.fit(Matrix{}), Error);
+}
+
+TEST(MinMaxScaler, NonFiniteMatrixValueIsTypedInvalidData) {
+  // A single NaN or Inf would silently poison the fitted min/max and
+  // every later transform; fit must reject it with a typed code so
+  // callers (the dataset builder) can quarantine instead of crash.
+  for (const double poison :
+       {std::nan(""), std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    MinMaxScaler scaler;
+    try {
+      scaler.fit(Matrix::from_rows({{1.0, 2.0}, {3.0, poison}}));
+      FAIL() << "accepted non-finite value " << poison;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidData) << e.what();
+    }
+    EXPECT_FALSE(scaler.fitted()) << "a failed fit must not half-fit";
+  }
+}
+
+TEST(MinMaxScaler, NonFiniteTargetValueIsTypedInvalidData) {
+  MinMaxScaler scaler;
+  const std::vector<double> values = {1.0, std::nan(""), 3.0};
+  try {
+    scaler.fit(values);
+    FAIL() << "accepted a NaN target";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidData) << e.what();
+  }
 }
 
 TEST(StandardScaler, ZeroMeanUnitVariance) {

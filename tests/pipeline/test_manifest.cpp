@@ -1,0 +1,189 @@
+/// Manifest contract: stage records round-trip through disk, resume
+/// validity checks artifact size AND content, and a rotten manifest is
+/// discarded with a typed warning instead of poisoning a resume.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gmd/common/atomic_file.hpp"
+#include "gmd/common/error.hpp"
+#include "gmd/common/logging.hpp"
+#include "gmd/pipeline/manifest.hpp"
+
+namespace gmd::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(testing::TempDir()) /
+           ("gmd_manifest_" + std::string(::testing::UnitTest::GetInstance()
+                                              ->current_test_info()
+                                              ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    manifest_path_ = (dir_ / "manifest.txt").string();
+  }
+
+  void TearDown() override {
+    log::set_sink(nullptr);
+    fs::remove_all(dir_);
+  }
+
+  void put(const std::string& relpath, const std::string& content) {
+    std::ofstream out(dir_ / relpath, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  fs::path dir_;
+  std::string manifest_path_;
+};
+
+TEST_F(ManifestTest, RecordAndReloadRoundTrips) {
+  put("a.txt", "alpha");
+  put("b.bin", "bravo-bytes");
+  {
+    Manifest manifest(manifest_path_);
+    const std::vector<std::string> artifacts = {"a.txt", "b.bin"};
+    manifest.record_stage("cpusim", 0xDEADBEEFu, artifacts);
+    const std::vector<std::string> one = {"a.txt"};
+    manifest.record_stage("pack", 42, one);
+  }
+  Manifest reloaded(manifest_path_);
+  EXPECT_EQ(reloaded.load(), 2u);
+  ASSERT_NE(reloaded.find("cpusim"), nullptr);
+  EXPECT_EQ(reloaded.find("cpusim")->inputs_hash, 0xDEADBEEFu);
+  ASSERT_EQ(reloaded.find("cpusim")->artifacts.size(), 2u);
+  EXPECT_EQ(reloaded.find("cpusim")->artifacts[0].relpath, "a.txt");
+  EXPECT_EQ(reloaded.find("cpusim")->artifacts[0].bytes, 5u);
+  EXPECT_TRUE(reloaded.stage_valid("cpusim", 0xDEADBEEFu));
+  EXPECT_TRUE(reloaded.stage_valid("pack", 42));
+  EXPECT_EQ(reloaded.find("missing"), nullptr);
+  EXPECT_FALSE(reloaded.stage_valid("missing", 0));
+}
+
+TEST_F(ManifestTest, RecordReplacesExistingStage) {
+  put("a.txt", "one");
+  Manifest manifest(manifest_path_);
+  const std::vector<std::string> artifacts = {"a.txt"};
+  manifest.record_stage("sweep", 1, artifacts);
+  manifest.record_stage("sweep", 2, artifacts);
+  EXPECT_EQ(manifest.stages().size(), 1u);
+  EXPECT_EQ(manifest.find("sweep")->inputs_hash, 2u);
+
+  Manifest reloaded(manifest_path_);
+  EXPECT_EQ(reloaded.load(), 1u);
+  EXPECT_TRUE(reloaded.stage_valid("sweep", 2));
+  EXPECT_FALSE(reloaded.stage_valid("sweep", 1));
+}
+
+TEST_F(ManifestTest, StageValidRejectsChangedInputsHash) {
+  put("a.txt", "alpha");
+  Manifest manifest(manifest_path_);
+  const std::vector<std::string> artifacts = {"a.txt"};
+  manifest.record_stage("train", 7, artifacts);
+  EXPECT_TRUE(manifest.stage_valid("train", 7));
+  EXPECT_FALSE(manifest.stage_valid("train", 8))
+      << "changed inputs must force a re-run";
+}
+
+TEST_F(ManifestTest, StageValidRejectsTamperedArtifact) {
+  put("a.txt", "alpha");
+  Manifest manifest(manifest_path_);
+  const std::vector<std::string> artifacts = {"a.txt"};
+  manifest.record_stage("train", 7, artifacts);
+
+  // Same size, different content: only the checksum can catch it.
+  put("a.txt", "alphx");
+  EXPECT_FALSE(manifest.stage_valid("train", 7));
+
+  // Deleted outright.
+  fs::remove(dir_ / "a.txt");
+  EXPECT_FALSE(manifest.stage_valid("train", 7));
+}
+
+TEST_F(ManifestTest, RecordStageThrowsOnMissingArtifact) {
+  Manifest manifest(manifest_path_);
+  const std::vector<std::string> artifacts = {"never-written.txt"};
+  try {
+    manifest.record_stage("sweep", 1, artifacts);
+    FAIL() << "expected Error(kIo)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo) << e.what();
+  }
+}
+
+TEST_F(ManifestTest, MissingManifestLoadsEmptyWithoutWarning) {
+  std::size_t warnings = 0;
+  log::set_sink([&warnings](log::Level level, std::string_view) {
+    if (level == log::Level::kWarn) ++warnings;
+  });
+  Manifest manifest(manifest_path_);
+  EXPECT_EQ(manifest.load(), 0u);
+  EXPECT_EQ(warnings, 0u) << "a first run is not a corruption event";
+}
+
+TEST_F(ManifestTest, CorruptManifestLoadsEmptyWithTypedWarning) {
+  const std::vector<std::string> bad_contents = {
+      "not a manifest at all\n",
+      "gmd-pipeline-manifest v99\nstage cpusim inputs=0 outputs=0\n",
+      "gmd-pipeline-manifest v1\nstage cpusim inputs=zzzz outputs=1\n",
+      "gmd-pipeline-manifest v1\nstage cpusim inputs=ab outputs=1\n"
+      "artifact a.txt not-a-number ffff\n",
+  };
+  for (const auto& content : bad_contents) {
+    atomic_write_text(manifest_path_, content);
+    std::vector<std::string> warnings;
+    log::set_sink([&warnings](log::Level level, std::string_view msg) {
+      if (level == log::Level::kWarn) warnings.emplace_back(msg);
+    });
+    Manifest manifest(manifest_path_);
+    EXPECT_EQ(manifest.load(), 0u) << content;
+    EXPECT_TRUE(manifest.stages().empty()) << content;
+    ASSERT_EQ(warnings.size(), 1u) << content;
+    EXPECT_NE(warnings[0].find("unusable manifest"), std::string::npos)
+        << warnings[0];
+    log::set_sink(nullptr);
+  }
+}
+
+TEST_F(ManifestTest, TruncatedManifestLoadsEmptyNotPartial) {
+  put("a.txt", "alpha");
+  put("b.txt", "bravo");
+  {
+    Manifest manifest(manifest_path_);
+    const std::vector<std::string> a = {"a.txt"};
+    const std::vector<std::string> b = {"b.txt"};
+    manifest.record_stage("cpusim", 1, a);
+    manifest.record_stage("pack", 2, b);
+  }
+  // Cut mid-file: the second record is torn.  All-or-nothing beats a
+  // partial load that would silently skip a stage it never verified.
+  std::ifstream in(manifest_path_, std::ios::binary);
+  std::string full{std::istreambuf_iterator<char>(in), {}};
+  in.close();
+  atomic_write_text(manifest_path_, full.substr(0, full.size() - 10));
+
+  std::size_t warnings = 0;
+  log::set_sink([&warnings](log::Level level, std::string_view) {
+    if (level == log::Level::kWarn) ++warnings;
+  });
+  Manifest manifest(manifest_path_);
+  EXPECT_EQ(manifest.load(), 0u);
+  EXPECT_EQ(warnings, 1u);
+}
+
+TEST_F(ManifestTest, ResolveJoinsAgainstManifestDirectory) {
+  Manifest manifest(manifest_path_);
+  EXPECT_EQ(manifest.resolve("a.txt"), (dir_ / "a.txt").string());
+}
+
+}  // namespace
+}  // namespace gmd::pipeline

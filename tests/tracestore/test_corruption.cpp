@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -131,23 +132,31 @@ TEST_F(GmdtCorruption, RejectsTruncationAtEveryBoundary) {
   }
 }
 
-TEST_F(GmdtCorruption, RejectsUnclosedWriterOutput) {
+TEST_F(GmdtCorruption, UnclosedWriterNeverPublishesTheTarget) {
   const auto file = path("unclosed.gmdt");
+  // TempDir() persists across runs; a published file from a previous
+  // invocation must not masquerade as a mid-write publish.
+  std::filesystem::remove(file);
   {
     TraceStoreWriter writer(file);
     writer.on_event(MemoryEvent{1, 64, 8, false});
-    // Simulate a crash: snapshot the file before close() finalizes it
-    // (placeholder header, no directory yet).
-    std::ifstream in(file, std::ios::binary);
+    // Mid-write (a crash here): only `<path>.tmp` exists — the target
+    // is published whole by close()'s rename or not at all.
+    EXPECT_FALSE(std::filesystem::exists(file));
+    ASSERT_TRUE(std::filesystem::exists(writer.temp_path()));
+    // Even if a reader were pointed at a snapshot of the in-progress
+    // temp file, it is rejectable: at best a placeholder header with a
+    // failing checksum, at worst short (defense in depth).
+    std::ifstream in(writer.temp_path(), std::ios::binary);
     const std::string partial{std::istreambuf_iterator<char>(in),
                               std::istreambuf_iterator<char>()};
     write_file(path("crashed.gmdt"), partial);
     writer.close();
   }
-  // The snapshot of the unfinalized file must be rejected.
   EXPECT_THROW(TraceStoreReader(path("crashed.gmdt")), Error);
-  // The properly closed file is fine.
+  // The properly closed file is fine, and its temp is gone.
   EXPECT_EQ(TraceStoreReader(file).num_events(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(file + ".tmp"));
 }
 
 TEST_F(GmdtCorruption, RejectsAbsurdChunkCountBeforeAllocating) {

@@ -79,3 +79,7 @@ echo "== memsim microbenchmarks =="
 echo
 echo "== sweep gauge (compare against BENCH_sweep.json) =="
 "$BUILD_DIR/bench/bench_sweep"
+
+echo
+echo "== surrogate training gauge, quick mode (compare against BENCH_ml.json) =="
+"$BUILD_DIR/bench/bench_ml" --quick

@@ -44,4 +44,19 @@ const std::vector<std::string>& sensitivity_parameter_names();
 SensitivityResult analyze_sensitivity(std::span<const SweepRow> rows,
                                       const std::string& metric);
 
+/// Computes main effects over explicit (point, value) pairs — the
+/// shared core of the simulated and surrogate-predicted analyses.
+SensitivityResult analyze_sensitivity_values(
+    std::span<const DesignPoint> points, std::span<const double> values,
+    const std::string& metric);
+
+/// Main effects of `metric` as *predicted* by a surrogate trained on
+/// the labeled sweep rows and batch-evaluated over an arbitrary
+/// candidate set (e.g. the full design space when only a subset was
+/// simulated).
+SensitivityResult analyze_sensitivity_predicted(
+    std::span<const SweepRow> labeled,
+    std::span<const DesignPoint> candidates, const std::string& metric,
+    const std::string& model_name = "rf", std::uint64_t seed = 1);
+
 }  // namespace gmd::dse

@@ -42,6 +42,10 @@ struct SurrogateOptions {
   /// into the tree-ensemble training loops (rf per tree, gb per stage).
   /// Non-owning; must outlive train().
   Deadline* deadline = nullptr;
+  /// Worker threads the tree-ensemble families may use while fitting
+  /// (0: hardware concurrency, 1: serial).  Fits are bit-identical for
+  /// any value.
+  std::size_t num_threads = 0;
   /// Degraded mode: a metric whose dataset build or model training
   /// fails is recorded in skipped() and training continues with the
   /// remaining metrics, instead of the whole suite aborting.  Timeouts
@@ -96,12 +100,18 @@ class SurrogateSuite {
 
     /// Predicts the metric in physical units for a design point.
     double predict(const DesignPoint& point) const;
+
+    /// Batch variant over many design points: one matrix build, one
+    /// scaler pass, one batch model predict — the same values as the
+    /// per-point overload without its per-candidate overhead.
+    std::vector<double> predict(std::span<const DesignPoint> points) const;
   };
   /// Trains a deployment model of `model_name` on every row.
   static DeployedModel deploy(std::span<const SweepRow> rows,
                               const std::string& metric,
                               const std::string& model_name,
-                              std::uint64_t seed = 1);
+                              std::uint64_t seed = 1,
+                              std::size_t num_threads = 0);
 
   /// Renders Table I: rows = metrics, columns = models, MSE and R².
   /// Metrics skipped in degraded mode are omitted from the body and

@@ -128,14 +128,18 @@ ActiveLearningResult run_active_learning(
       [&options](const ml::GaussianProcess& gp, const Arena& arena,
                  const std::vector<std::size_t>& unlabeled, Rng&) {
         // Maximum-variance acquisition: the batch of unlabeled points
-        // the current model is least sure about.
+        // the current model is least sure about.  One batch scan over
+        // the gathered unlabeled rows; ranked is built in the same
+        // unlabeled order as the per-point loop, so the (unstable)
+        // sort sees the identical input sequence.
+        const ml::Matrix unlabeled_x = arena.pool_x.gather_rows(unlabeled);
+        std::vector<double> means;
+        std::vector<double> variances;
+        gp.predict_with_variance(unlabeled_x, means, variances);
         std::vector<std::pair<double, std::size_t>> ranked;
         ranked.reserve(unlabeled.size());
-        for (const std::size_t i : unlabeled) {
-          const auto [mean, variance] =
-              gp.predict_with_variance(arena.pool_x.row(i));
-          (void)mean;
-          ranked.emplace_back(variance, i);
+        for (std::size_t k = 0; k < unlabeled.size(); ++k) {
+          ranked.emplace_back(variances[k], unlabeled[k]);
         }
         std::sort(ranked.begin(), ranked.end(),
                   [](const auto& a, const auto& b) { return a.first > b.first; });

@@ -68,19 +68,18 @@ std::vector<Recommendation> recommend_from_surrogate(
     const auto deployed =
         SurrogateSuite::deploy(labeled, metric, model_name);
     const Direction direction = metric_direction(metric);
-    const DesignPoint* best = &candidates[0];
-    double best_value = deployed.predict(candidates[0]);
-    for (const DesignPoint& candidate : candidates.subspan(1)) {
-      const double value = deployed.predict(candidate);
-      if (better(direction, value, best_value)) {
-        best = &candidate;
-        best_value = value;
-      }
+    // One batch prediction over the whole candidate set; the champion
+    // scan in index order makes the same comparisons the per-candidate
+    // loop made.
+    const std::vector<double> values = deployed.predict(candidates);
+    std::size_t best_idx = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (better(direction, values[i], values[best_idx])) best_idx = i;
     }
     Recommendation rec;
     rec.metric = metric;
-    rec.best = *best;
-    rec.value = best_value;
+    rec.best = candidates[best_idx];
+    rec.value = values[best_idx];
     rec.rationale = "predicted optimum by the '" + model_name +
                     "' surrogate over " + std::to_string(candidates.size()) +
                     " candidates";

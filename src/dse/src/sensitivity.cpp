@@ -8,6 +8,7 @@
 #include "gmd/common/error.hpp"
 #include "gmd/common/string_util.hpp"
 #include "gmd/dse/recommend.hpp"
+#include "gmd/dse/surrogate.hpp"
 
 namespace gmd::dse {
 
@@ -44,20 +45,38 @@ SensitivityResult analyze_sensitivity(std::span<const SweepRow> rows,
                                       const std::string& metric) {
   GMD_REQUIRE(!rows.empty(), "empty sweep");
   const std::size_t index = metric_index(metric);
+  // Materialize (point, value) pairs in row order, so every sum in the
+  // shared core accumulates in the same order the inline loops did.
+  std::vector<DesignPoint> points;
+  std::vector<double> values;
+  points.reserve(rows.size());
+  values.reserve(rows.size());
+  for (const SweepRow& row : rows) {
+    points.push_back(row.point);
+    values.push_back(row.metrics.metric_values()[index]);
+  }
+  return analyze_sensitivity_values(points, values, metric);
+}
+
+SensitivityResult analyze_sensitivity_values(
+    std::span<const DesignPoint> points, std::span<const double> values,
+    const std::string& metric) {
+  GMD_REQUIRE(!points.empty(), "empty sweep");
+  GMD_REQUIRE(points.size() == values.size(), "points/values size mismatch");
   const Direction direction = metric_direction(metric);
 
   SensitivityResult result;
   result.metric = metric;
-  for (const SweepRow& row : rows) {
-    result.overall_mean += row.metrics.metric_values()[index];
+  for (const double value : values) {
+    result.overall_mean += value;
   }
-  result.overall_mean /= static_cast<double>(rows.size());
+  result.overall_mean /= static_cast<double>(points.size());
 
   for (const std::string& parameter : sensitivity_parameter_names()) {
     std::map<std::string, std::pair<double, std::size_t>> levels;
-    for (const SweepRow& row : rows) {
-      auto& [sum, count] = levels[level_of(row.point, parameter)];
-      sum += row.metrics.metric_values()[index];
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      auto& [sum, count] = levels[level_of(points[i], parameter)];
+      sum += values[i];
       ++count;
     }
     if (levels.size() < 2) continue;  // parameter not swept here
@@ -100,6 +119,17 @@ SensitivityResult analyze_sensitivity(std::span<const SweepRow> rows,
   GMD_REQUIRE(!result.effects.empty(),
               "sweep varies no analyzable parameter");
   return result;
+}
+
+SensitivityResult analyze_sensitivity_predicted(
+    std::span<const SweepRow> labeled,
+    std::span<const DesignPoint> candidates, const std::string& metric,
+    const std::string& model_name, std::uint64_t seed) {
+  GMD_REQUIRE(!candidates.empty(), "no candidate design points");
+  const auto deployed =
+      SurrogateSuite::deploy(labeled, metric, model_name, seed);
+  const std::vector<double> predicted = deployed.predict(candidates);
+  return analyze_sensitivity_values(candidates, predicted, metric);
 }
 
 const ParameterEffect& SensitivityResult::dominant() const {

@@ -33,8 +33,8 @@ SurrogateSuite SurrogateSuite::train(std::span<const SweepRow> rows,
       series.truth = test_set.y;
 
       for (const std::string& model_name : models) {
-        const auto model =
-            ml::make_regressor(model_name, options.seed, options.deadline);
+        const auto model = ml::make_regressor(
+            model_name, options.seed, options.deadline, options.num_threads);
         model->fit(train_set.X, train_set.y);
         std::vector<double> predicted = model->predict(test_set.X);
 
@@ -97,12 +97,30 @@ double SurrogateSuite::DeployedModel::predict(const DesignPoint& point) const {
   return y[0];
 }
 
+std::vector<double> SurrogateSuite::DeployedModel::predict(
+    std::span<const DesignPoint> points) const {
+  GMD_REQUIRE(model != nullptr && model->is_fitted(),
+              "deployed model is not fitted");
+  if (points.empty()) return {};
+  const std::size_t features = points[0].features().size();
+  ml::Matrix x(points.size(), features);
+  for (std::size_t r = 0; r < points.size(); ++r) {
+    const std::vector<double> raw = points[r].features();
+    GMD_REQUIRE(raw.size() == features, "inconsistent feature counts");
+    std::copy(raw.begin(), raw.end(), x.row(r).begin());
+  }
+  const ml::Matrix scaled = x_scaler.transform(x);
+  const std::vector<double> y_scaled = model->predict(scaled);
+  return y_scaler.inverse_transform(y_scaled);
+}
+
 SurrogateSuite::DeployedModel SurrogateSuite::deploy(
     std::span<const SweepRow> rows, const std::string& metric,
-    const std::string& model_name, std::uint64_t seed) {
+    const std::string& model_name, std::uint64_t seed,
+    std::size_t num_threads) {
   MetricDataset metric_data = build_metric_dataset(rows, metric);
   DeployedModel deployed;
-  deployed.model = ml::make_regressor(model_name, seed);
+  deployed.model = ml::make_regressor(model_name, seed, nullptr, num_threads);
   deployed.model->fit(metric_data.data.X, metric_data.data.y);
   deployed.x_scaler = std::move(metric_data.x_scaler);
   deployed.y_scaler = std::move(metric_data.y_scaler);

@@ -121,7 +121,9 @@ WorkflowResult run_workflow(const WorkflowConfig& config) {
                  "every sweep point failed ("
                      << summarize_health(result.sweep).summary()
                      << "); nothing to train on");
-  result.surrogates = SurrogateSuite::train(training, config.surrogate);
+  SurrogateOptions surrogate_options = config.surrogate;
+  surrogate_options.num_threads = config.num_threads;
+  result.surrogates = SurrogateSuite::train(training, surrogate_options);
   result.recommendations = recommend_from_sweep(training);
   return result;
 }

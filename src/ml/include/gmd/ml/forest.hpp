@@ -30,6 +30,13 @@ struct ForestParams {
   bool bootstrap = true;
   std::uint64_t seed = 1;
   std::size_t num_threads = 0;  ///< 0: hardware concurrency.
+  /// Split enumeration mode for every tree (exact or <= max_bins
+  /// histogram buckets); see TreeParams::SplitMode.
+  TreeParams::SplitMode split_mode = TreeParams::SplitMode::kExact;
+  std::size_t max_bins = 64;
+  /// Trains every tree with the pre-workspace reference engine (golden
+  /// path for equivalence tests).
+  bool reference_mode = false;
   /// Cooperative cancellation: polled (thread-safely, via check_now())
   /// before each tree is fitted, so a training run honors wall budgets
   /// and Ctrl-C-style cancellation at tree granularity.  Non-owning;
@@ -43,6 +50,9 @@ class RandomForest final : public Regressor {
 
   void fit(const Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> x) const override;
+  /// Batch inference: blocked over rows, trees walked check-free; each
+  /// row's value is the same tree-order sum predict_one computes.
+  std::vector<double> predict(const Matrix& x) const override;
   std::string name() const override { return "rf"; }
   std::unique_ptr<Regressor> clone() const override;
   bool is_fitted() const override { return !trees_.empty(); }

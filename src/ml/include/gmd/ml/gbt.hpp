@@ -27,6 +27,19 @@ struct GbtParams {
   /// 1.0 disables subsampling.
   double subsample = 1.0;
   std::uint64_t seed = 1;
+  /// Worker threads for per-feature split search on large nodes (the
+  /// stages themselves are inherently sequential).  0: hardware
+  /// concurrency; the result is bit-identical for any value.
+  std::size_t num_threads = 0;
+  /// Forwarded to TreeParams::parallel_min_rows: nodes below this
+  /// search serially even with workers available.
+  std::size_t parallel_min_rows = 4096;
+  /// Split enumeration mode for every stage; see TreeParams::SplitMode.
+  TreeParams::SplitMode split_mode = TreeParams::SplitMode::kExact;
+  std::size_t max_bins = 64;
+  /// Trains every stage with the pre-workspace reference engine (golden
+  /// path for equivalence tests).
+  bool reference_mode = false;
   /// Cooperative cancellation: polled before each boosting stage (via
   /// check_now()) so long fits honor wall budgets.  Non-owning; must
   /// outlive fit().
@@ -39,6 +52,9 @@ class GradientBoosting final : public Regressor {
 
   void fit(const Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> x) const override;
+  /// Batch inference: blocked over rows, stages walked check-free; each
+  /// row's value is the same stage-order sum predict_one computes.
+  std::vector<double> predict(const Matrix& x) const override;
   std::string name() const override { return "gb"; }
   std::unique_ptr<Regressor> clone() const override;
   bool is_fitted() const override { return fitted_; }

@@ -27,9 +27,19 @@ class GaussianProcess final : public Regressor {
   void fit(const Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> x) const override;
 
+  /// Batch predictive means: skips the per-row O(n^2) variance
+  /// back-substitution predict_one pays, returning the same means.
+  std::vector<double> predict(const Matrix& x) const override;
+
   /// Predictive mean and variance at one point.
   std::pair<double, double> predict_with_variance(
       std::span<const double> x) const;
+
+  /// Batch means + variances over every row of `x` (the acquisition
+  /// scan of the active-learning loop).  Values match the per-row
+  /// overload exactly.
+  void predict_with_variance(const Matrix& x, std::vector<double>& means,
+                             std::vector<double>& variances) const;
 
   std::string name() const override { return "gp"; }
   std::unique_ptr<Regressor> clone() const override;

@@ -15,6 +15,10 @@
 #include "gmd/ml/dataset.hpp"
 #include "gmd/ml/regressor.hpp"
 
+namespace gmd {
+class Deadline;
+}
+
 namespace gmd::ml {
 
 /// K-fold cross-validation scores for one model configuration.
@@ -26,10 +30,27 @@ struct CvScores {
   double mean_r2() const;
 };
 
+/// Shared knobs for cross_validate / grid_search.
+struct CvOptions {
+  std::size_t folds = 5;
+  std::uint64_t seed = 1;
+  /// Worker threads for fold / candidate evaluation (1: serial,
+  /// 0: hardware concurrency).  Scores are written by fold index and
+  /// reduced in index order, so they are bit-identical for any value.
+  std::size_t num_threads = 1;
+  /// Cooperative cancellation, polled (thread-safely) before each fold
+  /// evaluation.  Non-owning; may chain a parent budget.
+  Deadline* deadline = nullptr;
+};
+
 /// Runs k-fold CV: clones `prototype` per fold, fits on the training
 /// folds, scores on the held-out fold.
 CvScores cross_validate(const Regressor& prototype, const Dataset& data,
                         std::size_t folds = 5, std::uint64_t seed = 1);
+
+/// Options overload; folds evaluate in parallel when num_threads != 1.
+CvScores cross_validate(const Regressor& prototype, const Dataset& data,
+                        const CvOptions& options);
 
 /// A named hyperparameter assignment (e.g. {"C": 10, "gamma": 2}).
 using ParamPoint = std::map<std::string, double>;
@@ -60,11 +81,27 @@ GridSearchResult grid_search(const ModelFactory& factory,
                              const Dataset& data, std::size_t folds = 5,
                              std::uint64_t seed = 1);
 
+/// Options overload: every (candidate, fold) pair is an independent
+/// task, so the whole grid fans out when num_threads != 1.  The fold
+/// splits are drawn once and shared by all candidates; results are
+/// stored by (candidate, fold) index, so ranking is bit-identical for
+/// any thread count.  `factory` must be safe to call concurrently when
+/// num_threads != 1 (a pure construct-from-params lambda is).
+GridSearchResult grid_search(const ModelFactory& factory,
+                             const std::vector<ParamPoint>& grid,
+                             const Dataset& data, const CvOptions& options);
+
 /// Convenience: grid search over SVR's C / gamma / epsilon.
 GridSearchResult grid_search_svr(
     const Dataset& data, const std::vector<double>& c_values,
     const std::vector<double>& gamma_values,
     const std::vector<double>& epsilon_values, std::size_t folds = 5,
     std::uint64_t seed = 1);
+
+/// Options overload of grid_search_svr.
+GridSearchResult grid_search_svr(
+    const Dataset& data, const std::vector<double>& c_values,
+    const std::vector<double>& gamma_values,
+    const std::vector<double>& epsilon_values, const CvOptions& options);
 
 }  // namespace gmd::ml

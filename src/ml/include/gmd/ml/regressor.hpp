@@ -28,8 +28,11 @@ class Regressor {
   /// Predicts one sample (length-p feature vector).
   virtual double predict_one(std::span<const double> x) const = 0;
 
-  /// Predicts every row of `x`.
-  std::vector<double> predict(const Matrix& x) const;
+  /// Predicts every row of `x`.  The base implementation loops
+  /// predict_one; models with a cheaper batch path (tree ensembles,
+  /// linear, SVR, GP) override it to avoid the per-row virtual
+  /// dispatch.  Overrides must return exactly the per-row values.
+  virtual std::vector<double> predict(const Matrix& x) const;
 
   virtual std::string name() const = 0;
 
@@ -55,6 +58,15 @@ std::unique_ptr<Regressor> make_regressor(const std::string& name,
 std::unique_ptr<Regressor> make_regressor(const std::string& name,
                                           std::uint64_t seed,
                                           Deadline* deadline);
+
+/// Like the deadline overload, and additionally caps the worker threads
+/// the ensemble families may use while fitting (0: hardware
+/// concurrency, 1: serial).  Fits are bit-identical for any thread
+/// count.
+std::unique_ptr<Regressor> make_regressor(const std::string& name,
+                                          std::uint64_t seed,
+                                          Deadline* deadline,
+                                          std::size_t num_threads);
 
 /// The model families Table I compares, in its column order.
 const std::vector<std::string>& table1_model_names();

@@ -38,6 +38,7 @@ class Svr final : public Regressor {
 
   void fit(const Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> x) const override;
+  std::vector<double> predict(const Matrix& x) const override;
   std::string name() const override { return "svr"; }
   std::unique_ptr<Regressor> clone() const override;
   bool is_fitted() const override { return fitted_; }

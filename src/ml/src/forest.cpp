@@ -1,5 +1,6 @@
 #include "gmd/ml/forest.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <numeric>
 #include <ostream>
@@ -42,6 +43,17 @@ void RandomForest::fit(const Matrix& x, std::span<const double> y) {
     }
   }
 
+  // One presort of the full training matrix, shared across every tree:
+  // bootstrap draws derive their view in O(n) per feature instead of
+  // re-sorting.
+  TrainingWorkspace base;
+  if (!params_.reference_mode) {
+    base = TrainingWorkspace::build(x);
+    if (params_.split_mode == TreeParams::SplitMode::kHistogram) {
+      base.build_histograms(params_.max_bins);
+    }
+  }
+
   trees_.assign(params_.num_trees, DecisionTree(TreeParams{}));
   ThreadPool pool(params_.num_threads);
   pool.parallel_for(0, jobs.size(), [&](std::size_t t) {
@@ -55,11 +67,24 @@ void RandomForest::fit(const Matrix& x, std::span<const double> y) {
     tree_params.min_samples_leaf = params_.min_samples_leaf;
     tree_params.max_features = max_features;
     tree_params.seed = jobs[t].seed;
+    tree_params.split_mode = params_.split_mode;
+    tree_params.max_bins = params_.max_bins;
+    tree_params.reference_mode = params_.reference_mode;
     DecisionTree tree(tree_params);
-    const Matrix xs = x.gather_rows(jobs[t].sample);
-    std::vector<double> ys(jobs[t].sample.size());
-    for (std::size_t i = 0; i < ys.size(); ++i) ys[i] = y[jobs[t].sample[i]];
-    tree.fit(xs, ys);
+    if (params_.reference_mode) {
+      const Matrix xs = x.gather_rows(jobs[t].sample);
+      std::vector<double> ys(jobs[t].sample.size());
+      for (std::size_t i = 0; i < ys.size(); ++i) ys[i] = y[jobs[t].sample[i]];
+      tree.fit(xs, ys);
+    } else if (params_.bootstrap) {
+      const TrainingWorkspace ws = base.for_sample(jobs[t].sample);
+      const Matrix xs = x.gather_rows(jobs[t].sample);
+      std::vector<double> ys(jobs[t].sample.size());
+      for (std::size_t i = 0; i < ys.size(); ++i) ys[i] = y[jobs[t].sample[i]];
+      tree.fit_with_workspace(ws, xs, ys);
+    } else {
+      tree.fit_with_workspace(base, x, y);
+    }
     trees_[t] = std::move(tree);
   });
 }
@@ -69,6 +94,33 @@ double RandomForest::predict_one(std::span<const double> x) const {
   double sum = 0.0;
   for (const DecisionTree& tree : trees_) sum += tree.predict_one(x);
   return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict(const Matrix& x) const {
+  GMD_REQUIRE(is_fitted(), "predict before fit");
+  for (const DecisionTree& tree : trees_) {
+    for (const auto& node : tree.nodes_) {
+      GMD_REQUIRE(node.feature == DecisionTree::Node::kLeaf ||
+                      node.feature < x.cols(),
+                  "feature count mismatch");
+    }
+  }
+  // Tree-major traversal: one full-range pass per tree keeps that
+  // tree's compact plan cache-hot for every row (the row matrix is the
+  // smaller stream), and traverse_block keeps several rows' walks in
+  // flight.  Per row the accumulation is the same tree-order sum
+  // predict_one computes, so the values are bit-identical.
+  const std::size_t n = x.rows();
+  std::vector<double> out(n, 0.0);
+  std::vector<double> leaves(n);
+  for (const DecisionTree& tree : trees_) {
+    const DecisionTree::InferencePlan plan = tree.make_plan();
+    DecisionTree::traverse_block(plan, x, 0, n, leaves.data());
+    for (std::size_t r = 0; r < n; ++r) out[r] += leaves[r];
+  }
+  const double count = static_cast<double>(trees_.size());
+  for (double& v : out) v /= count;
+  return out;
 }
 
 std::unique_ptr<Regressor> RandomForest::clone() const {

@@ -1,6 +1,8 @@
 #include "gmd/ml/gbt.hpp"
 
+#include <algorithm>
 #include <istream>
+#include <memory>
 #include <numeric>
 #include <ostream>
 #include <string>
@@ -8,6 +10,7 @@
 #include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
 #include "gmd/common/rng.hpp"
+#include "gmd/common/thread_pool.hpp"
 
 namespace gmd::ml {
 
@@ -38,6 +41,22 @@ void GradientBoosting::fit(const Matrix& x, std::span<const double> y) {
   std::vector<std::size_t> all(n);
   std::iota(all.begin(), all.end(), std::size_t{0});
 
+  // One presort shared across all boosting stages (the targets change
+  // every stage, the feature order never does), plus a worker pool for
+  // per-feature split search once nodes are large enough to benefit.
+  TrainingWorkspace base;
+  std::unique_ptr<ThreadPool> pool;
+  if (!params_.reference_mode) {
+    base = TrainingWorkspace::build(x);
+    if (params_.split_mode == TreeParams::SplitMode::kHistogram) {
+      base.build_histograms(params_.max_bins);
+    }
+    if (params_.num_threads != 1 && n >= params_.parallel_min_rows) {
+      pool = std::make_unique<ThreadPool>(params_.num_threads);
+    }
+  }
+
+  std::vector<double> stage_update;
   for (std::size_t stage = 0; stage < params_.num_stages; ++stage) {
     // One boosting stage is the cancellation granularity.
     if (params_.deadline != nullptr) params_.deadline->check_now();
@@ -47,6 +66,11 @@ void GradientBoosting::fit(const Matrix& x, std::span<const double> y) {
     tree_params.max_depth = params_.max_depth;
     tree_params.min_samples_leaf = params_.min_samples_leaf;
     tree_params.seed = rng();
+    tree_params.split_mode = params_.split_mode;
+    tree_params.max_bins = params_.max_bins;
+    tree_params.reference_mode = params_.reference_mode;
+    tree_params.pool = pool.get();
+    tree_params.parallel_min_rows = params_.parallel_min_rows;
     DecisionTree tree(tree_params);
 
     if (params_.subsample < 1.0) {
@@ -58,13 +82,29 @@ void GradientBoosting::fit(const Matrix& x, std::span<const double> y) {
       const Matrix xs = x.gather_rows(sample);
       std::vector<double> rs(take);
       for (std::size_t i = 0; i < take; ++i) rs[i] = residual[sample[i]];
-      tree.fit(xs, rs);
-    } else {
+      if (params_.reference_mode) {
+        tree.fit(xs, rs);
+      } else {
+        const TrainingWorkspace ws = base.for_sample(sample);
+        tree.fit_with_workspace(ws, xs, rs);
+      }
+    } else if (params_.reference_mode) {
       tree.fit(x, residual);
+    } else {
+      tree.fit_with_workspace(base, x, residual);
     }
 
-    for (std::size_t i = 0; i < n; ++i) {
-      prediction[i] += params_.learning_rate * tree.predict_one(x.row(i));
+    if (params_.reference_mode) {
+      for (std::size_t i = 0; i < n; ++i) {
+        prediction[i] += params_.learning_rate * tree.predict_one(x.row(i));
+      }
+    } else {
+      // Batch traversal; each update is the same lr * leaf value the
+      // per-row loop adds.
+      stage_update = tree.predict(x);
+      for (std::size_t i = 0; i < n; ++i) {
+        prediction[i] += params_.learning_rate * stage_update[i];
+      }
     }
     stages_.push_back(std::move(tree));
   }
@@ -77,6 +117,30 @@ double GradientBoosting::predict_one(std::span<const double> x) const {
   for (const DecisionTree& tree : stages_) {
     out += params_.learning_rate * tree.predict_one(x);
   }
+  return out;
+}
+
+std::vector<double> GradientBoosting::predict(const Matrix& x) const {
+  GMD_REQUIRE(fitted_, "predict before fit");
+  for (const DecisionTree& tree : stages_) {
+    for (const auto& node : tree.nodes_) {
+      GMD_REQUIRE(node.feature == DecisionTree::Node::kLeaf ||
+                      node.feature < x.cols(),
+                  "feature count mismatch");
+    }
+  }
+  // Row-group-major traversal with every stage's compact plan inner:
+  // the shallow stage trees all stay cache-resident while each row
+  // group's accumulators sit in registers.  Per row the accumulation
+  // is the same stage-order f0 + lr * leaf sum predict_one computes,
+  // so the values are bit-identical.
+  std::vector<DecisionTree::InferencePlan> plans;
+  plans.reserve(stages_.size());
+  for (const DecisionTree& tree : stages_) plans.push_back(tree.make_plan());
+  const std::size_t n = x.rows();
+  std::vector<double> out(n, f0_);
+  DecisionTree::accumulate_block(plans, params_.learning_rate, x, 0, n,
+                                 out.data());
   return out;
 }
 

@@ -51,6 +51,23 @@ double GaussianProcess::predict_one(std::span<const double> x) const {
   return predict_with_variance(x).first;
 }
 
+std::vector<double> GaussianProcess::predict(const Matrix& x) const {
+  GMD_REQUIRE(fitted_, "predict before fit");
+  GMD_REQUIRE(x.cols() == train_.cols(), "feature count mismatch");
+  std::vector<double> out(x.rows());
+  std::vector<double> k(train_.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t i = 0; i < train_.rows(); ++i) {
+      k[i] = kernel(params_.kernel, train_.row(i), row);
+    }
+    double mean = y_mean_;
+    for (std::size_t i = 0; i < k.size(); ++i) mean += k[i] * alpha_[i];
+    out[r] = mean;
+  }
+  return out;
+}
+
 std::pair<double, double> GaussianProcess::predict_with_variance(
     std::span<const double> x) const {
   GMD_REQUIRE(fitted_, "predict before fit");
@@ -67,6 +84,31 @@ std::pair<double, double> GaussianProcess::predict_with_variance(
   const double prior = kernel(params_.kernel, x, x) + params_.noise;
   const double variance = std::max(0.0, prior - reduction);
   return {mean, variance};
+}
+
+void GaussianProcess::predict_with_variance(
+    const Matrix& x, std::vector<double>& means,
+    std::vector<double>& variances) const {
+  GMD_REQUIRE(fitted_, "predict before fit");
+  GMD_REQUIRE(x.cols() == train_.cols(), "feature count mismatch");
+  means.resize(x.rows());
+  variances.resize(x.rows());
+  std::vector<double> k(train_.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t i = 0; i < train_.rows(); ++i) {
+      k[i] = kernel(params_.kernel, train_.row(i), row);
+    }
+    double mean = y_mean_;
+    for (std::size_t i = 0; i < k.size(); ++i) mean += k[i] * alpha_[i];
+
+    const std::vector<double> v = cholesky_solve_factored(chol_, k);
+    double reduction = 0.0;
+    for (std::size_t i = 0; i < k.size(); ++i) reduction += k[i] * v[i];
+    const double prior = kernel(params_.kernel, row, row) + params_.noise;
+    means[r] = mean;
+    variances[r] = std::max(0.0, prior - reduction);
+  }
 }
 
 std::unique_ptr<Regressor> GaussianProcess::clone() const {

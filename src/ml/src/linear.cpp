@@ -71,6 +71,20 @@ double LinearRegression::predict_one(std::span<const double> x) const {
   return out;
 }
 
+std::vector<double> LinearRegression::predict(const Matrix& x) const {
+  GMD_REQUIRE(fitted_, "predict before fit");
+  GMD_REQUIRE(x.cols() == coef_.size(), "feature count mismatch");
+  const std::size_t p = coef_.size();
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    double v = intercept_;
+    for (std::size_t c = 0; c < p; ++c) v += coef_[c] * row[c];
+    out[r] = v;
+  }
+  return out;
+}
+
 std::unique_ptr<Regressor> LinearRegression::clone() const {
   return std::make_unique<LinearRegression>(*this);
 }

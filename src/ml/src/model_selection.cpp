@@ -1,8 +1,11 @@
 #include "gmd/ml/model_selection.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
+#include "gmd/common/thread_pool.hpp"
 #include "gmd/ml/metrics.hpp"
 #include "gmd/ml/svr.hpp"
 
@@ -24,17 +27,37 @@ double CvScores::mean_r2() const {
 
 CvScores cross_validate(const Regressor& prototype, const Dataset& data,
                         std::size_t folds, std::uint64_t seed) {
+  CvOptions options;
+  options.folds = folds;
+  options.seed = seed;
+  return cross_validate(prototype, data, options);
+}
+
+CvScores cross_validate(const Regressor& prototype, const Dataset& data,
+                        const CvOptions& options) {
   data.validate();
+  const auto splits =
+      kfold_indices(data.size(), options.folds, options.seed);
   CvScores scores;
-  for (const auto& [train_idx, test_idx] :
-       kfold_indices(data.size(), folds, seed)) {
-    const Dataset train = data.subset(train_idx);
-    const Dataset test = data.subset(test_idx);
+  scores.fold_mse.resize(splits.size());
+  scores.fold_r2.resize(splits.size());
+  const auto eval_fold = [&](std::size_t f) {
+    // One fold is the cancellation granularity; pool workers use the
+    // thread-safe unamortized poll.
+    if (options.deadline != nullptr) options.deadline->check_now();
+    const Dataset train = data.subset(splits[f].first);
+    const Dataset test = data.subset(splits[f].second);
     const auto model = prototype.clone();
     model->fit(train.X, train.y);
     const std::vector<double> predicted = model->predict(test.X);
-    scores.fold_mse.push_back(mse(test.y, predicted));
-    scores.fold_r2.push_back(r2_score(test.y, predicted));
+    scores.fold_mse[f] = mse(test.y, predicted);
+    scores.fold_r2[f] = r2_score(test.y, predicted);
+  };
+  if (options.num_threads == 1 || splits.size() <= 1) {
+    for (std::size_t f = 0; f < splits.size(); ++f) eval_fold(f);
+  } else {
+    ThreadPool pool(options.num_threads);
+    pool.parallel_for(0, splits.size(), eval_fold);
   }
   return scores;
 }
@@ -70,17 +93,58 @@ GridSearchResult grid_search(const ModelFactory& factory,
                              const std::vector<ParamPoint>& grid,
                              const Dataset& data, std::size_t folds,
                              std::uint64_t seed) {
+  CvOptions options;
+  options.folds = folds;
+  options.seed = seed;
+  return grid_search(factory, grid, data, options);
+}
+
+GridSearchResult grid_search(const ModelFactory& factory,
+                             const std::vector<ParamPoint>& grid,
+                             const Dataset& data, const CvOptions& options) {
   GMD_REQUIRE(!grid.empty(), "empty hyperparameter grid");
-  GridSearchResult result;
-  result.candidates.reserve(grid.size());
-  for (const ParamPoint& params : grid) {
-    const auto model = factory(params);
-    GMD_REQUIRE(model != nullptr, "model factory returned null");
-    GridSearchResult::Candidate candidate;
-    candidate.params = params;
-    candidate.scores = cross_validate(*model, data, folds, seed);
-    result.candidates.push_back(std::move(candidate));
+  data.validate();
+
+  // The fold splits (and their materialized datasets) are drawn once
+  // and shared by every candidate.
+  const auto splits =
+      kfold_indices(data.size(), options.folds, options.seed);
+  std::vector<std::pair<Dataset, Dataset>> fold_data;
+  fold_data.reserve(splits.size());
+  for (const auto& [train_idx, test_idx] : splits) {
+    fold_data.emplace_back(data.subset(train_idx), data.subset(test_idx));
   }
+
+  GridSearchResult result;
+  result.candidates.resize(grid.size());
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    result.candidates[c].params = grid[c];
+    result.candidates[c].scores.fold_mse.resize(splits.size());
+    result.candidates[c].scores.fold_r2.resize(splits.size());
+  }
+
+  // Every (candidate, fold) pair is one independent task; scores land
+  // at their (c, f) slot, so the fan-out order cannot affect ranking.
+  const std::size_t tasks = grid.size() * splits.size();
+  const auto eval = [&](std::size_t task) {
+    const std::size_t c = task / splits.size();
+    const std::size_t f = task % splits.size();
+    if (options.deadline != nullptr) options.deadline->check_now();
+    const auto model = factory(grid[c]);
+    GMD_REQUIRE(model != nullptr, "model factory returned null");
+    const auto& [train, test] = fold_data[f];
+    model->fit(train.X, train.y);
+    const std::vector<double> predicted = model->predict(test.X);
+    result.candidates[c].scores.fold_mse[f] = mse(test.y, predicted);
+    result.candidates[c].scores.fold_r2[f] = r2_score(test.y, predicted);
+  };
+  if (options.num_threads == 1 || tasks <= 1) {
+    for (std::size_t task = 0; task < tasks; ++task) eval(task);
+  } else {
+    ThreadPool pool(options.num_threads);
+    pool.parallel_for(0, tasks, eval);
+  }
+
   std::stable_sort(result.candidates.begin(), result.candidates.end(),
                    [](const auto& a, const auto& b) {
                      return a.scores.mean_mse() < b.scores.mean_mse();
@@ -93,6 +157,18 @@ GridSearchResult grid_search_svr(const Dataset& data,
                                  const std::vector<double>& gamma_values,
                                  const std::vector<double>& epsilon_values,
                                  std::size_t folds, std::uint64_t seed) {
+  CvOptions options;
+  options.folds = folds;
+  options.seed = seed;
+  return grid_search_svr(data, c_values, gamma_values, epsilon_values,
+                         options);
+}
+
+GridSearchResult grid_search_svr(const Dataset& data,
+                                 const std::vector<double>& c_values,
+                                 const std::vector<double>& gamma_values,
+                                 const std::vector<double>& epsilon_values,
+                                 const CvOptions& options) {
   const auto grid = cartesian_grid({{"C", c_values},
                                     {"gamma", gamma_values},
                                     {"epsilon", epsilon_values}});
@@ -103,7 +179,7 @@ GridSearchResult grid_search_svr(const Dataset& data,
     svr.epsilon = params.at("epsilon");
     return std::make_unique<Svr>(svr);
   };
-  return grid_search(factory, grid, data, folds, seed);
+  return grid_search(factory, grid, data, options);
 }
 
 }  // namespace gmd::ml

@@ -28,6 +28,13 @@ std::unique_ptr<Regressor> make_regressor(const std::string& name,
 std::unique_ptr<Regressor> make_regressor(const std::string& name,
                                           std::uint64_t seed,
                                           Deadline* deadline) {
+  return make_regressor(name, seed, deadline, 0);
+}
+
+std::unique_ptr<Regressor> make_regressor(const std::string& name,
+                                          std::uint64_t seed,
+                                          Deadline* deadline,
+                                          std::size_t num_threads) {
   const std::string key = to_lower(name);
   if (key == "linear") return std::make_unique<LinearRegression>();
   if (key == "svr" || key == "svm") {
@@ -41,12 +48,14 @@ std::unique_ptr<Regressor> make_regressor(const std::string& name,
     ForestParams params;
     params.seed = seed;
     params.deadline = deadline;
+    params.num_threads = num_threads;
     return std::make_unique<RandomForest>(params);
   }
   if (key == "gb") {
     GbtParams params;
     params.seed = seed;
     params.deadline = deadline;
+    params.num_threads = num_threads;
     return std::make_unique<GradientBoosting>(params);
   }
   if (key == "gp") {

@@ -80,6 +80,23 @@ double Svr::predict_one(std::span<const double> x) const {
   return out;
 }
 
+std::vector<double> Svr::predict(const Matrix& x) const {
+  GMD_REQUIRE(fitted_, "predict before fit");
+  GMD_REQUIRE(x.cols() == support_.cols(), "feature count mismatch");
+  const std::size_t n = support_.rows();
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    double v = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (beta_[i] == 0.0) continue;
+      v += beta_[i] * (kernel(params_.kernel, support_.row(i), row) + 1.0);
+    }
+    out[r] = v;
+  }
+  return out;
+}
+
 std::unique_ptr<Regressor> Svr::clone() const {
   return std::make_unique<Svr>(*this);
 }

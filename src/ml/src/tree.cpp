@@ -1,6 +1,7 @@
 #include "gmd/ml/tree.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <istream>
 #include <limits>
@@ -9,6 +10,7 @@
 #include <string>
 
 #include "gmd/common/error.hpp"
+#include "gmd/common/thread_pool.hpp"
 
 namespace gmd::ml {
 
@@ -16,24 +18,8 @@ DecisionTree::DecisionTree(const TreeParams& params) : params_(params) {
   GMD_REQUIRE(params.max_depth >= 1, "max_depth must be >= 1");
   GMD_REQUIRE(params.min_samples_split >= 2, "min_samples_split must be >= 2");
   GMD_REQUIRE(params.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
-}
-
-void DecisionTree::fit(const Matrix& x, std::span<const double> y) {
-  fit_weighted(x, y, {});
-}
-
-void DecisionTree::fit_weighted(const Matrix& x, std::span<const double> y,
-                                std::span<const double> weights) {
-  GMD_REQUIRE(x.rows() == y.size(), "X/y row mismatch");
-  GMD_REQUIRE(x.rows() >= 1, "empty training data");
-  GMD_REQUIRE(weights.empty() || weights.size() == y.size(),
-              "weights size mismatch");
-  nodes_.clear();
-  depth_ = 0;
-  std::vector<std::size_t> indices(x.rows());
-  std::iota(indices.begin(), indices.end(), std::size_t{0});
-  Rng rng(params_.seed);
-  build(x, y, weights, indices, 0, indices.size(), 1, rng);
+  GMD_REQUIRE(params.max_bins >= 2 && params.max_bins <= 256,
+              "max_bins must be in [2, 256]");
 }
 
 namespace {
@@ -54,11 +40,344 @@ double subset_mean(std::span<const double> y, std::span<const double> w,
 
 }  // namespace
 
-std::uint32_t DecisionTree::build(const Matrix& x, std::span<const double> y,
-                                  std::span<const double> w,
-                                  std::vector<std::size_t>& indices,
-                                  std::size_t begin, std::size_t end,
-                                  unsigned depth, gmd::Rng& rng) {
+namespace detail {
+
+/// Grows one tree over a presorted TrainingWorkspace.  Node-local state
+/// is three parallel structures kept in lockstep:
+///   - indices_: the seed engine's row array, partitioned with the same
+///     std::partition call so leaf means sum in the identical order;
+///   - order_/values_ (exact mode): per-feature mutable copies of the
+///     workspace's sorted rows, split stably at each node so a node's
+///     segment is always sorted by (value, row) without re-sorting;
+///   - the workspace's immutable bin codes (histogram mode).
+/// Per-feature split search is side-effect free, so it can fan out on a
+/// ThreadPool; candidates are reduced in feature order with the same
+/// "improves by > 1e-15" rule, making the result independent of thread
+/// count.
+class TreeBuilder {
+ public:
+  TreeBuilder(DecisionTree& tree, const TrainingWorkspace& ws,
+              const Matrix& x, std::span<const double> y,
+              std::span<const double> w)
+      : tree_(tree), ws_(ws), x_(x), y_(y), w_(w),
+        histogram_(tree.params_.split_mode ==
+                   TreeParams::SplitMode::kHistogram) {}
+
+  void run() {
+    const std::size_t n = x_.rows();
+    const std::size_t p = x_.cols();
+    indices_.resize(n);
+    std::iota(indices_.begin(), indices_.end(), std::size_t{0});
+    if (!histogram_) {
+      order_.resize(p);
+      values_.resize(p);
+      for (std::size_t f = 0; f < p; ++f) {
+        const auto order = ws_.sorted_order(f);
+        const auto values = ws_.sorted_values(f);
+        order_[f].assign(order.begin(), order.end());
+        values_[f].assign(values.begin(), values.end());
+      }
+      scratch_order_.resize(n);
+      scratch_values_.resize(n);
+    }
+    mark_.assign(n, 0);
+    Rng rng(tree_.params_.seed);
+    build_node(0, n, 1, rng);
+  }
+
+ private:
+  struct Candidate {
+    double gain = 0.0;
+    double threshold = 0.0;
+    bool found = false;
+  };
+
+  std::uint32_t build_node(std::size_t begin, std::size_t end, unsigned depth,
+                           Rng& rng) {
+    const TreeParams& params = tree_.params_;
+    tree_.depth_ = std::max(tree_.depth_, depth);
+    const std::size_t count = end - begin;
+    const auto node_id = static_cast<std::uint32_t>(tree_.nodes_.size());
+    tree_.nodes_.emplace_back();
+    tree_.nodes_[node_id].value = subset_mean(y_, w_, indices_, begin, end);
+
+    if (depth >= params.max_depth || count < params.min_samples_split) {
+      return node_id;
+    }
+
+    // Candidate features: all, or a random subset (random-forest mode).
+    const std::size_t p = x_.cols();
+    std::vector<std::size_t> features(p);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+    std::size_t feature_count = p;
+    if (params.max_features > 0 && params.max_features < p) {
+      rng.shuffle(features);
+      feature_count = params.max_features;
+    }
+
+    std::vector<Candidate> candidates(feature_count);
+    const auto search_one = [&](std::size_t fi) {
+      candidates[fi] = histogram_ ? search_histogram(features[fi], begin, end)
+                                  : search_exact(features[fi], begin, end);
+    };
+    if (params.pool != nullptr && count >= params.parallel_min_rows &&
+        feature_count > 1) {
+      params.pool->parallel_for(0, feature_count, search_one);
+    } else {
+      for (std::size_t fi = 0; fi < feature_count; ++fi) search_one(fi);
+    }
+
+    double best_gain = 0.0;
+    std::size_t best_feature = p;
+    double best_threshold = 0.0;
+    for (std::size_t fi = 0; fi < feature_count; ++fi) {
+      const Candidate& c = candidates[fi];
+      if (c.found && c.gain > best_gain + 1e-15) {
+        best_gain = c.gain;
+        best_feature = features[fi];
+        best_threshold = c.threshold;
+      }
+    }
+    if (best_feature == p) return node_id;  // no useful split found
+
+    const std::size_t mid =
+        partition_node(begin, end, best_feature, best_threshold);
+    GMD_ASSERT(mid > begin && mid < end, "degenerate partition");
+
+    const std::uint32_t left = build_node(begin, mid, depth + 1, rng);
+    const std::uint32_t right = build_node(mid, end, depth + 1, rng);
+    tree_.nodes_[node_id].feature = static_cast<std::uint32_t>(best_feature);
+    tree_.nodes_[node_id].threshold = best_threshold;
+    tree_.nodes_[node_id].gain = best_gain;
+    tree_.nodes_[node_id].left = left;
+    tree_.nodes_[node_id].right = right;
+    return node_id;
+  }
+
+  /// Exact mode: one pass over the node's presorted segment replaces
+  /// the reference engine's gather + sort, with the identical
+  /// prefix-sum arithmetic in the identical order.
+  Candidate search_exact(std::size_t feature, std::size_t begin,
+                         std::size_t end) const {
+    const TreeParams& params = tree_.params_;
+    const std::uint32_t* ord = order_[feature].data();
+    const double* vals = values_[feature].data();
+    Candidate cand;
+    if (vals[begin] == vals[end - 1]) return cand;  // constant
+    const std::size_t count = end - begin;
+
+    // Prefix sums of w, w*y, w*y^2 for O(1) SSE at every cut.
+    double total_w = 0.0, total_sum = 0.0, total_sq = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t idx = ord[i];
+      const double wi = w_.empty() ? 1.0 : w_[idx];
+      total_w += wi;
+      total_sum += wi * y_[idx];
+      total_sq += wi * y_[idx] * y_[idx];
+    }
+    const double parent_sse = total_sq - total_sum * total_sum / total_w;
+
+    double left_w = 0.0, left_sum = 0.0, left_sq = 0.0;
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+      const std::size_t idx = ord[i];
+      const double wi = w_.empty() ? 1.0 : w_[idx];
+      left_w += wi;
+      left_sum += wi * y_[idx];
+      left_sq += wi * y_[idx] * y_[idx];
+      if (vals[i] == vals[i + 1]) continue;  // not a valid cut
+      const std::size_t left_n = i + 1 - begin;
+      const std::size_t right_n = count - left_n;
+      if (left_n < params.min_samples_leaf ||
+          right_n < params.min_samples_leaf) {
+        continue;
+      }
+      const double right_w = total_w - left_w;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse = (left_sq - left_sum * left_sum / left_w) +
+                         (right_sq - right_sum * right_sum / right_w);
+      const double gain = parent_sse - sse;
+      if (gain > cand.gain + 1e-15) {
+        cand.gain = gain;
+        cand.threshold = (vals[i] + vals[i + 1]) / 2.0;
+        cand.found = true;
+      }
+    }
+    return cand;
+  }
+
+  /// Histogram mode: accumulate the node's rows into <= 256 buckets,
+  /// then scan bucket boundaries — O(rows + bins) per feature.
+  Candidate search_histogram(std::size_t feature, std::size_t begin,
+                             std::size_t end) const {
+    const TreeParams& params = tree_.params_;
+    Candidate cand;
+    const std::size_t bins = ws_.num_bins(feature);
+    if (bins < 2) return cand;  // constant feature
+
+    struct Acc {
+      double w = 0.0, sum = 0.0, sq = 0.0;
+      std::size_t n = 0;
+    };
+    std::array<Acc, 256> acc{};
+    const std::uint8_t* codes = ws_.bin_codes(feature).data();
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t idx = indices_[i];
+      const double wi = w_.empty() ? 1.0 : w_[idx];
+      Acc& a = acc[codes[idx]];
+      a.w += wi;
+      a.sum += wi * y_[idx];
+      a.sq += wi * y_[idx] * y_[idx];
+      ++a.n;
+    }
+
+    double total_w = 0.0, total_sum = 0.0, total_sq = 0.0;
+    std::size_t occupied = 0;
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (acc[b].n > 0) ++occupied;
+      total_w += acc[b].w;
+      total_sum += acc[b].sum;
+      total_sq += acc[b].sq;
+    }
+    if (occupied < 2) return cand;  // node is constant in this feature
+    const double parent_sse = total_sq - total_sum * total_sum / total_w;
+    const std::size_t count = end - begin;
+
+    double left_w = 0.0, left_sum = 0.0, left_sq = 0.0;
+    std::size_t left_n = 0;
+    for (std::size_t b = 0; b + 1 < bins; ++b) {
+      left_w += acc[b].w;
+      left_sum += acc[b].sum;
+      left_sq += acc[b].sq;
+      left_n += acc[b].n;
+      const std::size_t right_n = count - left_n;
+      if (left_n < params.min_samples_leaf ||
+          right_n < params.min_samples_leaf) {
+        continue;
+      }
+      const double right_w = total_w - left_w;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse = (left_sq - left_sum * left_sum / left_w) +
+                         (right_sq - right_sum * right_sum / right_w);
+      const double gain = parent_sse - sse;
+      if (gain > cand.gain + 1e-15) {
+        cand.gain = gain;
+        cand.threshold = ws_.bin_threshold(feature, b);
+        cand.found = true;
+      }
+    }
+    return cand;
+  }
+
+  /// Partitions indices_[begin, end) exactly as the reference engine
+  /// (same std::partition, same predicate outcomes), then splits every
+  /// feature's sorted segment stably so both children stay presorted.
+  std::size_t partition_node(std::size_t begin, std::size_t end,
+                             std::size_t feature, double threshold) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t idx = indices_[i];
+      mark_[idx] = x_.at(idx, feature) <= threshold ? 1 : 0;
+    }
+    const auto mid_iter = std::partition(
+        indices_.begin() + static_cast<std::ptrdiff_t>(begin),
+        indices_.begin() + static_cast<std::ptrdiff_t>(end),
+        [this](std::size_t idx) { return mark_[idx] != 0; });
+    const auto mid = static_cast<std::size_t>(mid_iter - indices_.begin());
+
+    if (!histogram_) {
+      for (std::size_t f = 0; f < order_.size(); ++f) {
+        std::uint32_t* ord = order_[f].data();
+        double* vals = values_[f].data();
+        std::size_t out = begin;
+        std::size_t spill = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (mark_[ord[i]] != 0) {
+            ord[out] = ord[i];
+            vals[out] = vals[i];
+            ++out;
+          } else {
+            scratch_order_[spill] = ord[i];
+            scratch_values_[spill] = vals[i];
+            ++spill;
+          }
+        }
+        GMD_ASSERT(out == mid, "feature order out of sync with indices");
+        std::copy_n(scratch_order_.data(), spill, ord + out);
+        std::copy_n(scratch_values_.data(), spill, vals + out);
+      }
+    }
+    return mid;
+  }
+
+  DecisionTree& tree_;
+  const TrainingWorkspace& ws_;
+  const Matrix& x_;
+  std::span<const double> y_;
+  std::span<const double> w_;
+  bool histogram_;
+
+  std::vector<std::size_t> indices_;
+  std::vector<std::vector<std::uint32_t>> order_;  ///< Exact mode only.
+  std::vector<std::vector<double>> values_;        ///< Aligned with order_.
+  std::vector<std::uint8_t> mark_;                 ///< Left membership by row.
+  std::vector<std::uint32_t> scratch_order_;
+  std::vector<double> scratch_values_;
+};
+
+}  // namespace detail
+
+void DecisionTree::fit(const Matrix& x, std::span<const double> y) {
+  fit_weighted(x, y, {});
+}
+
+void DecisionTree::fit_weighted(const Matrix& x, std::span<const double> y,
+                                std::span<const double> weights) {
+  GMD_REQUIRE(x.rows() == y.size(), "X/y row mismatch");
+  GMD_REQUIRE(x.rows() >= 1, "empty training data");
+  GMD_REQUIRE(weights.empty() || weights.size() == y.size(),
+              "weights size mismatch");
+  if (params_.reference_mode) {
+    nodes_.clear();
+    depth_ = 0;
+    std::vector<std::size_t> indices(x.rows());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    Rng rng(params_.seed);
+    build_reference(x, y, weights, indices, 0, indices.size(), 1, rng);
+    return;
+  }
+  TrainingWorkspace workspace = TrainingWorkspace::build(x);
+  if (params_.split_mode == TreeParams::SplitMode::kHistogram) {
+    workspace.build_histograms(params_.max_bins);
+  }
+  fit_with_workspace(workspace, x, y, weights);
+}
+
+void DecisionTree::fit_with_workspace(const TrainingWorkspace& workspace,
+                                      const Matrix& x,
+                                      std::span<const double> y,
+                                      std::span<const double> weights) {
+  GMD_REQUIRE(x.rows() == y.size(), "X/y row mismatch");
+  GMD_REQUIRE(x.rows() >= 1, "empty training data");
+  GMD_REQUIRE(weights.empty() || weights.size() == y.size(),
+              "weights size mismatch");
+  GMD_REQUIRE(workspace.rows() == x.rows() &&
+                  workspace.features() == x.cols(),
+              "workspace shape mismatch");
+  GMD_REQUIRE(!params_.reference_mode,
+              "reference_mode trees do not take a workspace");
+  GMD_REQUIRE(params_.split_mode != TreeParams::SplitMode::kHistogram ||
+                  workspace.has_histograms(),
+              "histogram split mode needs workspace histograms");
+  nodes_.clear();
+  depth_ = 0;
+  detail::TreeBuilder(*this, workspace, x, y, weights).run();
+}
+
+std::uint32_t DecisionTree::build_reference(
+    const Matrix& x, std::span<const double> y, std::span<const double> w,
+    std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+    unsigned depth, gmd::Rng& rng) {
   depth_ = std::max(depth_, depth);
   const std::size_t count = end - begin;
   const auto node_id = static_cast<std::uint32_t>(nodes_.size());
@@ -148,9 +467,9 @@ std::uint32_t DecisionTree::build(const Matrix& x, std::span<const double> y,
   GMD_ASSERT(mid > begin && mid < end, "degenerate partition");
 
   const std::uint32_t left =
-      build(x, y, w, indices, begin, mid, depth + 1, rng);
+      build_reference(x, y, w, indices, begin, mid, depth + 1, rng);
   const std::uint32_t right =
-      build(x, y, w, indices, mid, end, depth + 1, rng);
+      build_reference(x, y, w, indices, mid, end, depth + 1, rng);
   nodes_[node_id].feature = static_cast<std::uint32_t>(best_feature);
   nodes_[node_id].threshold = best_threshold;
   nodes_[node_id].gain = best_gain;
@@ -169,6 +488,157 @@ double DecisionTree::predict_one(std::span<const double> x) const {
                : nodes_[node].right;
   }
   return nodes_[node].value;
+}
+
+double DecisionTree::traverse(const double* features) const {
+  const Node* nodes = nodes_.data();
+  std::uint32_t node = 0;
+  while (nodes[node].feature != Node::kLeaf) {
+    node = features[nodes[node].feature] <= nodes[node].threshold
+               ? nodes[node].left
+               : nodes[node].right;
+  }
+  return nodes[node].value;
+}
+
+std::vector<double> DecisionTree::predict(const Matrix& x) const {
+  GMD_REQUIRE(is_fitted(), "predict before fit");
+  // Validate feature bounds once, then traverse check-free.
+  for (const Node& node : nodes_) {
+    GMD_REQUIRE(node.feature == Node::kLeaf || node.feature < x.cols(),
+                "feature count mismatch");
+  }
+  std::vector<double> out(x.rows());
+  const InferencePlan plan = make_plan();
+  traverse_block(plan, x, 0, x.rows(), out.data());
+  return out;
+}
+
+DecisionTree::InferencePlan DecisionTree::make_plan() const {
+  InferencePlan plan;
+  plan.nodes.resize(nodes_.size());
+  plan.values.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    PlanNode& out = plan.nodes[i];
+    plan.values[i] = node.value;
+    if (node.feature == Node::kLeaf) {
+      // Self-loop: x[0] <= +inf always holds, and a NaN feature (which
+      // compares false) still lands on `right` = self.
+      out.threshold = std::numeric_limits<double>::infinity();
+      out.feature = 0;
+      out.left = static_cast<std::uint32_t>(i);
+      out.right = static_cast<std::uint32_t>(i);
+    } else {
+      out.threshold = node.threshold;
+      out.feature = node.feature;
+      out.left = node.left;
+      out.right = node.right;
+    }
+  }
+  plan.steps = depth_;
+  return plan;
+}
+
+void DecisionTree::traverse_block(const InferencePlan& plan, const Matrix& x,
+                                  std::size_t begin, std::size_t end,
+                                  double* out) {
+  if (begin == end) return;
+  const PlanNode* nodes = plan.nodes.data();
+  const double* values = plan.values.data();
+  // Row-major matrix: rows are base + r * stride, no per-row calls.
+  const double* base = x.row(0).data();
+  const std::size_t stride = x.cols();
+  constexpr std::size_t kLanes = 16;
+  std::size_t r = begin;
+  for (; r + kLanes <= end; r += kLanes) {
+    const double* rows[kLanes];
+    std::uint32_t node[kLanes];
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      rows[lane] = base + (r + lane) * stride;
+      node[lane] = 0;
+    }
+    for (unsigned step = 0; step < plan.steps; ++step) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const PlanNode& current = nodes[node[lane]];
+        // Arithmetic select: the ternary compiles to a data-dependent
+        // branch that mispredicts ~50% of the time; the mask keeps the
+        // step branch-free.  NaN compares false and goes right, exactly
+        // like the reference traversal.
+        const std::uint32_t mask = 0U - static_cast<std::uint32_t>(
+            rows[lane][current.feature] <= current.threshold);
+        node[lane] = (current.left & mask) | (current.right & ~mask);
+      }
+    }
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      out[r - begin + lane] = values[node[lane]];
+    }
+  }
+  for (; r < end; ++r) {
+    std::uint32_t node = 0;
+    const double* row = base + r * stride;
+    for (unsigned step = 0; step < plan.steps; ++step) {
+      const PlanNode& current = nodes[node];
+      const std::uint32_t mask = 0U - static_cast<std::uint32_t>(
+          row[current.feature] <= current.threshold);
+      node = (current.left & mask) | (current.right & ~mask);
+    }
+    out[r - begin] = values[node];
+  }
+}
+
+void DecisionTree::accumulate_block(std::span<const InferencePlan> plans,
+                                    double scale, const Matrix& x,
+                                    std::size_t begin, std::size_t end,
+                                    double* inout) {
+  if (begin == end || plans.empty()) return;
+  const double* base = x.row(0).data();
+  const std::size_t stride = x.cols();
+  constexpr std::size_t kLanes = 16;
+  std::size_t r = begin;
+  for (; r + kLanes <= end; r += kLanes) {
+    const double* rows[kLanes];
+    double acc[kLanes];
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      rows[lane] = base + (r + lane) * stride;
+      acc[lane] = inout[r - begin + lane];
+    }
+    for (const InferencePlan& plan : plans) {
+      const PlanNode* nodes = plan.nodes.data();
+      std::uint32_t node[kLanes] = {};
+      for (unsigned step = 0; step < plan.steps; ++step) {
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+          const PlanNode& current = nodes[node[lane]];
+          const std::uint32_t mask = 0U - static_cast<std::uint32_t>(
+              rows[lane][current.feature] <= current.threshold);
+          node[lane] = (current.left & mask) | (current.right & ~mask);
+        }
+      }
+      const double* values = plan.values.data();
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        acc[lane] += scale * values[node[lane]];
+      }
+    }
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      inout[r - begin + lane] = acc[lane];
+    }
+  }
+  for (; r < end; ++r) {
+    const double* row = base + r * stride;
+    double acc = inout[r - begin];
+    for (const InferencePlan& plan : plans) {
+      const PlanNode* nodes = plan.nodes.data();
+      std::uint32_t node = 0;
+      for (unsigned step = 0; step < plan.steps; ++step) {
+        const PlanNode& current = nodes[node];
+        const std::uint32_t mask = 0U - static_cast<std::uint32_t>(
+            row[current.feature] <= current.threshold);
+        node = (current.left & mask) | (current.right & ~mask);
+      }
+      acc += scale * plan.values[node];
+    }
+    inout[r - begin] = acc;
+  }
 }
 
 std::unique_ptr<Regressor> DecisionTree::clone() const {

@@ -5,6 +5,7 @@
 #include "gmd/common/error.hpp"
 #include "gmd/cpusim/workloads.hpp"
 #include "gmd/dse/config_space.hpp"
+#include "gmd/dse/dataset_builder.hpp"
 #include "gmd/graph/generators.hpp"
 
 namespace gmd::dse {
@@ -92,6 +93,45 @@ TEST_F(SensitivityTest, UnsweptParameterSkipped) {
   for (const auto& effect : result.effects) {
     EXPECT_NE(effect.parameter, "channels");
   }
+}
+
+TEST_F(SensitivityTest, ValuesEntryPointMatchesSweepAnalysis) {
+  // analyze_sensitivity is a thin adapter over the (point, value) core:
+  // feeding the same rows through both must give identical numbers.
+  const std::string metric = "total_latency_cycles";
+  std::size_t index = 0;
+  const auto& names = target_metric_names();
+  while (names[index] != metric) ++index;
+
+  std::vector<DesignPoint> points;
+  std::vector<double> values;
+  for (const auto& row : *rows_) {
+    points.push_back(row.point);
+    values.push_back(row.metrics.metric_values()[index]);
+  }
+  const auto direct = analyze_sensitivity(*rows_, metric);
+  const auto via_values = analyze_sensitivity_values(points, values, metric);
+  EXPECT_EQ(direct.overall_mean, via_values.overall_mean);
+  ASSERT_EQ(direct.effects.size(), via_values.effects.size());
+  for (std::size_t i = 0; i < direct.effects.size(); ++i) {
+    EXPECT_EQ(direct.effects[i].parameter, via_values.effects[i].parameter);
+    EXPECT_EQ(direct.effects[i].relative_effect,
+              via_values.effects[i].relative_effect);
+    EXPECT_EQ(direct.effects[i].best_level, via_values.effects[i].best_level);
+  }
+}
+
+TEST_F(SensitivityTest, PredictedSensitivityRecoversTheDominantKnob) {
+  // A surrogate trained on the sweep and batch-evaluated over the same
+  // points must agree on the headline finding: the channel count
+  // dominates reads/channel.
+  std::vector<DesignPoint> candidates;
+  for (const auto& row : *rows_) candidates.push_back(row.point);
+  const auto result =
+      analyze_sensitivity_predicted(*rows_, candidates, "reads_per_channel");
+  ASSERT_FALSE(result.effects.empty());
+  EXPECT_EQ(result.dominant().parameter, "channels");
+  EXPECT_EQ(result.dominant().best_level, "4");
 }
 
 TEST(Sensitivity, ErrorsOnBadInput) {

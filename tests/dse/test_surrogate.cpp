@@ -115,6 +115,29 @@ TEST_F(SurrogateTest, DeployedModelPredictsPhysicalUnits) {
   EXPECT_NEAR(predicted, truth, std::abs(truth) * 0.05 + 1.0);
 }
 
+TEST_F(SurrogateTest, BatchPredictMatchesPerPoint) {
+  // The batch entry point shares the scaler transforms and model with
+  // the scalar one, so every value must match bit-for-bit.
+  for (const std::string model : {"linear", "rf", "gb"}) {
+    const auto deployed =
+        SurrogateSuite::deploy(*rows_, "bandwidth_mbs", model);
+    std::vector<DesignPoint> candidates;
+    candidates.reserve(rows_->size());
+    for (const auto& row : *rows_) candidates.push_back(row.point);
+    const std::vector<double> batch = deployed.predict(candidates);
+    ASSERT_EQ(batch.size(), candidates.size()) << model;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(batch[i], deployed.predict(candidates[i]))
+          << model << " point " << i;
+    }
+  }
+}
+
+TEST_F(SurrogateTest, BatchPredictOnEmptySpanIsEmpty) {
+  const auto deployed = SurrogateSuite::deploy(*rows_, "power_w", "rf");
+  EXPECT_TRUE(deployed.predict(std::vector<DesignPoint>{}).empty());
+}
+
 TEST_F(SurrogateTest, DeterministicTraining) {
   const SurrogateSuite again = SurrogateSuite::train(*rows_);
   for (std::size_t i = 0; i < again.scores().size(); ++i) {

@@ -1,0 +1,246 @@
+// Golden-equivalence suite for the workspace training engine, modeled
+// on tests/memsim/test_equivalence.cpp: the presorted fast path must
+// produce the *same* model as the reference per-node-sort engine —
+// identical structure, thresholds, leaf values, and gains, compared
+// through the 17-digit text serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gmd/common/rng.hpp"
+#include "gmd/ml/forest.hpp"
+#include "gmd/ml/gbt.hpp"
+#include "gmd/ml/metrics.hpp"
+#include "gmd/ml/serialize.hpp"
+#include "gmd/ml/tree.hpp"
+
+namespace gmd::ml {
+namespace {
+
+struct TestData {
+  Matrix x;
+  std::vector<double> y;
+};
+
+/// Mixed-texture dataset: continuous, duplicated, constant, and
+/// grid-valued features with a nonlinear response.
+TestData make_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  TestData data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.next_double();
+    const double b = static_cast<double>(rng.next_below(6));
+    const double c = 1.5;  // constant feature: never splittable
+    const double d = static_cast<double>(rng.next_below(12)) * 0.25;
+    rows.push_back({a, b, c, d});
+    data.y.push_back(std::sin(4.0 * a) + 0.3 * b * b - 0.8 * d +
+                     0.05 * rng.next_normal());
+  }
+  data.x = Matrix::from_rows(rows);
+  return data;
+}
+
+template <typename Model>
+std::string serialized(const Model& model) {
+  std::ostringstream os;
+  model.write(os);
+  return os.str();
+}
+
+TEST(TreeEquivalence, ExactEngineMatchesReference) {
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const TestData data = make_data(150, seed);
+    TreeParams reference;
+    reference.reference_mode = true;
+    TreeParams workspace;
+    DecisionTree a(reference), b(workspace);
+    a.fit(data.x, data.y);
+    b.fit(data.x, data.y);
+    EXPECT_EQ(serialized(a), serialized(b)) << "seed " << seed;
+  }
+}
+
+TEST(TreeEquivalence, WeightedFitMatchesReference) {
+  const TestData data = make_data(120, 5);
+  Rng rng(99);
+  std::vector<double> weights;
+  weights.reserve(data.y.size());
+  for (std::size_t i = 0; i < data.y.size(); ++i) {
+    weights.push_back(0.5 + rng.next_double());
+  }
+  TreeParams reference;
+  reference.reference_mode = true;
+  DecisionTree a(reference), b;
+  a.fit_weighted(data.x, data.y, weights);
+  b.fit_weighted(data.x, data.y, weights);
+  EXPECT_EQ(serialized(a), serialized(b));
+}
+
+TEST(TreeEquivalence, RandomFeatureSubsetsMatchReference) {
+  // max_features engages the per-node feature shuffle; both engines
+  // must consume the rng identically.
+  const TestData data = make_data(130, 11);
+  for (const std::size_t max_features : {1u, 2u, 3u}) {
+    TreeParams reference;
+    reference.reference_mode = true;
+    reference.max_features = max_features;
+    reference.seed = 1234;
+    TreeParams workspace;
+    workspace.max_features = max_features;
+    workspace.seed = 1234;
+    DecisionTree a(reference), b(workspace);
+    a.fit(data.x, data.y);
+    b.fit(data.x, data.y);
+    EXPECT_EQ(serialized(a), serialized(b))
+        << "max_features " << max_features;
+  }
+}
+
+TEST(TreeEquivalence, DepthAndLeafLimitsMatchReference) {
+  const TestData data = make_data(140, 17);
+  TreeParams reference;
+  reference.reference_mode = true;
+  reference.max_depth = 4;
+  reference.min_samples_leaf = 5;
+  reference.min_samples_split = 12;
+  TreeParams workspace = reference;
+  workspace.reference_mode = false;
+  DecisionTree a(reference), b(workspace);
+  a.fit(data.x, data.y);
+  b.fit(data.x, data.y);
+  EXPECT_EQ(serialized(a), serialized(b));
+}
+
+TEST(ForestEquivalence, BootstrapForestMatchesReference) {
+  const TestData data = make_data(100, 29);
+  ForestParams reference;
+  reference.num_trees = 15;
+  reference.seed = 7;
+  reference.num_threads = 2;
+  reference.reference_mode = true;
+  ForestParams workspace = reference;
+  workspace.reference_mode = false;
+  RandomForest a(reference), b(workspace);
+  a.fit(data.x, data.y);
+  b.fit(data.x, data.y);
+  EXPECT_EQ(serialized(a), serialized(b));
+}
+
+TEST(ForestEquivalence, NoBootstrapWithFeatureSubsetsMatchesReference) {
+  const TestData data = make_data(90, 31);
+  ForestParams reference;
+  reference.num_trees = 10;
+  reference.bootstrap = false;
+  reference.max_features = 2;
+  reference.seed = 3;
+  reference.num_threads = 2;
+  reference.reference_mode = true;
+  ForestParams workspace = reference;
+  workspace.reference_mode = false;
+  RandomForest a(reference), b(workspace);
+  a.fit(data.x, data.y);
+  b.fit(data.x, data.y);
+  EXPECT_EQ(serialized(a), serialized(b));
+}
+
+TEST(GbtEquivalence, FullSampleBoostingMatchesReference) {
+  const TestData data = make_data(110, 37);
+  GbtParams reference;
+  reference.num_stages = 40;
+  reference.seed = 5;
+  reference.reference_mode = true;
+  GbtParams workspace = reference;
+  workspace.reference_mode = false;
+  GradientBoosting a(reference), b(workspace);
+  a.fit(data.x, data.y);
+  b.fit(data.x, data.y);
+  EXPECT_EQ(serialized(a), serialized(b));
+}
+
+TEST(GbtEquivalence, SubsampledBoostingMatchesReference) {
+  const TestData data = make_data(100, 41);
+  GbtParams reference;
+  reference.num_stages = 30;
+  reference.subsample = 0.7;
+  reference.seed = 13;
+  reference.reference_mode = true;
+  GbtParams workspace = reference;
+  workspace.reference_mode = false;
+  GradientBoosting a(reference), b(workspace);
+  a.fit(data.x, data.y);
+  b.fit(data.x, data.y);
+  EXPECT_EQ(serialized(a), serialized(b));
+}
+
+TEST(HistogramMode, LosslessWhenEveryFeatureFitsTheBins) {
+  // All features here have few distinct values, so histogram cuts are
+  // exactly the midpoint thresholds the exact search emits: the tree
+  // picks the same splits and leaves.  (The recorded gains sum the
+  // node's rows bucket-by-bucket, so only they may differ in the last
+  // ulps — structure, thresholds, and predictions must be identical.)
+  Rng rng(43);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double a = static_cast<double>(rng.next_below(8));
+    const double b = static_cast<double>(rng.next_below(4)) * 10.0;
+    rows.push_back({a, b});
+    y.push_back(a * a - 2.0 * b + 0.1 * rng.next_normal());
+  }
+  const Matrix x = Matrix::from_rows(rows);
+
+  TreeParams exact;
+  TreeParams hist;
+  hist.split_mode = TreeParams::SplitMode::kHistogram;
+  hist.max_bins = 16;
+  DecisionTree a(exact), b(hist);
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.depth(), b.depth());
+  const std::vector<double> pa = a.predict(x);
+  const std::vector<double> pb = b.predict(x);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i], pb[i]) << "row " << i;
+  }
+}
+
+TEST(HistogramMode, ApproximatesContinuousDataWell) {
+  const TestData data = make_data(400, 47);
+  GbtParams hist;
+  hist.num_stages = 60;
+  hist.split_mode = TreeParams::SplitMode::kHistogram;
+  hist.max_bins = 64;
+  GradientBoosting model(hist);
+  model.fit(data.x, data.y);
+  EXPECT_GT(r2_score(data.y, model.predict(data.x)), 0.9);
+}
+
+TEST(HistogramMode, ForestRoundTripsThroughSerialization) {
+  const TestData data = make_data(80, 53);
+  ForestParams params;
+  params.num_trees = 8;
+  params.split_mode = TreeParams::SplitMode::kHistogram;
+  params.max_bins = 32;
+  params.num_threads = 2;
+  RandomForest model(params);
+  model.fit(data.x, data.y);
+
+  std::stringstream ss;
+  save_model(ss, model);
+  const auto loaded = load_model(ss);
+  const std::vector<double> before = model.predict(data.x);
+  const std::vector<double> after = loaded->predict(data.x);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gmd::ml

@@ -1,0 +1,159 @@
+#include "gmd/ml/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/rng.hpp"
+#include "gmd/ml/matrix.hpp"
+
+namespace gmd::ml {
+namespace {
+
+/// Mixed-texture matrix: a continuous column, a heavily-duplicated
+/// column, a constant column, and a coarse integer-grid column — the
+/// value patterns DSE feature matrices actually have.
+Matrix make_mixed(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back({rng.next_double(),
+                    static_cast<double>(rng.next_below(5)), 3.25,
+                    static_cast<double>(rng.next_below(16)) * 100.0});
+  }
+  return Matrix::from_rows(rows);
+}
+
+TEST(TrainingWorkspace, SortsEveryFeatureByValueThenRow) {
+  const Matrix x = make_mixed(64, 7);
+  const TrainingWorkspace ws = TrainingWorkspace::build(x);
+  ASSERT_EQ(ws.rows(), 64u);
+  ASSERT_EQ(ws.features(), 4u);
+  for (std::size_t f = 0; f < ws.features(); ++f) {
+    const auto order = ws.sorted_order(f);
+    const auto values = ws.sorted_values(f);
+    ASSERT_EQ(order.size(), 64u);
+    std::vector<bool> seen(64, false);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      EXPECT_EQ(values[i], x.at(order[i], f));
+      EXPECT_FALSE(seen[order[i]]);
+      seen[order[i]] = true;
+      if (i > 0) {
+        const bool ascending =
+            values[i - 1] < values[i] ||
+            (values[i - 1] == values[i] && order[i - 1] < order[i]);
+        EXPECT_TRUE(ascending) << "feature " << f << " position " << i;
+      }
+    }
+  }
+}
+
+TEST(TrainingWorkspace, ForSampleMatchesDirectBuildOfGatheredMatrix) {
+  const Matrix x = make_mixed(80, 11);
+  const TrainingWorkspace base = TrainingWorkspace::build(x);
+
+  // A bootstrap-style sample: duplicates, omissions, arbitrary order.
+  Rng rng(3);
+  std::vector<std::size_t> sample(100);
+  for (auto& idx : sample) idx = rng.next_below(80);
+
+  const TrainingWorkspace derived = base.for_sample(sample);
+  const TrainingWorkspace direct =
+      TrainingWorkspace::build(x.gather_rows(sample));
+  ASSERT_EQ(derived.rows(), direct.rows());
+  ASSERT_EQ(derived.features(), direct.features());
+  for (std::size_t f = 0; f < direct.features(); ++f) {
+    const auto a_order = derived.sorted_order(f);
+    const auto b_order = direct.sorted_order(f);
+    const auto a_values = derived.sorted_values(f);
+    const auto b_values = direct.sorted_values(f);
+    ASSERT_EQ(a_order.size(), b_order.size());
+    for (std::size_t i = 0; i < a_order.size(); ++i) {
+      EXPECT_EQ(a_order[i], b_order[i]) << "feature " << f << " pos " << i;
+      EXPECT_EQ(a_values[i], b_values[i]) << "feature " << f << " pos " << i;
+    }
+  }
+}
+
+TEST(TrainingWorkspace, LosslessHistogramsKeepOneBucketPerDistinctValue) {
+  const Matrix x = make_mixed(200, 5);
+  TrainingWorkspace ws = TrainingWorkspace::build(x);
+  ws.build_histograms(32);
+  ASSERT_TRUE(ws.has_histograms());
+
+  // Feature 1 has 5 distinct values, feature 2 is constant, feature 3
+  // has <= 16 — all fit losslessly in 32 bins.
+  EXPECT_EQ(ws.num_bins(1), 5u);
+  EXPECT_EQ(ws.num_bins(2), 1u);
+  EXPECT_LE(ws.num_bins(3), 16u);
+  for (const std::size_t f : {1u, 2u, 3u}) {
+    for (std::size_t r = 0; r < ws.rows(); ++r) {
+      EXPECT_LT(ws.bin_of(f, r), ws.num_bins(f));
+    }
+  }
+  // Codes must be monotone in the value: bucket thresholds separate
+  // every pair of distinct values.
+  for (std::size_t a = 0; a < 50; ++a) {
+    for (std::size_t b = a + 1; b < 50; ++b) {
+      if (x.at(a, 1) < x.at(b, 1)) {
+        EXPECT_LT(ws.bin_of(1, a), ws.bin_of(1, b));
+      } else if (x.at(a, 1) == x.at(b, 1)) {
+        EXPECT_EQ(ws.bin_of(1, a), ws.bin_of(1, b));
+      }
+    }
+  }
+}
+
+TEST(TrainingWorkspace, QuantileHistogramsRespectTheBinBudget) {
+  const Matrix x = make_mixed(1000, 13);
+  TrainingWorkspace ws = TrainingWorkspace::build(x);
+  ws.build_histograms(16);
+  // Feature 0 is continuous (1000 distinct values): quantile mode.
+  EXPECT_LE(ws.num_bins(0), 16u);
+  EXPECT_GE(ws.num_bins(0), 8u);  // roughly balanced buckets
+  // Thresholds order-separate the buckets.
+  for (std::size_t r = 0; r < ws.rows(); ++r) {
+    const std::uint8_t code = ws.bin_of(0, r);
+    if (code > 0) {
+      EXPECT_GT(x.at(r, 0), ws.bin_threshold(0, code - 1));
+    }
+    if (code + 1u < ws.num_bins(0)) {
+      EXPECT_LE(x.at(r, 0), ws.bin_threshold(0, code));
+    }
+  }
+}
+
+TEST(TrainingWorkspace, ForSampleCarriesHistogramCodes) {
+  const Matrix x = make_mixed(120, 17);
+  TrainingWorkspace base = TrainingWorkspace::build(x);
+  base.build_histograms(16);
+
+  Rng rng(9);
+  std::vector<std::size_t> sample(60);
+  for (auto& idx : sample) idx = rng.next_below(120);
+  const TrainingWorkspace derived = base.for_sample(sample);
+  ASSERT_TRUE(derived.has_histograms());
+  EXPECT_EQ(derived.max_bins(), base.max_bins());
+  for (std::size_t f = 0; f < base.features(); ++f) {
+    ASSERT_EQ(derived.num_bins(f), base.num_bins(f));
+    for (std::size_t g = 0; g < sample.size(); ++g) {
+      EXPECT_EQ(derived.bin_of(f, g), base.bin_of(f, sample[g]));
+    }
+  }
+}
+
+TEST(TrainingWorkspace, RejectsBadInputs) {
+  const Matrix x = make_mixed(10, 1);
+  TrainingWorkspace ws = TrainingWorkspace::build(x);
+  EXPECT_THROW(ws.build_histograms(1), Error);
+  EXPECT_THROW(ws.build_histograms(257), Error);
+  const std::vector<std::size_t> out_of_range{10};
+  EXPECT_THROW(ws.for_sample(out_of_range), Error);
+  EXPECT_THROW(ws.for_sample({}), Error);
+}
+
+}  // namespace
+}  // namespace gmd::ml

@@ -15,6 +15,7 @@
 #include "gmd/graph/bfs.hpp"
 #include "gmd/graph/generators.hpp"
 #include "gmd/memsim/memory_system.hpp"
+#include "gmd/memsim/sampled.hpp"
 #include "gmd/ml/regressor.hpp"
 #include "gmd/trace/converter.hpp"
 #include "gmd/trace/formats.hpp"
@@ -136,6 +137,56 @@ void BM_MemorySimulationReference(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * trace.size());
 }
 BENCHMARK(BM_MemorySimulationReference);
+
+/// One-time cost of carving the cached per-channel partition that the
+/// channel-parallel replay consumes (the predecode build itself is
+/// excluded via pause/resume).
+void BM_PredecodePartitionByChannel(benchmark::State& state) {
+  const auto trace = make_trace(1024);
+  const auto config = memsim::make_dram_config(4, 666, 3000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto predecoded = memsim::PredecodedTrace::build(config, trace);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        &predecoded.partition_by_channel(config.channels));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_PredecodePartitionByChannel);
+
+/// Channel-parallel replay of a shared predecoded trace (partition
+/// already cached).  Speedup needs spare cores: on a single-core host
+/// this gauges the thread and merge overhead instead.
+void BM_MemorySimulationParallel(benchmark::State& state) {
+  const auto trace = make_trace(1024);
+  auto config = memsim::make_dram_config(4, 666, 3000);
+  config.sim.num_workers = static_cast<std::uint32_t>(state.range(0));
+  const auto predecoded = memsim::PredecodedTrace::build(config, trace);
+  predecoded.partition_by_channel(config.channels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memsim::MemorySystem::simulate(config, predecoded));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_MemorySimulationParallel)->Arg(1)->Arg(2)->Arg(4);
+
+/// Chunk-sampled estimate at 10% of 2000-event windows — the cheap
+/// screening tier, which should scale with the sampled fraction.
+void BM_MemorySimulationSampled(benchmark::State& state) {
+  const auto trace = make_trace(1024);
+  const auto config = memsim::make_dram_config(2, 666, 3000);
+  memsim::SpanChunkedTrace chunked(trace, 2000);
+  memsim::SampledSimOptions options;
+  options.fraction = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memsim::simulate_sampled(config, chunked, options));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_MemorySimulationSampled);
 
 void BM_TraceConverter(benchmark::State& state) {
   const auto trace = make_trace(1024);

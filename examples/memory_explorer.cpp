@@ -109,7 +109,16 @@ int main(int argc, char** argv) {
                   "per-point wall budget in milliseconds (0: unlimited)")
       .add_option("checkpoint", "",
                   "journal completed rows to this file (atomic rewrite)")
-      .add_flag("resume", "resume from an existing --checkpoint journal");
+      .add_flag("resume", "resume from an existing --checkpoint journal")
+      .add_option("sim-workers", "1",
+                  "channel-parallel threads per simulation (bit-identical; "
+                  "the point pool shrinks to compensate)")
+      .add_option("sample-fraction", "1.0",
+                  "chunk-sampled sweep: fraction of trace chunks per point "
+                  "(1.0 = exhaustive; hybrid points stay exhaustive)")
+      .add_option("sample-seed", "1", "seed of the sampled chunk subset")
+      .add_option("sample-chunk-events", "10000",
+                  "events per sampling window for in-memory traces");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -130,6 +139,12 @@ int main(int argc, char** argv) {
         std::chrono::milliseconds(cli.get_int("deadline-ms"));
     sweep.checkpoint_path = cli.get_string("checkpoint");
     sweep.resume = cli.get_flag("resume");
+    sweep.sim_workers =
+        static_cast<std::uint32_t>(cli.get_int("sim-workers"));
+    sweep.sample_fraction = cli.get_double("sample-fraction");
+    sweep.sample_seed = static_cast<std::uint64_t>(cli.get_int("sample-seed"));
+    sweep.sampling_chunk_events =
+        static_cast<std::size_t>(cli.get_int("sample-chunk-events"));
 
     const std::string trace_dir = cli.get_string("trace-dir");
     const std::string trace_format = cli.get_string("trace-format");
@@ -187,6 +202,14 @@ int main(int argc, char** argv) {
                 << m.avg_total_latency_cycles << std::setw(12)
                 << m.avg_reads_per_channel << std::setw(12)
                 << m.avg_writes_per_channel << "\n";
+      if (row.sampled()) {
+        const auto& ci = row.metric_ci;
+        std::cout << std::setprecision(1) << "  ci(95% joint): power ["
+                  << ci[0].lo << ", " << ci[0].hi << "] bw [" << ci[1].lo
+                  << ", " << ci[1].hi << "] lat [" << ci[2].lo << ", "
+                  << ci[2].hi << "] totlat [" << ci[3].lo << ", " << ci[3].hi
+                  << "]\n";
+      }
     }
     const dse::SweepHealth health = dse::summarize_health(rows);
     if (!health.all_ok()) {

@@ -16,6 +16,7 @@
 #include "gmd/memsim/config_io.hpp"
 #include "gmd/memsim/hybrid.hpp"
 #include "gmd/memsim/memory_system.hpp"
+#include "gmd/memsim/sampled.hpp"
 #include "gmd/trace/formats.hpp"
 #include "gmd/tracestore/reader.hpp"
 
@@ -34,7 +35,19 @@ int main(int argc, char** argv) {
       .add_option("trace-format", "text",
                   "trace container: text (NVMain) | gmdt (trace store)")
       .add_option("emit-config", "",
-                  "print a preset config (dram or nvm) to stdout and exit");
+                  "print a preset config (dram or nvm) to stdout and exit")
+      .add_option("sim-workers", "1",
+                  "channel-parallel simulation threads (bit-identical "
+                  "results; hybrid mode always runs serial)")
+      .add_option("sample-fraction", "1.0",
+                  "simulate only this fraction of trace chunks and report "
+                  "estimates with confidence intervals; 1.0 = exhaustive "
+                  "(single-technology configs only)")
+      .add_option("sample-seed", "1", "seed of the sampled chunk subset")
+      .add_option("sample-warmup-chunks", "1",
+                  "uncounted warmup chunks before each sampled window")
+      .add_option("sample-chunk-events", "10000",
+                  "events per sampling window");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -75,11 +88,17 @@ int main(int argc, char** argv) {
                       trace_format + "'");
     }
 
+    const double sample_fraction = cli.get_double("sample-fraction");
+    const bool sampling = sample_fraction < 1.0;
     memsim::MemoryMetrics metrics;
+    memsim::SampledMetrics sampled;
     std::string description;
     if (hybrid) {
       GMD_REQUIRE(!dram_path.empty() && !nvm_path.empty(),
                   "hybrid mode needs both --config-dram and --config-nvm");
+      GMD_REQUIRE(!sampling,
+                  "--sample-fraction < 1 supports single-technology configs "
+                  "only (hybrid migration state is whole-trace)");
       memsim::HybridConfig config;
       config.dram = memsim::load_config(dram_path);
       config.nvm = memsim::load_config(nvm_path);
@@ -88,8 +107,23 @@ int main(int argc, char** argv) {
       description = "hybrid (" + std::to_string(config.total_channels()) +
                     " channels)";
     } else {
-      const memsim::MemoryConfig config = memsim::load_config(config_path);
-      metrics = memsim::MemorySystem::simulate(config, events);
+      memsim::MemoryConfig config = memsim::load_config(config_path);
+      config.sim.num_workers =
+          static_cast<std::uint32_t>(cli.get_int("sim-workers"));
+      if (sampling) {
+        memsim::SpanChunkedTrace chunked(
+            events,
+            static_cast<std::size_t>(cli.get_int("sample-chunk-events")));
+        memsim::SampledSimOptions sopt;
+        sopt.fraction = sample_fraction;
+        sopt.seed = static_cast<std::uint64_t>(cli.get_int("sample-seed"));
+        sopt.warmup_chunks = static_cast<std::uint32_t>(
+            cli.get_int("sample-warmup-chunks"));
+        sampled = memsim::simulate_sampled(config, chunked, sopt);
+        metrics = sampled.estimate;
+      } else {
+        metrics = memsim::MemorySystem::simulate(config, events);
+      }
       description = config.name + " (" + memsim::to_string(config.device) +
                     ", " + std::to_string(config.channels) + " channels, " +
                     std::to_string(config.clock_mhz) + " MHz)";
@@ -97,6 +131,18 @@ int main(int argc, char** argv) {
     std::cout << "config: " << description << "\n"
               << "trace:  " << events.size() << " requests\n\n"
               << metrics.describe();
+    if (sampling) {
+      std::cout << "\nsampled: " << sampled.chunks_sampled << "/"
+                << sampled.chunks_total << " chunks ("
+                << sampled.events_measured << " measured events"
+                << (sampled.exhaustive ? ", exhaustive fallback" : "")
+                << "), 95% joint confidence intervals:\n";
+      const auto& names = memsim::MemoryMetrics::metric_names();
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        std::cout << "  " << names[i] << ": [" << sampled.ci[i].lo << ", "
+                  << sampled.ci[i].hi << "]\n";
+      }
+    }
     return 0;
   } catch (const Error& e) {
     std::cerr << "error [" << to_string(e.code()) << "]: " << e.what()

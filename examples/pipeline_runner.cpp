@@ -54,6 +54,13 @@ int main(int argc, char** argv) {
                   "fault injection: _Exit(137) after N sweep points start")
       .add_option("fail-stage", "",
                   "fault injection: throw right before this stage")
+      .add_option("sim-workers", "1",
+                  "channel-parallel threads per sweep simulation "
+                  "(bit-identical results)")
+      .add_option("sample-fraction", "1.0",
+                  "chunk-sampled sweep: fraction of store chunks per point "
+                  "(1.0 = exhaustive; changes the sweep stage identity)")
+      .add_option("sample-seed", "1", "seed of the sampled chunk subset")
       .add_flag("resume", "skip stages whose manifest entries verify")
       .add_flag("summary-only", "print only the one-line stage summary");
   try {
@@ -78,6 +85,11 @@ int main(int argc, char** argv) {
                                              : dse::reduced_design_space();
     // Survive injected per-point faults instead of aborting the sweep.
     options.sweep.failure_policy = dse::FailurePolicy::kRetry;
+    options.sweep.sim_workers =
+        static_cast<std::uint32_t>(cli.get_int("sim-workers"));
+    options.sweep.sample_fraction = cli.get_double("sample-fraction");
+    options.sweep.sample_seed =
+        static_cast<std::uint64_t>(cli.get_int("sample-seed"));
 
     const auto stage_budget =
         std::chrono::milliseconds(cli.get_int("stage-budget-ms"));

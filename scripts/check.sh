@@ -72,6 +72,29 @@ fi
 echo "killed-and-resumed pipeline matches the uninterrupted run bit for bit"
 
 echo
+echo "== channel-parallel equivalence + sampled-CI smoke =="
+"$BUILD_DIR/examples/memsim_cli" --emit-config dram > "$SMOKE_DIR/dram.cfg"
+# Serial and 4-worker runs of the same config + trace must print the
+# exact same metrics (channel-parallel replay is bit-identical).
+"$BUILD_DIR/examples/memsim_cli" --config "$SMOKE_DIR/dram.cfg" \
+  --trace "$SMOKE_DIR/smoke.nvmain.txt" > "$SMOKE_DIR/serial.out"
+"$BUILD_DIR/examples/memsim_cli" --config "$SMOKE_DIR/dram.cfg" \
+  --trace "$SMOKE_DIR/smoke.nvmain.txt" --sim-workers 4 \
+  > "$SMOKE_DIR/parallel.out"
+cmp "$SMOKE_DIR/serial.out" "$SMOKE_DIR/parallel.out"
+echo "4-worker metrics match serial bit for bit"
+# A sampled run must report confidence intervals for every metric.
+"$BUILD_DIR/examples/memsim_cli" --config "$SMOKE_DIR/dram.cfg" \
+  --trace "$SMOKE_DIR/smoke.nvmain.txt" --sample-fraction 0.5 \
+  --sample-chunk-events 500 > "$SMOKE_DIR/sampled.out"
+grep -q "joint confidence intervals" "$SMOKE_DIR/sampled.out"
+CI_LINES="$(grep -c '\[.*, .*\]' "$SMOKE_DIR/sampled.out")"
+if [ "$CI_LINES" -lt 6 ]; then
+  echo "expected >= 6 per-metric CI lines, got $CI_LINES" >&2; exit 1
+fi
+echo "sampled run reports per-metric confidence intervals"
+
+echo
 echo "== memsim microbenchmarks =="
 "$BUILD_DIR/bench/bench_micro" \
   --benchmark_filter='BM_MemorySimulation' --benchmark_min_time=2

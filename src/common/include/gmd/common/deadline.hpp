@@ -37,6 +37,13 @@ class Deadline {
         has_deadline_(true),
         parent_(parent) {}
 
+  /// Budget-less child token: fires only when `parent` does.  check()
+  /// amortizes clock reads through this object's own counter, so each
+  /// worker thread can poll a shared parent through its own child
+  /// without racing on the counter (cancelled()/expired_chain() on the
+  /// parent are thread-safe).  The parent must outlive this object.
+  explicit Deadline(const Deadline* parent) : parent_(parent) {}
+
   Deadline(const Deadline&) = delete;
   Deadline& operator=(const Deadline&) = delete;
 

@@ -10,6 +10,12 @@
 ///   gmd-sweep-journal v1 trace=<16-hex> points=<16-hex> count=<n>
 ///   row <index> <attempts> <8 u64 fields> <9 double fields> <nepochs>
 ///       [<epoch> <reads> <writes> <2 double fields> ...]
+///       [ci <k> <lo hi doubles ...>]
+///
+/// The `ci` trailer is present only on rows of a chunk-sampled sweep
+/// (SweepRow::metric_ci); a sampled sweep also mixes its sampling
+/// parameters into the points= hash, so sampled and exhaustive journals
+/// can never resume each other.
 ///
 /// The header hash pair is FNV-1a 64 over the trace events and over the
 /// design-point list; resume refuses a journal whose hashes or point

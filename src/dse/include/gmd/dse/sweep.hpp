@@ -29,6 +29,7 @@
 #include "gmd/cpusim/memory_event.hpp"
 #include "gmd/dse/design_point.hpp"
 #include "gmd/memsim/metrics.hpp"
+#include "gmd/memsim/sampled.hpp"
 
 namespace gmd::tracestore {
 class TraceStoreReader;
@@ -55,7 +56,15 @@ struct SweepRow {
   std::string error;         ///< One-line failure message; empty when ok.
   std::uint32_t attempts = 1;  ///< Simulation attempts made (retry policy).
 
+  /// Per-metric confidence intervals, indexed like
+  /// memsim::MemoryMetrics::metric_names(); non-empty exactly when the
+  /// row came from chunk-sampled simulation (then `metrics` holds the
+  /// scaled estimates).  A sampled sweep's hybrid points run exhaustive
+  /// and carry degenerate (point) intervals.
+  std::vector<memsim::MetricInterval> metric_ci;
+
   bool ok() const { return outcome == PointOutcome::kOk; }
+  bool sampled() const { return !metric_ci.empty(); }
 };
 
 /// What run_sweep does when a point fails.
@@ -85,6 +94,29 @@ struct SweepOptions {
   /// per-point work).  Off = predecode nothing and run every point
   /// through the raw event path, as a validation baseline.
   bool share_predecoded_traces = true;
+
+  // --- simulation speed tiers ------------------------------------------
+  /// Channel-parallel workers inside each single-technology simulation
+  /// (memsim::MemSimOptions::num_workers).  Results are bit-identical
+  /// at any worker count; the outer point pool is divided by this
+  /// factor so total thread pressure stays near num_threads.  Hybrid
+  /// points always replay serially (migration state is cross-channel).
+  std::uint32_t sim_workers = 1;
+  /// Fraction of trace chunks each single-technology point simulates,
+  /// in (0, 1].  1.0 (the default) = exhaustive.  Below 1, points run
+  /// chunk-sampled simulation: rows carry scaled estimates plus
+  /// confidence intervals (SweepRow::metric_ci), the journal persists
+  /// the intervals, and the sampling parameters below become part of
+  /// the journal identity.  Hybrid points are always exhaustive (logged
+  /// once per sweep).
+  double sample_fraction = 1.0;
+  /// Seed of the sampled chunk subset (deterministic per point).
+  std::uint64_t sample_seed = 1;
+  /// Warmup chunks replayed uncounted before each sampled window.
+  std::uint32_t sample_warmup_chunks = 1;
+  /// Window size in events when sampling an in-memory trace feed; a
+  /// GMDT store feed samples the store's native chunk index instead.
+  std::size_t sampling_chunk_events = 10000;
 
   // --- fault tolerance -------------------------------------------------
   FailurePolicy failure_policy = FailurePolicy::kFailFast;

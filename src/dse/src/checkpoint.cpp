@@ -202,6 +202,18 @@ std::vector<std::pair<std::size_t, SweepRow>> SweepJournal::load() {
       epoch.avg_total_latency_cycles = r.f64();
       epoch.bandwidth_mbs = r.f64();
     }
+    // Optional trailer: confidence intervals of a chunk-sampled row.
+    std::string trailer;
+    if (is >> trailer) {
+      GMD_REQUIRE_AS(ErrorCode::kIo, trailer == "ci",
+                     "corrupt sweep journal '" << path_ << "': unexpected '"
+                                               << trailer << "' trailer");
+      row.metric_ci.resize(r.u64());
+      for (auto& interval : row.metric_ci) {
+        interval.lo = r.f64();
+        interval.hi = r.f64();
+      }
+    }
     loaded.emplace_back(index, std::move(row));
   }
   entries_ = std::move(loaded);
@@ -245,6 +257,13 @@ void SweepJournal::flush_locked() {
             << epoch.writes;
         put_double(out, epoch.avg_total_latency_cycles);
         put_double(out, epoch.bandwidth_mbs);
+      }
+      if (!row.metric_ci.empty()) {
+        out << " ci " << row.metric_ci.size();
+        for (const auto& interval : row.metric_ci) {
+          put_double(out, interval.lo);
+          put_double(out, interval.hi);
+        }
       }
       out << '\n';
     }

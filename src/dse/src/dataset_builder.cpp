@@ -163,11 +163,29 @@ CsvTable sweep_to_table(std::span<const SweepRow> rows) {
   std::vector<std::string> columns = DesignPoint::feature_names();
   const auto& metrics = target_metric_names();
   columns.insert(columns.end(), metrics.begin(), metrics.end());
+  // Sampled sweeps get `<metric>_ci_lo` / `<metric>_ci_hi` columns after
+  // the metrics; exhaustive rows in such a table (hybrid points) carry
+  // degenerate intervals equal to the metric value.
+  const bool any_ci = std::any_of(rows.begin(), rows.end(),
+                                  [](const SweepRow& r) { return r.sampled(); });
+  if (any_ci) {
+    for (const std::string& name : metrics) {
+      columns.push_back(name + "_ci_lo");
+      columns.push_back(name + "_ci_hi");
+    }
+  }
   CsvTable table(columns);
   for (const SweepRow& row : rows) {
     std::vector<double> values = row.point.features();
     const std::vector<double> m = row.metrics.metric_values();
     values.insert(values.end(), m.begin(), m.end());
+    if (any_ci) {
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        const bool has = i < row.metric_ci.size();
+        values.push_back(has ? row.metric_ci[i].lo : m[i]);
+        values.push_back(has ? row.metric_ci[i].hi : m[i]);
+      }
+    }
     table.add_row(values);
   }
   return table;
@@ -203,6 +221,18 @@ std::vector<SweepRow> table_to_sweep(const CsvTable& table) {
     m.avg_reads_per_channel = table.at(r, "reads_per_channel");
     m.avg_writes_per_channel = table.at(r, "writes_per_channel");
     m.channels = p.channels;
+
+    // CI columns are optional — only tables written from sampled sweeps
+    // have them, and there every row (including exhaustive hybrids,
+    // whose intervals are points) carries one interval per metric.
+    const auto& names = target_metric_names();
+    if (table.has_column(names.front() + "_ci_lo")) {
+      row.metric_ci.resize(names.size());
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        row.metric_ci[i].lo = table.at(r, names[i] + "_ci_lo");
+        row.metric_ci[i].hi = table.at(r, names[i] + "_ci_hi");
+      }
+    }
     rows.push_back(std::move(row));
   }
   return rows;

@@ -11,17 +11,38 @@
 #include <unordered_map>
 #include <utility>
 
+#include "gmd/common/hash.hpp"
 #include "gmd/common/logging.hpp"
 #include "gmd/common/thread_pool.hpp"
 #include "gmd/dse/checkpoint.hpp"
 #include "gmd/memsim/hybrid.hpp"
 #include "gmd/memsim/memory_system.hpp"
 #include "gmd/memsim/predecoded_trace.hpp"
+#include "gmd/memsim/sampled.hpp"
 #include "gmd/tracestore/reader.hpp"
 
 namespace gmd::dse {
 
 namespace {
+
+/// memsim::ChunkedTrace over a GMDT store's native chunk index; decodes
+/// one chunk at a time into a reusable buffer (chunk-sized memory, like
+/// ChunkIterator, but with the random access sampling needs).
+class StoreChunkedTrace final : public memsim::ChunkedTrace {
+ public:
+  explicit StoreChunkedTrace(const tracestore::TraceStoreReader& store)
+      : store_(&store) {}
+
+  std::size_t num_chunks() const override { return store_->num_chunks(); }
+  std::span<const cpusim::MemoryEvent> chunk(std::size_t index) override {
+    store_->decode_chunk(index, buffer_);
+    return buffer_;
+  }
+
+ private:
+  const tracestore::TraceStoreReader* store_;
+  std::vector<cpusim::MemoryEvent> buffer_;
+};
 
 /// Uniform view over the two trace feeds (in-memory span / GMDT store).
 /// A store-fed sweep only decodes the full event vector when some point
@@ -59,6 +80,20 @@ class TraceAccess {
   /// The materialized view; empty unless materialize() ran (or the feed
   /// was a span to begin with).
   std::span<const cpusim::MemoryEvent> raw() const { return events_; }
+
+  /// Chunk view for sampled simulation: a store feed samples the GMDT
+  /// native chunk index (no materialization), an in-memory feed gets
+  /// fixed-size windows of `span_chunk_events`.  Returns a fresh object
+  /// per call — chunk() reuses an internal decode buffer, so concurrent
+  /// points must not share one.
+  std::unique_ptr<memsim::ChunkedTrace> chunked(
+      std::size_t span_chunk_events) const {
+    if (store_ != nullptr) {
+      return std::make_unique<StoreChunkedTrace>(*store_);
+    }
+    return std::make_unique<memsim::SpanChunkedTrace>(events_,
+                                                      span_chunk_events);
+  }
 
   /// Predecodes the whole trace for `config` without materializing:
   /// streams chunks off the store mapping when not yet materialized.
@@ -217,6 +252,13 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
                                      TraceAccess& access,
                                      const SweepOptions& options) {
   const bool fail_fast = options.failure_policy == FailurePolicy::kFailFast;
+  GMD_REQUIRE(options.sample_fraction > 0.0 && options.sample_fraction <= 1.0,
+              "sample_fraction must be in (0, 1], got "
+                  << options.sample_fraction);
+  GMD_REQUIRE(options.sampling_chunk_events > 0,
+              "sampling_chunk_events must be positive");
+  GMD_REQUIRE(options.sim_workers >= 1, "sim_workers must be >= 1");
+  const bool sampling = options.sample_fraction < 1.0;
   std::vector<SweepRow> rows(points.size());
 
   // Points with a terminal row before simulation starts: rejected by
@@ -246,8 +288,21 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
   // every newly completed row.
   std::unique_ptr<SweepJournal> journal;
   if (!options.checkpoint_path.empty()) {
-    journal = std::make_unique<SweepJournal>(options.checkpoint_path,
-                                             access.journal_key(points));
+    JournalKey key = access.journal_key(points);
+    if (sampling) {
+      // Sampled rows are estimates for a specific sampling geometry; a
+      // journal written under one (fraction, seed, warmup, chunking)
+      // must not resume a sweep under another — or an exhaustive one —
+      // so the sampling parameters join the journal identity.
+      Fnv1a h;
+      h.mix(key.points_hash);
+      h.mix_double(options.sample_fraction);
+      h.mix(options.sample_seed);
+      h.mix(options.sample_warmup_chunks);
+      h.mix(options.sampling_chunk_events);
+      key.points_hash = h.state;
+    }
+    journal = std::make_unique<SweepJournal>(options.checkpoint_path, key);
     if (options.resume) {
       // A journal that fails to load — truncated file, flipped header
       // byte, or a checksum from a different trace/point list — must
@@ -280,7 +335,17 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
     }
   }
 
-  ThreadPool pool(options.num_threads);
+  // Channel-parallel points multiply threads, so the outer point pool
+  // shrinks by the same factor to keep total concurrency near the
+  // requested level (oversubscribing the cores would serialize both
+  // tiers).
+  std::size_t pool_threads = options.num_threads;
+  if (options.sim_workers > 1) {
+    if (pool_threads == 0) pool_threads = std::thread::hardware_concurrency();
+    if (pool_threads == 0) pool_threads = 1;
+    pool_threads = std::max<std::size_t>(1, pool_threads / options.sim_workers);
+  }
+  ThreadPool pool(pool_threads);
 
   // Group points by decode geometry.  Decode (and, for static hybrids,
   // routing) depends only on the mapping geometry and clocks, so all
@@ -292,6 +357,10 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
     std::unordered_map<std::string, std::size_t> group_of_key;
     for (std::size_t i = 0; i < points.size(); ++i) {
       if (settled[i]) continue;  // nothing left to simulate
+      // Sampled single-technology points replay raw event chunks, not a
+      // predecoded whole-trace stream — a shared predecode would be
+      // wasted work for them.
+      if (sampling && points[i].kind != MemoryKind::kHybrid) continue;
       PointPlan& plan = plans[i];
       std::string key;
       bool is_hybrid = false;
@@ -319,12 +388,29 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
   // predecode below — materialize() uses the pool itself.
   bool need_raw = false;
   for (std::size_t i = 0; i < points.size() && !need_raw; ++i) {
-    need_raw = !settled[i] && plans[i].group == PointPlan::kNoGroup;
+    // Sampled single-technology points feed on chunks, never the raw
+    // event vector.
+    need_raw = !settled[i] && plans[i].group == PointPlan::kNoGroup &&
+               !(sampling && points[i].kind != MemoryKind::kHybrid);
   }
   for (const TraceGroup& group : groups) {
     need_raw = need_raw || group.is_hybrid;
   }
   if (need_raw) access.materialize(pool);
+
+  if (sampling) {
+    std::size_t hybrid_points = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (!settled[i] && points[i].kind == MemoryKind::kHybrid) {
+        ++hybrid_points;
+      }
+    }
+    if (hybrid_points > 0) {
+      GMD_LOG_INFO << "sweep sampling: " << hybrid_points
+                   << " hybrid points run exhaustively (migration state is "
+                      "whole-trace; their rows carry point intervals)";
+    }
+  }
 
   if (!groups.empty()) {
     // Predecode each group once, in parallel.
@@ -337,37 +423,72 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
         group.nvm_side = std::move(sides.second);
       } else {
         group.trace = access.predecode(plans[group.rep].single);
+        if (options.sim_workers > 1) {
+          // Build the per-channel partition here, inside the predecode
+          // stage, so the first batch of channel-parallel points doesn't
+          // all pile onto one lazy call_once.
+          group.trace.partition_by_channel(plans[group.rep].single.channels);
+        }
       }
     });
   }
 
   // One simulation attempt; `deadline` (nullable) rides in on a config
-  // copy and is polled by the channel service loops.
-  const auto run_point = [&](std::size_t i,
-                             Deadline* deadline) -> memsim::MemoryMetrics {
+  // copy and is polled by the channel service loops.  Fills row.metrics
+  // (and row.metric_ci for sampled points) directly.
+  const auto run_point = [&](std::size_t i, Deadline* deadline,
+                             SweepRow& row) {
     const PointPlan& plan = plans[i];
+    if (sampling && points[i].kind != MemoryKind::kHybrid) {
+      memsim::MemoryConfig config = points[i].single_config();
+      config.sim.deadline = deadline;
+      memsim::SampledSimOptions sopt;
+      sopt.fraction = options.sample_fraction;
+      sopt.seed = options.sample_seed;
+      sopt.warmup_chunks = options.sample_warmup_chunks;
+      const auto chunked = access.chunked(options.sampling_chunk_events);
+      const memsim::SampledMetrics sampled =
+          memsim::simulate_sampled(config, *chunked, sopt);
+      row.metrics = sampled.estimate;
+      row.metric_ci.assign(sampled.ci.begin(), sampled.ci.end());
+      return;
+    }
     if (plan.group == PointPlan::kNoGroup) {
       if (points[i].kind == MemoryKind::kHybrid) {
         memsim::HybridConfig config = points[i].hybrid_config();
         config.dram.sim.deadline = deadline;
         config.nvm.sim.deadline = deadline;
-        return memsim::HybridMemory::simulate(config, access.raw());
+        row.metrics = memsim::HybridMemory::simulate(config, access.raw());
+      } else {
+        memsim::MemoryConfig config = points[i].single_config();
+        config.sim.deadline = deadline;
+        config.sim.num_workers = options.sim_workers;
+        row.metrics = memsim::MemorySystem::simulate(config, access.raw());
       }
-      memsim::MemoryConfig config = points[i].single_config();
-      config.sim.deadline = deadline;
-      return memsim::MemorySystem::simulate(config, access.raw());
+    } else {
+      const TraceGroup& group = groups[plan.group];
+      if (group.is_hybrid) {
+        memsim::HybridConfig config = plan.hybrid;
+        config.dram.sim.deadline = deadline;
+        config.nvm.sim.deadline = deadline;
+        row.metrics = memsim::HybridMemory::simulate(config, group.dram_side,
+                                                     group.nvm_side);
+      } else {
+        memsim::MemoryConfig config = plan.single;
+        config.sim.deadline = deadline;
+        config.sim.num_workers = options.sim_workers;
+        row.metrics = memsim::MemorySystem::simulate(config, group.trace);
+      }
     }
-    const TraceGroup& group = groups[plan.group];
-    if (group.is_hybrid) {
-      memsim::HybridConfig config = plan.hybrid;
-      config.dram.sim.deadline = deadline;
-      config.nvm.sim.deadline = deadline;
-      return memsim::HybridMemory::simulate(config, group.dram_side,
-                                            group.nvm_side);
+    // A sampled sweep's exhaustive rows (hybrids) carry point intervals
+    // so every row of the sweep reports in the same shape.
+    if (sampling) {
+      const std::vector<double> values = row.metrics.metric_values();
+      row.metric_ci.resize(values.size());
+      for (std::size_t m = 0; m < values.size(); ++m) {
+        row.metric_ci[m] = {values[m], values[m]};
+      }
     }
-    memsim::MemoryConfig config = plan.single;
-    config.sim.deadline = deadline;
-    return memsim::MemorySystem::simulate(config, group.trace);
   };
 
   // Full per-point execution under the failure policy.
@@ -394,7 +515,7 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
           throw Error(ErrorCode::kCancelled, "sweep cancelled");
         }
         if (options.fault_hook) options.fault_hook(i, attempt);
-        row.metrics = run_point(i, deadline);
+        run_point(i, deadline, row);
         row.outcome = PointOutcome::kOk;
         row.error_code = ErrorCode::kUnspecified;
         row.error.clear();
@@ -411,6 +532,7 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
       }
       row.outcome = outcome_for(row.error_code);
       row.metrics = memsim::MemoryMetrics{};
+      row.metric_ci.clear();
       const bool retryable = options.failure_policy == FailurePolicy::kRetry &&
                              row.outcome == PointOutcome::kFailed &&
                              row.error_code != ErrorCode::kConfig &&

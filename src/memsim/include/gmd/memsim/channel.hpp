@@ -109,8 +109,22 @@ class Channel {
   /// Services every queued transaction.
   void drain();
 
+  /// Refreshes the derived fields of stats() (per-bank byte totals,
+  /// refresh count) from current bank state without servicing anything;
+  /// drain() ends with the same pass.  Lets a measurement window
+  /// snapshot a consistent serviced-requests-only baseline mid-run.
+  void sync_stats();
+
   const ChannelStats& stats() const { return stats_; }
   const std::vector<BankState>& banks() const { return banks_; }
+
+  /// Re-points the cooperative deadline this channel's service loops
+  /// poll (the channel owns its config copy, so the setting is per
+  /// channel).  The channel-parallel replay points each worker's
+  /// channels at that worker's own child token — Deadline::check() is
+  /// single-threaded, so workers must not share one.  nullptr disables
+  /// polling; the token must outlive the channel's last service call.
+  void set_deadline(Deadline* deadline) { config_.sim.deadline = deadline; }
 
   /// Per-rank activation-rate state (tRRD spacing, tFAW window).
   struct RankState {

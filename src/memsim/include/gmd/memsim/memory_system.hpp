@@ -36,16 +36,37 @@ class MemorySystem {
   /// produces results identical to replaying the raw events.
   void enqueue_predecoded(const PredecodedTrace& trace);
 
-  /// Drains all controllers and computes the final metrics.
+  /// Ends the warmup phase of a measured window (the sampled-simulation
+  /// path): snapshots per-channel counter baselines at the serviced
+  /// frontier and clears endurance tracking.  finish() then reports
+  /// metrics for the steady-state schedule inside the window — warmup
+  /// primes bank, row-buffer, refresh, and queue-backlog state without
+  /// being counted, and the queues are deliberately *not* drained at
+  /// either window edge (warmup requests completing in-window stand in
+  /// for the window's own still-queued tail, so the boundaries cancel
+  /// under a stationary backlog).  Callable at most once; requires
+  /// epoch_cycles == 0 (epoch series are whole-run).  When never
+  /// called, finish() is bit-identical to the unwindowed arithmetic
+  /// (baselines are all zero).
+  void begin_measurement();
+
+  /// Computes the final metrics.  Whole-trace runs drain every
+  /// controller first; measurement windows stop at the serviced
+  /// frontier instead (see begin_measurement()).
   MemoryMetrics finish();
 
-  /// One-shot convenience: simulate a whole trace.
+  /// One-shot convenience: simulate a whole trace.  With
+  /// config.sim.num_workers > 1 the trace is predecoded internally and
+  /// replayed channel-parallel (bit-identical to the serial run).
   static MemoryMetrics simulate(const MemoryConfig& config,
                                 std::span<const cpusim::MemoryEvent> trace);
 
   /// One-shot fast path over a shared predecoded trace — the sweep's
   /// hot loop, which skips per-config word splitting and address
-  /// decoding entirely.
+  /// decoding entirely.  With config.sim.num_workers > 1 the replay is
+  /// channel-parallel over trace.partition_by_channel(); results are
+  /// bit-identical to serial replay at any worker count (reference_mode
+  /// forces serial).
   static MemoryMetrics simulate(const MemoryConfig& config,
                                 const PredecodedTrace& trace);
 
@@ -57,11 +78,25 @@ class MemorySystem {
  private:
   void enqueue_word(std::uint64_t cycle, std::uint64_t address, bool is_write);
 
+  /// Channel-parallel replay: `workers` threads own disjoint channel
+  /// sets (round-robin by channel index), each enqueueing and draining
+  /// its channels from the trace's per-channel partition under its own
+  /// child Deadline.  Per-worker endurance counters merge in worker
+  /// order after the join.  Leaves every channel drained, so the
+  /// following finish() only assembles metrics.
+  void replay_parallel(const PredecodedTrace& trace, std::uint32_t workers);
+
   MemoryConfig config_;
   AddressDecoder decoder_;
   std::vector<Channel> channels_;
   TickConverter ticker_{config_};  ///< Per-event tick scaling.
   FlatCounter line_writes_;  ///< 64B-line write counts (endurance).
+  /// Per-channel counter baselines subtracted by finish().  All zero
+  /// until begin_measurement() snapshots the warmup totals; subtracting
+  /// zero is exact, so the unwindowed path's arithmetic is unchanged.
+  std::vector<ChannelStats> baseline_;
+  std::uint64_t measure_start_ = 0;  ///< Wall clock at window start.
+  bool measuring_ = false;
   bool finished_ = false;
 };
 

@@ -102,9 +102,15 @@ void Channel::drain() {
       service(pick_next());
     }
   }
+  sync_stats();
+}
+
+void Channel::sync_stats() {
   // Per-bank byte totals and the refresh count are pure functions of
-  // final bank state / wall clock: one pass here instead of bookkeeping
-  // on every retire.
+  // final bank state / wall clock: one pass here (and at the end of
+  // drain()) instead of bookkeeping on every retire.  Counts serviced
+  // requests only, which is exactly what a measurement-window baseline
+  // wants.
   for (std::size_t i = 0; i < banks_.size(); ++i) {
     stats_.bank_bytes[i] = banks_[i].bytes_transferred;
   }

@@ -1,10 +1,26 @@
 #include "gmd/memsim/memory_system.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
+#include <thread>
 
+#include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
 
 namespace gmd::memsim {
+
+namespace {
+
+/// Worker count the static simulate() entries actually use: capped at
+/// the channel count (a worker without channels is pure overhead) and
+/// forced serial under reference_mode.
+std::uint32_t parallel_workers(const MemoryConfig& config) {
+  if (config.sim.reference_mode) return 1;
+  return std::min(config.sim.num_workers, config.channels);
+}
+
+}  // namespace
 
 MemorySystem::MemorySystem(const MemoryConfig& config)
     : config_(config), decoder_(config) {
@@ -12,6 +28,11 @@ MemorySystem::MemorySystem(const MemoryConfig& config)
   channels_.reserve(config_.channels);
   for (std::uint32_t c = 0; c < config_.channels; ++c) {
     channels_.emplace_back(config_);
+  }
+  baseline_.resize(config_.channels);
+  for (ChannelStats& base : baseline_) {
+    base.bank_bytes.assign(
+        static_cast<std::size_t>(config_.ranks) * config_.banks, 0);
   }
 }
 
@@ -69,10 +90,47 @@ void MemorySystem::enqueue_predecoded(const PredecodedTrace& trace) {
   }
 }
 
+void MemorySystem::begin_measurement() {
+  GMD_REQUIRE(!finished_, "begin_measurement after finish()");
+  GMD_REQUIRE(!measuring_, "begin_measurement called twice");
+  GMD_REQUIRE(config_.epoch_cycles == 0,
+              "measurement windows don't support epoch series "
+              "(epoch_cycles must be 0)");
+  measuring_ = true;
+  // Deliberately no drain here (and none in finish() for a windowed
+  // run): the window measures the steady-state schedule.  Warmup
+  // requests still queued at this point get serviced — and counted —
+  // inside the window, and in exchange the window's own still-queued
+  // tail is left to the (never-simulated) successor window.  Under a
+  // stationary backlog the two boundaries cancel, which is what makes
+  // chunk-sampled estimates unbiased; draining either edge instead
+  // injects an O(queue_depth / chunk_events) bias into the latency
+  // metrics because a drained queue restarts from an artificial idle
+  // point.
+  std::uint64_t start = 0;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    channels_[c].sync_stats();
+    baseline_[c] = channels_[c].stats();
+    start = std::max(start, baseline_[c].last_completion);
+  }
+  measure_start_ = start;
+  line_writes_ = FlatCounter();
+}
+
 MemoryMetrics MemorySystem::finish() {
   GMD_REQUIRE(!finished_, "finish() called twice");
   finished_ = true;
-  for (Channel& channel : channels_) channel.drain();
+  // Whole-trace runs drain — every request must be accounted for.  A
+  // measurement window instead stops at the serviced frontier (see
+  // begin_measurement()): its queued tail belongs to the successor
+  // window, mirroring the backlog it inherited from warmup.
+  for (Channel& channel : channels_) {
+    if (measuring_) {
+      channel.sync_stats();
+    } else {
+      channel.drain();
+    }
+  }
 
   MemoryMetrics m;
   m.channels = config_.channels;
@@ -84,38 +142,49 @@ MemoryMetrics MemorySystem::finish() {
         std::max(last_completion, channel.stats().last_completion);
   }
   const double clock_hz = static_cast<double>(config_.clock_mhz) * 1e6;
+  // Everything below subtracts the measurement baselines, which stay
+  // all-zero unless begin_measurement() ran — subtracting zero from a
+  // u64 is exact, so the unwindowed arithmetic is unchanged.
   m.execution_seconds =
-      last_completion ? static_cast<double>(last_completion) / clock_hz : 0.0;
+      last_completion
+          ? static_cast<double>(last_completion - measure_start_) / clock_hz
+          : 0.0;
 
   std::uint64_t sum_service = 0;
   std::uint64_t sum_total = 0;
   double dynamic_nj = 0.0;
   double bank_bw_sum_mbs = 0.0;
   const EnergyParams& e = config_.energy;
-  for (const Channel& channel : channels_) {
-    const ChannelStats& s = channel.stats();
-    m.total_reads += s.reads;
-    m.total_writes += s.writes;
-    m.row_hits += s.row_hits;
-    m.row_misses += s.row_misses;
-    sum_service += s.sum_service_latency;
-    sum_total += s.sum_total_latency;
-    // Refresh count over the whole run, not just to this channel's own
-    // last completion (refresh runs as long as the system does).
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const ChannelStats& s = channels_[c].stats();
+    const ChannelStats& base = baseline_[c];
+    m.total_reads += s.reads - base.reads;
+    m.total_writes += s.writes - base.writes;
+    m.row_hits += s.row_hits - base.row_hits;
+    m.row_misses += s.row_misses - base.row_misses;
+    sum_service += s.sum_service_latency - base.sum_service_latency;
+    sum_total += s.sum_total_latency - base.sum_total_latency;
+    // Refresh count over the whole (windowed) run, not just to this
+    // channel's own last completion (refresh runs as long as the system
+    // does).
     const std::uint64_t refreshes =
         config_.timing.tREFI
-            ? last_completion / config_.timing.tREFI *
+            ? (last_completion / config_.timing.tREFI -
+               measure_start_ / config_.timing.tREFI) *
                   (static_cast<std::uint64_t>(config_.ranks) * config_.banks)
             : 0;
-    dynamic_nj += static_cast<double>(s.activations) * e.activate_nj +
-                  static_cast<double>(s.precharges) * e.precharge_nj +
-                  static_cast<double>(s.reads) * e.read_nj +
-                  static_cast<double>(s.writes) * e.write_nj +
+    dynamic_nj += static_cast<double>(s.activations - base.activations) *
+                      e.activate_nj +
+                  static_cast<double>(s.precharges - base.precharges) *
+                      e.precharge_nj +
+                  static_cast<double>(s.reads - base.reads) * e.read_nj +
+                  static_cast<double>(s.writes - base.writes) * e.write_nj +
                   static_cast<double>(refreshes) * e.refresh_nj;
     if (m.execution_seconds > 0.0) {
-      for (const std::uint64_t bytes : s.bank_bytes) {
+      for (std::size_t b = 0; b < s.bank_bytes.size(); ++b) {
         bank_bw_sum_mbs +=
-            static_cast<double>(bytes) / 1e6 / m.execution_seconds;
+            static_cast<double>(s.bank_bytes[b] - base.bank_bytes[b]) / 1e6 /
+            m.execution_seconds;
       }
     }
   }
@@ -188,8 +257,76 @@ MemoryMetrics MemorySystem::finish() {
   return m;
 }
 
+void MemorySystem::replay_parallel(const PredecodedTrace& trace,
+                                   std::uint32_t workers) {
+  GMD_REQUIRE(!finished_, "replay_parallel after finish()");
+  GMD_REQUIRE(trace.config_key == PredecodedTrace::key(config_),
+              "predecoded trace was built for a different decode geometry ('"
+                  << trace.config_key << "' vs '"
+                  << PredecodedTrace::key(config_) << "')");
+  GMD_ASSERT(workers >= 2 && workers <= config_.channels,
+             "replay_parallel worker count out of range");
+  const std::vector<ChannelSlice>& slices =
+      trace.partition_by_channel(config_.channels);
+
+  // Each worker polls the caller's deadline through its own budget-less
+  // child token: Deadline::check() is single-threaded, the parent's
+  // cancelled()/expired_chain() are not.
+  Deadline* const parent = config_.sim.deadline;
+  std::vector<std::unique_ptr<Deadline>> tokens(workers);
+  if (parent != nullptr) {
+    for (auto& token : tokens) token = std::make_unique<Deadline>(parent);
+  }
+  std::vector<FlatCounter> worker_lines(workers);
+  std::vector<std::exception_ptr> errors(workers);
+
+  const auto run_worker = [&](std::uint32_t w) noexcept {
+    try {
+      Deadline* const deadline = tokens[w].get();
+      FlatCounter& lines = worker_lines[w];
+      for (std::uint32_t c = w; c < config_.channels; c += workers) {
+        Channel& chan = channels_[c];
+        chan.set_deadline(deadline);
+        const ChannelSlice& slice = slices[c];
+        const std::size_t n = slice.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          // The channel only polls on queue-full back-pressure, which a
+          // short or bursty slice may never hit — poll here too so a
+          // point_wall_budget cancellation lands promptly.
+          if (deadline != nullptr && (i & 0xFFFu) == 0) deadline->check();
+          const Request& request = slice.request[i];
+          chan.enqueue_trusted(request);
+          if (request.is_write) lines.bump(slice.line[i]);
+        }
+        chan.drain();
+      }
+    } catch (...) {
+      errors[w] = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::uint32_t w = 1; w < workers; ++w) threads.emplace_back(run_worker, w);
+  run_worker(0);
+  for (std::thread& thread : threads) thread.join();
+
+  // Re-point the channels at the caller's token before anything can
+  // throw — the worker tokens die with this frame.
+  for (Channel& chan : channels_) chan.set_deadline(parent);
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  // Deterministic merge order (worker 0 first); max/size would come out
+  // identical under any order regardless.
+  for (const FlatCounter& lines : worker_lines) line_writes_.merge(lines);
+}
+
 MemoryMetrics MemorySystem::simulate(
     const MemoryConfig& config, std::span<const cpusim::MemoryEvent> trace) {
+  if (parallel_workers(config) > 1) {
+    return simulate(config, PredecodedTrace::build(config, trace));
+  }
   MemorySystem system(config);
   for (const auto& event : trace) system.enqueue_event(event);
   return system.finish();
@@ -198,7 +335,12 @@ MemoryMetrics MemorySystem::simulate(
 MemoryMetrics MemorySystem::simulate(const MemoryConfig& config,
                                      const PredecodedTrace& trace) {
   MemorySystem system(config);
-  system.enqueue_predecoded(trace);
+  const std::uint32_t workers = parallel_workers(config);
+  if (workers > 1) {
+    system.replay_parallel(trace, workers);
+  } else {
+    system.enqueue_predecoded(trace);
+  }
   return system.finish();
 }
 

@@ -189,6 +189,15 @@ PipelineResult run_pipeline(const PipelineOptions& options) {
     Fnv1a h;
     h.mix(store.content_checksum());
     h.mix(dse::points_checksum(points));
+    // The sampling geometry changes the labels, so it is part of the
+    // stage identity; sim_workers is not (channel-parallel replay is
+    // bit-identical to serial).
+    h.mix_double(options.sweep.sample_fraction);
+    if (options.sweep.sample_fraction < 1.0) {
+      h.mix(options.sweep.sample_seed);
+      h.mix(options.sweep.sample_warmup_chunks);
+      h.mix(options.sweep.sampling_chunk_events);
+    }
     run_stage(
         "sweep", h.state, options.budgets.sweep,
         [&](Deadline* deadline) -> std::vector<std::string> {

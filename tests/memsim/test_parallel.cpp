@@ -1,0 +1,233 @@
+/// Channel-parallel replay: golden equivalence against the serial fast
+/// path (the parallel path must make the *same* floating-point
+/// computations, so EXPECT_EQ on doubles), partition-accessor
+/// invariants, deadline behaviour inside worker loops, and the
+/// automatic serial fallback for hybrid configurations.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gmd/common/deadline.hpp"
+#include "gmd/common/error.hpp"
+#include "gmd/memsim/hybrid.hpp"
+#include "gmd/memsim/memory_system.hpp"
+
+namespace gmd::memsim {
+namespace {
+
+using cpusim::MemoryEvent;
+
+std::vector<MemoryEvent> mixed_trace(std::size_t n = 2000) {
+  // Same phase mix as the serial equivalence suite: streaming, strided,
+  // hot-cluster, and page-strided accesses with occasional wide (split)
+  // events.
+  std::vector<MemoryEvent> trace;
+  trace.reserve(n);
+  std::uint64_t tick = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tick += 3 + (i % 7) * 5;
+    std::uint64_t address;
+    switch (i % 4) {
+      case 0:
+        address = 0x100000 + i * 64;
+        break;
+      case 1:
+        address = 0x400000 + (i % 41) * 8192;
+        break;
+      case 2:
+        address = 0x800000 + (i % 13) * 64;
+        break;
+      default:
+        address = 0x200000 + (i % 29) * 4096;
+        break;
+    }
+    const std::uint32_t size = i % 5 == 0 ? 128 : 64;
+    trace.push_back({tick, address, size, i % 3 == 1});
+  }
+  return trace;
+}
+
+void expect_identical(const MemoryMetrics& a, const MemoryMetrics& b) {
+  EXPECT_EQ(a.metric_values(), b.metric_values());
+  EXPECT_EQ(a.total_reads, b.total_reads);
+  EXPECT_EQ(a.total_writes, b.total_writes);
+  EXPECT_EQ(a.row_hits, b.row_hits);
+  EXPECT_EQ(a.row_misses, b.row_misses);
+  EXPECT_EQ(a.execution_seconds, b.execution_seconds);
+  EXPECT_EQ(a.dynamic_energy_j, b.dynamic_energy_j);
+  EXPECT_EQ(a.background_energy_j, b.background_energy_j);
+  EXPECT_EQ(a.max_line_writes, b.max_line_writes);
+  EXPECT_EQ(a.unique_lines_written, b.unique_lines_written);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+}
+
+// Partition accessor ---------------------------------------------------
+
+TEST(ChannelPartition, CountsSumToTotalAndPreserveOrder) {
+  const MemoryConfig config = make_dram_config(4, 666, 3000);
+  const auto trace = mixed_trace();
+  const auto predecoded = PredecodedTrace::build(config, trace);
+
+  const auto counts = predecoded.channel_event_counts(config.channels);
+  ASSERT_EQ(counts.size(), config.channels);
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  EXPECT_EQ(total, predecoded.size());
+
+  const auto& slices = predecoded.partition_by_channel(config.channels);
+  ASSERT_EQ(slices.size(), config.channels);
+  // Each slice is that channel's subsequence of the serial stream, in
+  // original order.
+  std::vector<std::size_t> cursor(config.channels, 0);
+  for (std::size_t i = 0; i < predecoded.size(); ++i) {
+    const std::uint32_t c = predecoded.channel[i];
+    const std::size_t j = cursor[c]++;
+    ASSERT_LT(j, slices[c].size());
+    EXPECT_EQ(slices[c].request[j].arrival, predecoded.request[i].arrival);
+    EXPECT_EQ(slices[c].request[j].row, predecoded.request[i].row);
+    EXPECT_EQ(slices[c].line[j], predecoded.line[i]);
+  }
+  for (std::uint32_t c = 0; c < config.channels; ++c) {
+    EXPECT_EQ(cursor[c], counts[c]);
+    EXPECT_EQ(slices[c].size(), counts[c]);
+  }
+}
+
+TEST(ChannelPartition, RepeatedCallsReturnSameObject) {
+  const MemoryConfig config = make_dram_config(2, 666, 3000);
+  const auto predecoded = PredecodedTrace::build(config, mixed_trace(200));
+  const auto& first = predecoded.partition_by_channel(config.channels);
+  const auto& second = predecoded.partition_by_channel(config.channels);
+  EXPECT_EQ(&first, &second);
+  EXPECT_THROW(predecoded.partition_by_channel(config.channels + 1),
+               gmd::Error);
+}
+
+// Golden equivalence ---------------------------------------------------
+
+// Axes: (is_nvm, scheduling, page_policy, workers).
+using ParallelTuple =
+    std::tuple<bool, SchedulingPolicy, PagePolicy, std::uint32_t>;
+
+class ParallelVsSerial : public testing::TestWithParam<ParallelTuple> {};
+
+TEST_P(ParallelVsSerial, IdenticalMetrics) {
+  const auto [is_nvm, scheduling, page, workers] = GetParam();
+  MemoryConfig config = is_nvm ? make_nvm_config(4, 666, 3000, 40)
+                               : make_dram_config(4, 666, 3000);
+  config.scheduling = scheduling;
+  config.page_policy = page;
+  const auto trace = mixed_trace();
+  const auto predecoded = PredecodedTrace::build(config, trace);
+  const MemoryMetrics serial = MemorySystem::simulate(config, predecoded);
+  config.sim.num_workers = workers;
+  expect_identical(MemorySystem::simulate(config, predecoded), serial);
+  // The raw-span overload predecodes internally and must agree too.
+  expect_identical(MemorySystem::simulate(config, trace), serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyMatrix, ParallelVsSerial,
+    testing::Combine(testing::Bool(),
+                     testing::Values(SchedulingPolicy::kFcfs,
+                                     SchedulingPolicy::kFrFcfs),
+                     testing::Values(PagePolicy::kOpen, PagePolicy::kClosed),
+                     testing::Values(2u, 4u, 8u)),  // 8 > channels: capped
+    [](const testing::TestParamInfo<ParallelTuple>& info) {
+      std::string name = std::get<0>(info.param) ? "Nvm" : "Dram";
+      name += std::get<1>(info.param) == SchedulingPolicy::kFcfs ? "Fcfs"
+                                                                 : "FrFcfs";
+      name += std::get<2>(info.param) == PagePolicy::kOpen ? "Open"
+                                                           : "Closed";
+      name += "W" + std::to_string(std::get<3>(info.param));
+      return name;
+    });
+
+TEST(ParallelVsSerialExtra, RefreshAndRefMode) {
+  MemoryConfig config = make_dram_config(4, 666, 3000);
+  config.timing.tRFC = 160;
+  config.timing.tREFI = 2000;
+  const auto trace = mixed_trace();
+  const auto predecoded = PredecodedTrace::build(config, trace);
+  const MemoryMetrics serial = MemorySystem::simulate(config, predecoded);
+  config.sim.num_workers = 4;
+  expect_identical(MemorySystem::simulate(config, predecoded), serial);
+  // reference_mode forces the serial reference scheduler even with
+  // workers requested — the seed loop stays serial.
+  config.sim.reference_mode = true;
+  expect_identical(MemorySystem::simulate(config, predecoded), serial);
+}
+
+TEST(ParallelVsSerialExtra, SingleChannelStaysSerial) {
+  MemoryConfig config = make_dram_config(1, 400, 2000);
+  const auto trace = mixed_trace(500);
+  const auto predecoded = PredecodedTrace::build(config, trace);
+  const MemoryMetrics serial = MemorySystem::simulate(config, predecoded);
+  config.sim.num_workers = 4;  // capped at 1 channel -> serial
+  expect_identical(MemorySystem::simulate(config, predecoded), serial);
+}
+
+TEST(HybridParallelFallback, WorkersIgnoredIdenticalResults) {
+  HybridConfig config = make_hybrid_config(4, 666, 3000, 40);
+  const auto trace = mixed_trace();
+  const MemoryMetrics serial = HybridMemory::simulate(config, trace);
+  // Hybrid migration state is cross-channel, so the hybrid paths stay
+  // serial no matter what the sub-configs request.
+  config.dram.sim.num_workers = 4;
+  config.nvm.sim.num_workers = 4;
+  expect_identical(HybridMemory::simulate(config, trace), serial);
+  const auto [dram_side, nvm_side] = predecode_hybrid(config, trace);
+  expect_identical(HybridMemory::simulate(config, dram_side, nvm_side),
+                   serial);
+}
+
+// Deadlines in worker loops -------------------------------------------
+
+TEST(ParallelDeadline, CancellationFiresPromptly) {
+  MemoryConfig config = make_dram_config(4, 666, 3000);
+  const auto trace = mixed_trace(4000);
+  const auto predecoded = PredecodedTrace::build(config, trace);
+  Deadline deadline;  // budget-less: only cancel() fires
+  deadline.cancel();
+  config.sim.deadline = &deadline;
+  config.sim.num_workers = 4;
+  try {
+    MemorySystem::simulate(config, predecoded);
+    FAIL() << "cancelled simulation must not complete";
+  } catch (const gmd::Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kCancelled);
+  }
+}
+
+TEST(ParallelDeadline, ExpiredBudgetFires) {
+  MemoryConfig config = make_dram_config(4, 666, 3000);
+  // Deep queue so the serial path would only poll at drain; the worker
+  // loop's own polls must still catch the expiry mid-replay.
+  config.queue_depth = 48;
+  const auto trace = mixed_trace(20000);
+  const auto predecoded = PredecodedTrace::build(config, trace);
+  Deadline deadline(std::chrono::nanoseconds(0));  // already expired
+  config.sim.deadline = &deadline;
+  config.sim.num_workers = 2;
+  try {
+    MemorySystem::simulate(config, predecoded);
+    FAIL() << "expired simulation must not complete";
+  } catch (const gmd::Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kTimeout);
+  }
+}
+
+TEST(ParallelDeadline, UncancelledTokenDoesNotPerturbResults) {
+  MemoryConfig config = make_dram_config(4, 666, 3000);
+  const auto trace = mixed_trace();
+  const auto predecoded = PredecodedTrace::build(config, trace);
+  const MemoryMetrics serial = MemorySystem::simulate(config, predecoded);
+  Deadline deadline;
+  config.sim.deadline = &deadline;
+  config.sim.num_workers = 4;
+  expect_identical(MemorySystem::simulate(config, predecoded), serial);
+}
+
+}  // namespace
+}  // namespace gmd::memsim

@@ -1,0 +1,219 @@
+/// Chunk-sampled simulation: exhaustive anchor (a sample covering every
+/// chunk reproduces the exact full-trace metrics), determinism,
+/// deadline handling, and the statistical contract — across many seeds,
+/// the reported confidence intervals must contain the exhaustive metric
+/// at (at least) the configured rate.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "gmd/common/deadline.hpp"
+#include "gmd/common/error.hpp"
+#include "gmd/memsim/memory_system.hpp"
+#include "gmd/memsim/sampled.hpp"
+
+namespace gmd::memsim {
+namespace {
+
+using cpusim::MemoryEvent;
+
+/// Irregular trace with slow phase drift, so chunks differ (sampling has
+/// real variance to estimate) without any single chunk being wildly
+/// unrepresentative.
+std::vector<MemoryEvent> phased_trace(std::size_t n) {
+  std::vector<MemoryEvent> trace;
+  trace.reserve(n);
+  std::uint64_t tick = 0;
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t r = state >> 33;
+    tick += 2 + (r % 9);
+    const std::size_t phase = (i / 512) % 3;
+    std::uint64_t address;
+    if (phase == 0) {
+      address = 0x100000 + i * 64;  // streaming
+    } else if (phase == 1) {
+      address = 0x400000 + (r % 97) * 8192;  // scattered rows
+    } else {
+      address = 0x800000 + (r % 29) * 64;  // hot cluster
+    }
+    trace.push_back({tick, address, 64, r % 4 == 0});
+  }
+  return trace;
+}
+
+TEST(SpanChunkedTrace, ChunksTileTheSpan) {
+  const auto events = phased_trace(1050);
+  SpanChunkedTrace chunked(events, 100);
+  EXPECT_EQ(chunked.num_chunks(), 11u);
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < chunked.num_chunks(); ++k) {
+    const auto span = chunked.chunk(k);
+    EXPECT_EQ(span.front().tick, events[total].tick);
+    total += span.size();
+  }
+  EXPECT_EQ(total, events.size());
+  EXPECT_EQ(chunked.chunk(10).size(), 50u);
+  EXPECT_THROW(chunked.chunk(11), gmd::Error);
+}
+
+TEST(SampledSim, FullFractionIsExactExhaustiveRun) {
+  const MemoryConfig config = make_dram_config(2, 666, 3000);
+  const auto events = phased_trace(4000);
+  SpanChunkedTrace chunked(events, 500);
+  SampledSimOptions options;
+  options.fraction = 1.0;
+  const SampledMetrics sampled = simulate_sampled(config, chunked, options);
+  const MemoryMetrics exact = MemorySystem::simulate(config, events);
+  EXPECT_TRUE(sampled.exhaustive);
+  EXPECT_EQ(sampled.chunks_sampled, sampled.chunks_total);
+  EXPECT_EQ(sampled.estimate.metric_values(), exact.metric_values());
+  EXPECT_EQ(sampled.estimate.total_reads, exact.total_reads);
+  EXPECT_EQ(sampled.estimate.execution_seconds, exact.execution_seconds);
+  const auto values = exact.metric_values();
+  for (std::size_t i = 0; i < sampled.ci.size(); ++i) {
+    EXPECT_EQ(sampled.ci[i].lo, values[i]);
+    EXPECT_EQ(sampled.ci[i].hi, values[i]);
+  }
+}
+
+TEST(SampledSim, SmallTraceFallsBackToExhaustive) {
+  // min_sampled_chunks >= num_chunks forces the exact path.
+  const MemoryConfig config = make_dram_config(2, 666, 3000);
+  const auto events = phased_trace(900);
+  SpanChunkedTrace chunked(events, 300);
+  SampledSimOptions options;
+  options.fraction = 0.1;
+  const SampledMetrics sampled = simulate_sampled(config, chunked, options);
+  EXPECT_TRUE(sampled.exhaustive);
+}
+
+TEST(SampledSim, DeterministicForFixedSeed) {
+  const MemoryConfig config = make_nvm_config(2, 666, 3000, 40);
+  const auto events = phased_trace(20000);
+  SpanChunkedTrace chunked(events, 250);
+  SampledSimOptions options;
+  options.seed = 7;
+  const SampledMetrics a = simulate_sampled(config, chunked, options);
+  const SampledMetrics b = simulate_sampled(config, chunked, options);
+  EXPECT_EQ(a.estimate.metric_values(), b.estimate.metric_values());
+  EXPECT_EQ(a.chunks_sampled, b.chunks_sampled);
+  EXPECT_EQ(a.events_measured, b.events_measured);
+  for (std::size_t i = 0; i < a.ci.size(); ++i) {
+    EXPECT_EQ(a.ci[i].lo, b.ci[i].lo);
+    EXPECT_EQ(a.ci[i].hi, b.ci[i].hi);
+  }
+  options.seed = 8;
+  const SampledMetrics c = simulate_sampled(config, chunked, options);
+  EXPECT_FALSE(c.exhaustive);
+  EXPECT_NE(a.events_measured, 0u);
+  // A different seed picks a different subset (overwhelmingly likely),
+  // so at least one estimate should move.
+  EXPECT_NE(a.estimate.metric_values(), c.estimate.metric_values());
+}
+
+TEST(SampledSim, EstimatesLandNearTruth) {
+  const MemoryConfig config = make_dram_config(2, 666, 3000);
+  const auto events = phased_trace(40000);
+  const MemoryMetrics exact = MemorySystem::simulate(config, events);
+  SpanChunkedTrace chunked(events, 400);
+  SampledSimOptions options;
+  options.fraction = 0.2;
+  const SampledMetrics sampled = simulate_sampled(config, chunked, options);
+  EXPECT_FALSE(sampled.exhaustive);
+  EXPECT_LT(sampled.events_measured, events.size());
+  const auto truth = exact.metric_values();
+  const auto estimate = sampled.estimate.metric_values();
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(estimate[i], truth[i], 0.25 * truth[i] + 1e-12)
+        << MemoryMetrics::metric_names()[i];
+  }
+}
+
+TEST(SampledSim, CancelledDeadlineAborts) {
+  MemoryConfig config = make_dram_config(2, 666, 3000);
+  Deadline deadline;
+  deadline.cancel();
+  config.sim.deadline = &deadline;
+  const auto events = phased_trace(20000);
+  SpanChunkedTrace chunked(events, 250);
+  try {
+    simulate_sampled(config, chunked, SampledSimOptions{});
+    FAIL() << "cancelled sampled run must not complete";
+  } catch (const gmd::Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kCancelled);
+  }
+}
+
+TEST(SampledSim, RejectsBadOptions) {
+  SampledSimOptions options;
+  options.fraction = 0.0;
+  EXPECT_THROW(options.validate(), gmd::Error);
+  options.fraction = 0.1;
+  options.confidence = 1.0;
+  EXPECT_THROW(options.validate(), gmd::Error);
+}
+
+// Statistical contract -------------------------------------------------
+
+/// Coverage of the reported intervals across many seeds: for each
+/// (config, seed) pair count, per metric, whether the exhaustive value
+/// lies inside the CI.  `confidence` is a joint guarantee (Bonferroni
+/// across the six metrics), so both every per-metric rate and the
+/// all-six-at-once rate must reach the configured 95%.  The steady-state
+/// windows (no drain at window edges) are what keep the estimators
+/// unbiased enough for this to hold — see begin_measurement().
+TEST(SampledSimStatistics, IntervalsCoverExhaustiveMetrics) {
+  const std::size_t kSeeds = 60;
+  const std::vector<MemoryConfig> configs = {
+      make_dram_config(2, 666, 3000),
+      make_nvm_config(2, 666, 3000, 40),
+      make_nvm_config(4, 1250, 5000, 120),
+  };
+  const auto events = phased_trace(48000);
+  SampledSimOptions options;
+  options.fraction = 0.1;
+
+  const std::size_t num_metrics = MemoryMetrics::metric_names().size();
+  std::vector<std::size_t> covered(num_metrics, 0);
+  std::size_t pairs_all_covered = 0;
+
+  for (const MemoryConfig& config : configs) {
+    const MemoryMetrics exact = MemorySystem::simulate(config, events);
+    const auto truth = exact.metric_values();
+    SpanChunkedTrace chunked(events, 400);  // 120 chunks -> n = 12
+    for (std::size_t seed = 0; seed < kSeeds; ++seed) {
+      options.seed = seed + 1;
+      const SampledMetrics sampled =
+          simulate_sampled(config, chunked, options);
+      ASSERT_FALSE(sampled.exhaustive);
+      bool all = true;
+      for (std::size_t i = 0; i < num_metrics; ++i) {
+        const bool inside =
+            truth[i] >= sampled.ci[i].lo && truth[i] <= sampled.ci[i].hi;
+        if (inside) {
+          ++covered[i];
+        } else {
+          all = false;
+        }
+      }
+      if (all) ++pairs_all_covered;
+    }
+  }
+
+  const double trials = static_cast<double>(kSeeds * configs.size());
+  for (std::size_t i = 0; i < num_metrics; ++i) {
+    const double rate = static_cast<double>(covered[i]) / trials;
+    EXPECT_GE(rate, 0.95) << MemoryMetrics::metric_names()[i]
+                          << " coverage " << rate;
+  }
+  // Joint coverage (every metric of a pair inside its CI) is the
+  // acceptance criterion's phrasing.
+  EXPECT_GE(static_cast<double>(pairs_all_covered) / trials, 0.95);
+}
+
+}  // namespace
+}  // namespace gmd::memsim

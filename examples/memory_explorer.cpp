@@ -1,76 +1,69 @@
 /// \file memory_explorer.cpp
-/// The architect's view: sweep one design axis for a chosen workload
-/// and print a metric table per configuration — the interactive
-/// equivalent of reading one block of the paper's Figure 2.
+/// The architect's view: sweep one design axis (or a full design space)
+/// for a chosen workload and print a metric table per configuration —
+/// the interactive equivalent of reading one block of the paper's
+/// Figure 2.
 ///
 /// Usage: memory_explorer [--workload bfs|dobfs|pagerank|cc|sssp|triangles]
-///                        [--vertices N] [--axis ctrl|cpu|channels|trcd]
+///                        [--vertices N] [--space axis|reduced|paper]
+///                        [--axis ctrl|cpu|channels|trcd]
 ///                        [--kind dram|nvm|hybrid]
 ///                        [--trace-dir DIR] [--trace-format text|gmdt]
 ///                        [--policy failfast|skip|retry] [--retries N]
 ///                        [--deadline-ms N] [--checkpoint PATH] [--resume]
+///                        [--csv PATH]
 ///
 /// With --trace-dir the workload trace goes through the on-disk
 /// pipeline first (gem5 text, then the chosen container); the gmdt
 /// path feeds the sweep straight from the memory-mapped store.
+///
+/// Distributed mode (--run-dir DIR): the sweep executes as a
+/// lease-based multi-process run over a shared run directory.  The
+/// trace is published once as <run-dir>/trace.gmdt and every worker
+/// maps it read-only.
+///
+///   --run-dir DIR --distributed N   fork N workers, supervise them,
+///                                   survive (and respawn) dead ones
+///   --run-dir DIR --supervise-only  plan/monitor/merge only; point
+///                                   `sweep_worker --run-dir DIR` at the
+///                                   same directory from other processes
+///
+/// --kill-workers K --kill-after-points P makes the first K forked
+/// workers _Exit(137) (the SIGKILL stand-in) after journaling P points
+/// — the deterministic crash-recovery demo: the run still completes
+/// and the merged rows are bit-identical to a single-process sweep.
 
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "gmd/common/cli.hpp"
 #include "gmd/common/error.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/dse/dataset_builder.hpp"
+#include "gmd/dse/distributed.hpp"
 #include "gmd/dse/sweep.hpp"
 #include "gmd/dse/workflow.hpp"
 #include "gmd/trace/converter.hpp"
 #include "gmd/trace/formats.hpp"
 #include "gmd/tracestore/reader.hpp"
+#include "gmd/tracestore/writer.hpp"
 
 namespace {
 
 using namespace gmd;
 
-std::vector<dse::DesignPoint> axis_points(const std::string& axis,
-                                          dse::MemoryKind kind) {
-  std::vector<dse::DesignPoint> points;
-  dse::DesignPoint base;
-  base.kind = kind;
-  base.trcd = kind == dse::MemoryKind::kDram ? 9 : 50;
-  base.ctrl_freq_mhz = 666;
-  if (axis == "ctrl") {
-    for (const auto ctrl : memsim::paper_controller_frequencies_mhz()) {
-      dse::DesignPoint p = base;
-      p.ctrl_freq_mhz = ctrl;
-      if (kind != dse::MemoryKind::kDram)
-        p.trcd = memsim::nvm_trcd_set(ctrl)[2];
-      points.push_back(p);
-    }
-  } else if (axis == "cpu") {
-    for (const auto cpu : memsim::paper_cpu_frequencies_mhz()) {
-      dse::DesignPoint p = base;
-      p.cpu_freq_mhz = cpu;
-      points.push_back(p);
-    }
-  } else if (axis == "channels") {
-    for (const std::uint32_t ch : {2u, 4u, 8u}) {
-      dse::DesignPoint p = base;
-      p.channels = ch;
-      points.push_back(p);
-    }
-  } else if (axis == "trcd") {
-    GMD_REQUIRE(kind != dse::MemoryKind::kDram,
-                "tRCD axis applies to nvm/hybrid only");
-    for (const auto trcd : memsim::nvm_trcd_set(base.ctrl_freq_mhz)) {
-      dse::DesignPoint p = base;
-      p.trcd = trcd;
-      points.push_back(p);
-    }
-  } else {
-    throw Error("unknown axis '" + axis + "' (ctrl|cpu|channels|trcd)");
-  }
-  return points;
+std::vector<dse::DesignPoint> build_points(const std::string& space,
+                                           const std::string& axis,
+                                           dse::MemoryKind kind) {
+  if (space == "axis") return dse::axis_design_points(axis, kind);
+  if (space == "reduced") return dse::reduced_design_space();
+  if (space == "paper") return dse::paper_design_space();
+  throw Error(ErrorCode::kConfig,
+              "unknown space '" + space + "' (axis|reduced|paper)");
 }
 
 dse::FailurePolicy parse_policy(const std::string& policy) {
@@ -88,6 +81,26 @@ dse::MemoryKind parse_kind(const std::string& kind) {
   throw Error("unknown memory kind '" + kind + "'");
 }
 
+/// Publishes the trace as <run-dir>/trace.gmdt unless a readable store
+/// is already there (a resumed run reuses the published one, keeping
+/// the sweep identity stable across supervisor restarts).
+std::string publish_run_trace(const std::string& run_dir,
+                              std::span<const cpusim::MemoryEvent> trace) {
+  std::filesystem::create_directories(run_dir);
+  const std::string store_path = run_dir + "/trace.gmdt";
+  if (std::filesystem::exists(store_path)) {
+    try {
+      const tracestore::TraceStoreReader probe(store_path);
+      return store_path;  // complete store from a previous run
+    } catch (const Error&) {
+      std::cout << "rewriting unreadable trace store '" << store_path
+                << "'\n";
+    }
+  }
+  tracestore::write_trace_store(store_path, trace);
+  return store_path;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,6 +109,8 @@ int main(int argc, char** argv) {
   CliParser cli("memory_explorer", "sweep one memory design axis");
   cli.add_option("workload", "bfs", "bfs | dobfs | pagerank | cc | sssp | triangles")
       .add_option("vertices", "256", "graph size")
+      .add_option("space", "axis",
+                  "point set: axis (one --axis slice) | reduced | paper")
       .add_option("axis", "ctrl", "axis to sweep: ctrl | cpu | channels | trcd")
       .add_option("kind", "nvm", "memory technology: dram | nvm | hybrid")
       .add_option("trace-dir", "",
@@ -118,7 +133,22 @@ int main(int argc, char** argv) {
                   "(1.0 = exhaustive; hybrid points stay exhaustive)")
       .add_option("sample-seed", "1", "seed of the sampled chunk subset")
       .add_option("sample-chunk-events", "10000",
-                  "events per sampling window for in-memory traces");
+                  "events per sampling window for in-memory traces")
+      .add_option("csv", "", "also save ok rows as a CSV table here")
+      .add_option("run-dir", "",
+                  "distributed mode: shared run directory (leases, "
+                  "journals, trace.gmdt)")
+      .add_option("distributed", "4",
+                  "worker processes to fork under --run-dir")
+      .add_flag("supervise-only",
+                "plan/monitor/merge only; workers join via sweep_worker")
+      .add_option("shard-points", "16", "points per claimable shard")
+      .add_option("lease-ttl-ms", "2000",
+                  "expire a lease whose heartbeat stalls this long")
+      .add_option("kill-workers", "0",
+                  "fault injection: this many forked workers _Exit(137)")
+      .add_option("kill-after-points", "0",
+                  "fault injection: ...after journaling this many points");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -129,8 +159,9 @@ int main(int argc, char** argv) {
     std::cout << "workload '" << config.workload << "': " << trace.size()
               << " memory events\n\n";
 
-    const auto points =
-        axis_points(cli.get_string("axis"), parse_kind(cli.get_string("kind")));
+    const auto points = build_points(cli.get_string("space"),
+                                     cli.get_string("axis"),
+                                     parse_kind(cli.get_string("kind")));
     dse::SweepOptions sweep;
     sweep.failure_policy = parse_policy(cli.get_string("policy"));
     sweep.max_attempts =
@@ -146,10 +177,45 @@ int main(int argc, char** argv) {
     sweep.sampling_chunk_events =
         static_cast<std::size_t>(cli.get_int("sample-chunk-events"));
 
+    const std::string run_dir = cli.get_string("run-dir");
     const std::string trace_dir = cli.get_string("trace-dir");
-    const std::string trace_format = cli.get_string("trace-format");
     std::vector<dse::SweepRow> rows;
-    if (trace_dir.empty()) {
+    if (!run_dir.empty()) {
+      // --- distributed: lease-based multi-process run ------------------
+      const std::string store_path = publish_run_trace(run_dir, trace);
+      const tracestore::TraceStoreReader store(store_path);
+      std::cout << "run dir '" << run_dir << "': " << points.size()
+                << " points, trace store " << store.num_chunks()
+                << " chunks\n";
+
+      dse::DistributedStats stats;
+      if (cli.get_flag("supervise-only")) {
+        dse::SupervisorOptions sup;
+        sup.shard_size = static_cast<std::size_t>(cli.get_int("shard-points"));
+        sup.lease_ttl =
+            std::chrono::milliseconds(cli.get_int("lease-ttl-ms"));
+        const dse::JournalKey key = dse::sweep_identity(
+            dse::make_journal_key(points, store), sweep);
+        rows = dse::supervise({run_dir}, points, key, sup, &stats);
+      } else {
+        dse::DistributedSweepOptions dist;
+        dist.num_workers =
+            static_cast<std::size_t>(cli.get_int("distributed"));
+        dist.shard_size = static_cast<std::size_t>(cli.get_int("shard-points"));
+        dist.lease_ttl = std::chrono::milliseconds(cli.get_int("lease-ttl-ms"));
+        dist.kill_workers =
+            static_cast<std::size_t>(cli.get_int("kill-workers"));
+        dist.kill_after_points =
+            static_cast<std::size_t>(cli.get_int("kill-after-points"));
+        rows = dse::run_sweep_distributed(points, store, run_dir, sweep, dist,
+                                          &stats);
+      }
+      std::cout << "distributed: " << stats.shards << " shards, "
+                << stats.tasks_issued << " tasks issued, "
+                << stats.leases_expired << " leases expired, "
+                << stats.workers_respawned << " workers respawned, "
+                << stats.duplicate_rows << " duplicate rows merged\n\n";
+    } else if (trace_dir.empty()) {
       rows = dse::run_sweep(points, trace, sweep);
     } else {
       std::filesystem::create_directories(trace_dir);
@@ -160,6 +226,7 @@ int main(int argc, char** argv) {
         trace::Gem5TraceWriter writer(out);
         for (const auto& event : trace) writer.on_event(event);
       }
+      const std::string trace_format = cli.get_string("trace-format");
       if (trace_format == "gmdt") {
         const std::string store_path = trace_dir + "/explorer.gmdt";
         trace::convert_gem5_to_gmdt(gem5_path, store_path);
@@ -210,6 +277,18 @@ int main(int argc, char** argv) {
                   << ci[2].hi << "] totlat [" << ci[3].lo << ", " << ci[3].hi
                   << "]\n";
       }
+    }
+    const std::string csv = cli.get_string("csv");
+    if (!csv.empty()) {
+      std::vector<dse::SweepRow> ok_rows;
+      for (const auto& row : rows) {
+        if (row.ok()) ok_rows.push_back(row);
+      }
+      // Same writer as the pipeline and the distributed supervisor, so
+      // this CSV is byte-comparable against a run directory's sweep.csv.
+      dse::sweep_to_table(ok_rows).save(csv);
+      std::cout << "\nsaved " << ok_rows.size() << " ok rows to '" << csv
+                << "'\n";
     }
     const dse::SweepHealth health = dse::summarize_health(rows);
     if (!health.all_ok()) {

@@ -57,6 +57,10 @@ int main(int argc, char** argv) {
       .add_option("sim-workers", "1",
                   "channel-parallel threads per sweep simulation "
                   "(bit-identical results)")
+      .add_option("sweep-processes", "0",
+                  "worker PROCESSES for the sweep stage (0 = in-process; "
+                  ">0 runs the lease-based distributed sweep, which "
+                  "survives SIGKILLed workers)")
       .add_option("sample-fraction", "1.0",
                   "chunk-sampled sweep: fraction of store chunks per point "
                   "(1.0 = exhaustive; changes the sweep stage identity)")
@@ -87,6 +91,8 @@ int main(int argc, char** argv) {
     options.sweep.failure_policy = dse::FailurePolicy::kRetry;
     options.sweep.sim_workers =
         static_cast<std::uint32_t>(cli.get_int("sim-workers"));
+    options.sweep_processes =
+        static_cast<std::size_t>(cli.get_int("sweep-processes"));
     options.sweep.sample_fraction = cli.get_double("sample-fraction");
     options.sweep.sample_seed =
         static_cast<std::uint64_t>(cli.get_int("sample-seed"));

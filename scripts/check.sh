@@ -72,6 +72,45 @@ fi
 echo "killed-and-resumed pipeline matches the uninterrupted run bit for bit"
 
 echo
+echo "== distributed sweep kill-worker smoke =="
+# Single-process reference CSV over the full 416-point paper grid.
+"$BUILD_DIR/examples/memory_explorer" --vertices 96 --space paper \
+  --policy retry --csv "$SMOKE_DIR/single-sweep.csv" > /dev/null
+# Lease-sharded run: 4 forked workers, two of which _Exit(137) (the
+# SIGKILL stand-in — no destructors, no flushes) after 10 journaled
+# points; the supervisor reaps and respawns them mid-run.
+"$BUILD_DIR/examples/memory_explorer" --vertices 96 --space paper \
+  --policy retry --run-dir "$SMOKE_DIR/dist-forked" --distributed 4 \
+  --shard-points 8 --lease-ttl-ms 1000 --kill-workers 2 \
+  --kill-after-points 10 > /dev/null
+cmp "$SMOKE_DIR/single-sweep.csv" "$SMOKE_DIR/dist-forked/sweep.csv"
+echo "4-worker run with two SIGKILLed workers matches single-process bit for bit"
+# External supervisor + worker processes: two workers die mid-run, a
+# replacement restarted under a dead worker's id adopts its journal.
+timeout 300 "$BUILD_DIR/examples/memory_explorer" --vertices 96 --space paper \
+  --run-dir "$SMOKE_DIR/dist-ext" --supervise-only --shard-points 8 \
+  --lease-ttl-ms 1000 > /dev/null & SUP_PID=$!
+WORKER="$BUILD_DIR/examples/sweep_worker"
+"$WORKER" --run-dir "$SMOKE_DIR/dist-ext" --space paper --worker w1 \
+  > /dev/null &
+"$WORKER" --run-dir "$SMOKE_DIR/dist-ext" --space paper --worker w2 \
+  --exit-after-points 5 > /dev/null & W2_PID=$!
+"$WORKER" --run-dir "$SMOKE_DIR/dist-ext" --space paper --worker w3 \
+  --exit-after-points 5 > /dev/null & W3_PID=$!
+if wait "$W2_PID"; then
+  echo "expected worker w2 to be killed mid-run" >&2; exit 1
+fi
+if wait "$W3_PID"; then
+  echo "expected worker w3 to be killed mid-run" >&2; exit 1
+fi
+"$WORKER" --run-dir "$SMOKE_DIR/dist-ext" --space paper --worker w2 \
+  > /dev/null &
+wait "$SUP_PID"
+cmp "$SMOKE_DIR/single-sweep.csv" "$SMOKE_DIR/dist-ext/sweep.csv"
+wait
+echo "supervised run with killed-and-resumed workers matches bit for bit"
+
+echo
 echo "== channel-parallel equivalence + sampled-CI smoke =="
 "$BUILD_DIR/examples/memsim_cli" --emit-config dram > "$SMOKE_DIR/dram.cfg"
 # Serial and 4-worker runs of the same config + trace must print the

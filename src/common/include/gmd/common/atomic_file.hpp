@@ -77,4 +77,18 @@ std::uint64_t fnv1a_file(const std::string& path);
 /// directory yields 0.
 std::size_t remove_stale_temp_files(const std::string& dir);
 
+/// Atomic claim by rename: moves `from` over `to` and reports whether
+/// THIS call won.  rename(2) is atomic and consumes the source, so of N
+/// concurrent claimants of the same `from` exactly one gets true; the
+/// losers see the source vanish and get false.  This is the mutual-
+/// exclusion primitive of the distributed sweep's lease protocol (a
+/// task file can only be renamed into the lease directory once per
+/// generation).  Throws Error(kIo) on any failure other than the
+/// source disappearing.  Requires both paths on one filesystem.
+bool atomic_rename_claim(const std::string& from, const std::string& to);
+
+/// Best-effort unlink; true when the file existed and was removed.
+/// Never throws — a missing file is the desired end state.
+bool remove_file_if_exists(const std::string& path) noexcept;
+
 }  // namespace gmd

@@ -29,10 +29,12 @@ enum class ErrorCode {
   kTimeout,      ///< A deadline/budget expired (see gmd::Deadline).
   kCancelled,    ///< Cooperative cancellation was requested.
   kInvalidData,  ///< Non-finite or semantically invalid data values.
+  kLeaseConflict,  ///< A distributed-sweep shard is already leased.
+  kLeaseExpired,   ///< A held lease was expired/stolen by the supervisor.
 };
 
 /// Largest ErrorCode enum value, for code-indexed tally tables.
-inline constexpr ErrorCode kLastErrorCode = ErrorCode::kInvalidData;
+inline constexpr ErrorCode kLastErrorCode = ErrorCode::kLeaseExpired;
 
 std::string_view to_string(ErrorCode code);
 
@@ -67,6 +69,10 @@ inline std::string_view to_string(ErrorCode code) {
       return "cancelled";
     case ErrorCode::kInvalidData:
       return "invalid-data";
+    case ErrorCode::kLeaseConflict:
+      return "lease-conflict";
+    case ErrorCode::kLeaseExpired:
+      return "lease-expired";
   }
   return "?";
 }

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file heartbeat.hpp
+/// Liveness primitives for multi-process coordination (the distributed
+/// sweep's lease protocol).  A worker proves it is alive by stamping a
+/// monotonically increasing beat counter into its lease file; the
+/// supervisor decides staleness by watching the stamped value for
+/// *change* against its own steady clock.  No cross-process clock
+/// comparison ever happens, so skewed, stepped, or frozen wall clocks
+/// can never expire a healthy worker — only a worker that stopped
+/// writing can go stale.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace gmd {
+
+/// Wall-clock nanoseconds since the Unix epoch.  Informational only
+/// (human-readable stamps in lease files); expiry decisions use
+/// StalenessTracker's steady clock instead.
+inline std::uint64_t wall_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Tracks, per key, the last observed value and when (on this process's
+/// steady clock) it last changed.  The supervisor observes each lease's
+/// content hash every poll; stale(key, ttl) answers "has this stopped
+/// moving for at least ttl?".  Not thread-safe — one monitor loop owns
+/// it.
+class StalenessTracker {
+ public:
+  /// Records an observation.  Returns true when the value changed since
+  /// the last observation (a new key counts as changed).
+  bool observe(const std::string& key, std::uint64_t value) {
+    const auto now = std::chrono::steady_clock::now();
+    auto [it, inserted] = entries_.try_emplace(key, Entry{value, now});
+    if (inserted) return true;
+    if (it->second.value != value) {
+      it->second.value = value;
+      it->second.changed = now;
+      return true;
+    }
+    return false;
+  }
+
+  /// True when `key` has been observed and its value has not changed
+  /// for at least `ttl`.  An unobserved key is never stale (it gets a
+  /// full ttl of grace starting at its first observation).
+  bool stale(const std::string& key, std::chrono::milliseconds ttl) const {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    return std::chrono::steady_clock::now() - it->second.changed >= ttl;
+  }
+
+  /// Drops `key` (its lease completed or was expired); the next
+  /// observation starts a fresh grace period.
+  void forget(const std::string& key) { entries_.erase(key); }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t value;
+    std::chrono::steady_clock::time_point changed;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace gmd

@@ -106,6 +106,32 @@ std::uint64_t fnv1a_file(const std::string& path) {
   return hash.state;
 }
 
+bool atomic_rename_claim(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (!ec) {
+    sync_parent_dir(to);
+    return true;
+  }
+  // The source vanishing between scan and rename is the normal lost-race
+  // outcome: another claimant's rename consumed it first.  ENOENT with
+  // the source still present means the DESTINATION is unreachable (its
+  // directory is missing) — a setup bug, not a race, so it throws.
+  if (ec == std::errc::no_such_file_or_directory &&
+      !std::filesystem::exists(from)) {
+    return false;
+  }
+  GMD_REQUIRE_AS(ErrorCode::kIo, false,
+                 "cannot rename '" << from << "' to '" << to
+                                   << "': " << ec.message());
+  return false;  // unreachable
+}
+
+bool remove_file_if_exists(const std::string& path) noexcept {
+  std::error_code ec;
+  return std::filesystem::remove(path, ec) && !ec;
+}
+
 std::size_t remove_stale_temp_files(const std::string& dir) {
   std::error_code ec;
   if (!std::filesystem::is_directory(dir, ec)) return 0;

@@ -7,15 +7,27 @@
 ///
 /// File format (plain text, one record per line):
 ///
-///   gmd-sweep-journal v1 trace=<16-hex> points=<16-hex> count=<n>
+///   gmd-sweep-journal v1 trace=<16-hex> points=<16-hex> count=<n> [owner=<id>]
 ///   row <index> <attempts> <8 u64 fields> <9 double fields> <nepochs>
 ///       [<epoch> <reads> <writes> <2 double fields> ...]
 ///       [ci <k> <lo hi doubles ...>]
+///   fail <index> <attempts> <code> <outcome> [message...]
 ///
 /// The `ci` trailer is present only on rows of a chunk-sampled sweep
 /// (SweepRow::metric_ci); a sampled sweep also mixes its sampling
 /// parameters into the points= hash, so sampled and exhaustive journals
 /// can never resume each other.
+///
+/// The optional `owner=` header token namespaces per-worker journals in
+/// a distributed sweep run: every worker writes its own journal file
+/// (single writer per file, so the atomic-rewrite protocol needs no
+/// cross-process locking) and the supervisor merges them by point
+/// index.  `fail` records mark points that reached a terminal non-ok
+/// outcome — distributed workers persist them so the supervisor can
+/// tell "this point failed" from "this point was never run" and never
+/// re-issues a deterministically failing shard forever.  Single-process
+/// sweeps journal only ok rows (failures re-simulate on resume),
+/// exactly as before.
 ///
 /// The header hash pair is FNV-1a 64 over the trace events and over the
 /// design-point list; resume refuses a journal whose hashes or point
@@ -24,7 +36,10 @@
 /// the rows an uninterrupted sweep would have produced.  Every flush
 /// rewrites the whole journal through gmd::atomic_write_file (temp,
 /// fsync, rename) — a crash mid-write can never leave a torn journal,
-/// only the previous consistent one.
+/// only the previous consistent one.  A zero-length journal, or one
+/// holding a single torn line (a crash during the very first append on
+/// a filesystem without atomic rename durability), loads as empty with
+/// a warning rather than a parse error.
 
 #include <cstddef>
 #include <cstdint>
@@ -73,40 +88,73 @@ std::uint64_t trace_checksum(const tracestore::TraceStoreReader& store);
 JournalKey make_journal_key(std::span<const DesignPoint> points,
                             const tracestore::TraceStoreReader& store);
 
+/// The identity a sweep invocation actually journals under: `base` as
+/// computed by make_journal_key, with the sampling geometry (fraction,
+/// seed, warmup, chunking) mixed into points_hash when `options`
+/// samples.  Sampled rows are estimates for one specific geometry, so a
+/// journal written under one geometry — or an exhaustive one — must
+/// never resume another.  Single-process checkpointing and the
+/// distributed run directory both key off this, which is what makes a
+/// distributed run resumable against the same identity rules.
+JournalKey sweep_identity(JournalKey base, const SweepOptions& options);
+
 /// Append-only journal of completed (ok) sweep rows.  Thread-safe:
 /// sweep workers record rows concurrently; each record is flushed with
 /// an atomic temp-then-rename rewrite.
 class SweepJournal {
  public:
   /// Binds the journal to `path` for the sweep identified by `key`.
+  /// A non-empty `owner` (a distributed worker id) is written into the
+  /// header as a namespace tag; it does not affect load() matching.
   /// Nothing is written until the first record().
-  SweepJournal(std::string path, const JournalKey& key);
+  SweepJournal(std::string path, const JournalKey& key,
+               std::string owner = {});
 
-  /// Reads an existing journal at `path` and returns its completed rows
-  /// as (point index, row) pairs; the loaded entries are retained so
-  /// later flushes preserve them.  A missing file yields an empty
-  /// result.  Throws Error(kConfig) when the header does not match
-  /// `key` (wrong trace, wrong point list) and Error(kIo) on a
-  /// corrupted or unreadable journal; on throw no entries are retained,
-  /// so a caller that catches and continues starts from scratch and the
-  /// next record() rewrites a consistent journal.
+  /// Reads an existing journal at `path` and returns its terminal rows
+  /// as (point index, row) pairs — ok rows plus any `fail` records; the
+  /// loaded entries are retained so later flushes preserve them.  A
+  /// missing file yields an empty result; so do a zero-length file and
+  /// a single torn line (a crash during the first append), each with a
+  /// GMD_LOG_WARN.  Throws Error(kConfig) when the header does not
+  /// match `key` (wrong trace, wrong point list) and Error(kIo) on a
+  /// corrupted journal (valid header, rotten records); on throw no
+  /// entries are retained, so a caller that catches and continues
+  /// starts from scratch and the next record() rewrites a consistent
+  /// journal.
   std::vector<std::pair<std::size_t, SweepRow>> load();
 
-  /// Records one completed row and flushes the journal atomically.
+  /// Records one terminal row and flushes the journal atomically.  An
+  /// ok row becomes a `row` record; a failed/timed-out row becomes a
+  /// `fail` record (outcome, code, and message survive the round trip).
   void record(std::size_t index, const SweepRow& row);
 
   /// Number of rows currently journaled.
   std::size_t size() const;
 
   const std::string& path() const { return path_; }
+  const std::string& owner() const { return owner_; }
 
  private:
   void flush_locked();  ///< Rewrite temp file + rename; mutex_ held.
 
   std::string path_;
   JournalKey key_;
+  std::string owner_;
   mutable std::mutex mutex_;
   std::vector<std::pair<std::size_t, SweepRow>> entries_;  // metrics + attempts
 };
+
+/// Tolerant read of a (possibly foreign, possibly rotten) journal, for
+/// the distributed supervisor and workers scanning each other's files:
+/// a journal that fails to load for ANY reason — corrupt, truncated,
+/// written for a different sweep — yields no rows plus the typed
+/// failure message in `warning`, never a throw.  Lost rows are simply
+/// re-issued work.
+struct JournalScan {
+  std::vector<std::pair<std::size_t, SweepRow>> rows;
+  std::string warning;  ///< Empty when the journal loaded cleanly.
+};
+
+JournalScan scan_journal(const std::string& path, const JournalKey& key);
 
 }  // namespace gmd::dse

@@ -5,6 +5,7 @@
 /// parameter-grid helpers for custom explorations.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gmd/dse/design_point.hpp"
@@ -21,6 +22,14 @@ std::vector<DesignPoint> paper_design_space();
 /// A reduced grid (one tRCD per controller frequency — the middle of
 /// the paper's set) for fast examples and tests: 96 points.
 std::vector<DesignPoint> reduced_design_space();
+
+/// One-axis slice for interactive exploration, `axis` one of
+/// ctrl | cpu | channels | trcd (trcd is NVM/hybrid only; throws
+/// Error(kConfig) otherwise).  memory_explorer and the distributed
+/// sweep_worker build their point lists through this one function, so
+/// a supervisor and its workers always agree on the sweep identity.
+std::vector<DesignPoint> axis_design_points(const std::string& axis,
+                                            MemoryKind kind);
 
 /// Custom grid: every combination of the provided axis values.  tRCD
 /// values apply to NVM and hybrid points only; DRAM uses its fixed

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file lease.hpp
+/// Lease protocol of the distributed sweep.
+///
+/// A work unit is a (shard, generation) pair published as a task file
+/// `tasks/shard-NNNNNN.gNNNNNN.task`.  Claiming it is one rename(2) of
+/// the task file into `leases/` — rename consumes its source, so of N
+/// concurrent claimants exactly one wins and the rest lose the race
+/// cleanly (see gmd::atomic_rename_claim).  The winner then proves it
+/// is alive by periodically stamping a monotonically increasing beat
+/// counter into the lease file; the supervisor expires a lease whose
+/// content stops changing (on its own steady clock — no cross-process
+/// clock comparison) by renaming it back into `tasks/` under the next
+/// generation, where any worker may claim it again.
+///
+/// The protocol provides liveness, not mutual exclusion: a worker that
+/// stalls long enough to be presumed dead may resurrect and finish a
+/// shard another worker re-claimed.  That is safe by design — sweep
+/// rows are bit-identical regardless of which worker simulates a point,
+/// and the merge deduplicates by point index — so a stolen lease costs
+/// duplicate work, never a wrong result.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gmd/dse/shard.hpp"
+
+namespace gmd::dse {
+
+/// One claimable work unit: shard index + issue generation.  The
+/// generation increments every time the supervisor re-issues the shard
+/// (expired lease, lost file), so a stale claimant and a fresh one
+/// never contend for the same filename.
+struct ShardTask {
+  std::size_t shard = 0;
+  std::uint64_t generation = 1;
+
+  friend bool operator==(const ShardTask&, const ShardTask&) = default;
+};
+
+/// "shard-000012.g000003.task" — fixed-width so lexicographic directory
+/// order is (shard, generation) order.
+std::string task_filename(const ShardTask& task);
+std::string lease_filename(const ShardTask& task);
+
+/// Inverse of the filename scheme; nullopt for anything else (temp
+/// files, foreign junk) so directory scans are self-filtering.
+std::optional<ShardTask> parse_task_filename(const std::string& name);
+std::optional<ShardTask> parse_lease_filename(const std::string& name);
+
+/// Publishes a task file (atomic write; content is informational).
+void write_task_file(const std::string& path, const ShardTask& task);
+
+/// All well-formed task/lease files in `dir`, sorted by (shard,
+/// generation).  A missing directory yields an empty list.
+std::vector<ShardTask> list_tasks(const std::string& dir);
+std::vector<ShardTask> list_leases(const std::string& dir);
+
+/// A lease this process won.  heartbeat() keeps it alive; release()
+/// ends it cleanly.  Destruction does neither — a crashed worker leaves
+/// its lease file behind on purpose, so the supervisor's staleness
+/// clock (not process exit) decides when the shard is re-issued.
+class HeldLease {
+ public:
+  HeldLease(HeldLease&& other) noexcept;
+  HeldLease& operator=(HeldLease&& other) noexcept;
+  HeldLease(const HeldLease&) = delete;
+  HeldLease& operator=(const HeldLease&) = delete;
+
+  /// Stamps the next beat into the lease file (atomic rewrite).  Throws
+  /// Error(kLeaseExpired) when the lease file is gone — the supervisor
+  /// presumed this worker dead and re-issued the shard — at which point
+  /// the holder must abandon the shard (cancel its in-flight work).
+  /// Throws Error(kIo) when the stamp itself cannot be written.
+  void heartbeat();
+
+  /// Ends the lease: removes the lease file.  Idempotent.
+  void release();
+
+  std::size_t shard() const { return task_.shard; }
+  std::uint64_t generation() const { return task_.generation; }
+  std::uint64_t beats() const { return beat_; }
+  const std::string& path() const { return path_; }
+  const std::string& holder() const { return holder_; }
+  bool released() const { return released_; }
+
+ private:
+  friend std::optional<HeldLease> try_claim_shard(const RunDir&,
+                                                  const ShardTask&,
+                                                  const std::string&);
+  HeldLease(std::string path, ShardTask task, std::string holder);
+
+  std::string path_;
+  ShardTask task_;
+  std::string holder_;
+  std::uint64_t beat_ = 0;
+  bool released_ = false;
+};
+
+/// Attempts to claim `task` for `holder`.  Returns the held (and
+/// already once-stamped) lease on success; nullopt when the claim lost
+/// the race — the normal outcome for all but one of the workers polling
+/// the same task.  Throws Error(kIo) on filesystem failure.
+std::optional<HeldLease> try_claim_shard(const RunDir& run,
+                                         const ShardTask& task,
+                                         const std::string& holder);
+
+/// Claiming variant for callers that expect to win: throws
+/// Error(kLeaseConflict) when the task is already claimed (or was never
+/// issued), so a double claim surfaces as a typed error instead of a
+/// silent nullopt.
+HeldLease claim_shard(const RunDir& run, const ShardTask& task,
+                      const std::string& holder);
+
+}  // namespace gmd::dse

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file shard.hpp
+/// Run-directory layout and shard geometry of the distributed sweep.
+///
+/// A distributed run lives in one shared directory (all participants on
+/// one filesystem — coordination is atomic rename, never sockets):
+///
+///   run/
+///     run.meta          sweep identity + shard geometry (written once)
+///     run.complete      marker: every point covered, sweep.csv final
+///     sweep.csv         merged results (same writer as the pipeline)
+///     tasks/            shard-NNNNNN.gNNNNNN.task   claimable work units
+///     leases/           shard-NNNNNN.gNNNNNN.lease  claimed work units
+///     done/             shard-NNNNNN.done           informational markers
+///     journals/         <worker-id>.journal         per-worker checkpoints
+///
+/// The point list is split into fixed-size contiguous shards; a task
+/// file names one (shard, generation) pair and claiming it is a single
+/// rename(2) of the task file into the lease directory (see lease.hpp).
+/// Completion is never inferred from markers: the supervisor re-derives
+/// coverage from the journals every poll, so lost or stale lease/task
+/// files can cost only duplicate work, never correctness.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "gmd/dse/checkpoint.hpp"
+
+namespace gmd::dse {
+
+/// Half-open index range [begin, end) of one shard within the global
+/// design-point list.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// Fixed-size contiguous sharding of `num_points` points.  The geometry
+/// is part of run.meta, so every participant of a run (including a
+/// resumed one) derives identical ranges.
+class ShardPlan {
+ public:
+  /// Throws Error(kConfig) when shard_size is zero or num_points is
+  /// zero (an empty distributed run has nothing to coordinate).
+  ShardPlan(std::size_t num_points, std::size_t shard_size);
+
+  std::size_t num_points() const { return num_points_; }
+  std::size_t shard_size() const { return shard_size_; }
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// Point range of `shard`; the last shard may be short.  Throws
+  /// Error(kConfig) when `shard` is out of range.
+  ShardRange range(std::size_t shard) const;
+
+ private:
+  std::size_t num_points_;
+  std::size_t shard_size_;
+  std::size_t num_shards_;
+};
+
+/// Path helper over one run directory.  Pure string arithmetic; nothing
+/// here touches the filesystem.
+struct RunDir {
+  std::string root;
+
+  std::string tasks_dir() const { return root + "/tasks"; }
+  std::string leases_dir() const { return root + "/leases"; }
+  std::string done_dir() const { return root + "/done"; }
+  std::string journals_dir() const { return root + "/journals"; }
+  std::string meta_path() const { return root + "/run.meta"; }
+  std::string complete_path() const { return root + "/run.complete"; }
+  std::string csv_path() const { return root + "/sweep.csv"; }
+  std::string journal_path(const std::string& worker_id) const {
+    return journals_dir() + "/" + worker_id + ".journal";
+  }
+};
+
+/// Contents of run.meta: which sweep this run directory belongs to
+/// (the sweep_identity key — trace, point list, sampling geometry) and
+/// how it is sharded.  Workers refuse a run directory whose key does
+/// not match their own invocation, exactly like journal resume.
+struct RunMeta {
+  JournalKey key;
+  std::size_t shard_size = 0;
+
+  friend bool operator==(const RunMeta&, const RunMeta&) = default;
+};
+
+/// Atomic (temp-then-rename) write of run.meta.
+void write_run_meta(const std::string& path, const RunMeta& meta);
+
+/// Parses run.meta.  Throws Error(kIo) when the file is missing or
+/// malformed — a run directory without a readable meta is unusable.
+RunMeta read_run_meta(const std::string& path);
+
+}  // namespace gmd::dse

@@ -142,6 +142,16 @@ struct SweepOptions {
   /// every policy path is testable without real crashes.
   std::function<void(std::size_t, std::uint32_t)> fault_hook;
 
+  // --- streaming -------------------------------------------------------
+  /// Invoked once per point when its row reaches a terminal state — ok,
+  /// failed, or timed-out (never for skipped/cancelled points, which a
+  /// later run must re-simulate).  The distributed sweep worker uses
+  /// this to journal rows under their global point indices as they
+  /// complete.  May be called concurrently from sweep worker threads;
+  /// the callback must be thread-safe.  Exceptions thrown from the sink
+  /// propagate out of the sweep.
+  std::function<void(std::size_t, const SweepRow&)> row_sink;
+
   // --- checkpoint / resume ---------------------------------------------
   /// When non-empty, completed rows are journaled here (atomic
   /// temp-then-rename per record batch) so a killed sweep loses at most

@@ -9,6 +9,7 @@
 #include "gmd/common/atomic_file.hpp"
 #include "gmd/common/error.hpp"
 #include "gmd/common/hash.hpp"
+#include "gmd/common/logging.hpp"
 #include "gmd/tracestore/reader.hpp"
 
 namespace gmd::dse {
@@ -109,8 +110,22 @@ JournalKey make_journal_key(std::span<const DesignPoint> points,
                     points.size()};
 }
 
-SweepJournal::SweepJournal(std::string path, const JournalKey& key)
-    : path_(std::move(path)), key_(key) {}
+JournalKey sweep_identity(JournalKey base, const SweepOptions& options) {
+  if (options.sample_fraction < 1.0) {
+    Fnv1a h;
+    h.mix(base.points_hash);
+    h.mix_double(options.sample_fraction);
+    h.mix(options.sample_seed);
+    h.mix(options.sample_warmup_chunks);
+    h.mix(options.sampling_chunk_events);
+    base.points_hash = h.state;
+  }
+  return base;
+}
+
+SweepJournal::SweepJournal(std::string path, const JournalKey& key,
+                           std::string owner)
+    : path_(std::move(path)), key_(key), owner_(std::move(owner)) {}
 
 std::vector<std::pair<std::size_t, SweepRow>> SweepJournal::load() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -124,21 +139,47 @@ std::vector<std::pair<std::size_t, SweepRow>> SweepJournal::load() {
   GMD_REQUIRE_AS(ErrorCode::kIo, in.good(),
                  "cannot read sweep journal '" << path_ << "'");
 
-  std::string line;
-  GMD_REQUIRE_AS(ErrorCode::kIo, static_cast<bool>(std::getline(in, line)),
-                 "sweep journal '" << path_ << "' is empty");
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(std::move(line));
+  }
+  // A crash during the very first append can leave a zero-length file
+  // (or a lone torn line) on filesystems without durable rename.  That
+  // is not corruption worth failing over — there is nothing to lose —
+  // so it loads as empty with a warning, matching tolerant-resume
+  // semantics.
+  if (lines.empty()) {
+    GMD_LOG_WARN << "sweep journal '" << path_
+                 << "' is zero-length (crash during the first append?); "
+                    "treating as empty";
+    return entries_;
+  }
   {
-    std::istringstream header(line);
+    std::istringstream header(lines.front());
     std::string magic, version, trace_field, points_field, count_field;
     header >> magic >> version >> trace_field >> points_field >> count_field;
+    const auto has_prefix = [](const std::string& field,
+                               std::string_view name) {
+      return field.rfind(name, 0) == 0 && field.size() > name.size();
+    };
+    const bool shape_ok = !header.fail() && magic == kMagic &&
+                          version == kVersion &&
+                          has_prefix(trace_field, "trace=") &&
+                          has_prefix(points_field, "points=") &&
+                          has_prefix(count_field, "count=");
+    if (!shape_ok && lines.size() == 1) {
+      GMD_LOG_WARN << "sweep journal '" << path_
+                   << "' holds a single malformed line (crash during the "
+                      "first append?); treating as empty";
+      return entries_;
+    }
     GMD_REQUIRE_AS(ErrorCode::kIo, magic == kMagic && version == kVersion,
                    "'" << path_ << "' is not a " << kVersion
                        << " sweep journal");
-    const auto field_value = [&](const std::string& field,
-                                 std::string_view name) {
-      GMD_REQUIRE_AS(ErrorCode::kIo,
-                     field.rfind(name, 0) == 0 && field.size() > name.size(),
-                     "corrupt sweep journal header in '" << path_ << "'");
+    GMD_REQUIRE_AS(ErrorCode::kIo, shape_ok,
+                   "corrupt sweep journal header in '" << path_ << "'");
+    const auto field_value = [](const std::string& field,
+                                std::string_view name) {
       return field.substr(name.size());
     };
     GMD_REQUIRE_AS(
@@ -157,13 +198,43 @@ std::vector<std::pair<std::size_t, SweepRow>> SweepJournal::load() {
             << path_
             << "' was written for a different design-point list; "
                "refusing to resume");
+    // An `owner=` token may follow (per-worker journal namespace); it
+    // identifies the writer and does not constrain who may read.
   }
 
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
+  for (std::size_t l = 1; l < lines.size(); ++l) {
+    const std::string& line = lines[l];
     std::istringstream is(line);
     std::string tag;
     is >> tag;
+    if (tag == "fail") {
+      Reader r(is, path_);
+      const std::size_t index = r.u64();
+      GMD_REQUIRE_AS(ErrorCode::kIo, index < key_.num_points,
+                     "corrupt sweep journal '"
+                         << path_ << "': fail index out of range");
+      SweepRow row;
+      row.attempts = static_cast<std::uint32_t>(r.u64());
+      const std::uint64_t code = r.u64();
+      const std::uint64_t outcome = r.u64();
+      GMD_REQUIRE_AS(ErrorCode::kIo,
+                     code <= static_cast<std::uint64_t>(kLastErrorCode),
+                     "corrupt sweep journal '" << path_
+                                               << "': bad error code");
+      GMD_REQUIRE_AS(
+          ErrorCode::kIo,
+          outcome == static_cast<std::uint64_t>(PointOutcome::kFailed) ||
+              outcome == static_cast<std::uint64_t>(PointOutcome::kTimedOut),
+          "corrupt sweep journal '" << path_ << "': bad fail outcome");
+      row.error_code = static_cast<ErrorCode>(code);
+      row.outcome = static_cast<PointOutcome>(outcome);
+      std::getline(is, row.error);
+      if (!row.error.empty() && row.error.front() == ' ') {
+        row.error.erase(row.error.begin());
+      }
+      loaded.emplace_back(index, std::move(row));
+      continue;
+    }
     GMD_REQUIRE_AS(ErrorCode::kIo, tag == "row",
                    "corrupt sweep journal '" << path_ << "': unexpected '"
                                              << tag << "' record");
@@ -235,8 +306,18 @@ void SweepJournal::flush_locked() {
   atomic_write_file(path_, [this](std::ostream& out) {
     out << kMagic << ' ' << kVersion << " trace=" << hex16(key_.trace_hash)
         << " points=" << hex16(key_.points_hash)
-        << " count=" << key_.num_points << '\n';
+        << " count=" << key_.num_points;
+    if (!owner_.empty()) out << " owner=" << owner_;
+    out << '\n';
     for (const auto& [index, row] : entries_) {
+      if (!row.ok()) {
+        out << "fail " << index << ' ' << row.attempts << ' '
+            << static_cast<int>(row.error_code) << ' '
+            << static_cast<int>(row.outcome);
+        if (!row.error.empty()) out << ' ' << row.error;
+        out << '\n';
+        continue;
+      }
       const memsim::MemoryMetrics& m = row.metrics;
       out << "row " << index << ' ' << row.attempts << ' ' << m.total_reads
           << ' ' << m.total_writes << ' ' << m.channels << ' '
@@ -268,6 +349,17 @@ void SweepJournal::flush_locked() {
       out << '\n';
     }
   });
+}
+
+JournalScan scan_journal(const std::string& path, const JournalKey& key) {
+  JournalScan scan;
+  SweepJournal journal(path, key);
+  try {
+    scan.rows = journal.load();
+  } catch (const Error& e) {
+    scan.warning = e.what();
+  }
+  return scan;
 }
 
 }  // namespace gmd::dse

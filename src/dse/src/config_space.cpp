@@ -35,6 +35,47 @@ std::vector<DesignPoint> paper_design_space() {
   return points;
 }
 
+std::vector<DesignPoint> axis_design_points(const std::string& axis,
+                                            MemoryKind kind) {
+  std::vector<DesignPoint> points;
+  DesignPoint base;
+  base.kind = kind;
+  base.trcd = kind == MemoryKind::kDram ? 9 : 50;
+  base.ctrl_freq_mhz = 666;
+  if (axis == "ctrl") {
+    for (const std::uint32_t ctrl : memsim::paper_controller_frequencies_mhz()) {
+      DesignPoint p = base;
+      p.ctrl_freq_mhz = ctrl;
+      if (kind != MemoryKind::kDram) p.trcd = memsim::nvm_trcd_set(ctrl)[2];
+      points.push_back(p);
+    }
+  } else if (axis == "cpu") {
+    for (const std::uint32_t cpu : memsim::paper_cpu_frequencies_mhz()) {
+      DesignPoint p = base;
+      p.cpu_freq_mhz = cpu;
+      points.push_back(p);
+    }
+  } else if (axis == "channels") {
+    for (const std::uint32_t channels : {2u, 4u, 8u}) {
+      DesignPoint p = base;
+      p.channels = channels;
+      points.push_back(p);
+    }
+  } else if (axis == "trcd") {
+    GMD_REQUIRE_AS(ErrorCode::kConfig, kind != MemoryKind::kDram,
+                   "tRCD axis applies to nvm/hybrid only");
+    for (const std::uint32_t trcd : memsim::nvm_trcd_set(base.ctrl_freq_mhz)) {
+      DesignPoint p = base;
+      p.trcd = trcd;
+      points.push_back(p);
+    }
+  } else {
+    GMD_REQUIRE_AS(ErrorCode::kConfig, false,
+                   "unknown axis '" << axis << "' (ctrl|cpu|channels|trcd)");
+  }
+  return points;
+}
+
 std::vector<DesignPoint> reduced_design_space() {
   std::vector<DesignPoint> points;
   for (const std::uint32_t cpu : memsim::paper_cpu_frequencies_mhz()) {

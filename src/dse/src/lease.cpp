@@ -1,0 +1,168 @@
+#include "gmd/dse/lease.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "gmd/common/atomic_file.hpp"
+#include "gmd/common/error.hpp"
+#include "gmd/common/heartbeat.hpp"
+
+namespace gmd::dse {
+
+namespace {
+
+std::string shard_stem(const ShardTask& task) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "shard-%06zu.g%06llu", task.shard,
+                static_cast<unsigned long long>(task.generation));
+  return buffer;
+}
+
+/// Parses "shard-NNNNNN.gNNNNNN<suffix>"; the suffix must terminate the
+/// name, so ".task.tmp" leftovers never parse as tasks.
+std::optional<ShardTask> parse_stem(const std::string& name,
+                                    std::string_view suffix) {
+  ShardTask task;
+  unsigned long long shard = 0;
+  unsigned long long generation = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "shard-%llu.g%llu%n", &shard, &generation,
+                  &consumed) != 2) {
+    return std::nullopt;
+  }
+  if (name.substr(static_cast<std::size_t>(consumed)) != suffix) {
+    return std::nullopt;
+  }
+  task.shard = static_cast<std::size_t>(shard);
+  task.generation = generation;
+  return task;
+}
+
+std::vector<ShardTask> list_with_suffix(const std::string& dir,
+                                        std::string_view suffix) {
+  std::vector<ShardTask> tasks;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (auto task = parse_stem(it->path().filename().string(), suffix)) {
+      tasks.push_back(*task);
+    }
+  }
+  std::sort(tasks.begin(), tasks.end(),
+            [](const ShardTask& a, const ShardTask& b) {
+              return a.shard != b.shard ? a.shard < b.shard
+                                        : a.generation < b.generation;
+            });
+  return tasks;
+}
+
+}  // namespace
+
+std::string task_filename(const ShardTask& task) {
+  return shard_stem(task) + ".task";
+}
+
+std::string lease_filename(const ShardTask& task) {
+  return shard_stem(task) + ".lease";
+}
+
+std::optional<ShardTask> parse_task_filename(const std::string& name) {
+  return parse_stem(name, ".task");
+}
+
+std::optional<ShardTask> parse_lease_filename(const std::string& name) {
+  return parse_stem(name, ".lease");
+}
+
+void write_task_file(const std::string& path, const ShardTask& task) {
+  atomic_write_file(path, [&task](std::ostream& os) {
+    os << "gmd-sweep-task v1 shard=" << task.shard
+       << " gen=" << task.generation << " wall_ns=" << wall_clock_ns()
+       << '\n';
+  });
+}
+
+std::vector<ShardTask> list_tasks(const std::string& dir) {
+  return list_with_suffix(dir, ".task");
+}
+
+std::vector<ShardTask> list_leases(const std::string& dir) {
+  return list_with_suffix(dir, ".lease");
+}
+
+HeldLease::HeldLease(std::string path, ShardTask task, std::string holder)
+    : path_(std::move(path)),
+      task_(task),
+      holder_(std::move(holder)) {}
+
+HeldLease::HeldLease(HeldLease&& other) noexcept
+    : path_(std::move(other.path_)),
+      task_(other.task_),
+      holder_(std::move(other.holder_)),
+      beat_(other.beat_),
+      released_(other.released_) {
+  other.released_ = true;  // the moved-from shell owns nothing
+}
+
+HeldLease& HeldLease::operator=(HeldLease&& other) noexcept {
+  if (this != &other) {
+    path_ = std::move(other.path_);
+    task_ = other.task_;
+    holder_ = std::move(other.holder_);
+    beat_ = other.beat_;
+    released_ = other.released_;
+    other.released_ = true;
+  }
+  return *this;
+}
+
+void HeldLease::heartbeat() {
+  GMD_REQUIRE_AS(ErrorCode::kLeaseExpired, !released_,
+                 "lease on shard " << task_.shard << " was already released");
+  // The supervisor expires a lease by renaming its file away; once that
+  // happened this holder is presumed dead and must stand down.  (The
+  // stamp below briefly recreates the file if the expiry raced us — a
+  // documented-harmless resurrection: the shard is already re-issued
+  // under the next generation and the merge deduplicates by index.)
+  GMD_REQUIRE_AS(ErrorCode::kLeaseExpired, std::filesystem::exists(path_),
+                 "lease '" << path_ << "' held by '" << holder_
+                           << "' was expired by the supervisor");
+  ++beat_;
+  atomic_write_file(path_, [this](std::ostream& os) {
+    os << "gmd-sweep-lease v1 shard=" << task_.shard
+       << " gen=" << task_.generation << " holder=" << holder_
+       << " beat=" << beat_ << " wall_ns=" << wall_clock_ns() << '\n';
+  });
+}
+
+void HeldLease::release() {
+  if (released_) return;
+  released_ = true;
+  remove_file_if_exists(path_);
+}
+
+std::optional<HeldLease> try_claim_shard(const RunDir& run,
+                                         const ShardTask& task,
+                                         const std::string& holder) {
+  const std::string from = run.tasks_dir() + "/" + task_filename(task);
+  const std::string to = run.leases_dir() + "/" + lease_filename(task);
+  if (!atomic_rename_claim(from, to)) return std::nullopt;
+  HeldLease lease(to, task, holder);
+  lease.heartbeat();  // first stamp: identify the holder immediately
+  return lease;
+}
+
+HeldLease claim_shard(const RunDir& run, const ShardTask& task,
+                      const std::string& holder) {
+  std::optional<HeldLease> lease = try_claim_shard(run, task, holder);
+  GMD_REQUIRE_AS(ErrorCode::kLeaseConflict, lease.has_value(),
+                 "shard " << task.shard << " generation " << task.generation
+                          << " is already leased (claim by '" << holder
+                          << "' lost the race)");
+  return std::move(*lease);
+}
+
+}  // namespace gmd::dse

@@ -1,0 +1,108 @@
+#include "gmd/dse/shard.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gmd/common/atomic_file.hpp"
+#include "gmd/common/error.hpp"
+
+namespace gmd::dse {
+
+namespace {
+
+constexpr std::string_view kMetaMagic = "gmd-sweep-run";
+constexpr std::string_view kMetaVersion = "v1";
+
+std::string hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+}  // namespace
+
+ShardPlan::ShardPlan(std::size_t num_points, std::size_t shard_size)
+    : num_points_(num_points),
+      shard_size_(shard_size),
+      num_shards_(0) {
+  GMD_REQUIRE_AS(ErrorCode::kConfig, shard_size > 0,
+                 "shard_size must be positive");
+  GMD_REQUIRE_AS(ErrorCode::kConfig, num_points > 0,
+                 "a distributed sweep needs at least one design point");
+  num_shards_ = (num_points + shard_size - 1) / shard_size;
+}
+
+ShardRange ShardPlan::range(std::size_t shard) const {
+  GMD_REQUIRE_AS(ErrorCode::kConfig, shard < num_shards_,
+                 "shard " << shard << " out of range (plan has "
+                          << num_shards_ << ")");
+  const std::size_t begin = shard * shard_size_;
+  return ShardRange{begin, std::min(begin + shard_size_, num_points_)};
+}
+
+void write_run_meta(const std::string& path, const RunMeta& meta) {
+  atomic_write_file(path, [&meta](std::ostream& os) {
+    os << kMetaMagic << ' ' << kMetaVersion
+       << " trace=" << hex16(meta.key.trace_hash)
+       << " points=" << hex16(meta.key.points_hash)
+       << " count=" << meta.key.num_points
+       << " shard_size=" << meta.shard_size << '\n';
+  });
+}
+
+RunMeta read_run_meta(const std::string& path) {
+  std::ifstream in(path);
+  GMD_REQUIRE_AS(ErrorCode::kIo, in.good(),
+                 "cannot read run meta '" << path << "'");
+  std::string line;
+  GMD_REQUIRE_AS(ErrorCode::kIo, static_cast<bool>(std::getline(in, line)),
+                 "run meta '" << path << "' is empty");
+  std::istringstream is(line);
+  std::string magic, version, trace_field, points_field, count_field,
+      shard_field;
+  is >> magic >> version >> trace_field >> points_field >> count_field >>
+      shard_field;
+  GMD_REQUIRE_AS(ErrorCode::kIo,
+                 !is.fail() && magic == kMetaMagic && version == kMetaVersion,
+                 "'" << path << "' is not a " << kMetaVersion
+                     << " sweep run meta");
+  const auto field = [&](const std::string& token, std::string_view name) {
+    GMD_REQUIRE_AS(ErrorCode::kIo,
+                   token.rfind(name, 0) == 0 && token.size() > name.size(),
+                   "corrupt run meta '" << path << "': expected " << name
+                                        << "<value>");
+    return token.substr(name.size());
+  };
+  const auto parse_u64 = [&](const std::string& text) {
+    std::uint64_t value = 0;
+    const int got = std::sscanf(text.c_str(), "%llu",
+                                reinterpret_cast<unsigned long long*>(&value));
+    GMD_REQUIRE_AS(ErrorCode::kIo, got == 1,
+                   "corrupt run meta '" << path << "': bad number '" << text
+                                        << "'");
+    return value;
+  };
+  const auto parse_hex = [&](const std::string& text) {
+    std::uint64_t value = 0;
+    const int got = std::sscanf(text.c_str(), "%llx",
+                                reinterpret_cast<unsigned long long*>(&value));
+    GMD_REQUIRE_AS(ErrorCode::kIo, got == 1,
+                   "corrupt run meta '" << path << "': bad hex '" << text
+                                        << "'");
+    return value;
+  };
+  RunMeta meta;
+  meta.key.trace_hash = parse_hex(field(trace_field, "trace="));
+  meta.key.points_hash = parse_hex(field(points_field, "points="));
+  meta.key.num_points =
+      static_cast<std::size_t>(parse_u64(field(count_field, "count=")));
+  meta.shard_size =
+      static_cast<std::size_t>(parse_u64(field(shard_field, "shard_size=")));
+  GMD_REQUIRE_AS(ErrorCode::kIo, meta.shard_size > 0,
+                 "corrupt run meta '" << path << "': zero shard_size");
+  return meta;
+}
+
+}  // namespace gmd::dse

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "gmd/common/atomic_file.hpp"
 #include "gmd/common/hash.hpp"
 #include "gmd/common/logging.hpp"
 #include "gmd/common/thread_pool.hpp"
@@ -280,6 +281,10 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
         rows[i].error = e.what();
         rows[i].attempts = 0;
         settled[i] = 1;
+        // A validation reject is a terminal row: the sink must see it,
+        // or a distributed shard holding an invalid point would count
+        // as never-run and be re-issued forever.
+        if (options.row_sink) options.row_sink(i, rows[i]);
       }
     }
   }
@@ -288,20 +293,18 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
   // every newly completed row.
   std::unique_ptr<SweepJournal> journal;
   if (!options.checkpoint_path.empty()) {
-    JournalKey key = access.journal_key(points);
-    if (sampling) {
-      // Sampled rows are estimates for a specific sampling geometry; a
-      // journal written under one (fraction, seed, warmup, chunking)
-      // must not resume a sweep under another — or an exhaustive one —
-      // so the sampling parameters join the journal identity.
-      Fnv1a h;
-      h.mix(key.points_hash);
-      h.mix_double(options.sample_fraction);
-      h.mix(options.sample_seed);
-      h.mix(options.sample_warmup_chunks);
-      h.mix(options.sampling_chunk_events);
-      key.points_hash = h.state;
+    // A crashed journal flush can strand '<path>.tmp'; reclaim it
+    // before the first write of this run (readers never look at it,
+    // but leftovers should not accumulate across kill-resume cycles).
+    if (remove_file_if_exists(options.checkpoint_path + ".tmp")) {
+      GMD_LOG_INFO << "sweep: reclaimed stale temp '"
+                   << options.checkpoint_path << ".tmp'";
     }
+    // The sampling geometry joins the journal identity (see
+    // sweep_identity): a journal written under one geometry must not
+    // resume a sweep under another.
+    const JournalKey key =
+        sweep_identity(access.journal_key(points), options);
     journal = std::make_unique<SweepJournal>(options.checkpoint_path, key);
     if (options.resume) {
       // A journal that fails to load — truncated file, flipped header
@@ -520,6 +523,7 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
         row.error_code = ErrorCode::kUnspecified;
         row.error.clear();
         if (journal) journal->record(i, row);
+        if (options.row_sink) options.row_sink(i, row);
         return;
       } catch (const Error& e) {
         if (fail_fast) throw;
@@ -537,7 +541,14 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
                              row.outcome == PointOutcome::kFailed &&
                              row.error_code != ErrorCode::kConfig &&
                              attempt < max_attempts;
-      if (!retryable) return;
+      if (!retryable) {
+        // Skipped (cancelled) points are not terminal results — a later
+        // run must re-simulate them — so the sink never sees them.
+        if (options.row_sink && row.outcome != PointOutcome::kSkipped) {
+          options.row_sink(i, row);
+        }
+        return;
+      }
       if (options.retry_backoff.count() > 0) {
         std::this_thread::sleep_for(options.retry_backoff * (1u << (attempt - 1)));
       }

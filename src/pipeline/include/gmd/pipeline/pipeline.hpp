@@ -63,6 +63,15 @@ struct PipelineOptions {
   /// per-point budgets).  checkpoint_path/resume/cancel/num_threads/
   /// log_progress are managed by the pipeline and overridden.
   dse::SweepOptions sweep;
+  /// Number of worker PROCESSES for the sweep stage.  0 (default) runs
+  /// the sweep in-process.  >0 delegates to the distributed runner
+  /// (dse::run_sweep_distributed) over <out_dir>/sweep-shards: workers
+  /// share the GMDT store mapping and checkpoint per-worker journals,
+  /// and the stage survives SIGKILLed workers.  Like sim_workers, this
+  /// only changes where the work runs, never the labels, so it is NOT
+  /// part of the stage identity — a run started in-process can resume
+  /// distributed and vice versa.
+  std::size_t sweep_processes = 0;
 
   // --- train stage -----------------------------------------------------
   /// deadline and skip_failed_metrics are managed by the pipeline: the

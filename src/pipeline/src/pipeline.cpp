@@ -13,6 +13,7 @@
 #include "gmd/common/logging.hpp"
 #include "gmd/dse/checkpoint.hpp"
 #include "gmd/dse/config_space.hpp"
+#include "gmd/dse/distributed.hpp"
 #include "gmd/dse/dataset_builder.hpp"
 #include "gmd/dse/recommend.hpp"
 #include "gmd/dse/workflow.hpp"
@@ -210,8 +211,23 @@ PipelineResult run_pipeline(const PipelineOptions& options) {
           if (options.sweep_fault_hook) {
             sweep_options.fault_hook = options.sweep_fault_hook;
           }
-          const std::vector<dse::SweepRow> rows =
-              dse::run_sweep(points, store, sweep_options);
+          std::vector<dse::SweepRow> rows;
+          if (options.sweep_processes > 0) {
+            // Distributed execution: per-worker journals live under the
+            // shard run directory, so the single-process journal path
+            // is cleared; rows (and the resulting CSV) are bit-identical
+            // either way, which is why sweep_processes is not part of
+            // the stage identity.
+            sweep_options.checkpoint_path.clear();
+            sweep_options.fault_hook = nullptr;  // not fork-transportable
+            dse::DistributedSweepOptions dist;
+            dist.num_workers = options.sweep_processes;
+            dist.cancel = deadline;
+            rows = dse::run_sweep_distributed(
+                points, store, path_in("sweep-shards"), sweep_options, dist);
+          } else {
+            rows = dse::run_sweep(points, store, sweep_options);
+          }
           result.health = dse::summarize_health(rows);
           GMD_REQUIRE_AS(ErrorCode::kSimulation, result.health.ok > 0,
                          "every sweep point failed ("

@@ -106,6 +106,34 @@ TEST_F(AtomicFileTest, CommitIsIdempotent) {
   EXPECT_EQ(slurp(path("d.txt")), "once");
 }
 
+TEST_F(AtomicFileTest, RenameClaimMovesFileExactlyOnce) {
+  atomic_write_text(path("task"), "shard 7");
+  EXPECT_TRUE(atomic_rename_claim(path("task"), path("lease")));
+  EXPECT_FALSE(fs::exists(path("task")));
+  EXPECT_EQ(slurp(path("lease")), "shard 7");
+  // The second claimant of the same source loses quietly: rename
+  // consumed the file, so ENOENT means "somebody else won".
+  EXPECT_FALSE(atomic_rename_claim(path("task"), path("lease2")));
+  EXPECT_FALSE(fs::exists(path("lease2")));
+}
+
+TEST_F(AtomicFileTest, RenameClaimThrowsOnUnreachableDestination) {
+  atomic_write_text(path("task"), "x");
+  try {
+    atomic_rename_claim(path("task"), (dir_ / "no-dir" / "lease").string());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
+}
+
+TEST_F(AtomicFileTest, RemoveFileIfExists) {
+  atomic_write_text(path("f.txt"), "x");
+  EXPECT_TRUE(remove_file_if_exists(path("f.txt")));
+  EXPECT_FALSE(fs::exists(path("f.txt")));
+  EXPECT_FALSE(remove_file_if_exists(path("f.txt")));
+}
+
 TEST_F(AtomicFileTest, OverwriteReplacesWholeFile) {
   atomic_write_text(path("e.txt"), "a much longer original content line");
   atomic_write_text(path("e.txt"), "short");

@@ -154,13 +154,107 @@ TEST_F(CheckpointCorruption, GarbageRowResumesFromScratch) {
 }
 
 TEST_F(CheckpointCorruption, LoadRetainsNothingOnThrow) {
-  // Direct journal-level contract: a corrupt file throws AND leaves the
-  // in-memory journal empty, so the caller's next record() rewrites a
-  // consistent file from scratch.
-  spill(journal_path_, "gmd-sweep-journal v1 garbage\n");
+  // Direct journal-level contract: a corrupt file (valid header, rotten
+  // records) throws AND leaves the in-memory journal empty, so the
+  // caller's next record() rewrites a consistent file from scratch.
+  spill(journal_path_, slurp(journal_path_) + "bogus record\n");
   SweepJournal journal(journal_path_, make_journal_key(points_, trace_));
   EXPECT_THROW(journal.load(), Error);
   EXPECT_EQ(journal.size(), 0u);
+}
+
+TEST_F(CheckpointCorruption, ZeroLengthJournalLoadsEmptyWithWarning) {
+  // A crash during the very first append can leave a zero-length file;
+  // there is nothing to lose, so it is empty-with-warning, not a parse
+  // error.
+  spill(journal_path_, "");
+  std::vector<std::string> warnings;
+  log::set_sink([&warnings](log::Level level, std::string_view msg) {
+    if (level == log::Level::kWarn) warnings.emplace_back(msg);
+  });
+  SweepJournal journal(journal_path_, make_journal_key(points_, trace_));
+  EXPECT_TRUE(journal.load().empty());
+  log::set_sink(nullptr);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("zero-length"), std::string::npos);
+}
+
+TEST_F(CheckpointCorruption, SingleTornLineLoadsEmptyWithWarning) {
+  // Likewise a lone torn header line (no rename durability): empty with
+  // a warning.  Anything beyond one line is real corruption and throws.
+  spill(journal_path_, "gmd-sweep-jour");
+  std::vector<std::string> warnings;
+  log::set_sink([&warnings](log::Level level, std::string_view msg) {
+    if (level == log::Level::kWarn) warnings.emplace_back(msg);
+  });
+  SweepJournal journal(journal_path_, make_journal_key(points_, trace_));
+  EXPECT_TRUE(journal.load().empty());
+  log::set_sink(nullptr);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("single malformed line"), std::string::npos);
+}
+
+TEST_F(CheckpointCorruption, OwnerTokenRoundTripsAndDoesNotGateLoad) {
+  // Per-worker journals carry owner=<id> in the header; any reader with
+  // the right key may load them (the supervisor merges foreign files).
+  std::remove(journal_path_.c_str());
+  const JournalKey key = make_journal_key(points_, trace_);
+  SweepJournal writer(journal_path_, key, "worker-3");
+  writer.record(2, reference_[2]);
+  EXPECT_EQ(writer.owner(), "worker-3");
+  EXPECT_NE(slurp(journal_path_).find(" owner=worker-3\n"),
+            std::string::npos);
+
+  SweepJournal reader(journal_path_, key);  // no owner: still loads
+  const auto rows = reader.load();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].first, 2u);
+  EXPECT_EQ(rows[0].second.metrics.metric_values(),
+            reference_[2].metrics.metric_values());
+}
+
+TEST_F(CheckpointCorruption, FailRecordRoundTrips) {
+  std::remove(journal_path_.c_str());
+  const JournalKey key = make_journal_key(points_, trace_);
+  SweepRow failed;
+  failed.outcome = PointOutcome::kFailed;
+  failed.error_code = ErrorCode::kSimulation;
+  failed.attempts = 3;
+  failed.error = "injected: channel 1 wedged";
+  SweepJournal writer(journal_path_, key, "worker-0");
+  writer.record(1, failed);
+  writer.record(0, reference_[0]);
+
+  SweepJournal reader(journal_path_, key);
+  const auto rows = reader.load();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, 1u);
+  EXPECT_FALSE(rows[0].second.ok());
+  EXPECT_EQ(rows[0].second.outcome, PointOutcome::kFailed);
+  EXPECT_EQ(rows[0].second.error_code, ErrorCode::kSimulation);
+  EXPECT_EQ(rows[0].second.attempts, 3u);
+  EXPECT_EQ(rows[0].second.error, "injected: channel 1 wedged");
+  EXPECT_TRUE(rows[1].second.ok());
+}
+
+TEST_F(CheckpointCorruption, ScanJournalNeverThrows) {
+  const JournalKey key = make_journal_key(points_, trace_);
+  // Clean journal: rows, no warning.
+  const JournalScan good = scan_journal(journal_path_, key);
+  EXPECT_EQ(good.rows.size(), points_.size());
+  EXPECT_TRUE(good.warning.empty());
+  // Corrupt journal: no rows, typed message in `warning` instead of a
+  // throw — the supervisor treats it as never-run work.
+  spill(journal_path_, slurp(journal_path_) + "bogus record\n");
+  const JournalScan bad = scan_journal(journal_path_, key);
+  EXPECT_TRUE(bad.rows.empty());
+  EXPECT_NE(bad.warning.find("corrupt sweep journal"), std::string::npos);
+  // Foreign journal (different key): same tolerant story.
+  JournalKey other = key;
+  other.trace_hash ^= 0x1;
+  const JournalScan foreign = scan_journal(journal_path_, other);
+  EXPECT_TRUE(foreign.rows.empty());
+  EXPECT_FALSE(foreign.warning.empty());
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+/// Lease-protocol unit tests: shard geometry, the (shard, generation)
+/// filename scheme, atomic-rename claiming (exactly one winner, typed
+/// kLeaseConflict on a double claim), heartbeat stamps and the typed
+/// kLeaseExpired signal when the supervisor steals a lease, run.meta
+/// round trips, and the staleness clock.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gmd/common/error.hpp"
+#include "gmd/common/heartbeat.hpp"
+#include "gmd/dse/lease.hpp"
+#include "gmd/dse/shard.hpp"
+
+namespace gmd::dse {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LeaseProtocol : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("gmd_lease_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(root_);
+    run_ = RunDir{root_.string()};
+    fs::create_directories(run_.tasks_dir());
+    fs::create_directories(run_.leases_dir());
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// Publishes `task` as a claimable task file.
+  void issue(const ShardTask& task) {
+    write_task_file(run_.tasks_dir() + "/" + task_filename(task), task);
+  }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  fs::path root_;
+  RunDir run_;
+};
+
+TEST(ShardPlanGeometry, SplitsIntoFixedShardsWithShortTail) {
+  const ShardPlan plan(10, 4);
+  EXPECT_EQ(plan.num_shards(), 3u);
+  EXPECT_EQ(plan.range(0).begin, 0u);
+  EXPECT_EQ(plan.range(0).end, 4u);
+  EXPECT_EQ(plan.range(1).begin, 4u);
+  EXPECT_EQ(plan.range(2).begin, 8u);
+  EXPECT_EQ(plan.range(2).end, 10u);
+  EXPECT_EQ(plan.range(2).size(), 2u);
+}
+
+TEST(ShardPlanGeometry, OneShardWhenSizeExceedsPoints) {
+  const ShardPlan plan(3, 100);
+  EXPECT_EQ(plan.num_shards(), 1u);
+  EXPECT_EQ(plan.range(0).size(), 3u);
+}
+
+TEST(ShardPlanGeometry, RejectsDegenerateInputs) {
+  EXPECT_THROW(ShardPlan(0, 4), Error);
+  EXPECT_THROW(ShardPlan(4, 0), Error);
+  try {
+    ShardPlan(8, 4).range(2);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+  }
+}
+
+TEST(ShardPlanGeometry, FilenamesRoundTripAndSortLexicographically) {
+  const ShardTask task{12, 3};
+  EXPECT_EQ(task_filename(task), "shard-000012.g000003.task");
+  EXPECT_EQ(lease_filename(task), "shard-000012.g000003.lease");
+  EXPECT_EQ(parse_task_filename("shard-000012.g000003.task"), task);
+  EXPECT_EQ(parse_lease_filename("shard-000012.g000003.lease"), task);
+  // Fixed width: lexicographic order == (shard, generation) order.
+  EXPECT_LT(task_filename({2, 9}), task_filename({10, 1}));
+  // Self-filtering scans: temp leftovers and junk never parse.
+  EXPECT_FALSE(parse_task_filename("shard-000012.g000003.task.tmp"));
+  EXPECT_FALSE(parse_task_filename("shard-000012.g000003.lease"));
+  EXPECT_FALSE(parse_task_filename("run.meta"));
+  EXPECT_FALSE(parse_lease_filename(""));
+}
+
+TEST_F(LeaseProtocol, ListTasksIsSortedAndSelfFiltering) {
+  issue({5, 2});
+  issue({1, 1});
+  issue({5, 1});
+  std::ofstream(run_.tasks_dir() + "/shard-000009.g000001.task.tmp")
+      << "torn";
+  const auto tasks = list_tasks(run_.tasks_dir());
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks[0], (ShardTask{1, 1}));
+  EXPECT_EQ(tasks[1], (ShardTask{5, 1}));
+  EXPECT_EQ(tasks[2], (ShardTask{5, 2}));
+  EXPECT_TRUE(list_tasks(run_.tasks_dir() + "/missing").empty());
+}
+
+TEST_F(LeaseProtocol, ClaimConsumesTheTaskExactlyOnce) {
+  const ShardTask task{0, 1};
+  issue(task);
+  auto lease = try_claim_shard(run_, task, "alpha");
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->shard(), 0u);
+  EXPECT_EQ(lease->holder(), "alpha");
+  EXPECT_GE(lease->beats(), 1u);  // claimed leases are stamped once
+  EXPECT_TRUE(fs::exists(lease->path()));
+  EXPECT_TRUE(list_tasks(run_.tasks_dir()).empty());
+  // The losing side of the race: same task, nobody re-issued it.
+  EXPECT_FALSE(try_claim_shard(run_, task, "beta").has_value());
+  lease->release();
+  EXPECT_FALSE(fs::exists(lease->path()));
+  lease->release();  // idempotent
+}
+
+TEST_F(LeaseProtocol, DoubleClaimRaisesTypedConflict) {
+  const ShardTask task{3, 1};
+  issue(task);
+  HeldLease lease = claim_shard(run_, task, "alpha");
+  try {
+    claim_shard(run_, task, "beta");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kLeaseConflict);
+  }
+  lease.release();
+}
+
+TEST_F(LeaseProtocol, HeartbeatStampsMonotonicallyChangingContent) {
+  const ShardTask task{1, 1};
+  issue(task);
+  auto lease = try_claim_shard(run_, task, "alpha");
+  ASSERT_TRUE(lease.has_value());
+  const std::string first = slurp(lease->path());
+  lease->heartbeat();
+  const std::string second = slurp(lease->path());
+  EXPECT_NE(first, second) << "each beat must change the lease content";
+  EXPECT_NE(second.find("holder=alpha"), std::string::npos);
+  EXPECT_GE(lease->beats(), 2u);
+  lease->release();
+}
+
+TEST_F(LeaseProtocol, StolenLeaseSurfacesAsLeaseExpired) {
+  const ShardTask task{2, 1};
+  issue(task);
+  auto lease = try_claim_shard(run_, task, "alpha");
+  ASSERT_TRUE(lease.has_value());
+  // The supervisor presumed us dead: lease file renamed away into the
+  // next-generation task.
+  fs::rename(lease->path(),
+             run_.tasks_dir() + "/" + task_filename({2, 2}));
+  try {
+    lease->heartbeat();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kLeaseExpired);
+  }
+  // Released leases refuse further beats the same way.
+  auto next = try_claim_shard(run_, {2, 2}, "beta");
+  ASSERT_TRUE(next.has_value());
+  next->release();
+  EXPECT_THROW(next->heartbeat(), Error);
+}
+
+TEST_F(LeaseProtocol, RunMetaRoundTripsAndRejectsRot) {
+  RunMeta meta;
+  meta.key = JournalKey{0x1122334455667788ull, 0x99aabbccddeeff00ull, 416};
+  meta.shard_size = 16;
+  write_run_meta(run_.meta_path(), meta);
+  EXPECT_EQ(read_run_meta(run_.meta_path()), meta);
+
+  try {
+    read_run_meta(run_.meta_path() + ".missing");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
+  std::ofstream(run_.meta_path(), std::ios::trunc) << "gmd-sweep-run v0\n";
+  EXPECT_THROW(read_run_meta(run_.meta_path()), Error);
+}
+
+TEST(StalenessClock, StaleMeansValueStoppedChanging) {
+  StalenessTracker tracker;
+  // Unobserved keys are never stale — full grace period first.
+  EXPECT_FALSE(tracker.stale("w", std::chrono::milliseconds(0)));
+  EXPECT_TRUE(tracker.observe("w", 1));   // new key counts as changed
+  EXPECT_FALSE(tracker.observe("w", 1));  // same value: no change
+  EXPECT_TRUE(tracker.observe("w", 2));
+  // A huge ttl can never be exceeded by a fresh change...
+  EXPECT_FALSE(tracker.stale("w", std::chrono::hours(1)));
+  // ...and a zero ttl treats any unchanged observation as stale.
+  EXPECT_TRUE(tracker.stale("w", std::chrono::milliseconds(0)));
+  tracker.forget("w");
+  EXPECT_EQ(tracker.size(), 0u);
+  EXPECT_FALSE(tracker.stale("w", std::chrono::milliseconds(0)));
+}
+
+}  // namespace
+}  // namespace gmd::dse

@@ -134,6 +134,21 @@ fi
 echo "sampled run reports per-metric confidence intervals"
 
 echo
+echo "== query service smoke =="
+# Bare protocol: health + stats on stdin, one response line each, and a
+# clean drain (exit 0) when stdin closes.
+printf '%s\n' '{"verb":"health","id":1}' '{"verb":"stats","id":2}' \
+  | "$BUILD_DIR/examples/gmd_serve" > "$SMOKE_DIR/serve.out"
+grep -q '"status":"serving"' "$SMOKE_DIR/serve.out"
+test "$(wc -l < "$SMOKE_DIR/serve.out")" -eq 2
+echo "gmd_serve answered health+stats and drained cleanly on EOF"
+# Full client smoke: concurrent mixed load, cache bit-identity against
+# run_sweep, 10k-config predict, deadline expiry, overload shedding on
+# a tiny queue, graceful drain.
+"$BUILD_DIR/examples/service_client" --server "$BUILD_DIR/examples/gmd_serve" \
+  --vertices 128 --out-dir "$SMOKE_DIR/service"
+
+echo
 echo "== memsim microbenchmarks =="
 "$BUILD_DIR/bench/bench_micro" \
   --benchmark_filter='BM_MemorySimulation' --benchmark_min_time=2
@@ -145,3 +160,7 @@ echo "== sweep gauge (compare against BENCH_sweep.json) =="
 echo
 echo "== surrogate training gauge, quick mode (compare against BENCH_ml.json) =="
 "$BUILD_DIR/bench/bench_ml" --quick
+
+echo
+echo "== query service gauge (compare against BENCH_service.json) =="
+"$BUILD_DIR/bench/bench_service"

@@ -31,10 +31,12 @@ enum class ErrorCode {
   kInvalidData,  ///< Non-finite or semantically invalid data values.
   kLeaseConflict,  ///< A distributed-sweep shard is already leased.
   kLeaseExpired,   ///< A held lease was expired/stolen by the supervisor.
+  kOverloaded,     ///< Admission control rejected the request (queue full).
+  kNotFound,       ///< A named resource (trace, model) is not registered.
 };
 
 /// Largest ErrorCode enum value, for code-indexed tally tables.
-inline constexpr ErrorCode kLastErrorCode = ErrorCode::kLeaseExpired;
+inline constexpr ErrorCode kLastErrorCode = ErrorCode::kNotFound;
 
 std::string_view to_string(ErrorCode code);
 
@@ -73,6 +75,10 @@ inline std::string_view to_string(ErrorCode code) {
       return "lease-conflict";
     case ErrorCode::kLeaseExpired:
       return "lease-expired";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kNotFound:
+      return "not-found";
   }
   return "?";
 }

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file lru_cache.hpp
+/// Bounded, sharded LRU cache — the storage primitive behind the DSE
+/// query service's result cache (gmd::service::ResultCache), generic so
+/// any (key, value) pair with a hash can use it.
+///
+/// Keys hash to one of `num_shards` independent shards, each a mutex +
+/// intrusive LRU list + hash index, so concurrent readers/writers on
+/// different shards never contend.  Capacity is split evenly across
+/// shards and each shard evicts its own least-recently-used entry when
+/// full — eviction is deterministic per shard given its operation
+/// order.  get() promotes; put() inserts or refreshes.  Hit/miss/
+/// eviction counters aggregate across shards for service stats.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+
+  /// `capacity` total entries split evenly over `num_shards` (each
+  /// shard holds at least one).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t num_shards = 8)
+      : capacity_(capacity) {
+    GMD_REQUIRE(capacity > 0, "cache capacity must be positive");
+    GMD_REQUIRE(num_shards > 0, "cache must have at least one shard");
+    num_shards = std::min(num_shards, capacity);
+    const std::size_t per_shard = (capacity + num_shards - 1) / num_shards;
+    shards_.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  /// Looks `key` up, promoting it to most-recently-used on a hit.
+  std::optional<Value> get(const Key& key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least-recently-
+  /// used entry when the shard is full.
+  void put(const Key& key, Value value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= shard.capacity) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->lru.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->lru.clear();
+      shard->index.clear();
+    }
+  }
+
+  Stats stats() const {
+    Stats stats;
+    stats.capacity = capacity_;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      stats.hits += shard->hits;
+      stats.misses += shard->misses;
+      stats.evictions += shard->evictions;
+      stats.entries += shard->lru.size();
+    }
+    return stats;
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t cap) : capacity(cap) {}
+
+    mutable std::mutex mutex;
+    std::size_t capacity;
+    /// Front = most recently used.
+    std::list<std::pair<Key, Value>> lru;
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return *shards_[hash_(key) % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  Hash hash_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace gmd

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file work_queue.hpp
+/// Bounded, multi-lane blocking queue — the admission-control primitive
+/// behind the DSE query service's request scheduler.
+///
+/// Producers push into a numbered lane; lower lane indices are higher
+/// priority and consumers always drain lane 0 before lane 1 (and so
+/// on), so interactive work overtakes bulk work that arrived earlier.
+/// The queue is bounded across all lanes: when full, try_push reports
+/// kFull instead of blocking, which is what lets a service reject with
+/// a typed error (ErrorCode::kOverloaded) rather than build an
+/// unbounded backlog.  close() starts a graceful drain — no new pushes
+/// are admitted, pops keep succeeding until every accepted item is
+/// consumed, then return nullopt.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd {
+
+template <typename T>
+class BoundedPriorityQueue {
+ public:
+  enum class Push {
+    kAccepted,  ///< Item enqueued.
+    kFull,      ///< Bound reached; item rejected (admission control).
+    kClosed,    ///< Queue closed; item rejected (shutting down).
+  };
+
+  /// `capacity` bounds the total queued items across all lanes.
+  explicit BoundedPriorityQueue(std::size_t capacity, std::size_t num_lanes = 2)
+      : capacity_(capacity), lanes_(num_lanes) {
+    GMD_REQUIRE(capacity > 0, "queue capacity must be positive");
+    GMD_REQUIRE(num_lanes > 0, "queue must have at least one lane");
+  }
+
+  /// Non-blocking push into `lane` (0 = highest priority).
+  Push try_push(std::size_t lane, T value) {
+    GMD_REQUIRE(lane < lanes_.size(), "lane " << lane << " out of range");
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return Push::kClosed;
+      if (size_ >= capacity_) return Push::kFull;
+      lanes_[lane].push_back(std::move(value));
+      ++size_;
+    }
+    not_empty_.notify_one();
+    return Push::kAccepted;
+  }
+
+  /// Blocks until an item is available (highest-priority lane first) or
+  /// the queue is closed and fully drained (then nullopt).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
+    for (auto& lane : lanes_) {
+      if (!lane.empty()) {
+        T value = std::move(lane.front());
+        lane.pop_front();
+        --size_;
+        return value;
+      }
+    }
+    return std::nullopt;  // closed and drained
+  }
+
+  /// Closes admission; blocked pops drain the remaining items and then
+  /// return nullopt.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_lanes() const { return lanes_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  std::vector<std::deque<T>> lanes_;
+};
+
+}  // namespace gmd

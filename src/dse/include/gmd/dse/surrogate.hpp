@@ -7,6 +7,7 @@
 /// predictions (Figure 3 series).
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <span>
@@ -105,6 +106,17 @@ class SurrogateSuite {
     /// scaler pass, one batch model predict — the same values as the
     /// per-point overload without its per-candidate overhead.
     std::vector<double> predict(std::span<const DesignPoint> points) const;
+
+    /// Persists model + both scalers as one text artifact (.gmdm) so a
+    /// deployed surrogate can be shipped to the query service and
+    /// loaded without the training sweep.  save_file is atomic
+    /// (temp-then-rename); loaded models predict bit-identically to
+    /// the saved one.  Throws gmd::Error for unserializable families
+    /// (gp) or malformed input.
+    void save(std::ostream& os) const;
+    void save_file(const std::string& path) const;
+    static DeployedModel load(std::istream& is);
+    static DeployedModel load_file(const std::string& path);
   };
   /// Trains a deployment model of `model_name` on every row.
   static DeployedModel deploy(std::span<const SweepRow> rows,

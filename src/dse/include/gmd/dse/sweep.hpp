@@ -35,6 +35,10 @@ namespace gmd::tracestore {
 class TraceStoreReader;
 }  // namespace gmd::tracestore
 
+namespace gmd::memsim {
+class PredecodedTrace;
+}  // namespace gmd::memsim
+
 namespace gmd::dse {
 
 /// Terminal state of one design point in a sweep.
@@ -182,7 +186,61 @@ std::vector<SweepRow> run_sweep(std::span<const DesignPoint> points,
                                 const tracestore::TraceStoreReader& store,
                                 const SweepOptions& options = {});
 
-/// Simulates a single point.
+/// Options for one single-point simulation — the unit of work the DSE
+/// query service schedules.  The sampling fields mirror SweepOptions
+/// (and, like there, sim_workers never changes results).
+struct SimulateOptions {
+  /// Channel-parallel workers inside the simulation (bit-identical at
+  /// any count; hybrid points always replay serially).
+  std::uint32_t sim_workers = 1;
+  /// Fraction of trace chunks to simulate, in (0, 1].  Below 1 the
+  /// result carries scaled estimates plus confidence intervals
+  /// (MetricsRow::metric_ci); hybrid points are always exhaustive and
+  /// carry degenerate intervals.
+  double sample_fraction = 1.0;
+  std::uint64_t sample_seed = 1;
+  std::uint32_t sample_warmup_chunks = 1;
+  /// Identity-only for a store feed (the store's native chunk index is
+  /// sampled); window size for in-memory feeds.
+  std::size_t sampling_chunk_events = 10000;
+  /// Cooperative cancellation / wall budget, polled inside the channel
+  /// service loops.  Non-owning; may be null.
+  Deadline* deadline = nullptr;
+
+  // --- warm feeds (optional) -------------------------------------------
+  /// A predecoded request stream already built for the point's
+  /// single_config() decode key (e.g. a service's shared handle); the
+  /// simulation replays it instead of predecoding the store again.
+  /// Ignored for hybrid and sampled points.
+  const memsim::PredecodedTrace* predecoded = nullptr;
+  /// The store's full decoded event stream (e.g. a service's cached
+  /// decode); spares hybrid points a per-call read_all().  Must match
+  /// the store content.  Non-owning; must outlive the call.
+  std::span<const cpusim::MemoryEvent> raw_events;
+};
+
+/// One point's simulation result: metrics, plus per-metric confidence
+/// intervals exactly when sampled — the same shape as SweepRow's metric
+/// fields, without the sweep bookkeeping.
+struct MetricsRow {
+  memsim::MemoryMetrics metrics;
+  std::vector<memsim::MetricInterval> metric_ci;
+
+  bool sampled() const { return !metric_ci.empty(); }
+};
+
+/// Simulates one design point against a GMDT store.  This is exactly
+/// the sweep runner's per-point body factored out — run_sweep and the
+/// query service share this one code path — so for the same (store,
+/// point, sampling geometry) the returned metrics are bit-identical to
+/// the SweepRow a fresh run_sweep over the same store would produce.
+/// Validates the point (Error(kConfig)) before simulating.
+MetricsRow simulate_point(const tracestore::TraceStoreReader& store,
+                          const DesignPoint& point,
+                          const SimulateOptions& options = {});
+
+/// Simulates a single point over an in-memory trace (exhaustive,
+/// serial; same code path as above with a raw-span feed).
 memsim::MemoryMetrics simulate_point(
     const DesignPoint& point, std::span<const cpusim::MemoryEvent> trace);
 

@@ -1,13 +1,16 @@
 #include "gmd/dse/surrogate.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
+#include "gmd/common/atomic_file.hpp"
 #include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
 #include "gmd/common/logging.hpp"
 #include "gmd/common/string_util.hpp"
 #include "gmd/ml/metrics.hpp"
+#include "gmd/ml/serialize.hpp"
 
 namespace gmd::dse {
 
@@ -112,6 +115,39 @@ std::vector<double> SurrogateSuite::DeployedModel::predict(
   const ml::Matrix scaled = x_scaler.transform(x);
   const std::vector<double> y_scaled = model->predict(scaled);
   return y_scaler.inverse_transform(y_scaled);
+}
+
+void SurrogateSuite::DeployedModel::save(std::ostream& os) const {
+  GMD_REQUIRE(model != nullptr && model->is_fitted(),
+              "deployed model is not fitted");
+  os << "gmd-deployed-v1\n";
+  ml::save_scaler(os, x_scaler);
+  ml::save_scaler(os, y_scaler);
+  ml::save_model(os, *model);
+}
+
+void SurrogateSuite::DeployedModel::save_file(const std::string& path) const {
+  atomic_write_file(path, [this](std::ostream& out) { save(out); });
+}
+
+SurrogateSuite::DeployedModel SurrogateSuite::DeployedModel::load(
+    std::istream& is) {
+  std::string header;
+  is >> header;
+  GMD_REQUIRE(is.good() && header == "gmd-deployed-v1",
+              "not a graphmemdse deployed-model file");
+  DeployedModel deployed;
+  deployed.x_scaler = ml::load_scaler(is);
+  deployed.y_scaler = ml::load_scaler(is);
+  deployed.model = ml::load_model(is);
+  return deployed;
+}
+
+SurrogateSuite::DeployedModel SurrogateSuite::DeployedModel::load_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  GMD_REQUIRE(in.good(), "cannot open '" << path << "' for reading");
+  return load(in);
 }
 
 SurrogateSuite::DeployedModel SurrogateSuite::deploy(

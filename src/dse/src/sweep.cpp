@@ -139,6 +139,66 @@ struct TraceGroup {
   memsim::PredecodedTrace nvm_side;
 };
 
+/// The trace feed one point simulation consumes.  Exactly one source is
+/// set per mode: `chunked` for sampled single-technology points,
+/// `predecoded` (or `raw`) for exhaustive single-technology points,
+/// `dram_side`+`nvm_side` (or `raw`) for hybrid points.
+struct PointFeed {
+  std::span<const cpusim::MemoryEvent> raw;
+  const memsim::PredecodedTrace* predecoded = nullptr;
+  const memsim::PredecodedTrace* dram_side = nullptr;
+  const memsim::PredecodedTrace* nvm_side = nullptr;
+  memsim::ChunkedTrace* chunked = nullptr;
+};
+
+/// The per-point simulation body shared by run_sweep and the public
+/// simulate_point overloads: one implementation is what makes service
+/// answers bit-identical to sweep rows.
+void simulate_point_into(const DesignPoint& point,
+                         const SimulateOptions& options, const PointFeed& feed,
+                         MetricsRow& row) {
+  const bool sampling = options.sample_fraction < 1.0;
+  if (sampling && point.kind != MemoryKind::kHybrid) {
+    GMD_ASSERT(feed.chunked != nullptr, "sampled point needs a chunk feed");
+    memsim::MemoryConfig config = point.single_config();
+    config.sim.deadline = options.deadline;
+    memsim::SampledSimOptions sopt;
+    sopt.fraction = options.sample_fraction;
+    sopt.seed = options.sample_seed;
+    sopt.warmup_chunks = options.sample_warmup_chunks;
+    const memsim::SampledMetrics sampled =
+        memsim::simulate_sampled(config, *feed.chunked, sopt);
+    row.metrics = sampled.estimate;
+    row.metric_ci.assign(sampled.ci.begin(), sampled.ci.end());
+    return;
+  }
+  if (point.kind == MemoryKind::kHybrid) {
+    memsim::HybridConfig config = point.hybrid_config();
+    config.dram.sim.deadline = options.deadline;
+    config.nvm.sim.deadline = options.deadline;
+    row.metrics = feed.dram_side != nullptr
+                      ? memsim::HybridMemory::simulate(config, *feed.dram_side,
+                                                       *feed.nvm_side)
+                      : memsim::HybridMemory::simulate(config, feed.raw);
+  } else {
+    memsim::MemoryConfig config = point.single_config();
+    config.sim.deadline = options.deadline;
+    config.sim.num_workers = options.sim_workers;
+    row.metrics = feed.predecoded != nullptr
+                      ? memsim::MemorySystem::simulate(config, *feed.predecoded)
+                      : memsim::MemorySystem::simulate(config, feed.raw);
+  }
+  // A sampled sweep's exhaustive rows (hybrids) carry point intervals
+  // so every row of the sweep reports in the same shape.
+  if (sampling) {
+    const std::vector<double> values = row.metrics.metric_values();
+    row.metric_ci.resize(values.size());
+    for (std::size_t m = 0; m < values.size(); ++m) {
+      row.metric_ci[m] = {values[m], values[m]};
+    }
+  }
+}
+
 /// Relative simulation cost used to order points most-expensive-first,
 /// so the dynamic scheduler never strands a long point at the tail of
 /// the sweep.  Hybrid points drive two memory systems.
@@ -194,10 +254,63 @@ std::string to_string(FailurePolicy policy) {
 
 memsim::MemoryMetrics simulate_point(
     const DesignPoint& point, std::span<const cpusim::MemoryEvent> trace) {
-  if (point.kind == MemoryKind::kHybrid) {
-    return memsim::HybridMemory::simulate(point.hybrid_config(), trace);
+  PointFeed feed;
+  feed.raw = trace;
+  MetricsRow row;
+  simulate_point_into(point, SimulateOptions{}, feed, row);
+  return row.metrics;
+}
+
+MetricsRow simulate_point(const tracestore::TraceStoreReader& store,
+                          const DesignPoint& point,
+                          const SimulateOptions& options) {
+  GMD_REQUIRE(options.sample_fraction > 0.0 && options.sample_fraction <= 1.0,
+              "sample_fraction must be in (0, 1], got "
+                  << options.sample_fraction);
+  GMD_REQUIRE(options.sampling_chunk_events > 0,
+              "sampling_chunk_events must be positive");
+  GMD_REQUIRE(options.sim_workers >= 1, "sim_workers must be >= 1");
+  validate(point);
+
+  const bool sampling =
+      options.sample_fraction < 1.0 && point.kind != MemoryKind::kHybrid;
+  PointFeed feed;
+  std::unique_ptr<memsim::ChunkedTrace> chunked;
+  std::vector<cpusim::MemoryEvent> storage;
+  memsim::PredecodedTrace local;
+  if (sampling) {
+    // A store feed samples the GMDT native chunk index, exactly like a
+    // sampled sweep over the same store.
+    chunked = std::make_unique<StoreChunkedTrace>(store);
+    feed.chunked = chunked.get();
+  } else if (point.kind == MemoryKind::kHybrid) {
+    if (!options.raw_events.empty()) {
+      feed.raw = options.raw_events;
+    } else {
+      storage = store.read_all();
+      feed.raw = storage;
+    }
+  } else if (options.predecoded != nullptr) {
+    feed.predecoded = options.predecoded;
+  } else if (!options.raw_events.empty()) {
+    feed.raw = options.raw_events;
+  } else {
+    // Stream-predecode off the shared mapping — the sweep's grouped
+    // path, without materializing the raw event vector.
+    tracestore::ChunkIterator it(store);
+    local = memsim::PredecodedTrace::build(
+        point.single_config(),
+        [&it]() -> std::span<const cpusim::MemoryEvent> {
+          return it.next() ? it.events()
+                           : std::span<const cpusim::MemoryEvent>{};
+        },
+        static_cast<std::size_t>(store.num_events()));
+    feed.predecoded = &local;
   }
-  return memsim::MemorySystem::simulate(point.single_config(), trace);
+
+  MetricsRow row;
+  simulate_point_into(point, options, feed, row);
+  return row;
 }
 
 SweepHealth summarize_health(std::span<const SweepRow> rows) {
@@ -437,61 +550,41 @@ std::vector<SweepRow> run_sweep_impl(std::span<const DesignPoint> points,
   }
 
   // One simulation attempt; `deadline` (nullable) rides in on a config
-  // copy and is polled by the channel service loops.  Fills row.metrics
-  // (and row.metric_ci for sampled points) directly.
+  // copy and is polled by the channel service loops.  The body itself
+  // is simulate_point_into — the same code path the public
+  // simulate_point overloads (and through them the query service) run.
   const auto run_point = [&](std::size_t i, Deadline* deadline,
                              SweepRow& row) {
+    SimulateOptions sopt;
+    sopt.sim_workers = options.sim_workers;
+    sopt.sample_fraction = options.sample_fraction;
+    sopt.sample_seed = options.sample_seed;
+    sopt.sample_warmup_chunks = options.sample_warmup_chunks;
+    sopt.sampling_chunk_events = options.sampling_chunk_events;
+    sopt.deadline = deadline;
+
     const PointPlan& plan = plans[i];
+    PointFeed feed;
+    std::unique_ptr<memsim::ChunkedTrace> chunked;
     if (sampling && points[i].kind != MemoryKind::kHybrid) {
-      memsim::MemoryConfig config = points[i].single_config();
-      config.sim.deadline = deadline;
-      memsim::SampledSimOptions sopt;
-      sopt.fraction = options.sample_fraction;
-      sopt.seed = options.sample_seed;
-      sopt.warmup_chunks = options.sample_warmup_chunks;
-      const auto chunked = access.chunked(options.sampling_chunk_events);
-      const memsim::SampledMetrics sampled =
-          memsim::simulate_sampled(config, *chunked, sopt);
-      row.metrics = sampled.estimate;
-      row.metric_ci.assign(sampled.ci.begin(), sampled.ci.end());
-      return;
-    }
-    if (plan.group == PointPlan::kNoGroup) {
-      if (points[i].kind == MemoryKind::kHybrid) {
-        memsim::HybridConfig config = points[i].hybrid_config();
-        config.dram.sim.deadline = deadline;
-        config.nvm.sim.deadline = deadline;
-        row.metrics = memsim::HybridMemory::simulate(config, access.raw());
-      } else {
-        memsim::MemoryConfig config = points[i].single_config();
-        config.sim.deadline = deadline;
-        config.sim.num_workers = options.sim_workers;
-        row.metrics = memsim::MemorySystem::simulate(config, access.raw());
-      }
-    } else {
+      chunked = access.chunked(options.sampling_chunk_events);
+      feed.chunked = chunked.get();
+    } else if (plan.group != PointPlan::kNoGroup) {
       const TraceGroup& group = groups[plan.group];
       if (group.is_hybrid) {
-        memsim::HybridConfig config = plan.hybrid;
-        config.dram.sim.deadline = deadline;
-        config.nvm.sim.deadline = deadline;
-        row.metrics = memsim::HybridMemory::simulate(config, group.dram_side,
-                                                     group.nvm_side);
+        feed.dram_side = &group.dram_side;
+        feed.nvm_side = &group.nvm_side;
       } else {
-        memsim::MemoryConfig config = plan.single;
-        config.sim.deadline = deadline;
-        config.sim.num_workers = options.sim_workers;
-        row.metrics = memsim::MemorySystem::simulate(config, group.trace);
+        feed.predecoded = &group.trace;
       }
+    } else {
+      feed.raw = access.raw();
     }
-    // A sampled sweep's exhaustive rows (hybrids) carry point intervals
-    // so every row of the sweep reports in the same shape.
-    if (sampling) {
-      const std::vector<double> values = row.metrics.metric_values();
-      row.metric_ci.resize(values.size());
-      for (std::size_t m = 0; m < values.size(); ++m) {
-        row.metric_ci[m] = {values[m], values[m]};
-      }
-    }
+
+    MetricsRow result;
+    simulate_point_into(points[i], sopt, feed, result);
+    row.metrics = std::move(result.metrics);
+    row.metric_ci = std::move(result.metric_ci);
   };
 
   // Full per-point execution under the failure policy.

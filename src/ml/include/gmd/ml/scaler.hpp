@@ -19,6 +19,12 @@ class MinMaxScaler {
   Matrix transform(const Matrix& x) const;
   Matrix fit_transform(const Matrix& x);
 
+  /// Rebuilds a fitted scaler from previously-fitted bounds (the
+  /// restore half of model persistence).  Both vectors must be the same
+  /// non-zero length, finite, with min <= max per column.
+  static MinMaxScaler from_bounds(std::vector<double> mins,
+                                  std::vector<double> maxs);
+
   /// Scalar-series convenience (targets).
   void fit(std::span<const double> values);
   std::vector<double> transform(std::span<const double> values) const;

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "gmd/ml/regressor.hpp"
+#include "gmd/ml/scaler.hpp"
 
 namespace gmd::ml {
 
@@ -28,5 +29,11 @@ void save_model_file(const std::string& path, const Regressor& model);
 /// the header.  Throws gmd::Error on malformed input.
 std::unique_ptr<Regressor> load_model(std::istream& is);
 std::unique_ptr<Regressor> load_model_file(const std::string& path);
+
+/// Persists a fitted min-max scaler (17-digit bounds, exact round-trip)
+/// so a deployed surrogate's feature/target scaling ships with the
+/// model instead of needing the training data to refit.
+void save_scaler(std::ostream& os, const MinMaxScaler& scaler);
+MinMaxScaler load_scaler(std::istream& is);
 
 }  // namespace gmd::ml

@@ -51,6 +51,26 @@ Matrix MinMaxScaler::fit_transform(const Matrix& x) {
   return transform(x);
 }
 
+MinMaxScaler MinMaxScaler::from_bounds(std::vector<double> mins,
+                                       std::vector<double> maxs) {
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData,
+                 !mins.empty() && mins.size() == maxs.size(),
+                 "scaler bounds must be equal-length and non-empty (got "
+                     << mins.size() << " mins, " << maxs.size() << " maxs)");
+  for (std::size_t c = 0; c < mins.size(); ++c) {
+    GMD_REQUIRE_AS(ErrorCode::kInvalidData,
+                   std::isfinite(mins[c]) && std::isfinite(maxs[c]) &&
+                       mins[c] <= maxs[c],
+                   "invalid scaler bounds at column " << c << ": ["
+                                                      << mins[c] << ", "
+                                                      << maxs[c] << "]");
+  }
+  MinMaxScaler scaler;
+  scaler.mins_ = std::move(mins);
+  scaler.maxs_ = std::move(maxs);
+  return scaler;
+}
+
 void MinMaxScaler::fit(std::span<const double> values) {
   GMD_REQUIRE(!values.empty(), "cannot fit scaler on empty data");
   for (std::size_t i = 0; i < values.size(); ++i) {

@@ -17,6 +17,7 @@ namespace gmd::ml {
 namespace {
 
 constexpr const char* kHeader = "gmd-model-v1";
+constexpr const char* kScalerHeader = "gmd-scaler-v1";
 
 }  // namespace
 
@@ -75,6 +76,33 @@ std::unique_ptr<Regressor> load_model_file(const std::string& path) {
   std::ifstream in(path);
   GMD_REQUIRE(in.good(), "cannot open '" << path << "' for reading");
   return load_model(in);
+}
+
+void save_scaler(std::ostream& os, const MinMaxScaler& scaler) {
+  GMD_REQUIRE(scaler.fitted(), "cannot serialize an unfitted scaler");
+  os.precision(17);
+  os << kScalerHeader << " minmax " << scaler.mins().size() << "\n";
+  for (const double v : scaler.mins()) os << v << " ";
+  os << "\n";
+  for (const double v : scaler.maxs()) os << v << " ";
+  os << "\n";
+  GMD_REQUIRE(os.good(), "scaler serialization stream failed");
+}
+
+MinMaxScaler load_scaler(std::istream& is) {
+  std::string header;
+  std::string kind;
+  std::size_t cols = 0;
+  is >> header >> kind >> cols;
+  GMD_REQUIRE(is.good() && header == kScalerHeader && kind == "minmax" &&
+                  cols > 0,
+              "not a graphmemdse scaler record");
+  std::vector<double> mins(cols);
+  std::vector<double> maxs(cols);
+  for (double& v : mins) is >> v;
+  for (double& v : maxs) is >> v;
+  GMD_REQUIRE(is.good(), "truncated scaler record");
+  return MinMaxScaler::from_bounds(std::move(mins), std::move(maxs));
 }
 
 }  // namespace gmd::ml

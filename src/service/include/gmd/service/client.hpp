@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file client.hpp
+/// Pipe client for the query service daemon: forks/execs a gmd_serve
+/// binary with its stdin/stdout tied to this process, assigns each
+/// request a numeric id, and matches response lines back to callers —
+/// so many threads can issue requests concurrently over the one pipe
+/// pair and block only on their own answers (responses may arrive in
+/// any order).  close_and_wait() closes the server's stdin, which is
+/// the protocol's graceful-drain signal, and reaps the child.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gmd/service/json.hpp"
+
+namespace gmd::service {
+
+class PipeClient {
+ public:
+  struct Options {
+    std::string server_path;         ///< Executable to fork/exec.
+    std::vector<std::string> args;   ///< argv[1..] for the server.
+  };
+
+  /// Spawns the server; throws Error(kIo) when exec/plumbing fails.
+  explicit PipeClient(const Options& options);
+  /// Kills the server if still running (prefer close_and_wait()).
+  ~PipeClient();
+
+  PipeClient(const PipeClient&) = delete;
+  PipeClient& operator=(const PipeClient&) = delete;
+
+  /// Sends `body` (its "id" is overwritten with a fresh client id) and
+  /// returns the id to wait on.  Thread-safe.
+  std::uint64_t send(Json body);
+
+  /// Blocks until the response for `id` arrives.  Throws Error(kIo)
+  /// when the server exits before answering.
+  Json wait(std::uint64_t id);
+
+  /// send + wait.
+  Json request(Json body);
+
+  /// Closes the server's stdin (graceful drain), waits for every
+  /// outstanding response, joins the reader, reaps the child.  Returns
+  /// the server's exit code.  Idempotent (returns the same code).
+  int close_and_wait();
+
+ private:
+  void reader_loop();
+  void fail_pending_locked(const std::string& reason);
+
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  long long pid_ = -1;
+  int exit_code_ = -1;
+  bool reaped_ = false;
+
+  std::mutex write_mutex_;
+
+  std::mutex mutex_;               ///< Guards the response/pending state.
+  std::condition_variable cv_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Json> responses_;
+  bool reader_done_ = false;
+  std::string failure_;            ///< Non-empty once the pipe broke.
+
+  std::thread reader_;
+};
+
+}  // namespace gmd::service

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON value type for the query service's line-oriented
+/// protocol.  Self-contained (no third-party dependency): a recursive
+/// variant with a strict parser and a deterministic writer — object
+/// keys serialize in sorted order and doubles round-trip exactly (17
+/// significant digits), so a response's text form is a stable function
+/// of its value.  This is protocol plumbing, not a general JSON
+/// library: numbers are IEEE doubles, and the parser rejects anything
+/// the writer cannot reproduce (NaN/Inf literals, unpaired surrogates).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace gmd::service {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Ordered map: dump() output is deterministic for a given value.
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool value) : value_(value) {}
+  Json(double value) : value_(value) {}
+  /// One integral constructor for every width (avoids overload
+  /// ambiguity between int/int64/uint64/size_t across platforms).
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  Json(T value) : value_(static_cast<double>(value)) {}
+  Json(const char* value) : value_(std::string(value)) {}
+  Json(std::string value) : value_(std::move(value)) {}
+  Json(Array value) : value_(std::move(value)) {}
+  Json(Object value) : value_(std::move(value)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Checked accessors; throw Error(kInvalidData) on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object field lookup; null-typed reference when absent.
+  const Json& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+  /// Object field assignment (makes this an object if null).
+  Json& operator[](const std::string& key);
+
+  /// Convenience typed reads with defaults for optional fields; throw
+  /// Error(kInvalidData) when the field is present with a wrong type.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+
+  /// Serializes on one line (no trailing newline).  Doubles print with
+  /// up to 17 significant digits (exact round-trip); integral values in
+  /// the safe range print without an exponent or decimal point.
+  std::string dump() const;
+
+  /// Strict parse of exactly one JSON value (trailing whitespace ok,
+  /// trailing garbage rejected).  Throws Error(kInvalidData) with
+  /// offset context on malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_ = nullptr;
+};
+
+}  // namespace gmd::service

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file model_registry.hpp
+/// Deployed-surrogate registry for the query service: loads each .gmdm
+/// artifact (model + scalers) once and serves it to every concurrent
+/// predict request.  Batch inference through a registered model is
+/// lock-free: Regressor::predict(const Matrix&) builds its inference
+/// plans as stack locals, so concurrent const predicts share the model
+/// without synchronization — the registry locks only the name lookup.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gmd/dse/surrogate.hpp"
+
+namespace gmd::service {
+
+class ModelRegistry {
+ public:
+  /// Loads a .gmdm artifact and registers it under `name`.  Replaces an
+  /// existing registration of the same name (in-flight requests keep
+  /// their shared handle).  Returns the model family name.
+  std::string register_model(const std::string& name, const std::string& path);
+
+  /// Registers an already-deployed model (e.g. trained in-process).
+  void register_model(const std::string& name,
+                      dse::SurrogateSuite::DeployedModel model);
+
+  /// Throws Error(kNotFound) naming the key and registered models.
+  std::shared_ptr<const dse::SurrogateSuite::DeployedModel> find(
+      const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const dse::SurrogateSuite::DeployedModel>>
+      models_;
+};
+
+}  // namespace gmd::service

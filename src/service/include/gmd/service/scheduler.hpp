@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Admission-controlled request scheduler: a bounded two-lane priority
+/// queue (interactive ahead of bulk) pumped by the shared gmd
+/// ThreadPool.  submit() never blocks — a full queue is a typed
+/// Error(kOverloaded) the caller turns into a protocol-level rejection,
+/// which is the backpressure story: the service sheds load instead of
+/// growing an unbounded backlog.  shutdown() closes admission, lets
+/// every accepted task drain, and joins the pump tasks.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "gmd/common/thread_pool.hpp"
+#include "gmd/common/work_queue.hpp"
+
+namespace gmd::service {
+
+/// Request priority classes: lane order is drain order.
+enum class Priority : std::size_t {
+  kInteractive = 0,  ///< predict / recommend / small simulate.
+  kBulk = 1,         ///< batch simulate.
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    std::size_t num_threads = 0;  ///< 0: hardware concurrency.
+    /// Maximum queued (admitted, not yet running) tasks across both
+    /// lanes; submissions beyond it throw Error(kOverloaded).
+    std::size_t max_queue_depth = 256;
+  };
+
+  explicit Scheduler(const Options& options);
+  Scheduler() : Scheduler(Options{}) {}
+  /// Drains and joins (equivalent to shutdown()).
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues `task` on the lane for `priority`.  Throws
+  /// Error(kOverloaded) when the queue is full and Error(kCancelled)
+  /// after shutdown began.  Tasks must not throw; a throwing task is
+  /// swallowed (the pump logs nothing and keeps serving) — wrap
+  /// handlers so errors become responses instead.
+  void submit(Priority priority, std::function<void()> task);
+
+  /// Graceful drain: stops admission, runs every already-accepted
+  /// task, then joins the pumps.  Idempotent; safe to call once from
+  /// any thread.
+  void shutdown();
+
+  std::size_t num_threads() const { return pool_.size(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t max_queue_depth() const { return queue_.capacity(); }
+  bool draining() const { return queue_.closed(); }
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;  ///< Admission-control rejections.
+    std::uint64_t executed = 0;
+    std::size_t queue_depth = 0;
+  };
+  Stats stats() const;
+
+ private:
+  ThreadPool pool_;
+  BoundedPriorityQueue<std::function<void()>> queue_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace gmd::service

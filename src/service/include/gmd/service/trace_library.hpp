@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file trace_library.hpp
+/// Shared trace handles for the query service.  Each GMDT store is
+/// mmapped exactly once at registration and handed out as a shared
+/// reader keyed by alias or content checksum; the expensive derived
+/// feeds — the fully decoded event vector and per-decode-geometry
+/// PredecodedTrace — are built once on first use and shared by every
+/// concurrent request (build-once via shared_future, so two requests
+/// racing on a cold feed block on one build instead of running two).
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gmd/cpusim/memory_event.hpp"
+#include "gmd/memsim/config.hpp"
+#include "gmd/memsim/predecoded_trace.hpp"
+#include "gmd/tracestore/reader.hpp"
+
+namespace gmd::service {
+
+class TraceLibrary {
+ public:
+  /// One registered store.
+  struct Entry {
+    std::string alias;
+    std::string path;
+    std::uint64_t checksum = 0;  ///< TraceStoreReader::content_checksum().
+    std::shared_ptr<const tracestore::TraceStoreReader> reader;
+  };
+
+  /// Maps the store at `path` (throws Error(kIo)/Error(kTrace) like the
+  /// reader) and registers it under `alias`.  Re-registering an alias
+  /// for the same content is a no-op; a different content under a
+  /// taken alias throws Error(kConfig).  Returns the content checksum.
+  std::uint64_t register_store(const std::string& alias,
+                               const std::string& path);
+
+  /// Looks up by alias or by 16-hex-digit content checksum.  Throws
+  /// Error(kNotFound) naming the key and the registered aliases.
+  std::shared_ptr<const tracestore::TraceStoreReader> find(
+      const std::string& name) const;
+
+  /// The store's full decoded event stream, built once and shared.
+  std::shared_ptr<const std::vector<cpusim::MemoryEvent>> raw_events(
+      const tracestore::TraceStoreReader& store);
+
+  /// A predecoded request stream for `config`'s decode geometry, built
+  /// once per (store, decode key) and shared.
+  std::shared_ptr<const memsim::PredecodedTrace> predecoded(
+      const tracestore::TraceStoreReader& store,
+      const memsim::MemoryConfig& config);
+
+  std::vector<Entry> entries() const;
+  std::size_t size() const;
+  /// Cached derived feeds (decoded vectors + predecoded traces).
+  std::size_t cached_feeds() const;
+
+ private:
+  using RawFuture =
+      std::shared_future<std::shared_ptr<const std::vector<cpusim::MemoryEvent>>>;
+  using PredecodedFuture =
+      std::shared_future<std::shared_ptr<const memsim::PredecodedTrace>>;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> by_alias_;
+  std::map<std::uint64_t, Entry> by_checksum_;
+  std::map<std::uint64_t, RawFuture> raw_cache_;
+  std::map<std::pair<std::uint64_t, std::string>, PredecodedFuture>
+      predecoded_cache_;
+};
+
+/// Formats a content checksum the way the protocol exposes it
+/// (16 lowercase hex digits, zero-padded).
+std::string format_checksum(std::uint64_t checksum);
+
+}  // namespace gmd::service

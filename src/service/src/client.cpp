@@ -1,0 +1,177 @@
+#include "gmd/service/client.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::service {
+
+PipeClient::PipeClient(const Options& options) {
+  int to_child[2];   // parent writes -> child stdin
+  int from_child[2]; // child stdout -> parent reads
+  GMD_REQUIRE_AS(ErrorCode::kIo, ::pipe(to_child) == 0, "pipe failed");
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    throw Error(ErrorCode::kIo, "pipe failed");
+  }
+
+  const pid_t pid = ::fork();
+  GMD_REQUIRE_AS(ErrorCode::kIo, pid >= 0, "fork failed");
+  if (pid == 0) {
+    // Child: wire the pipe ends onto stdin/stdout and exec the server.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(options.server_path.c_str()));
+    for (const std::string& arg : options.args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(options.server_path.c_str(), argv.data());
+    ::_Exit(127);  // exec failed
+  }
+
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  stdin_fd_ = to_child[1];
+  stdout_fd_ = from_child[0];
+  pid_ = pid;
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+PipeClient::~PipeClient() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (reaped_) {
+      // close_and_wait() already shut everything down.
+      return;
+    }
+  }
+  // Abrupt teardown: kill rather than drain.
+  if (stdin_fd_ >= 0) ::close(stdin_fd_);
+  if (pid_ > 0) {
+    ::kill(static_cast<pid_t>(pid_), SIGKILL);
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(pid_), &status, 0);
+  }
+  if (reader_.joinable()) reader_.join();
+  if (stdout_fd_ >= 0) ::close(stdout_fd_);
+}
+
+void PipeClient::reader_loop() {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(stdout_fd_, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF (server exited/drained) or error.
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      try {
+        Json response = Json::parse(line);
+        const Json& id = response.at("id");
+        if (id.is_number()) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          responses_[static_cast<std::uint64_t>(id.as_number())] =
+              std::move(response);
+          cv_.notify_all();
+        }
+        // Responses without a numeric id (none in this protocol) drop.
+      } catch (const Error&) {
+        // A torn/non-JSON line is a server bug; surface it to waiters.
+        std::lock_guard<std::mutex> lock(mutex_);
+        fail_pending_locked("server emitted a malformed line: " + line);
+      }
+    }
+    buffer.erase(0, start);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  reader_done_ = true;
+  cv_.notify_all();
+}
+
+void PipeClient::fail_pending_locked(const std::string& reason) {
+  if (failure_.empty()) failure_ = reason;
+  cv_.notify_all();
+}
+
+std::uint64_t PipeClient::send(Json body) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+  }
+  body["id"] = id;
+  const std::string line = body.dump() + "\n";
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  GMD_REQUIRE_AS(ErrorCode::kIo, stdin_fd_ >= 0,
+                 "client connection already closed");
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(stdin_fd_, line.data() + written, line.size() - written);
+    GMD_REQUIRE_AS(ErrorCode::kIo, n > 0,
+                   "write to server failed: " << std::strerror(errno));
+    written += static_cast<std::size_t>(n);
+  }
+  return id;
+}
+
+Json PipeClient::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this, id] {
+    return responses_.count(id) != 0 || reader_done_ || !failure_.empty();
+  });
+  if (const auto it = responses_.find(id); it != responses_.end()) {
+    Json response = std::move(it->second);
+    responses_.erase(it);
+    return response;
+  }
+  throw Error(ErrorCode::kIo,
+              failure_.empty()
+                  ? "server exited before answering request " +
+                        std::to_string(id)
+                  : failure_);
+}
+
+Json PipeClient::request(Json body) { return wait(send(std::move(body))); }
+
+int PipeClient::close_and_wait() {
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (stdin_fd_ >= 0) {
+      ::close(stdin_fd_);  // EOF = graceful drain request.
+      stdin_fd_ = -1;
+    }
+  }
+  if (reader_.joinable()) reader_.join();
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!reaped_) {
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(pid_), &status, 0);
+    exit_code_ = WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+    reaped_ = true;
+  }
+  return exit_code_;
+}
+
+}  // namespace gmd::service

@@ -1,0 +1,367 @@
+#include "gmd/service/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::service {
+
+namespace {
+
+const Json& null_json() {
+  static const Json kNull;
+  return kNull;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double value) {
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, std::isfinite(value),
+                 "JSON cannot represent a non-finite number");
+  // Integral values in the exactly-representable range print as
+  // integers so ids and counts round-trip without ".0" noise.
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value(0);
+    skip_ws();
+    require(pos_ == text_.size(), "trailing garbage after JSON value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void require(bool ok, const char* what) const {
+    if (!ok) {
+      throw Error(ErrorCode::kInvalidData,
+                  std::string("malformed JSON at offset ") +
+                      std::to_string(pos_) + ": " + what);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    require(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.substr(pos_, len) == word) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value(int depth) {
+    require(depth < kMaxDepth, "nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return Json(parse_string());
+    if (consume_word("true")) return Json(true);
+    if (consume_word("false")) return Json(false);
+    if (consume_word("null")) return Json(nullptr);
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    require(false, "expected a JSON value");
+    return Json();
+  }
+
+  Json parse_object(int depth) {
+    ++pos_;  // '{'
+    Json::Object object;
+    skip_ws();
+    if (consume('}')) return Json(std::move(object));
+    while (true) {
+      skip_ws();
+      require(peek() == '"', "expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      require(consume(':'), "expected ':' after object key");
+      object[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      if (consume(',')) continue;
+      require(consume('}'), "expected ',' or '}' in object");
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array(int depth) {
+    ++pos_;  // '['
+    Json::Array array;
+    skip_ws();
+    if (consume(']')) return Json(std::move(array));
+    while (true) {
+      array.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      require(consume(']'), "expected ',' or ']' in array");
+      return Json(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        require(static_cast<unsigned char>(c) >= 0x20,
+                "unescaped control character in string");
+        out.push_back(c);
+        continue;
+      }
+      require(pos_ < text_.size(), "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': append_codepoint(out); break;
+        default: require(false, "unknown escape sequence");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    require(pos_ + 4 <= text_.size(), "truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else require(false, "invalid hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  void append_codepoint(std::string& out) {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow.
+      require(pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                  text_[pos_ + 1] == 'u',
+              "unpaired surrogate in \\u escape");
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      require(low >= 0xDC00 && low <= 0xDFFF,
+              "unpaired surrogate in \\u escape");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else {
+      require(cp < 0xDC00 || cp > 0xDFFF, "unpaired surrogate in \\u escape");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    require(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+            "malformed number");
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    require(end == token.c_str() + token.size() && std::isfinite(value),
+            "malformed number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, is_bool(), "expected JSON bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, is_number(), "expected JSON number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, is_string(), "expected JSON string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, is_array(), "expected JSON array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, is_object(), "expected JSON object");
+  return std::get<Object>(value_);
+}
+
+Json::Array& Json::as_array() {
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, is_array(), "expected JSON array");
+  return std::get<Array>(value_);
+}
+
+Json::Object& Json::as_object() {
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, is_object(), "expected JSON object");
+  return std::get<Object>(value_);
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (!is_object()) return null_json();
+  const auto& object = std::get<Object>(value_);
+  const auto it = object.find(key);
+  return it == object.end() ? null_json() : it->second;
+}
+
+bool Json::has(const std::string& key) const {
+  return is_object() && std::get<Object>(value_).count(key) != 0;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData, is_object(), "expected JSON object");
+  return std::get<Object>(value_)[key];
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  const Json& field = at(key);
+  return field.is_null() ? fallback : field.as_number();
+}
+
+std::string Json::string_or(const std::string& key,
+                            const std::string& fallback) const {
+  const Json& field = at(key);
+  return field.is_null() ? fallback : field.as_string();
+}
+
+bool Json::bool_or(const std::string& key, bool fallback) const {
+  const Json& field = at(key);
+  return field.is_null() ? fallback : field.as_bool();
+}
+
+std::string Json::dump() const {
+  std::string out;
+  struct Writer {
+    std::string& out;
+    void operator()(std::nullptr_t) const { out += "null"; }
+    void operator()(bool b) const { out += b ? "true" : "false"; }
+    void operator()(double d) const { append_number(out, d); }
+    void operator()(const std::string& s) const { append_escaped(out, s); }
+    void operator()(const Array& a) const {
+      out.push_back('[');
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out.push_back(',');
+        out += a[i].dump();
+      }
+      out.push_back(']');
+    }
+    void operator()(const Object& o) const {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : o) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_escaped(out, key);
+        out.push_back(':');
+        out += value.dump();
+      }
+      out.push_back('}');
+    }
+  };
+  std::visit(Writer{out}, value_);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace gmd::service

@@ -1,0 +1,62 @@
+#include "gmd/service/model_registry.hpp"
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::service {
+
+std::string ModelRegistry::register_model(const std::string& name,
+                                          const std::string& path) {
+  GMD_REQUIRE_AS(ErrorCode::kConfig, !name.empty(),
+                 "model name must be non-empty");
+  // Load outside the lock; a slow disk never blocks lookups.
+  auto model = std::make_shared<dse::SurrogateSuite::DeployedModel>(
+      dse::SurrogateSuite::DeployedModel::load_file(path));
+  const std::string family = model->model->name();
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_[name] = std::move(model);
+  return family;
+}
+
+void ModelRegistry::register_model(const std::string& name,
+                                   dse::SurrogateSuite::DeployedModel model) {
+  GMD_REQUIRE_AS(ErrorCode::kConfig, !name.empty(),
+                 "model name must be non-empty");
+  GMD_REQUIRE_AS(ErrorCode::kConfig,
+                 model.model != nullptr && model.model->is_fitted(),
+                 "cannot register an unfitted model as '" << name << "'");
+  auto shared = std::make_shared<const dse::SurrogateSuite::DeployedModel>(
+      std::move(model));
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_[name] = std::move(shared);
+}
+
+std::shared_ptr<const dse::SurrogateSuite::DeployedModel> ModelRegistry::find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = models_.find(name); it != models_.end()) {
+    return it->second;
+  }
+  std::string known;
+  for (const auto& [model_name, model] : models_) {
+    if (!known.empty()) known += ", ";
+    known += model_name;
+  }
+  throw Error(ErrorCode::kNotFound,
+              "model '" + name + "' is not registered (known: " +
+                  (known.empty() ? "none" : known) + ")");
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, model] : models_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace gmd::service

@@ -1,0 +1,62 @@
+#include "gmd/service/scheduler.hpp"
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::service {
+
+Scheduler::Scheduler(const Options& options)
+    : pool_(options.num_threads),
+      queue_(options.max_queue_depth, /*num_lanes=*/2) {
+  // One pump per pool worker: each loops popping tasks until the queue
+  // closes and drains, so shutdown() leaves no accepted task behind.
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    pool_.submit([this] {
+      while (auto task = queue_.pop()) {
+        try {
+          (*task)();
+        } catch (...) {
+          // Handlers are wrapped to respond instead of throw; a stray
+          // exception must not kill the pump.
+        }
+        executed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+void Scheduler::submit(Priority priority, std::function<void()> task) {
+  using Push = BoundedPriorityQueue<std::function<void()>>::Push;
+  switch (queue_.try_push(static_cast<std::size_t>(priority),
+                          std::move(task))) {
+    case Push::kAccepted:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case Push::kFull:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      throw Error(ErrorCode::kOverloaded,
+                  "request queue is full (" +
+                      std::to_string(queue_.capacity()) +
+                      " pending); retry later");
+    case Push::kClosed:
+      throw Error(ErrorCode::kCancelled, "scheduler is draining");
+  }
+}
+
+void Scheduler::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  queue_.close();
+  pool_.wait();
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  Stats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_.size();
+  return stats;
+}
+
+}  // namespace gmd::service

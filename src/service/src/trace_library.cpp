@@ -1,0 +1,163 @@
+#include "gmd/service/trace_library.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::service {
+
+namespace {
+
+/// Runs `build` under build-once semantics: the first caller for `key`
+/// installs a promise and builds outside the lock; everyone else waits
+/// on the shared future.  A failed build is evicted so a later call can
+/// retry, and the exception propagates to every waiter of that round.
+template <typename Map, typename Key, typename Build>
+auto build_once(std::mutex& mutex, Map& cache, const Key& key, Build build)
+    -> decltype(build()) {
+  using Value = decltype(build());
+  std::promise<Value> promise;
+  std::shared_future<Value> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      future = promise.get_future().share();
+      cache.emplace(key, future);
+      builder = true;
+    } else {
+      future = it->second;
+    }
+  }
+  if (builder) {
+    try {
+      promise.set_value(build());
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mutex);
+      cache.erase(key);
+    }
+  }
+  return future.get();
+}
+
+}  // namespace
+
+std::string format_checksum(std::uint64_t checksum) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(checksum));
+  return std::string(buf);
+}
+
+std::uint64_t TraceLibrary::register_store(const std::string& alias,
+                                           const std::string& path) {
+  GMD_REQUIRE_AS(ErrorCode::kConfig, !alias.empty(),
+                 "trace alias must be non-empty");
+  // Map outside the lock: opening validates the header + directory and
+  // may take a moment on a large store.
+  auto reader = std::make_shared<const tracestore::TraceStoreReader>(path);
+  const std::uint64_t checksum = reader->content_checksum();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = by_alias_.find(alias); it != by_alias_.end()) {
+    GMD_REQUIRE_AS(ErrorCode::kConfig, it->second.checksum == checksum,
+                   "alias '" << alias
+                             << "' is already registered for different trace "
+                                "content (checksum "
+                             << format_checksum(it->second.checksum) << ")");
+    return checksum;  // Same content: idempotent re-registration.
+  }
+  Entry entry{alias, path, checksum, std::move(reader)};
+  // First registration wins for checksum lookup; a second alias for the
+  // same content shares the existing mapping instead of re-mmapping.
+  if (const auto it = by_checksum_.find(checksum); it != by_checksum_.end()) {
+    entry.reader = it->second.reader;
+  } else {
+    by_checksum_.emplace(checksum, entry);
+  }
+  by_alias_.emplace(alias, std::move(entry));
+  return checksum;
+}
+
+std::shared_ptr<const tracestore::TraceStoreReader> TraceLibrary::find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = by_alias_.find(name); it != by_alias_.end()) {
+    return it->second.reader;
+  }
+  // A 16-hex-digit name may be a content checksum.
+  if (name.size() == 16) {
+    std::uint64_t checksum = 0;
+    bool hex = true;
+    for (const char c : name) {
+      checksum <<= 4;
+      if (c >= '0' && c <= '9') checksum |= static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') checksum |= static_cast<std::uint64_t>(c - 'a' + 10);
+      else { hex = false; break; }
+    }
+    if (hex) {
+      if (const auto it = by_checksum_.find(checksum);
+          it != by_checksum_.end()) {
+        return it->second.reader;
+      }
+    }
+  }
+  std::string known;
+  for (const auto& [alias, entry] : by_alias_) {
+    if (!known.empty()) known += ", ";
+    known += alias;
+  }
+  throw Error(ErrorCode::kNotFound,
+              "trace '" + name + "' is not registered (known: " +
+                  (known.empty() ? "none" : known) + ")");
+}
+
+std::shared_ptr<const std::vector<cpusim::MemoryEvent>>
+TraceLibrary::raw_events(const tracestore::TraceStoreReader& store) {
+  const std::uint64_t key = store.content_checksum();
+  return build_once(mutex_, raw_cache_, key, [&store] {
+    return std::make_shared<const std::vector<cpusim::MemoryEvent>>(
+        store.read_all());
+  });
+}
+
+std::shared_ptr<const memsim::PredecodedTrace> TraceLibrary::predecoded(
+    const tracestore::TraceStoreReader& store,
+    const memsim::MemoryConfig& config) {
+  const std::pair<std::uint64_t, std::string> key{
+      store.content_checksum(), memsim::PredecodedTrace::key(config)};
+  return build_once(mutex_, predecoded_cache_, key, [&store, &config] {
+    tracestore::ChunkIterator it(store);
+    const auto source = [&it]() -> std::span<const cpusim::MemoryEvent> {
+      return it.next() ? it.events()
+                       : std::span<const cpusim::MemoryEvent>{};
+    };
+    return std::make_shared<const memsim::PredecodedTrace>(
+        memsim::PredecodedTrace::build(config, source,
+                                       static_cast<std::size_t>(
+                                           store.num_events())));
+  });
+}
+
+std::vector<TraceLibrary::Entry> TraceLibrary::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(by_alias_.size());
+  for (const auto& [alias, entry] : by_alias_) out.push_back(entry);
+  return out;
+}
+
+std::size_t TraceLibrary::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_alias_.size();
+}
+
+std::size_t TraceLibrary::cached_feeds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return raw_cache_.size() + predecoded_cache_.size();
+}
+
+}  // namespace gmd::service

@@ -1,0 +1,138 @@
+#include "gmd/common/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gmd/common/thread_pool.hpp"
+
+namespace gmd {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+  ShardedLruCache<int, std::string> cache(8, 1);
+  EXPECT_FALSE(cache.get(1).has_value());
+  cache.put(1, "one");
+  const auto hit = cache.get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "one");
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(LruCache, PutRefreshesValueAndRecency) {
+  ShardedLruCache<int, int> cache(2, 1);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // refresh: 1 is now most recent
+  cache.put(3, 30);  // evicts 2, the least recently used
+  EXPECT_EQ(cache.get(1).value_or(-1), 11);
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(3).value_or(-1), 30);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCache, GetPromotesAgainstEviction) {
+  ShardedLruCache<int, int> cache(2, 1);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  ASSERT_TRUE(cache.get(1).has_value());  // 1 promoted over 2
+  cache.put(3, 30);                       // evicts 2
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+}
+
+// Single-shard eviction is fully deterministic: replaying the same
+// operation sequence yields the same surviving set.
+TEST(LruCache, SingleShardEvictionDeterminism) {
+  const auto survivors = [] {
+    ShardedLruCache<int, int> cache(4, 1);
+    for (int round = 0; round < 3; ++round) {
+      for (int k = 0; k < 10; ++k) {
+        cache.put(k, k * 100 + round);
+        (void)cache.get(k / 2);
+      }
+    }
+    std::vector<int> alive;
+    for (int k = 0; k < 10; ++k) {
+      if (cache.get(k).has_value()) alive.push_back(k);
+    }
+    return alive;
+  };
+  const std::vector<int> first = survivors();
+  EXPECT_EQ(first.size(), 4u);
+  EXPECT_EQ(first, survivors());
+  EXPECT_EQ(first, survivors());
+}
+
+TEST(LruCache, CapacityIsBoundAcrossShards) {
+  ShardedLruCache<int, int> cache(16, 4);
+  for (int k = 0; k < 1000; ++k) cache.put(k, k);
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(LruCache, ShardCountNeverExceedsCapacity) {
+  // 2 entries over 8 requested shards must still hold 2 entries, not 0.
+  ShardedLruCache<int, int> cache(2, 8);
+  EXPECT_LE(cache.num_shards(), 2u);
+  cache.put(1, 1);
+  cache.put(2, 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, ClearEmptiesEveryShard) {
+  ShardedLruCache<int, int> cache(32, 4);
+  for (int k = 0; k < 32; ++k) cache.put(k, k);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(0).has_value());
+}
+
+TEST(LruCache, RejectsZeroCapacity) {
+  using Cache = ShardedLruCache<int, int>;
+  EXPECT_THROW(Cache(0, 1), Error);
+  EXPECT_THROW(Cache(4, 0), Error);
+}
+
+// Sharded concurrent access: hammer one cache from a pool; every
+// completed get must return the value its key was last put with, the
+// size bound must hold throughout, and the counters must balance.
+TEST(LruCache, ConcurrentStressUnderThreadPool) {
+  ShardedLruCache<std::uint64_t, std::uint64_t> cache(64, 8);
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> wrong_values{0};
+  constexpr std::uint64_t kKeys = 128;
+  constexpr std::size_t kOpsPerTask = 500;
+
+  pool.parallel_for(0, 16, [&](std::size_t task) {
+    std::uint64_t state = 0x9E3779B97F4A7C15ULL * (task + 1);
+    for (std::size_t op = 0; op < kOpsPerTask; ++op) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const std::uint64_t key = state % kKeys;
+      if (state & 1) {
+        cache.put(key, key * 7);
+      } else {
+        const auto value = cache.get(key);
+        if (value.has_value() && *value != key * 7) ++wrong_values;
+      }
+    }
+  });
+
+  EXPECT_EQ(wrong_values.load(), 0u);
+  EXPECT_LE(cache.size(), 64u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, cache.size());
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace gmd

@@ -1,0 +1,126 @@
+#include "gmd/common/work_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gmd {
+namespace {
+
+using Queue = BoundedPriorityQueue<int>;
+
+TEST(WorkQueue, FifoWithinOneLane) {
+  Queue queue(8, 1);
+  EXPECT_EQ(queue.try_push(0, 1), Queue::Push::kAccepted);
+  EXPECT_EQ(queue.try_push(0, 2), Queue::Push::kAccepted);
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(WorkQueue, LowerLaneDrainsFirst) {
+  Queue queue(8, 2);
+  ASSERT_EQ(queue.try_push(1, 100), Queue::Push::kAccepted);  // bulk first...
+  ASSERT_EQ(queue.try_push(1, 101), Queue::Push::kAccepted);
+  ASSERT_EQ(queue.try_push(0, 1), Queue::Push::kAccepted);  // ...then interactive
+  // The interactive item overtakes the earlier bulk items.
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 100);
+  EXPECT_EQ(queue.pop().value(), 101);
+}
+
+TEST(WorkQueue, FullQueueRejectsWithoutBlocking) {
+  Queue queue(2, 2);
+  EXPECT_EQ(queue.try_push(0, 1), Queue::Push::kAccepted);
+  EXPECT_EQ(queue.try_push(1, 2), Queue::Push::kAccepted);
+  // The bound spans all lanes.
+  EXPECT_EQ(queue.try_push(0, 3), Queue::Push::kFull);
+  EXPECT_EQ(queue.try_push(1, 3), Queue::Push::kFull);
+  EXPECT_EQ(queue.size(), 2u);
+  // Draining one item re-opens admission.
+  (void)queue.pop();
+  EXPECT_EQ(queue.try_push(0, 3), Queue::Push::kAccepted);
+}
+
+TEST(WorkQueue, CloseDrainsAcceptedItemsThenStops) {
+  Queue queue(8, 2);
+  ASSERT_EQ(queue.try_push(1, 7), Queue::Push::kAccepted);
+  ASSERT_EQ(queue.try_push(0, 3), Queue::Push::kAccepted);
+  queue.close();
+  EXPECT_EQ(queue.try_push(0, 9), Queue::Push::kClosed);
+  // Accepted work still drains in priority order...
+  EXPECT_EQ(queue.pop().value(), 3);
+  EXPECT_EQ(queue.pop().value(), 7);
+  // ...then pops report exhaustion.
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(WorkQueue, CloseWakesBlockedConsumers) {
+  Queue queue(4, 1);
+  std::atomic<int> finished{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (queue.pop().has_value()) {
+      }
+      ++finished;
+    });
+  }
+  queue.close();
+  for (auto& thread : consumers) thread.join();
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(WorkQueue, RejectsInvalidGeometry) {
+  EXPECT_THROW(Queue(0, 1), Error);
+  EXPECT_THROW(Queue(4, 0), Error);
+  Queue queue(4, 2);
+  EXPECT_THROW(queue.try_push(2, 1), Error);
+}
+
+// Concurrent producers + consumers: every accepted item is popped
+// exactly once, and nothing is popped after close() beyond the
+// accepted set.
+TEST(WorkQueue, ConcurrentProducersConsumers) {
+  Queue queue(32, 2);
+  std::atomic<int> accepted{0};
+  std::atomic<int> popped{0};
+  std::atomic<long long> pushed_sum{0};
+  std::atomic<long long> popped_sum{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (const auto item = queue.pop()) {
+        ++popped;
+        popped_sum += *item;
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int k = 0; k < 200; ++k) {
+        const int value = p * 1000 + k;
+        if (queue.try_push(static_cast<std::size_t>(k % 2), value) ==
+            Queue::Push::kAccepted) {
+          ++accepted;
+          pushed_sum += value;
+        }
+      }
+    });
+  }
+  for (auto& thread : producers) thread.join();
+  queue.close();
+  for (auto& thread : consumers) thread.join();
+
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gmd

@@ -138,6 +138,34 @@ TEST_F(SurrogateTest, BatchPredictOnEmptySpanIsEmpty) {
   EXPECT_TRUE(deployed.predict(std::vector<DesignPoint>{}).empty());
 }
 
+TEST_F(SurrogateTest, DeployedModelFileRoundTripPredictsIdentically) {
+  // A .gmdm artifact (model + both scalers) loads back into a deployment
+  // that predicts bit-identically — the model registry's load path.
+  const std::string path = testing::TempDir() + "/gmd_deployed_rt.gmdm";
+  for (const std::string model : {"linear", "gb"}) {
+    const auto deployed =
+        SurrogateSuite::deploy(*rows_, "bandwidth_mbs", model);
+    deployed.save_file(path);
+    const auto restored = SurrogateSuite::DeployedModel::load_file(path);
+    ASSERT_NE(restored.model, nullptr) << model;
+    EXPECT_EQ(restored.model->name(), deployed.model->name());
+
+    std::vector<DesignPoint> candidates;
+    for (const auto& row : *rows_) candidates.push_back(row.point);
+    EXPECT_EQ(restored.predict(candidates), deployed.predict(candidates))
+        << model;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SurrogateTest, DeployedModelLoadRejectsMalformedInput) {
+  std::stringstream not_ours("something-else entirely\n");
+  EXPECT_THROW((void)SurrogateSuite::DeployedModel::load(not_ours), Error);
+  SurrogateSuite::DeployedModel unfitted;
+  std::stringstream out;
+  EXPECT_THROW(unfitted.save(out), Error);
+}
+
 TEST_F(SurrogateTest, DeterministicTraining) {
   const SurrogateSuite again = SurrogateSuite::train(*rows_);
   for (std::size_t i = 0; i < again.scores().size(); ++i) {

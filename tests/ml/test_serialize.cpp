@@ -112,5 +112,45 @@ TEST(Serialize, SvrStoresOnlySupportVectors) {
               1e-12);
 }
 
+// Scaler bounds round-trip bit-exactly (17 significant digits), so a
+// restored deployment scales features identically to the original.
+TEST(Serialize, ScalerRoundTripIsExact) {
+  Matrix x;
+  std::vector<double> y;
+  sample_data(64, 9, &x, &y);
+  MinMaxScaler scaler;
+  scaler.fit(x);
+
+  std::stringstream ss;
+  save_scaler(ss, scaler);
+  const MinMaxScaler restored = load_scaler(ss);
+  ASSERT_TRUE(restored.fitted());
+  EXPECT_EQ(restored.mins(), scaler.mins());
+  EXPECT_EQ(restored.maxs(), scaler.maxs());
+
+  const Matrix a = scaler.transform(x);
+  const Matrix b = restored.transform(x);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      EXPECT_EQ(a.row(r)[c], b.row(r)[c]);
+    }
+  }
+}
+
+TEST(Serialize, ScalerRejectsBadInput) {
+  MinMaxScaler unfitted;
+  std::stringstream ss;
+  EXPECT_THROW(save_scaler(ss, unfitted), Error);
+
+  std::stringstream bad("gmd-scaler-v1 zscore 2\n0 0\n1 1\n");
+  EXPECT_THROW((void)load_scaler(bad), Error);
+  std::stringstream truncated("gmd-scaler-v1 minmax 3\n0 0 0\n1 1\n");
+  EXPECT_THROW((void)load_scaler(truncated), Error);
+
+  EXPECT_THROW((void)MinMaxScaler::from_bounds({1.0}, {0.0}), Error);
+  EXPECT_THROW((void)MinMaxScaler::from_bounds({}, {}), Error);
+  EXPECT_THROW((void)MinMaxScaler::from_bounds({0.0, 1.0}, {1.0}), Error);
+}
+
 }  // namespace
 }  // namespace gmd::ml

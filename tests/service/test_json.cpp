@@ -1,0 +1,110 @@
+#include "gmd/service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::service {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_EQ(Json::parse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNested) {
+  const Json value = Json::parse(
+      R"({"verb":"simulate","points":[{"kind":"dram","channels":2}],)"
+      R"("nested":{"a":[1,2,3]}})");
+  EXPECT_EQ(value.at("verb").as_string(), "simulate");
+  EXPECT_EQ(value.at("points").as_array().size(), 1u);
+  EXPECT_EQ(value.at("points").as_array()[0].at("channels").as_number(), 2.0);
+  EXPECT_EQ(value.at("nested").at("a").as_array()[2].as_number(), 3.0);
+}
+
+TEST(Json, DumpIsDeterministicAndSorted) {
+  Json object;
+  object["zeta"] = 1;
+  object["alpha"] = true;
+  object["mid"] = "x";
+  EXPECT_EQ(object.dump(), R"({"alpha":true,"mid":"x","zeta":1})");
+  // Same value built in another insertion order dumps identically.
+  Json other;
+  other["mid"] = "x";
+  other["alpha"] = true;
+  other["zeta"] = 1;
+  EXPECT_EQ(other.dump(), object.dump());
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, -2.5e-308,
+                         123456789.123456789, 0.3333333333333333}) {
+    Json object;
+    object["v"] = v;
+    const Json back = Json::parse(object.dump());
+    EXPECT_EQ(back.at("v").as_number(), v) << object.dump();
+  }
+}
+
+TEST(Json, IntegralValuesPrintWithoutDecoration) {
+  Json object;
+  object["n"] = 12345;
+  object["neg"] = -7;
+  EXPECT_EQ(object.dump(), R"({"n":12345,"neg":-7})");
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string nasty = "line\nbreak \"quoted\" back\\slash \t tab";
+  Json object;
+  object["s"] = nasty;
+  EXPECT_EQ(Json::parse(object.dump()).at("s").as_string(), nasty);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_THROW((void)Json::parse("\"\\ud83d\""), Error);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "01x", "\"unterminated",
+        "{\"a\":1} trailing", "nan", "[1 2]"}) {
+    EXPECT_THROW((void)Json::parse(bad), Error) << bad;
+  }
+}
+
+TEST(Json, RejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_THROW((void)Json::parse(deep), Error);
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const Json value = Json::parse(R"({"n":1,"s":"x"})");
+  EXPECT_THROW((void)value.at("n").as_string(), Error);
+  EXPECT_THROW((void)value.at("s").as_number(), Error);
+  EXPECT_THROW((void)value.string_or("n", "d"), Error);
+  EXPECT_EQ(value.number_or("n", 0.0), 1.0);
+  EXPECT_EQ(value.number_or("absent", 7.0), 7.0);
+  EXPECT_EQ(value.string_or("absent", "d"), "d");
+  EXPECT_TRUE(value.at("absent").is_null());
+}
+
+TEST(Json, NonFiniteNumbersCannotSerialize) {
+  Json object;
+  object["v"] = std::nan("");
+  EXPECT_THROW((void)object.dump(), Error);
+}
+
+}  // namespace
+}  // namespace gmd::service

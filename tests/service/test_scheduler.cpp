@@ -1,0 +1,155 @@
+#include "gmd/service/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::service {
+namespace {
+
+// Blocks the single pump thread until released, so tests can stage the
+// queue contents deterministically.
+struct Gate {
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::promise<void> entered;
+
+  std::function<void()> task() {
+    return [this] {
+      entered.set_value();
+      released.wait();
+    };
+  }
+  void wait_until_running() { entered.get_future().wait(); }
+  void open() { release.set_value(); }
+};
+
+TEST(Scheduler, ExecutesSubmittedTasks) {
+  Scheduler::Options options;
+  options.num_threads = 4;
+  Scheduler scheduler(options);
+  std::atomic<int> ran{0};
+  for (int k = 0; k < 32; ++k) {
+    scheduler.submit(Priority::kInteractive, [&ran] { ++ran; });
+  }
+  scheduler.shutdown();
+  EXPECT_EQ(ran.load(), 32);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.accepted, 32u);
+  EXPECT_EQ(stats.executed, 32u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(Scheduler, InteractiveDrainsBeforeBulk) {
+  Scheduler::Options options;
+  options.num_threads = 1;
+  Scheduler scheduler(options);
+  Gate gate;
+  scheduler.submit(Priority::kInteractive, gate.task());
+  gate.wait_until_running();
+
+  // Staged while the only pump is parked: bulk enqueued first, yet the
+  // interactive lane must drain first.
+  std::mutex mutex;
+  std::vector<int> order;
+  auto record = [&mutex, &order](int tag) {
+    return [&mutex, &order, tag] {
+      const std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(tag);
+    };
+  };
+  scheduler.submit(Priority::kBulk, record(1));
+  scheduler.submit(Priority::kBulk, record(2));
+  scheduler.submit(Priority::kInteractive, record(100));
+  scheduler.submit(Priority::kInteractive, record(101));
+
+  gate.open();
+  scheduler.shutdown();
+  EXPECT_EQ(order, (std::vector<int>{100, 101, 1, 2}));
+}
+
+TEST(Scheduler, RejectsWhenQueueIsFull) {
+  Scheduler::Options options;
+  options.num_threads = 1;
+  options.max_queue_depth = 2;
+  Scheduler scheduler(options);
+  Gate gate;
+  scheduler.submit(Priority::kInteractive, gate.task());
+  gate.wait_until_running();
+
+  std::atomic<int> ran{0};
+  scheduler.submit(Priority::kBulk, [&ran] { ++ran; });
+  scheduler.submit(Priority::kInteractive, [&ran] { ++ran; });
+  try {
+    scheduler.submit(Priority::kBulk, [&ran] { ++ran; });
+    FAIL() << "expected Error(kOverloaded)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+  }
+
+  gate.open();
+  scheduler.shutdown();
+  // Accepted work still ran; the shed task never did.
+  EXPECT_EQ(ran.load(), 2);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.accepted, 3u);  // Gate + the two queued tasks.
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(Scheduler, SubmitAfterShutdownThrowsCancelled) {
+  Scheduler::Options options;
+  options.num_threads = 2;
+  Scheduler scheduler(options);
+  scheduler.shutdown();
+  EXPECT_TRUE(scheduler.draining());
+  try {
+    scheduler.submit(Priority::kInteractive, [] {});
+    FAIL() << "expected Error(kCancelled)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+  // Idempotent.
+  scheduler.shutdown();
+}
+
+TEST(Scheduler, ShutdownDrainsEveryAcceptedTask) {
+  Scheduler::Options options;
+  options.num_threads = 1;
+  Scheduler scheduler(options);
+  Gate gate;
+  scheduler.submit(Priority::kInteractive, gate.task());
+  gate.wait_until_running();
+  std::atomic<int> ran{0};
+  for (int k = 0; k < 16; ++k) {
+    scheduler.submit(k % 2 ? Priority::kBulk : Priority::kInteractive,
+                     [&ran] { ++ran; });
+  }
+  EXPECT_EQ(scheduler.queue_depth(), 16u);
+  gate.open();
+  scheduler.shutdown();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(Scheduler, ThrowingTaskDoesNotKillThePump) {
+  Scheduler::Options options;
+  options.num_threads = 1;
+  Scheduler scheduler(options);
+  std::atomic<int> ran{0};
+  scheduler.submit(Priority::kInteractive,
+                   [] { throw Error(ErrorCode::kUnspecified, "boom"); });
+  scheduler.submit(Priority::kInteractive, [&ran] { ++ran; });
+  scheduler.shutdown();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(scheduler.stats().executed, 2u);
+}
+
+}  // namespace
+}  // namespace gmd::service

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -17,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "gmd/common/faultinject.hpp"
 #include "gmd/cpusim/workloads.hpp"
 #include "gmd/dse/config_space.hpp"
 #include "gmd/dse/surrogate.hpp"
@@ -176,6 +178,22 @@ int main(int argc, char** argv) {
   const double hit_rate = stats.at("cache").at("hit_rate").as_number();
   svc.drain();
 
+  // --- disarmed fault-point overhead ----------------------------------
+  // Every service verb and I/O path now crosses GMD_FAULT_POINT sites;
+  // this gauge proves the disarmed fast path (one relaxed atomic load)
+  // is free at serving granularity.  Expect well under a nanosecond.
+  double fault_point_ns = 0.0;
+  {
+    constexpr std::uint64_t kIters = 20'000'000;
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      GMD_FAULT_POINT("bench.disarmed_site");
+    }
+    const double total_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+    fault_point_ns = total_ns / static_cast<double>(kIters);
+  }
+
   std::printf("{\n");
   std::printf("  \"trace_events\": %zu,\n", events.size());
   std::printf("  \"simulate_points\": %zu,\n", sim_points.size());
@@ -192,6 +210,7 @@ int main(int argc, char** argv) {
               "\"configs_per_second\": %.0f},\n",
               predict_configs, predict_ms,
               1000.0 * static_cast<double>(predict_configs) / predict_ms);
+  std::printf("  \"fault_point_disarmed_ns\": %.4f,\n", fault_point_ns);
   std::printf("  \"cache_hit_rate\": %.4f\n", hit_rate);
   std::printf("}\n");
   std::filesystem::remove_all(dir);

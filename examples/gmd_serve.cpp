@@ -12,9 +12,15 @@
 ///          [--models name=path,name2=path2]
 ///          [--threads N] [--queue-depth N] [--cache-capacity N]
 ///          [--cache-shards N] [--default-deadline-ms N] [--sim-workers N]
+///          [--quarantine-probe-ms N] [--faults SPEC]
 ///
 /// Traces/models can also arrive at runtime via the register_trace /
 /// register_model verbs (see service.hpp for the protocol).
+///
+/// Chaos hooks: `--faults site=kind[:nth=N][:p=F][:seed=S][:oneshot],...`
+/// (or the GMD_FAULTS environment variable) arms the process-wide
+/// fault-injection registry before serving — see
+/// gmd/common/faultinject.hpp for the site catalog and spec grammar.
 
 #include <functional>
 #include <iostream>
@@ -23,6 +29,7 @@
 
 #include "gmd/common/cli.hpp"
 #include "gmd/common/error.hpp"
+#include "gmd/common/faultinject.hpp"
 #include "gmd/common/string_util.hpp"
 #include "gmd/service/service.hpp"
 
@@ -58,6 +65,12 @@ int run(int argc, const char* const* argv) {
                  "deadline for requests without one (0: unlimited)");
   cli.add_option("sim-workers", "1",
                  "channel-parallel workers per simulation");
+  cli.add_option("quarantine-probe-ms", "5000",
+                 "min delay between re-probes of a quarantined resource "
+                 "(0: probe on every lookup)");
+  cli.add_option("faults", "",
+                 "arm fault points: site=kind[:nth=N][:p=F][:seed=S]"
+                 "[:oneshot],... (also read from $GMD_FAULTS)");
   if (!cli.parse(argc, argv)) return 0;
 
   service::ServiceOptions options;
@@ -70,6 +83,14 @@ int run(int argc, const char* const* argv) {
   options.default_deadline =
       std::chrono::milliseconds(cli.get_int("default-deadline-ms"));
   options.sim_workers = static_cast<std::uint32_t>(cli.get_int("sim-workers"));
+  options.quarantine_probe_interval =
+      std::chrono::milliseconds(cli.get_int("quarantine-probe-ms"));
+
+  // Chaos: arm injected faults before anything touches a fault point.
+  if (const std::string faults = cli.get_string("faults"); !faults.empty()) {
+    faultinject::arm_from_spec(faults);
+  }
+  faultinject::arm_from_env();
 
   service::Service service(options);
   register_pairs(cli.get_string("traces"),

@@ -148,7 +148,7 @@ int run(int argc, const char* const* argv) {
       return r;
     }());
     expect(health.bool_or("ok", false), "health request failed");
-    expect(health.string_or("status", "") == "serving", "server not serving");
+    expect(health.string_or("status", "") == "ok", "server not healthy");
   }
 
   // --- phase 1: concurrent mixed load ---------------------------------
@@ -342,6 +342,63 @@ int run(int argc, const char* const* argv) {
     expect(small.close_and_wait() == 0, "tiny server must drain cleanly");
     std::cout << "overload: " << overloaded << " shed, " << succeeded
               << " served\n";
+  }
+
+  // --- phase 6: SIGKILL + transparent client retry ----------------------
+  {
+    service::PipeClient::Options resilient;
+    resilient.server_path = server;
+    resilient.args = {"--traces", "bfs=" + store_path};
+    resilient.retry.max_attempts = 4;
+    resilient.retry.initial_backoff = std::chrono::milliseconds(5);
+    resilient.retry.restart_on_death = true;
+    service::PipeClient survivor(resilient);
+    Json health;
+    health["verb"] = "health";
+    expect(survivor.request(health).bool_or("ok", false),
+           "resilient server must come up");
+    survivor.kill_server();
+    // The client must respawn the server and answer as if nothing
+    // happened — the kill is invisible to the caller.
+    int attempts = 0;
+    const Json recovered = survivor.request_with_retry(
+        simulate_request("bfs", std::span(sim_points).subspan(0, 1)),
+        &attempts);
+    expect(recovered.bool_or("ok", false),
+           "retry after SIGKILL must recover (got " + recovered.dump() + ")");
+    expect(survivor.restarts() >= 1, "recovery must have respawned the server");
+    expect(survivor.close_and_wait() == 0,
+           "respawned server must drain cleanly");
+    std::cout << "kill-retry: recovered in " << attempts << " attempts, "
+              << survivor.restarts() << " restart(s)\n";
+  }
+
+  // --- phase 7: injected fault answered typed, then self-heals ----------
+  {
+    service::PipeClient::Options chaos;
+    chaos.server_path = server;
+    chaos.args = {"--traces", "bfs=" + store_path, "--quarantine-probe-ms",
+                  "0", "--faults",
+                  "tracestore.chunk_verify=invalid-data:nth=1:oneshot"};
+    service::PipeClient client2(chaos);
+    Json request = simulate_request("bfs", std::span(sim_points).subspan(0, 1));
+    const Json broken = client2.request(request);
+    expect(!broken.bool_or("ok", true),
+           "injected checksum fault must fail the first simulate");
+    expect(broken.at("error").string_or("code", "") == "invalid-data",
+           "injected fault must answer its typed wire code");
+    // The store was quarantined; with a zero probe interval the next
+    // lookup re-verifies it (the fault was one-shot) and serving resumes.
+    const Json healed = client2.request(request);
+    expect(healed.bool_or("ok", false),
+           "service must self-heal after a transient store fault (got " +
+               healed.dump() + ")");
+    Json health;
+    health["verb"] = "health";
+    expect(client2.request(health).string_or("status", "") == "ok",
+           "health must report ok after self-healing");
+    expect(client2.close_and_wait() == 0, "chaos server must drain cleanly");
+    std::cout << "fault-injection: typed error, then self-healed\n";
   }
 
   const std::string bench_json = cli.get_string("bench-json");

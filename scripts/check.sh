@@ -139,12 +139,22 @@ echo "== query service smoke =="
 # clean drain (exit 0) when stdin closes.
 printf '%s\n' '{"verb":"health","id":1}' '{"verb":"stats","id":2}' \
   | "$BUILD_DIR/examples/gmd_serve" > "$SMOKE_DIR/serve.out"
-grep -q '"status":"serving"' "$SMOKE_DIR/serve.out"
+grep -q '"status":"ok"' "$SMOKE_DIR/serve.out"
 test "$(wc -l < "$SMOKE_DIR/serve.out")" -eq 2
 echo "gmd_serve answered health+stats and drained cleanly on EOF"
+# Chaos smoke: an armed one-shot fault answers its typed wire code on
+# the first stats, then the site disarms and the second stats succeeds.
+printf '%s\n' '{"verb":"stats","id":1}' '{"verb":"stats","id":2}' \
+  | "$BUILD_DIR/examples/gmd_serve" \
+      --faults 'service.stats=unavailable:nth=1:oneshot' \
+  > "$SMOKE_DIR/serve_faults.out"
+grep -q '"code":"unavailable"' "$SMOKE_DIR/serve_faults.out"
+grep -q '"ok":true' "$SMOKE_DIR/serve_faults.out"
+echo "gmd_serve fault injection: typed error once, then healthy"
 # Full client smoke: concurrent mixed load, cache bit-identity against
 # run_sweep, 10k-config predict, deadline expiry, overload shedding on
-# a tiny queue, graceful drain.
+# a tiny queue, graceful drain, SIGKILL + transparent client retry, and
+# an injected store fault that quarantines and self-heals.
 "$BUILD_DIR/examples/service_client" --server "$BUILD_DIR/examples/gmd_serve" \
   --vertices 128 --out-dir "$SMOKE_DIR/service"
 

@@ -33,12 +33,14 @@ enum class ErrorCode {
   kLeaseExpired,   ///< A held lease was expired/stolen by the supervisor.
   kOverloaded,     ///< Admission control rejected the request (queue full).
   kNotFound,       ///< A named resource (trace, model) is not registered.
+  kUnavailable,    ///< A known resource is quarantined / temporarily down.
 };
 
 /// Largest ErrorCode enum value, for code-indexed tally tables.
-inline constexpr ErrorCode kLastErrorCode = ErrorCode::kNotFound;
+inline constexpr ErrorCode kLastErrorCode = ErrorCode::kUnavailable;
 
 std::string_view to_string(ErrorCode code);
+bool error_code_from_string(std::string_view name, ErrorCode& out);
 
 /// Exception type thrown for all recoverable graphmemdse errors.
 class Error : public std::runtime_error {
@@ -79,8 +81,25 @@ inline std::string_view to_string(ErrorCode code) {
       return "overloaded";
     case ErrorCode::kNotFound:
       return "not-found";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
   }
   return "?";
+}
+
+/// Inverse of to_string(ErrorCode): parses the stable wire name used in
+/// service JSON responses.  Returns false (out untouched) for unknown
+/// names, so remote peers with newer codes degrade to kUnspecified at
+/// the caller's discretion rather than aborting.
+inline bool error_code_from_string(std::string_view name, ErrorCode& out) {
+  for (int raw = 0; raw <= static_cast<int>(kLastErrorCode); ++raw) {
+    const auto code = static_cast<ErrorCode>(raw);
+    if (to_string(code) == name) {
+      out = code;
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace detail {

@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file faultinject.hpp
+/// Process-wide fault-injection registry.
+///
+/// Earlier PRs each grew an ad-hoc fault hook (`SweepOptions::fault_hook`,
+/// pipeline `--fail-stage`, distributed `--kill-workers`).  This header
+/// unifies them behind named *fault points*: any layer that touches the
+/// outside world declares a site with `GMD_FAULT_POINT("layer.op")`, and
+/// tests (or a `gmd_serve --faults` flag / `GMD_FAULTS` env spec) arm
+/// those sites with a deterministic, seeded failure plan — fail the Nth
+/// hit, fail with probability p, fire once then disarm — selecting which
+/// error kind the site raises.
+///
+/// Cost when disarmed: one relaxed atomic load of a process-wide armed
+/// counter (measured at well under a nanosecond; see bench_service's
+/// `fault_point_disarmed_ns` gauge).  Defining `GMD_FAULTINJECT_DISABLE`
+/// compiles every fault point out entirely.
+///
+/// Firing is deterministic: a site's Nth hit either always fires or
+/// never fires for a given (spec, seed), independent of wall clock,
+/// thread schedule, or address layout.  Probability draws hash
+/// (seed, hit-ordinal) with FNV-1a, so two runs with the same spec see
+/// the same fire pattern.  Under concurrency the *ordinal assignment*
+/// to threads may differ, but the set of fired ordinals does not.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::faultinject {
+
+/// What an armed fault point raises when it fires.  The first four map
+/// 1:1 onto ErrorCodes; the last two are I/O *shapes*: a partial write
+/// leaves a torn temp file behind (then raises kIo), a short read maps
+/// a file but truncates the visible size (corrupting downstream
+/// checksums) instead of raising at the site itself.
+enum class FaultKind {
+  kIo,            ///< Raise ErrorCode::kIo at the site.
+  kInvalidData,   ///< Raise ErrorCode::kInvalidData at the site.
+  kTimeout,       ///< Raise ErrorCode::kTimeout at the site.
+  kUnavailable,   ///< Raise ErrorCode::kUnavailable at the site.
+  kPartialWrite,  ///< Tear the in-progress write, then raise kIo.
+  kShortRead,     ///< Truncate the visible bytes; site does not raise.
+};
+
+std::string_view to_string(FaultKind kind);
+bool kind_from_string(std::string_view name, FaultKind& out);
+
+/// ErrorCode a fired kind raises (partial-write/short-read → kIo, for
+/// sites that cannot act out the shape and fall back to throwing).
+ErrorCode error_code_for(FaultKind kind);
+
+/// Failure plan for one site.  A hit is *eligible* once the site has
+/// been reached `fail_nth` times; each eligible hit then fires with
+/// `probability` (seeded, deterministic).  `one_shot` disarms the site
+/// after its first fire.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kIo;
+  std::uint64_t fail_nth = 1;  ///< First eligible hit, 1-based.
+  double probability = 1.0;    ///< Fire chance per eligible hit.
+  std::uint64_t seed = 1;      ///< Seed for the probability draw.
+  bool one_shot = false;       ///< Disarm after the first fire.
+};
+
+/// Snapshot of one registered site, for diagnostics and tests.
+struct SiteStatus {
+  std::string site;
+  FaultSpec spec;
+  std::uint64_t hits = 0;   ///< Times the site was reached while known.
+  std::uint64_t fires = 0;  ///< Times it actually raised.
+  bool armed = false;       ///< False once a one-shot has fired.
+};
+
+namespace detail {
+/// Number of currently armed sites.  The GMD_FAULT_POINT fast path
+/// reads only this; everything else lives behind a mutex in the .cpp.
+extern std::atomic<std::size_t> g_armed_sites;
+
+/// Slow path: look up `site`, advance its hit counter, and decide
+/// whether this hit fires.  Returns the kind to act out, or nullopt.
+std::optional<FaultKind> fire_slow(std::string_view site);
+}  // namespace detail
+
+/// True when at least one site is armed anywhere in the process.
+inline bool any_armed() {
+  return detail::g_armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+/// Called by instrumented code at a fault point.  Returns the kind to
+/// act out when the site fires, nullopt otherwise.  Sites that cannot
+/// act out a shape (partial write / short read) should pass the result
+/// to throw_injected, which falls back to the mapped ErrorCode.
+inline std::optional<FaultKind> fire(std::string_view site) {
+#if defined(GMD_FAULTINJECT_DISABLE)
+  (void)site;
+  return std::nullopt;
+#else
+  if (!any_armed()) return std::nullopt;
+  return detail::fire_slow(site);
+#endif
+}
+
+/// Raises the typed gmd::Error a fired fault point stands for.  The
+/// message is prefixed "injected fault" so chaos assertions can tell
+/// injected failures from organic ones.
+[[noreturn]] void throw_injected(FaultKind kind, std::string_view site);
+
+/// Arms (or re-arms, resetting counters) one site.
+void arm(const std::string& site, const FaultSpec& spec);
+
+/// Disarms one site.  Returns false if the site was not registered.
+bool disarm(const std::string& site);
+
+/// Disarms everything and forgets all hit/fire counters.
+void clear();
+
+/// Number of currently armed sites.
+std::size_t armed_count();
+
+/// Snapshot of every site the registry knows (armed or fired-out).
+std::vector<SiteStatus> status();
+
+/// Arms sites from a text spec:
+///
+///   site=kind[:nth=N][:p=F][:seed=S][:oneshot][,site=kind...]
+///
+/// e.g. "tracestore.chunk_verify=invalid-data:nth=3:oneshot,
+///       atomic_file.commit=partial-write:p=0.5:seed=7".
+/// Returns the number of sites armed; throws kConfig on a malformed
+/// spec.  This is the format behind `gmd_serve --faults` and the
+/// GMD_FAULTS environment variable.
+std::size_t arm_from_spec(const std::string& spec);
+
+/// Arms from the given environment variable if set.  Returns the
+/// number of sites armed (0 when unset/empty).
+std::size_t arm_from_env(const char* var = "GMD_FAULTS");
+
+}  // namespace gmd::faultinject
+
+/// Declares a fault point: when the named site is armed and fires, the
+/// mapped typed gmd::Error is thrown.  Sites that must *act out* a
+/// fired kind (tear a write, shorten a read) call fire()/throw_injected
+/// directly instead.
+#if defined(GMD_FAULTINJECT_DISABLE)
+#define GMD_FAULT_POINT(site) \
+  do {                        \
+  } while (0)
+#else
+#define GMD_FAULT_POINT(site)                                    \
+  do {                                                           \
+    if (::gmd::faultinject::any_armed()) {                       \
+      if (auto gmd_fi_kind_ = ::gmd::faultinject::fire(site)) {  \
+        ::gmd::faultinject::throw_injected(*gmd_fi_kind_, site); \
+      }                                                          \
+    }                                                            \
+  } while (0)
+#endif

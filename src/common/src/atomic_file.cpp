@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "gmd/common/error.hpp"
+#include "gmd/common/faultinject.hpp"
 #include "gmd/common/hash.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -49,6 +50,7 @@ AtomicFileWriter::AtomicFileWriter(std::string path,
     : path_(std::move(path)),
       temp_path_(path_ + ".tmp"),
       out_(temp_path_, std::ios::trunc | extra_mode) {
+  GMD_FAULT_POINT("atomic_file.open");
   GMD_REQUIRE_AS(ErrorCode::kIo, out_.good(),
                  "cannot open '" << temp_path_ << "' for writing");
 }
@@ -62,6 +64,21 @@ AtomicFileWriter::~AtomicFileWriter() {
 
 void AtomicFileWriter::commit() {
   if (committed_) return;
+  if (auto kind = faultinject::fire("atomic_file.commit")) {
+    if (*kind == faultinject::FaultKind::kPartialWrite) {
+      // Act out a torn write (disk full / crash mid-flush): half the
+      // temp file survives, the commit rename never happens, and the
+      // target artifact must remain untouched.
+      out_.flush();
+      out_.close();
+      std::error_code ignored;
+      const auto size = std::filesystem::file_size(temp_path_, ignored);
+      if (!ignored && size > 0) {
+        std::filesystem::resize_file(temp_path_, size / 2, ignored);
+      }
+    }
+    faultinject::throw_injected(*kind, "atomic_file.commit");
+  }
   out_.flush();
   GMD_REQUIRE_AS(ErrorCode::kIo, out_.good(),
                  "write of '" << temp_path_ << "' failed");

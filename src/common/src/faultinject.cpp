@@ -1,0 +1,243 @@
+#include "gmd/common/faultinject.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "gmd/common/hash.hpp"
+#include "gmd/common/string_util.hpp"
+
+namespace gmd::faultinject {
+
+namespace detail {
+std::atomic<std::size_t> g_armed_sites{0};
+}  // namespace detail
+
+namespace {
+
+struct SiteState {
+  FaultSpec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  bool armed = false;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, SiteState, std::less<>>& registry() {
+  static std::map<std::string, SiteState, std::less<>> sites;
+  return sites;
+}
+
+/// Deterministic per-hit uniform draw in [0, 1): hash (seed, ordinal)
+/// so the fire pattern depends only on the spec, never on timing.
+double uniform_draw(std::uint64_t seed, std::uint64_t ordinal) {
+  Fnv1a h;
+  h.mix(seed);
+  h.mix(ordinal);
+  // 53 mantissa bits of the hash → [0, 1).
+  return static_cast<double>(h.state >> 11) * 0x1.0p-53;
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  GMD_REQUIRE_AS(ErrorCode::kConfig, false,
+                 "bad fault spec '" << spec << "': " << why);
+  std::abort();  // unreachable
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kIo:
+      return "io";
+    case FaultKind::kInvalidData:
+      return "invalid-data";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kUnavailable:
+      return "unavailable";
+    case FaultKind::kPartialWrite:
+      return "partial-write";
+    case FaultKind::kShortRead:
+      return "short-read";
+  }
+  return "?";
+}
+
+bool kind_from_string(std::string_view name, FaultKind& out) {
+  for (int raw = 0; raw <= static_cast<int>(FaultKind::kShortRead); ++raw) {
+    const auto kind = static_cast<FaultKind>(raw);
+    if (to_string(kind) == name) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+ErrorCode error_code_for(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kInvalidData:
+      return ErrorCode::kInvalidData;
+    case FaultKind::kTimeout:
+      return ErrorCode::kTimeout;
+    case FaultKind::kUnavailable:
+      return ErrorCode::kUnavailable;
+    case FaultKind::kIo:
+    case FaultKind::kPartialWrite:
+    case FaultKind::kShortRead:
+      return ErrorCode::kIo;
+  }
+  return ErrorCode::kIo;
+}
+
+namespace detail {
+
+std::optional<FaultKind> fire_slow(std::string_view site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  if (it == registry().end() || !it->second.armed) return std::nullopt;
+  SiteState& state = it->second;
+  ++state.hits;
+  if (state.hits < state.spec.fail_nth) return std::nullopt;
+  if (state.spec.probability < 1.0) {
+    const std::uint64_t ordinal = state.hits - state.spec.fail_nth;
+    if (uniform_draw(state.spec.seed, ordinal) >= state.spec.probability) {
+      return std::nullopt;
+    }
+  }
+  ++state.fires;
+  if (state.spec.one_shot) {
+    state.armed = false;
+    g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return state.spec.kind;
+}
+
+}  // namespace detail
+
+void throw_injected(FaultKind kind, std::string_view site) {
+  std::ostringstream os;
+  os << "injected fault at '" << site << "' (" << to_string(kind) << ")";
+  throw Error(error_code_for(kind), os.str());
+}
+
+void arm(const std::string& site, const FaultSpec& spec) {
+  GMD_REQUIRE_AS(ErrorCode::kConfig, !site.empty(),
+                 "fault site name must not be empty");
+  GMD_REQUIRE_AS(ErrorCode::kConfig, spec.fail_nth >= 1,
+                 "fault fail_nth is 1-based; got " << spec.fail_nth);
+  GMD_REQUIRE_AS(ErrorCode::kConfig,
+                 spec.probability > 0.0 && spec.probability <= 1.0,
+                 "fault probability must be in (0, 1]; got "
+                     << spec.probability);
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  SiteState& state = registry()[site];
+  if (!state.armed) {
+    detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  }
+  state = SiteState{};
+  state.spec = spec;
+  state.armed = true;
+}
+
+bool disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  if (it == registry().end()) return false;
+  if (it->second.armed) {
+    detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+  registry().erase(it);
+  return true;
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::size_t armed = 0;
+  for (const auto& [site, state] : registry()) {
+    if (state.armed) ++armed;
+  }
+  detail::g_armed_sites.fetch_sub(armed, std::memory_order_relaxed);
+  registry().clear();
+}
+
+std::size_t armed_count() {
+  return detail::g_armed_sites.load(std::memory_order_relaxed);
+}
+
+std::vector<SiteStatus> status() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<SiteStatus> out;
+  out.reserve(registry().size());
+  for (const auto& [site, state] : registry()) {
+    out.push_back(
+        SiteStatus{site, state.spec, state.hits, state.fires, state.armed});
+  }
+  return out;
+}
+
+std::size_t arm_from_spec(const std::string& spec) {
+  std::size_t armed = 0;
+  for (const std::string_view raw_entry : split(spec, ',')) {
+    const std::string entry(trim(raw_entry));
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad_spec(entry, "expected site=kind[:opt...]");
+    }
+    const std::string site(trim(entry.substr(0, eq)));
+    const std::string plan = entry.substr(eq + 1);
+    const auto parts = split(plan, ':');
+    if (parts.empty()) bad_spec(entry, "missing fault kind");
+    FaultSpec fault;
+    if (!kind_from_string(trim(parts[0]), fault.kind)) {
+      bad_spec(entry,
+               "unknown fault kind '" + std::string(trim(parts[0])) + "'");
+    }
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::string part(trim(parts[i]));
+      if (part == "oneshot") {
+        fault.one_shot = true;
+        continue;
+      }
+      const auto sep = part.find('=');
+      if (sep == std::string::npos) {
+        bad_spec(entry, "unknown option '" + part + "'");
+      }
+      const std::string key = part.substr(0, sep);
+      const std::string value = part.substr(sep + 1);
+      try {
+        if (key == "nth") {
+          fault.fail_nth = std::stoull(value);
+        } else if (key == "p") {
+          fault.probability = std::stod(value);
+        } else if (key == "seed") {
+          fault.seed = std::stoull(value);
+        } else {
+          bad_spec(entry, "unknown option '" + key + "'");
+        }
+      } catch (const Error&) {
+        throw;
+      } catch (const std::exception&) {
+        bad_spec(entry, "bad value for '" + key + "': '" + value + "'");
+      }
+    }
+    arm(site, fault);
+    ++armed;
+  }
+  return armed;
+}
+
+std::size_t arm_from_env(const char* var) {
+  const char* value = std::getenv(var);
+  if (value == nullptr || *value == '\0') return 0;
+  return arm_from_spec(value);
+}
+
+}  // namespace gmd::faultinject

@@ -7,6 +7,7 @@
 
 #include "gmd/common/atomic_file.hpp"
 #include "gmd/common/error.hpp"
+#include "gmd/common/faultinject.hpp"
 #include "gmd/common/heartbeat.hpp"
 
 namespace gmd::dse {
@@ -130,6 +131,7 @@ void HeldLease::heartbeat() {
   GMD_REQUIRE_AS(ErrorCode::kLeaseExpired, std::filesystem::exists(path_),
                  "lease '" << path_ << "' held by '" << holder_
                            << "' was expired by the supervisor");
+  GMD_FAULT_POINT("lease.heartbeat");
   ++beat_;
   atomic_write_file(path_, [this](std::ostream& os) {
     os << "gmd-sweep-lease v1 shard=" << task_.shard
@@ -149,6 +151,7 @@ std::optional<HeldLease> try_claim_shard(const RunDir& run,
                                          const std::string& holder) {
   const std::string from = run.tasks_dir() + "/" + task_filename(task);
   const std::string to = run.leases_dir() + "/" + lease_filename(task);
+  GMD_FAULT_POINT("lease.claim");
   if (!atomic_rename_claim(from, to)) return std::nullopt;
   HeldLease lease(to, task, holder);
   lease.heartbeat();  // first stamp: identify the holder immediately

@@ -7,6 +7,7 @@
 #include "gmd/common/atomic_file.hpp"
 #include "gmd/common/deadline.hpp"
 #include "gmd/common/error.hpp"
+#include "gmd/common/faultinject.hpp"
 #include "gmd/common/logging.hpp"
 #include "gmd/common/string_util.hpp"
 #include "gmd/ml/metrics.hpp"
@@ -132,10 +133,12 @@ void SurrogateSuite::DeployedModel::save_file(const std::string& path) const {
 
 SurrogateSuite::DeployedModel SurrogateSuite::DeployedModel::load(
     std::istream& is) {
+  GMD_FAULT_POINT("surrogate.model_load");
   std::string header;
   is >> header;
-  GMD_REQUIRE(is.good() && header == "gmd-deployed-v1",
-              "not a graphmemdse deployed-model file");
+  GMD_REQUIRE_AS(ErrorCode::kInvalidData,
+                 is.good() && header == "gmd-deployed-v1",
+                 "not a graphmemdse deployed-model file");
   DeployedModel deployed;
   deployed.x_scaler = ml::load_scaler(is);
   deployed.y_scaler = ml::load_scaler(is);
@@ -146,7 +149,8 @@ SurrogateSuite::DeployedModel SurrogateSuite::DeployedModel::load(
 SurrogateSuite::DeployedModel SurrogateSuite::DeployedModel::load_file(
     const std::string& path) {
   std::ifstream in(path);
-  GMD_REQUIRE(in.good(), "cannot open '" << path << "' for reading");
+  GMD_REQUIRE_AS(ErrorCode::kIo, in.good(),
+                 "cannot open '" << path << "' for reading");
   return load(in);
 }
 

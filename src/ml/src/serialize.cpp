@@ -6,6 +6,7 @@
 
 #include "gmd/common/atomic_file.hpp"
 #include "gmd/common/error.hpp"
+#include "gmd/common/faultinject.hpp"
 #include "gmd/ml/forest.hpp"
 #include "gmd/ml/gbt.hpp"
 #include "gmd/ml/linear.hpp"
@@ -79,6 +80,7 @@ std::unique_ptr<Regressor> load_model_file(const std::string& path) {
 }
 
 void save_scaler(std::ostream& os, const MinMaxScaler& scaler) {
+  GMD_FAULT_POINT("serialize.save_scaler");
   GMD_REQUIRE(scaler.fitted(), "cannot serialize an unfitted scaler");
   os.precision(17);
   os << kScalerHeader << " minmax " << scaler.mins().size() << "\n";
@@ -90,6 +92,7 @@ void save_scaler(std::ostream& os, const MinMaxScaler& scaler) {
 }
 
 MinMaxScaler load_scaler(std::istream& is) {
+  GMD_FAULT_POINT("serialize.load_scaler");
   std::string header;
   std::string kind;
   std::size_t cols = 0;

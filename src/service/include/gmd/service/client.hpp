@@ -8,24 +8,61 @@
 /// pair and block only on their own answers (responses may arrive in
 /// any order).  close_and_wait() closes the server's stdin, which is
 /// the protocol's graceful-drain signal, and reaps the child.
+///
+/// Resilience: a server death (EOF, torn response line, broken pipe)
+/// fails every in-flight request with a *typed* error instead of
+/// blocking waiters — kUnavailable for a closed pipe, kIo for a torn
+/// line.  request_with_retry() adds bounded retry with exponential
+/// backoff + deterministic jitter for `overloaded`/`unavailable`
+/// responses and transport deaths (never for `invalid-data`), budget
+/// accounting that caps each attempt's deadline_ms by the remaining
+/// retry budget, optional transparent server respawn, and a circuit
+/// breaker that fast-fails after consecutive server deaths.  The first
+/// client constructed ignores SIGPIPE process-wide: a write to a dead
+/// server must fail with a typed error, not kill the process.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "gmd/common/error.hpp"
 #include "gmd/service/json.hpp"
 
 namespace gmd::service {
 
 class PipeClient {
  public:
+  struct RetryOptions {
+    /// Total attempts per request_with_retry call (1 = no retry).
+    int max_attempts = 1;
+    std::chrono::milliseconds initial_backoff{10};
+    std::chrono::milliseconds max_backoff{1000};
+    double backoff_multiplier = 2.0;
+    /// Seed for deterministic jitter (uniform in [0, backoff/2]).
+    std::uint64_t jitter_seed = 1;
+    /// Respawn the server (same path + args) after a transport death
+    /// and retry transparently.  Off: the first death propagates.
+    bool restart_on_death = false;
+    /// Wall-clock budget across all attempts; each attempt's
+    /// "deadline_ms" is capped by what remains.  Zero: unlimited.
+    std::chrono::milliseconds budget{0};
+    /// Consecutive server deaths that open the circuit breaker; while
+    /// open, requests fast-fail kUnavailable without touching the pipe.
+    /// After `circuit_cooldown` one probe attempt is allowed through.
+    int circuit_threshold = 3;
+    std::chrono::milliseconds circuit_cooldown{1000};
+  };
+
   struct Options {
-    std::string server_path;         ///< Executable to fork/exec.
-    std::vector<std::string> args;   ///< argv[1..] for the server.
+    std::string server_path;        ///< Executable to fork/exec.
+    std::vector<std::string> args;  ///< argv[1..] for the server.
+    RetryOptions retry;             ///< Policy for request_with_retry().
   };
 
   /// Spawns the server; throws Error(kIo) when exec/plumbing fails.
@@ -37,24 +74,54 @@ class PipeClient {
   PipeClient& operator=(const PipeClient&) = delete;
 
   /// Sends `body` (its "id" is overwritten with a fresh client id) and
-  /// returns the id to wait on.  Thread-safe.
+  /// returns the id to wait on.  Thread-safe.  Throws
+  /// Error(kUnavailable) when the server is dead or the circuit is open.
   std::uint64_t send(Json body);
 
-  /// Blocks until the response for `id` arrives.  Throws Error(kIo)
-  /// when the server exits before answering.
+  /// Blocks until the response for `id` arrives.  Throws the typed
+  /// error recorded when the connection died mid-request (kUnavailable
+  /// for EOF/broken pipe, kIo for a torn response line).
   Json wait(std::uint64_t id);
 
   /// send + wait.
   Json request(Json body);
+
+  /// request() under Options::retry: retries `overloaded`/`unavailable`
+  /// error responses and transport deaths with exponential backoff +
+  /// jitter, respawning the server when restart_on_death is set.  Never
+  /// retries other error codes (notably `invalid-data`).  Returns the
+  /// final response (ok or non-retryable/attempts-exhausted error);
+  /// throws typed Error when the transport is still down after the last
+  /// attempt, the circuit is open, or the budget is exhausted.
+  /// `attempts_out` (optional) reports how many attempts were made.
+  Json request_with_retry(Json body, int* attempts_out = nullptr);
 
   /// Closes the server's stdin (graceful drain), waits for every
   /// outstanding response, joins the reader, reaps the child.  Returns
   /// the server's exit code.  Idempotent (returns the same code).
   int close_and_wait();
 
+  /// SIGKILLs the server without reaping (chaos tests: the reader sees
+  /// EOF and fails in-flight requests exactly like a real crash).
+  void kill_server();
+
+  long long server_pid() const { return pid_; }
+  /// Completed transparent respawns (restart_on_death).
+  std::uint64_t restarts() const;
+  /// True while the circuit breaker is fast-failing requests.
+  bool circuit_open() const;
+
  private:
-  void reader_loop();
-  void fail_pending_locked(const std::string& reason);
+  void spawn();
+  /// Respawns the server unless another thread already did (generation
+  /// check) — at most one restart per observed death.
+  void restart(std::uint64_t seen_generation);
+  void reader_loop(int fd);
+  void fail_pending_locked(ErrorCode code, const std::string& reason);
+  void record_death_locked();
+  void check_circuit_locked();
+
+  Options options_;
 
   int stdin_fd_ = -1;
   int stdout_fd_ = -1;
@@ -62,14 +129,22 @@ class PipeClient {
   int exit_code_ = -1;
   bool reaped_ = false;
 
-  std::mutex write_mutex_;
+  std::mutex write_mutex_;  ///< Serializes writes and restarts.
 
-  std::mutex mutex_;               ///< Guards the response/pending state.
+  mutable std::mutex mutex_;  ///< Guards the response/pending state.
   std::condition_variable cv_;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, Json> responses_;
+  std::set<std::uint64_t> pending_;  ///< Sent, not yet answered/failed.
+  /// Requests failed by a connection death, keyed by id: the typed
+  /// error wait() must throw for them.
+  std::map<std::uint64_t, std::pair<ErrorCode, std::string>> failed_;
   bool reader_done_ = false;
-  std::string failure_;            ///< Non-empty once the pipe broke.
+  bool closing_ = false;  ///< Drain in progress: EOF is not a death.
+  std::uint64_t generation_ = 0;  ///< Bumped by each restart.
+  std::uint64_t restarts_ = 0;
+  int consecutive_deaths_ = 0;
+  std::chrono::steady_clock::time_point circuit_open_until_{};
 
   std::thread reader_;
 };

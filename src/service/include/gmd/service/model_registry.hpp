@@ -8,6 +8,7 @@
 /// plans as stack locals, so concurrent const predicts share the model
 /// without synchronization — the registry locks only the name lookup.
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "gmd/dse/surrogate.hpp"
+#include "gmd/service/quarantine.hpp"
 
 namespace gmd::service {
 
@@ -30,17 +32,48 @@ class ModelRegistry {
   void register_model(const std::string& name,
                       dse::SurrogateSuite::DeployedModel model);
 
-  /// Throws Error(kNotFound) naming the key and registered models.
+  /// Throws Error(kNotFound) naming the key and registered models, or
+  /// Error(kUnavailable) when the model is quarantined.  A quarantined
+  /// model registered from disk is re-probed (reloaded) once per probe
+  /// interval; one registered in-process can only be recovered by
+  /// explicit re-registration.
   std::shared_ptr<const dse::SurrogateSuite::DeployedModel> find(
-      const std::string& name) const;
+      const std::string& name);
+
+  /// Evicts the named model from serving into the quarantined set; see
+  /// TraceLibrary::quarantine for semantics.  Returns true if evicted.
+  bool quarantine(const std::string& name, ErrorCode code,
+                  const std::string& reason);
+
+  /// Minimum delay between re-probe attempts (zero: probe every lookup).
+  void set_probe_interval(std::chrono::milliseconds interval);
+
+  /// Re-probes every quarantined model whose interval elapsed.  Returns
+  /// the number restored to serving.
+  std::size_t probe_due();
+
+  std::vector<QuarantinedResource> quarantined() const;
+  std::size_t quarantined_count() const;
 
   std::vector<std::string> names() const;
   std::size_t size() const;
 
  private:
+  struct Quarantine {
+    QuarantinedResource info;
+    std::chrono::steady_clock::time_point next_probe;
+  };
+
+  /// Reloads the quarantined model behind `name` if its interval has
+  /// elapsed.  Returns true when it was restored to serving.
+  bool try_probe(const std::string& name);
+
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const dse::SurrogateSuite::DeployedModel>>
       models_;
+  std::map<std::string, std::string> paths_;  ///< Disk-backed models only.
+  std::map<std::string, Quarantine> quarantined_;
+  std::chrono::milliseconds probe_interval_{5000};
 };
 
 }  // namespace gmd::service

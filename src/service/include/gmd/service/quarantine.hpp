@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file quarantine.hpp
+/// Shared quarantine record for service resource registries.
+///
+/// A trace store or model that fails checksum/load/use is *quarantined*
+/// rather than retried inline: it is evicted from the serving maps into
+/// a quarantined set, requests naming it fail fast with a typed
+/// `kUnavailable` carrying the original failure, and the resource is
+/// re-probed at most once per probe interval (lazily, on lookup or on a
+/// `health` poll — never in a hot loop).  A probe that succeeds
+/// restores the resource to serving; one that fails re-arms the
+/// interval.
+
+#include <cstdint>
+#include <string>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::service {
+
+/// One quarantined resource, as reported by the `health` verb.
+struct QuarantinedResource {
+  std::string name;  ///< Alias (trace) or registered name (model).
+  std::string path;  ///< On-disk artifact probed for recovery.
+  ErrorCode code = ErrorCode::kUnavailable;  ///< Original failure code.
+  std::string reason;                        ///< Original failure message.
+  std::uint64_t probes = 0;  ///< Completed re-probe attempts.
+};
+
+}  // namespace gmd::service

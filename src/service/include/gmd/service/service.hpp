@@ -25,6 +25,13 @@
 /// deadline expires while queued or running fails with "timeout".
 /// Simulation answers are cached: a hit returns the identical bits the
 /// fresh simulation produced, flagged "cached":true.
+///
+/// Self-healing: a trace store or model that fails checksum/load/use is
+/// quarantined (evicted from serving, re-probed at most once per
+/// ServiceOptions::quarantine_probe_interval); requests naming it fail
+/// fast with code "unavailable" while every other resource keeps
+/// serving.  `health` reports "ok" | "degraded" (something is
+/// quarantined) | "draining" with per-resource detail.
 
 #include <atomic>
 #include <chrono>
@@ -49,6 +56,10 @@ struct ServiceOptions {
   std::chrono::milliseconds default_deadline{0};
   /// Channel-parallel workers inside each simulation (identity-neutral).
   std::uint32_t sim_workers = 1;
+  /// Minimum delay between re-probe attempts of one quarantined
+  /// resource (see TraceLibrary/ModelRegistry).  Zero probes on every
+  /// lookup — tests only.
+  std::chrono::milliseconds quarantine_probe_interval{5000};
 };
 
 class Service {
@@ -87,6 +98,12 @@ class Service {
 
   /// The "stats" response payload.
   Json stats_json() const;
+
+  /// The "health" response payload: status "ok" | "degraded" |
+  /// "draining" plus per-resource detail for everything quarantined.
+  /// Calling it re-probes quarantined resources whose interval elapsed,
+  /// so routine health polls double as the periodic recovery prober.
+  Json health_json();
 
  private:
   struct Request;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gmd/common/error.hpp"
+#include "gmd/common/faultinject.hpp"
 #include "gmd/dse/config_space.hpp"
 #include "gmd/dse/recommend.hpp"
 #include "gmd/memsim/metrics.hpp"
@@ -43,6 +44,14 @@ Json error_json(const Json& id, ErrorCode code, const std::string& message) {
   error["message"] = message;
   response["error"] = std::move(error);
   return response;
+}
+
+/// Error codes that indicate the *resource* (store bytes, model
+/// artifact) is bad, as opposed to the request being malformed or the
+/// budget expiring — only these trigger quarantine.
+bool is_resource_fault(ErrorCode code) {
+  return code == ErrorCode::kTrace || code == ErrorCode::kIo ||
+         code == ErrorCode::kInvalidData;
 }
 
 Json metrics_to_json(const dse::MetricsRow& row) {
@@ -110,7 +119,10 @@ Service::Service(const ServiceOptions& options)
     : options_(options),
       cache_(options.cache_capacity, options.cache_shards),
       scheduler_(Scheduler::Options{options.num_threads,
-                                    options.max_queue_depth}) {}
+                                    options.max_queue_depth}) {
+  traces_.set_probe_interval(options.quarantine_probe_interval);
+  models_.set_probe_interval(options.quarantine_probe_interval);
+}
 
 Service::~Service() { drain(); }
 
@@ -142,15 +154,16 @@ void Service::handle_line(const std::string& line,
   // simulation state and answer in request order.
   try {
     if (request.verb == "health") {
-      Json response;
+      GMD_FAULT_POINT("service.health");
+      Json response = health_json();
       response["id"] = request.id;
       response["ok"] = true;
-      response["status"] = draining() ? "draining" : "serving";
       respond(response.dump());
       completed_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (request.verb == "stats") {
+      GMD_FAULT_POINT("service.stats");
       Json response = stats_json();
       response["id"] = request.id;
       response["ok"] = true;
@@ -159,6 +172,7 @@ void Service::handle_line(const std::string& line,
       return;
     }
     if (request.verb == "register_trace") {
+      GMD_FAULT_POINT("service.register_trace");
       const std::string alias = request.body.at("alias").as_string();
       const std::string path = request.body.at("path").as_string();
       const std::uint64_t checksum = traces_.register_store(alias, path);
@@ -172,6 +186,7 @@ void Service::handle_line(const std::string& line,
       return;
     }
     if (request.verb == "register_model") {
+      GMD_FAULT_POINT("service.register_model");
       const std::string name = request.body.at("name").as_string();
       const std::string path = request.body.at("path").as_string();
       const std::string family = models_.register_model(name, path);
@@ -237,6 +252,8 @@ void Service::dispatch(const Request& request, const ResponseSink& respond) {
     // A request that spent its whole budget queued is a timeout, not a
     // simulation: reject before touching any trace.
     if (deadline != nullptr) deadline->check_now();
+    const std::string fault_site = "service." + request.verb;
+    GMD_FAULT_POINT(fault_site);
 
     Json response;
     if (request.verb == "simulate") {
@@ -260,9 +277,9 @@ void Service::dispatch(const Request& request, const ResponseSink& respond) {
 }
 
 Json Service::run_simulate(const Request& request, Deadline* deadline) {
+  // Parse the whole request before touching the store: a malformed
+  // request is the caller's fault and must never quarantine a resource.
   const std::string trace_name = request.body.at("trace").as_string();
-  const auto store = traces_.find(trace_name);
-  const std::uint64_t checksum = store->content_checksum();
 
   dse::SimulateOptions sim;
   sim.sim_workers = options_.sim_workers;
@@ -287,53 +304,65 @@ Json Service::run_simulate(const Request& request, Deadline* deadline) {
     points.push_back(parse_design_point(p));
   }
 
-  Json::Array rows;
-  std::uint64_t hits = 0;
-  for (const dse::DesignPoint& point : points) {
-    if (deadline != nullptr) deadline->check_now();
-    const std::uint64_t key = simulate_cache_key(checksum, point, sim);
-    ResultCache::Row row = cache_.get(key);
-    const bool cached = row != nullptr;
-    if (!cached) {
-      dse::SimulateOptions options = sim;
-      // Warm feeds: exhaustive single-technology points replay the
-      // shared predecoded stream; hybrid points share one decoded
-      // event vector.  Sampled points stream the store's own chunks.
-      std::shared_ptr<const memsim::PredecodedTrace> predecoded;
-      std::shared_ptr<const std::vector<cpusim::MemoryEvent>> raw;
-      if (point.kind == dse::MemoryKind::kHybrid) {
-        raw = traces_.raw_events(*store);
-        options.raw_events = *raw;
-      } else if (options.sample_fraction >= 1.0) {
-        dse::validate(point);  // Before spending a predecode on it.
-        predecoded = traces_.predecoded(*store, point.single_config());
-        options.predecoded = predecoded.get();
+  // From here on a kTrace/kIo/kInvalidData failure means the store's
+  // bytes are bad (checksum mismatch, truncated mapping, torn file):
+  // quarantine it so subsequent requests fail fast with "unavailable"
+  // instead of re-reading rotten data, then surface the original error.
+  const auto store = traces_.find(trace_name);
+  const std::uint64_t checksum = store->content_checksum();
+  try {
+    Json::Array rows;
+    std::uint64_t hits = 0;
+    for (const dse::DesignPoint& point : points) {
+      if (deadline != nullptr) deadline->check_now();
+      const std::uint64_t key = simulate_cache_key(checksum, point, sim);
+      ResultCache::Row row = cache_.get(key);
+      const bool cached = row != nullptr;
+      if (!cached) {
+        dse::SimulateOptions options = sim;
+        // Warm feeds: exhaustive single-technology points replay the
+        // shared predecoded stream; hybrid points share one decoded
+        // event vector.  Sampled points stream the store's own chunks.
+        std::shared_ptr<const memsim::PredecodedTrace> predecoded;
+        std::shared_ptr<const std::vector<cpusim::MemoryEvent>> raw;
+        if (point.kind == dse::MemoryKind::kHybrid) {
+          raw = traces_.raw_events(*store);
+          options.raw_events = *raw;
+        } else if (options.sample_fraction >= 1.0) {
+          dse::validate(point);  // Before spending a predecode on it.
+          predecoded = traces_.predecoded(*store, point.single_config());
+          options.predecoded = predecoded.get();
+        }
+        row = std::make_shared<const dse::MetricsRow>(
+            dse::simulate_point(*store, point, options));
+        cache_.put(key, row);
+      } else {
+        ++hits;
       }
-      row = std::make_shared<const dse::MetricsRow>(
-          dse::simulate_point(*store, point, options));
-      cache_.put(key, row);
-    } else {
-      ++hits;
+      Json row_json;
+      row_json["point"] = design_point_to_json(point);
+      row_json["metrics"] = metrics_to_json(*row);
+      if (row->sampled()) row_json["ci"] = ci_to_json(*row);
+      row_json["cached"] = cached;
+      rows.push_back(std::move(row_json));
     }
-    Json row_json;
-    row_json["point"] = design_point_to_json(point);
-    row_json["metrics"] = metrics_to_json(*row);
-    if (row->sampled()) row_json["ci"] = ci_to_json(*row);
-    row_json["cached"] = cached;
-    rows.push_back(std::move(row_json));
-  }
 
-  Json response;
-  response["trace"] = format_checksum(checksum);
-  response["rows"] = Json(std::move(rows));
-  response["cache_hits"] = hits;
-  return response;
+    Json response;
+    response["trace"] = format_checksum(checksum);
+    response["rows"] = Json(std::move(rows));
+    response["cache_hits"] = hits;
+    return response;
+  } catch (const Error& e) {
+    if (is_resource_fault(e.code())) {
+      traces_.quarantine(trace_name, e.code(), e.what());
+    }
+    throw;
+  }
 }
 
 Json Service::run_predict(const Request& request, Deadline* deadline) {
+  // Request parsing first — it must never quarantine the model.
   const std::string model_name = request.body.at("model").as_string();
-  const auto model = models_.find(model_name);
-
   const Json& points_json = request.body.at("points");
   GMD_REQUIRE_AS(ErrorCode::kInvalidData, points_json.is_array(),
                  "'points' must be an array");
@@ -342,17 +371,27 @@ Json Service::run_predict(const Request& request, Deadline* deadline) {
   for (const Json& p : points_json.as_array()) {
     points.push_back(parse_design_point(p));
   }
+
+  const auto model = models_.find(model_name);
   if (deadline != nullptr) deadline->check_now();
 
-  // One matrix build + one batch inference for the whole request.
-  const std::vector<double> values = model->predict(points);
-  Json::Array values_json(values.begin(), values.end());
+  try {
+    GMD_FAULT_POINT("service.model_predict");
+    // One matrix build + one batch inference for the whole request.
+    const std::vector<double> values = model->predict(points);
+    Json::Array values_json(values.begin(), values.end());
 
-  Json response;
-  response["model"] = model_name;
-  response["family"] = model->model->name();
-  response["values"] = Json(std::move(values_json));
-  return response;
+    Json response;
+    response["model"] = model_name;
+    response["family"] = model->model->name();
+    response["values"] = Json(std::move(values_json));
+    return response;
+  } catch (const Error& e) {
+    if (is_resource_fault(e.code())) {
+      models_.quarantine(model_name, e.code(), e.what());
+    }
+    throw;
+  }
 }
 
 Json Service::run_recommend(const Request& request, Deadline* deadline) {
@@ -376,24 +415,32 @@ Json Service::run_recommend(const Request& request, Deadline* deadline) {
   }
   if (deadline != nullptr) deadline->check_now();
 
-  const std::vector<double> values = model->predict(candidates);
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < values.size(); ++i) {
-    const bool better = direction == dse::Direction::kMinimize
-                            ? values[i] < values[best]
-                            : values[i] > values[best];
-    if (better) best = i;
-  }
+  try {
+    GMD_FAULT_POINT("service.model_predict");
+    const std::vector<double> values = model->predict(candidates);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      const bool better = direction == dse::Direction::kMinimize
+                              ? values[i] < values[best]
+                              : values[i] > values[best];
+      if (better) best = i;
+    }
 
-  Json response;
-  response["metric"] = metric;
-  response["direction"] =
-      direction == dse::Direction::kMinimize ? "minimize" : "maximize";
-  response["model"] = model_name;
-  response["best"] = design_point_to_json(candidates[best]);
-  response["value"] = values[best];
-  response["candidates"] = candidates.size();
-  return response;
+    Json response;
+    response["metric"] = metric;
+    response["direction"] =
+        direction == dse::Direction::kMinimize ? "minimize" : "maximize";
+    response["model"] = model_name;
+    response["best"] = design_point_to_json(candidates[best]);
+    response["value"] = values[best];
+    response["candidates"] = candidates.size();
+    return response;
+  } catch (const Error& e) {
+    if (is_resource_fault(e.code())) {
+      models_.quarantine(model_name, e.code(), e.what());
+    }
+    throw;
+  }
 }
 
 Json Service::stats_json() const {
@@ -428,6 +475,42 @@ Json Service::stats_json() const {
   stats["cached_feeds"] = traces_.cached_feeds();
   stats["models"] = models_.size();
   return stats;
+}
+
+Json Service::health_json() {
+  // Health polls double as the periodic prober: any quarantined
+  // resource whose interval elapsed gets one recovery attempt here, so
+  // a store restored on disk comes back without an explicit nudge.
+  traces_.probe_due();
+  models_.probe_due();
+
+  Json response;
+  Json::Array resources;
+  const auto add = [&resources](const std::string& type,
+                                const QuarantinedResource& info) {
+    Json resource;
+    resource["type"] = type;
+    resource["name"] = info.name;
+    resource["status"] = "quarantined";
+    resource["code"] = std::string(to_string(info.code));
+    resource["reason"] = info.reason;
+    resource["probes"] = info.probes;
+    resources.push_back(std::move(resource));
+  };
+  const auto quarantined_traces = traces_.quarantined();
+  const auto quarantined_models = models_.quarantined();
+  for (const auto& info : quarantined_traces) add("trace", info);
+  for (const auto& info : quarantined_models) add("model", info);
+
+  const bool degraded =
+      !quarantined_traces.empty() || !quarantined_models.empty();
+  response["status"] =
+      draining() ? "draining" : (degraded ? "degraded" : "ok");
+  response["traces"] = traces_.size();
+  response["models"] = models_.size();
+  response["quarantined"] = resources.size();
+  if (!resources.empty()) response["resources"] = Json(std::move(resources));
+  return response;
 }
 
 }  // namespace gmd::service

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "gmd/common/error.hpp"
+#include "gmd/common/faultinject.hpp"
 
 #ifdef _WIN32
 #define WIN32_LEAN_AND_MEAN
@@ -21,6 +22,7 @@ namespace gmd::tracestore {
 #ifdef _WIN32
 
 MappedFile::MappedFile(const std::string& path) : path_(path) {
+  GMD_FAULT_POINT("mapped_file.open");
   HANDLE file =
       CreateFileA(path.c_str(), GENERIC_READ, FILE_SHARE_READ, nullptr,
                   OPEN_EXISTING, FILE_ATTRIBUTE_NORMAL, nullptr);
@@ -73,6 +75,15 @@ void MappedFile::reset() noexcept {
 #else  // POSIX
 
 MappedFile::MappedFile(const std::string& path) : path_(path) {
+  bool short_read = false;
+  if (auto kind = faultinject::fire("mapped_file.open")) {
+    if (*kind != faultinject::FaultKind::kShortRead) {
+      faultinject::throw_injected(*kind, "mapped_file.open");
+    }
+    // Act out a truncated file: map only half the bytes, so readers see
+    // a store whose directory/chunks run past the end of the mapping.
+    short_read = true;
+  }
   const int fd = ::open(path.c_str(), O_RDONLY);
   GMD_REQUIRE_AS(ErrorCode::kIo, fd >= 0,
                  "cannot open '" << path
@@ -86,6 +97,7 @@ MappedFile::MappedFile(const std::string& path) : path_(path) {
                                    << "': " << std::strerror(saved));
   }
   size_ = static_cast<std::size_t>(st.st_size);
+  if (short_read) size_ /= 2;
   if (size_ > 0) {
     void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
     if (mapped == MAP_FAILED) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "gmd/common/error.hpp"
+#include "gmd/common/faultinject.hpp"
 #include "gmd/common/hash.hpp"
 #include "gmd/common/thread_pool.hpp"
 
@@ -103,6 +104,9 @@ void TraceStoreReader::decode_into(std::size_t index,
                                    cpusim::MemoryEvent* out) const {
   const ChunkEntry& entry = directory_[index];
   const unsigned char* payload = file_.data() + entry.offset;
+  // Stand-in for mid-mmap corruption: the chaos suite arms this site to
+  // make a chunk that passed registration fail verification later.
+  GMD_FAULT_POINT("tracestore.chunk_verify");
   GMD_REQUIRE_AS(
       ErrorCode::kTrace,
       fnv1a_bytes(payload, entry.encoded_bytes) == entry.checksum,

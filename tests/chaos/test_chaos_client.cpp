@@ -1,0 +1,222 @@
+/// \file test_chaos_client.cpp
+/// Fork-mode chaos: drives the real gmd_serve binary (path injected by
+/// CMake as GMD_SERVE_PATH) through a PipeClient and kills, starves,
+/// and corrupts the server process itself.  Every scenario must end in
+/// exactly one of: a correct result, a typed error, or a successful
+/// recovery after retry — never a hang, a crash, or a silent wrong
+/// answer.  Shell one-liners stand in for misbehaving servers (torn
+/// output, instant exit) where gmd_serve is too well-behaved to fail.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <chrono>
+#include <string>
+
+#include "gmd/common/error.hpp"
+#include "gmd/service/client.hpp"
+
+namespace gmd::service {
+namespace {
+
+Json health_request() {
+  Json request;
+  request["verb"] = "health";
+  return request;
+}
+
+PipeClient::Options serve_options() {
+  PipeClient::Options options;
+  options.server_path = GMD_SERVE_PATH;
+  return options;
+}
+
+TEST(ChaosClient, KilledServerFailsInFlightTyped) {
+  PipeClient client(serve_options());
+  // Prove the server is up, then SIGKILL it mid-session.
+  EXPECT_TRUE(client.request(health_request()).bool_or("ok", false));
+  client.kill_server();
+  // Every request from here fails with a *typed* error: either the
+  // write hits the broken pipe (kUnavailable/kIo) or the reader's EOF
+  // fails the pending id (kUnavailable).  Never a hang, never SIGPIPE.
+  try {
+    (void)client.request(health_request());
+    FAIL() << "request against a killed server must fail";
+  } catch (const Error& e) {
+    EXPECT_TRUE(e.code() == ErrorCode::kUnavailable ||
+                e.code() == ErrorCode::kIo)
+        << to_string(e.code());
+  }
+  EXPECT_EQ(client.close_and_wait(), -SIGKILL);
+}
+
+TEST(ChaosClient, KillRetryRecoversTransparently) {
+  PipeClient::Options options = serve_options();
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  options.retry.restart_on_death = true;
+  options.retry.circuit_threshold = 10;  // not under test here
+  PipeClient client(options);
+  EXPECT_TRUE(client.request(health_request()).bool_or("ok", false));
+  client.kill_server();
+  // The client respawns gmd_serve and the retried request succeeds —
+  // the caller never sees the death.
+  int attempts = 0;
+  const Json response = client.request_with_retry(health_request(), &attempts);
+  EXPECT_TRUE(response.bool_or("ok", false)) << response.dump();
+  EXPECT_GE(attempts, 2);
+  EXPECT_GE(client.restarts(), 1u);
+  EXPECT_EQ(client.close_and_wait(), 0);
+}
+
+TEST(ChaosClient, InjectedUnavailableIsRetriedToSuccess) {
+  // gmd_serve arms its own fault point: the first health dispatch
+  // raises kUnavailable once, then the site disarms.
+  PipeClient::Options options = serve_options();
+  options.args = {"--faults", "service.health=unavailable:nth=1:oneshot"};
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  PipeClient client(options);
+  int attempts = 0;
+  const Json response = client.request_with_retry(health_request(), &attempts);
+  EXPECT_TRUE(response.bool_or("ok", false)) << response.dump();
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(client.close_and_wait(), 0);
+}
+
+TEST(ChaosClient, InvalidDataIsNeverRetried) {
+  PipeClient::Options options = serve_options();
+  options.args = {"--faults", "service.health=invalid-data:nth=1:oneshot"};
+  options.retry.max_attempts = 5;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  PipeClient client(options);
+  int attempts = 0;
+  const Json response = client.request_with_retry(health_request(), &attempts);
+  // The error response comes back untouched after exactly one attempt:
+  // retrying invalid data would just burn the budget (and, had the
+  // fault been real, mask a data bug).
+  EXPECT_FALSE(response.bool_or("ok", true));
+  EXPECT_EQ(response.at("error").string_or("code", ""), "invalid-data");
+  EXPECT_EQ(attempts, 1);
+  // The one-shot fault is still spent only once: the next plain request
+  // succeeds, proving no hidden retry consumed it.
+  EXPECT_TRUE(client.request(health_request()).bool_or("ok", false));
+  EXPECT_EQ(client.close_and_wait(), 0);
+}
+
+TEST(ChaosClient, BudgetCapsPerAttemptDeadline) {
+  PipeClient::Options options = serve_options();
+  options.retry.max_attempts = 3;
+  options.retry.budget = std::chrono::milliseconds(60000);
+  PipeClient client(options);
+  // The server echoes nothing about deadlines on health, so assert the
+  // other observable: a request that carries a deadline larger than the
+  // budget still completes (the client clamped it, the server served
+  // it) rather than erroring on either side.
+  Json request = health_request();
+  request["deadline_ms"] = 1e9;
+  const Json response = client.request_with_retry(request);
+  EXPECT_TRUE(response.bool_or("ok", false)) << response.dump();
+  EXPECT_EQ(client.close_and_wait(), 0);
+}
+
+TEST(ChaosClient, CircuitBreakerFastFailsAfterConsecutiveDeaths) {
+  // A server that exits immediately: every connection dies before
+  // answering.  After `circuit_threshold` consecutive deaths the
+  // breaker opens and requests fail fast without touching the pipe.
+  PipeClient::Options options;
+  options.server_path = "/bin/false";
+  options.retry.max_attempts = 8;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  options.retry.restart_on_death = true;
+  options.retry.circuit_threshold = 3;
+  options.retry.circuit_cooldown = std::chrono::seconds(30);
+  PipeClient client(options);
+  try {
+    (void)client.request_with_retry(health_request());
+    FAIL() << "a dead-on-arrival server must fail the request";
+  } catch (const Error& e) {
+    EXPECT_TRUE(e.code() == ErrorCode::kUnavailable ||
+                e.code() == ErrorCode::kIo)
+        << to_string(e.code());
+  }
+  EXPECT_TRUE(client.circuit_open());
+  // While open: instant typed failure, no new server spawned.
+  const std::uint64_t restarts_before = client.restarts();
+  try {
+    (void)client.send(health_request());
+    FAIL() << "open circuit must fast-fail sends";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+    EXPECT_NE(std::string(e.what()).find("circuit"), std::string::npos);
+  }
+  EXPECT_EQ(client.restarts(), restarts_before);
+}
+
+TEST(ChaosClient, TornResponseLineFailsInFlightWithIoError) {
+  // A server that answers with malformed JSON and lingers: the waiter
+  // must get a typed kIo error immediately, not block until teardown.
+  PipeClient::Options options;
+  options.server_path = "/bin/sh";
+  options.args = {"-c", "read line; echo '{\"id\":1,\"ok\"'; sleep 5"};
+  PipeClient client(options);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)client.request(health_request());
+    FAIL() << "a torn response line must fail the request";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_NE(std::string(e.what()).find("malformed"), std::string::npos);
+  }
+  // "Immediately": well inside the server's 5s lifetime.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(4));
+}
+
+TEST(ChaosClient, EofWithoutResponseFailsUnavailable) {
+  // A server that swallows the request and exits cleanly.
+  PipeClient::Options options;
+  options.server_path = "/bin/sh";
+  options.args = {"-c", "read line; exit 0"};
+  PipeClient client(options);
+  try {
+    (void)client.request(health_request());
+    FAIL() << "EOF before a response must fail the request";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+  }
+  EXPECT_EQ(client.close_and_wait(), 0);
+}
+
+TEST(ChaosClient, ExecFailureSurfacesTypedAndExits127) {
+  PipeClient::Options options;
+  options.server_path = "/nonexistent/gmd_serve_missing";
+  PipeClient client(options);
+  EXPECT_THROW((void)client.request(health_request()), Error);
+  EXPECT_EQ(client.close_and_wait(), 127);
+}
+
+TEST(ChaosClient, FaultStormEveryRequestAnsweredExactlyOnce) {
+  // A seeded 20% fault storm on the health verb: every request is
+  // still answered exactly once, each either ok or a typed error, and
+  // the server serves and drains cleanly afterwards.
+  PipeClient::Options options = serve_options();
+  options.args = {"--threads", "1", "--queue-depth", "1",
+                  "--faults", "service.health=timeout:p=0.2:seed=11"};
+  PipeClient client(options);
+  std::size_t answered = 0;
+  for (int i = 0; i < 64; ++i) {
+    const Json response = client.request(health_request());
+    ++answered;
+    if (!response.bool_or("ok", false)) {
+      const std::string code = response.at("error").string_or("code", "");
+      EXPECT_TRUE(code == "overloaded" || code == "timeout") << code;
+    }
+  }
+  EXPECT_EQ(answered, 64u);
+  EXPECT_EQ(client.close_and_wait(), 0);
+}
+
+}  // namespace
+}  // namespace gmd::service

@@ -1,0 +1,191 @@
+/// \file test_fuzz_requests.cpp
+/// Malformed-request corpus against Service::handle_line.  The protocol
+/// contract under attack: EVERY input line produces exactly one
+/// response line, synchronously for anything that fails to parse or
+/// validate, and the response itself is valid JSON with ok:false and a
+/// typed error code.  Truncations, depth bombs, huge scalars, duplicate
+/// ids, and megabyte keys must neither crash (run under ASan in CI),
+/// hang, nor produce zero or two responses.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gmd/service/service.hpp"
+
+namespace gmd::service {
+namespace {
+
+/// Counts responses and sanity-checks each one is parseable JSON.
+struct CountingSink {
+  std::atomic<std::size_t> count{0};
+  std::atomic<bool> all_json{true};
+
+  Service::ResponseSink sink() {
+    return [this](std::string line) {
+      count.fetch_add(1);
+      try {
+        (void)Json::parse(line);
+      } catch (...) {
+        all_json.store(false);
+      }
+    };
+  }
+};
+
+std::vector<std::string> corpus() {
+  std::vector<std::string> lines;
+
+  // Every prefix of a valid request: truncated JSON at each byte.
+  const std::string valid =
+      R"({"verb":"simulate","trace":"t","points":[{"cpu_freq_mhz":2000}]})";
+  for (std::size_t len = 1; len < valid.size(); ++len) {
+    lines.push_back(valid.substr(0, len));
+  }
+
+  // Depth bombs: nesting at, just over, and far past the parser cap.
+  for (const std::size_t depth : {63u, 64u, 65u, 100u, 10000u}) {
+    lines.push_back(std::string(depth, '[') + std::string(depth, ']'));
+    std::string object;
+    for (std::size_t i = 0; i < depth; ++i) object += "{\"k\":";
+    object += "1";
+    for (std::size_t i = 0; i < depth; ++i) object += "}";
+    lines.push_back(object);
+  }
+
+  // Numeric edge cases: overflow to inf, huge negatives, NaN tokens.
+  lines.push_back(R"({"verb":"stats","id":1e309})");
+  lines.push_back(R"({"verb":"stats","id":-1e309})");
+  lines.push_back(R"({"verb":"stats","id":NaN})");
+  lines.push_back(R"({"verb":"stats","id":nan})");
+  lines.push_back(R"({"verb":"stats","id":Infinity})");
+  lines.push_back(R"({"verb":"stats","deadline_ms":1e308})");
+  lines.push_back(R"({"verb":"stats","deadline_ms":-5})");
+  lines.push_back(R"({"verb":"stats","id":1.5})");
+  lines.push_back(R"({"verb":"stats","id":"seven"})");
+  lines.push_back(R"({"verb":"stats","id":-3})");
+
+  // Duplicate keys (last-wins or rejected — either way, one response).
+  lines.push_back(R"({"verb":"stats","id":1,"id":2})");
+  lines.push_back(R"({"verb":"stats","verb":"health"})");
+
+  // A 1MB key and a 1MB string value.
+  lines.push_back("{\"" + std::string(1 << 20, 'k') + "\":1,\"verb\":\"stats\"}");
+  lines.push_back("{\"verb\":\"stats\",\"pad\":\"" + std::string(1 << 20, 'v') +
+                  "\"}");
+
+  // Broken strings: unpaired surrogates, bad escapes, raw control and
+  // NUL bytes.
+  lines.push_back(R"({"verb":"\ud800"})");
+  lines.push_back(R"({"verb":"\udc00\ud800"})");
+  lines.push_back(R"({"verb":"\x41"})");
+  lines.push_back(std::string("{\"verb\":\"st\x01\x02\",\"id\":1}"));
+  std::string with_nul = R"({"verb":"stats")";
+  with_nul.push_back('\0');
+  with_nul += "extra}";
+  lines.push_back(with_nul);
+
+  // Wrong top-level shapes.
+  lines.push_back("42");
+  lines.push_back("\"just a string\"");
+  lines.push_back("null");
+  lines.push_back("true");
+  lines.push_back("[]");
+  lines.push_back("[{\"verb\":\"stats\"}]");
+  lines.push_back("{}");
+  lines.push_back("{}{}");
+  lines.push_back(R"({"verb":"stats"} trailing)");
+
+  // Valid JSON, invalid protocol.
+  lines.push_back(R"({"verb":"no_such_verb"})");
+  lines.push_back(R"({"verb":42})");
+  lines.push_back(R"({"verb":null})");
+  lines.push_back(R"({"verb":["simulate"]})");
+  lines.push_back(R"({"verb":"simulate"})");
+  lines.push_back(R"({"verb":"simulate","trace":"missing","points":[{}]})");
+  lines.push_back(R"({"verb":"simulate","trace":"t","points":"no"})");
+  lines.push_back(R"({"verb":"predict","model":"none","points":[{}]})");
+  lines.push_back(R"({"verb":"register_trace","alias":"a","path":"/nope"})");
+  lines.push_back(R"({"verb":"register_model","name":"m","path":"/nope"})");
+
+  // A big flat array of points that all fail validation.
+  std::string many = R"({"verb":"simulate","trace":"t","points":[)";
+  for (int i = 0; i < 5000; ++i) {
+    many += i ? ",7" : "7";
+  }
+  many += "]}";
+  lines.push_back(many);
+
+  return lines;
+}
+
+/// Most corpus lines answer synchronously (parse/validation errors),
+/// but structurally-plausible simulate/predict lines are admitted and
+/// answer from a worker; give those a generous beat to arrive.
+bool wait_for_count(const CountingSink& counter, std::size_t target) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (counter.count.load() < target) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return counter.count.load() == target;
+}
+
+TEST(FuzzRequests, EveryCorpusLineGetsExactlyOneJsonErrorResponse) {
+  ServiceOptions options;
+  options.num_threads = 2;
+  Service svc(options);
+  CountingSink counter;
+  const auto sink = counter.sink();
+  const std::vector<std::string> lines = corpus();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t before = counter.count.load();
+    svc.handle_line(lines[i], sink);
+    EXPECT_TRUE(wait_for_count(counter, before + 1))
+        << "line " << i << " produced " << (counter.count.load() - before)
+        << " responses: " << lines[i].substr(0, 120);
+  }
+  EXPECT_TRUE(counter.all_json.load());
+  svc.drain();
+  // Drained: the storm produced exactly one response per line, total.
+  EXPECT_EQ(counter.count.load(), lines.size());
+}
+
+TEST(FuzzRequests, CorpusResponsesCarryTypedErrorCodes) {
+  Service svc;
+  for (const char* line : {
+           R"(not json at all)",
+           R"({"verb":"no_such_verb","id":9})",
+           R"({"verb":"simulate","trace":"missing","points":[{}],"id":10})",
+       }) {
+    const Json response = Json::parse(svc.handle(line));
+    EXPECT_FALSE(response.bool_or("ok", true));
+    const std::string code = response.at("error").string_or("code", "");
+    ErrorCode parsed{};
+    EXPECT_TRUE(error_code_from_string(code, parsed))
+        << "unknown wire code '" << code << "' for: " << line;
+  }
+  svc.drain();
+}
+
+TEST(FuzzRequests, ServiceStillServesAfterTheStorm) {
+  Service svc;
+  CountingSink counter;
+  const auto sink = counter.sink();
+  for (const std::string& line : corpus()) svc.handle_line(line, sink);
+  // The storm must leave no residue: a well-formed request still works.
+  const Json stats = Json::parse(svc.handle(R"({"verb":"stats","id":1})"));
+  EXPECT_TRUE(stats.bool_or("ok", false));
+  const Json health = Json::parse(svc.handle(R"({"verb":"health","id":2})"));
+  EXPECT_TRUE(health.bool_or("ok", false));
+  EXPECT_EQ(health.string_or("status", ""), "ok");
+  svc.drain();
+}
+
+}  // namespace
+}  // namespace gmd::service

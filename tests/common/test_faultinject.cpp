@@ -1,0 +1,209 @@
+#include "gmd/common/faultinject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gmd/common/error.hpp"
+
+namespace gmd::faultinject {
+namespace {
+
+/// Every test leaves the process-wide registry empty: chaos scenarios
+/// in other binaries rely on a clean slate, and so do the tests below.
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+};
+
+TEST_F(FaultInjectTest, DisarmedSitesNeverFire) {
+  EXPECT_FALSE(any_armed());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(fire("some.site").has_value());
+  }
+  // Unarmed hits are not even tracked: the fast path must stay a single
+  // atomic load, with no registry mutation to contend on.
+  EXPECT_TRUE(status().empty());
+}
+
+TEST_F(FaultInjectTest, FailNthFiresExactlyFromNthHit) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kTimeout;
+  spec.fail_nth = 3;
+  arm("a.b", spec);
+  EXPECT_EQ(armed_count(), 1u);
+  EXPECT_FALSE(fire("a.b").has_value());
+  EXPECT_FALSE(fire("a.b").has_value());
+  const auto third = fire("a.b");
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(*third, FaultKind::kTimeout);
+  // Not one-shot: every later hit keeps firing.
+  EXPECT_TRUE(fire("a.b").has_value());
+}
+
+TEST_F(FaultInjectTest, OneShotDisarmsAfterFirstFire) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kIo;
+  spec.fail_nth = 2;
+  spec.one_shot = true;
+  arm("a.b", spec);
+  EXPECT_FALSE(fire("a.b").has_value());
+  EXPECT_TRUE(fire("a.b").has_value());
+  EXPECT_EQ(armed_count(), 0u);
+  EXPECT_FALSE(any_armed());
+  EXPECT_FALSE(fire("a.b").has_value());
+  // The fired-out site stays visible for diagnostics.
+  const auto all = status();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].site, "a.b");
+  EXPECT_EQ(all[0].fires, 1u);
+  EXPECT_FALSE(all[0].armed);
+}
+
+TEST_F(FaultInjectTest, ProbabilityDrawsAreSeededAndDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kIo;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    arm("p.site", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(fire("p.site").has_value());
+    clear();
+    return fired;
+  };
+  const auto first = run(7);
+  const auto again = run(7);
+  const auto other = run(8);
+  EXPECT_EQ(first, again) << "same seed must replay the same fire pattern";
+  EXPECT_NE(first, other) << "different seeds must differ somewhere";
+  const auto fires = static_cast<std::size_t>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 16u);
+  EXPECT_LT(fires, 48u);
+}
+
+TEST_F(FaultInjectTest, ThrowInjectedRaisesMappedTypedError) {
+  try {
+    throw_injected(FaultKind::kUnavailable, "x.y");
+    FAIL() << "throw_injected must not return";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+    EXPECT_NE(std::string(e.what()).find("injected fault"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("x.y"), std::string::npos);
+  }
+  EXPECT_EQ(error_code_for(FaultKind::kIo), ErrorCode::kIo);
+  EXPECT_EQ(error_code_for(FaultKind::kInvalidData), ErrorCode::kInvalidData);
+  EXPECT_EQ(error_code_for(FaultKind::kTimeout), ErrorCode::kTimeout);
+  EXPECT_EQ(error_code_for(FaultKind::kUnavailable), ErrorCode::kUnavailable);
+  EXPECT_EQ(error_code_for(FaultKind::kPartialWrite), ErrorCode::kIo);
+  EXPECT_EQ(error_code_for(FaultKind::kShortRead), ErrorCode::kIo);
+}
+
+TEST_F(FaultInjectTest, ArmFromSpecParsesEveryClause) {
+  const std::size_t armed = arm_from_spec(
+      "a.open=io, b.commit=partial-write:nth=4:p=0.25:seed=9:oneshot,"
+      "c.load=invalid-data");
+  EXPECT_EQ(armed, 3u);
+  EXPECT_EQ(armed_count(), 3u);
+  bool saw_commit = false;
+  for (const auto& site : status()) {
+    if (site.site != "b.commit") continue;
+    saw_commit = true;
+    EXPECT_EQ(site.spec.kind, FaultKind::kPartialWrite);
+    EXPECT_EQ(site.spec.fail_nth, 4u);
+    EXPECT_DOUBLE_EQ(site.spec.probability, 0.25);
+    EXPECT_EQ(site.spec.seed, 9u);
+    EXPECT_TRUE(site.spec.one_shot);
+  }
+  EXPECT_TRUE(saw_commit);
+}
+
+TEST_F(FaultInjectTest, MalformedSpecsRaiseConfigErrors) {
+  for (const char* bad : {"nosite", "a.b=", "a.b=notakind", "=io",
+                          "a.b=io:nth=0", "a.b=io:p=0", "a.b=io:p=1.5",
+                          "a.b=io:nth=abc", "a.b=io:bogus=1"}) {
+    EXPECT_THROW(arm_from_spec(bad), Error) << "spec: " << bad;
+  }
+  EXPECT_EQ(armed_count(), 0u) << "failed specs must not leave sites armed";
+  EXPECT_EQ(arm_from_spec(""), 0u);
+}
+
+TEST_F(FaultInjectTest, ArmFromEnvReadsTheVariable) {
+  ::setenv("GMD_TEST_FAULTS", "e.site=timeout:nth=2", 1);
+  EXPECT_EQ(arm_from_env("GMD_TEST_FAULTS"), 1u);
+  EXPECT_FALSE(fire("e.site").has_value());
+  EXPECT_TRUE(fire("e.site").has_value());
+  ::unsetenv("GMD_TEST_FAULTS");
+  EXPECT_EQ(arm_from_env("GMD_TEST_FAULTS"), 0u);
+}
+
+TEST_F(FaultInjectTest, KindNamesRoundTrip) {
+  for (const FaultKind kind :
+       {FaultKind::kIo, FaultKind::kInvalidData, FaultKind::kTimeout,
+        FaultKind::kUnavailable, FaultKind::kPartialWrite,
+        FaultKind::kShortRead}) {
+    FaultKind parsed{};
+    ASSERT_TRUE(kind_from_string(to_string(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  FaultKind ignored{};
+  EXPECT_FALSE(kind_from_string("nope", ignored));
+}
+
+TEST_F(FaultInjectTest, ErrorCodeNamesRoundTripForEveryCode) {
+  // The wire protocol and the retry policy key off these names; every
+  // code must have a distinct stable name that parses back.
+  std::set<std::string> seen;
+  for (int raw = 0; raw <= static_cast<int>(kLastErrorCode); ++raw) {
+    const auto code = static_cast<ErrorCode>(raw);
+    const std::string name(to_string(code));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?") << "code " << raw << " lacks a name";
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    ErrorCode parsed{};
+    ASSERT_TRUE(error_code_from_string(name, parsed)) << name;
+    EXPECT_EQ(parsed, code);
+  }
+  ErrorCode ignored{};
+  EXPECT_FALSE(error_code_from_string("not-a-code", ignored));
+}
+
+TEST_F(FaultInjectTest, ConcurrentHitsFireTheConfiguredCount) {
+  // 8 threads hammer one site armed to fire from hit 100 onward.  The
+  // total fire count must be exactly hits - 99 regardless of schedule.
+  FaultSpec spec;
+  spec.kind = FaultKind::kIo;
+  spec.fail_nth = 100;
+  arm("mt.site", spec);
+  std::atomic<std::uint64_t> fired{0};
+  std::vector<std::thread> threads;
+  constexpr int kPerThread = 200;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (fire("mt.site").has_value()) fired.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(fired.load(), 8u * kPerThread - 99u);
+}
+
+TEST_F(FaultInjectTest, GmdFaultPointMacroThrowsWhenArmed) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kInvalidData;
+  arm("macro.site", spec);
+  EXPECT_THROW(GMD_FAULT_POINT("macro.site"), Error);
+  clear();
+  GMD_FAULT_POINT("macro.site");  // disarmed: must be a no-op
+}
+
+}  // namespace
+}  // namespace gmd::faultinject

@@ -127,7 +127,7 @@ TEST_F(ServiceTest, HealthAndStatsAnswerSynchronously) {
   auto service = make_service();
   const Json health = Json::parse(service->handle(R"({"verb":"health"})"));
   EXPECT_TRUE(health.bool_or("ok", false));
-  EXPECT_EQ(health.string_or("status", ""), "serving");
+  EXPECT_EQ(health.string_or("status", ""), "ok");
 
   const Json stats = Json::parse(service->handle(R"({"verb":"stats"})"));
   EXPECT_TRUE(stats.bool_or("ok", false));

@@ -5,8 +5,8 @@
 /// Figure 2.
 ///
 /// Usage: memory_explorer [--workload bfs|dobfs|pagerank|cc|sssp|triangles]
-///                        [--vertices N] [--space axis|reduced|paper]
-///                        [--axis ctrl|cpu|channels|trcd]
+///                        [--vertices N] [--space axis|reduced|paper|million]
+///                        [--limit N] [--axis ctrl|cpu|channels|trcd]
 ///                        [--kind dram|nvm|hybrid]
 ///                        [--trace-dir DIR] [--trace-format text|gmdt]
 ///                        [--policy failfast|skip|retry] [--retries N]
@@ -45,6 +45,7 @@
 #include "gmd/dse/config_space.hpp"
 #include "gmd/dse/dataset_builder.hpp"
 #include "gmd/dse/distributed.hpp"
+#include "gmd/dse/lazy_space.hpp"
 #include "gmd/dse/sweep.hpp"
 #include "gmd/dse/workflow.hpp"
 #include "gmd/trace/converter.hpp"
@@ -58,12 +59,29 @@ using namespace gmd;
 
 std::vector<dse::DesignPoint> build_points(const std::string& space,
                                            const std::string& axis,
-                                           dse::MemoryKind kind) {
-  if (space == "axis") return dse::axis_design_points(axis, kind);
-  if (space == "reduced") return dse::reduced_design_space();
-  if (space == "paper") return dse::paper_design_space();
-  throw Error(ErrorCode::kConfig,
-              "unknown space '" + space + "' (axis|reduced|paper)");
+                                           dse::MemoryKind kind,
+                                           std::size_t limit) {
+  std::vector<dse::DesignPoint> points;
+  if (space == "axis") {
+    points = dse::axis_design_points(axis, kind);
+  } else if (space == "reduced") {
+    points = dse::reduced_design_space();
+  } else if (space == "paper") {
+    points = dse::paper_design_space();
+  } else if (space == "million") {
+    // Decoded lazily: with --limit only the requested prefix is ever
+    // materialized, so smoke runs touch a 10^6-point space for free.
+    const dse::LazySpace lazy(dse::LazySpace::million_axes());
+    const std::size_t count =
+        limit == 0 ? lazy.size() : std::min(limit, lazy.size());
+    lazy.decode_block(0, count, points);
+    return points;
+  } else {
+    throw Error(ErrorCode::kConfig,
+                "unknown space '" + space + "' (axis|reduced|paper|million)");
+  }
+  if (limit != 0 && points.size() > limit) points.resize(limit);
+  return points;
 }
 
 dse::FailurePolicy parse_policy(const std::string& policy) {
@@ -110,7 +128,10 @@ int main(int argc, char** argv) {
   cli.add_option("workload", "bfs", "bfs | dobfs | pagerank | cc | sssp | triangles")
       .add_option("vertices", "256", "graph size")
       .add_option("space", "axis",
-                  "point set: axis (one --axis slice) | reduced | paper")
+                  "point set: axis (one --axis slice) | reduced | paper | "
+                  "million (lazy 10^6-point grid)")
+      .add_option("limit", "0",
+                  "sweep only the first N points of the space (0: all)")
       .add_option("axis", "ctrl", "axis to sweep: ctrl | cpu | channels | trcd")
       .add_option("kind", "nvm", "memory technology: dram | nvm | hybrid")
       .add_option("trace-dir", "",
@@ -159,9 +180,10 @@ int main(int argc, char** argv) {
     std::cout << "workload '" << config.workload << "': " << trace.size()
               << " memory events\n\n";
 
-    const auto points = build_points(cli.get_string("space"),
-                                     cli.get_string("axis"),
-                                     parse_kind(cli.get_string("kind")));
+    const auto points = build_points(
+        cli.get_string("space"), cli.get_string("axis"),
+        parse_kind(cli.get_string("kind")),
+        static_cast<std::size_t>(cli.get_int("limit")));
     dse::SweepOptions sweep;
     sweep.failure_policy = parse_policy(cli.get_string("policy"));
     sweep.max_attempts =

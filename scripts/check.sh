@@ -159,6 +159,30 @@ echo "gmd_serve fault injection: typed error once, then healthy"
   --vertices 128 --out-dir "$SMOKE_DIR/service"
 
 echo
+echo "== adaptive explorer kill-and-resume smoke =="
+EXPLORER_ARGS=(--vertices 96 --space reduced --model rf --initial 8 \
+  --batch 4 --rounds 3 --budget 20 --top-k 5)
+# Reference: one uninterrupted closed loop.
+"$BUILD_DIR/examples/adaptive_explorer" "${EXPLORER_ARGS[@]}" \
+  --out-dir "$SMOKE_DIR/explorer-ref" > /dev/null
+# Same loop, SIGKILL stand-in (_Exit, no destructors, no flushes) after
+# one acquisition round, then resumed from the journals.
+if "$BUILD_DIR/examples/adaptive_explorer" "${EXPLORER_ARGS[@]}" \
+    --run-dir "$SMOKE_DIR/explorer-kill" --kill-after-round 2 \
+    > /dev/null; then
+  echo "expected the mid-loop kill to terminate the explorer" >&2; exit 1
+fi
+"$BUILD_DIR/examples/adaptive_explorer" "${EXPLORER_ARGS[@]}" \
+  --run-dir "$SMOKE_DIR/explorer-kill" --resume \
+  --out-dir "$SMOKE_DIR/explorer-resumed" > /dev/null
+for artifact in result.csv front_power_w__total_latency_cycles.csv \
+    front_power_w__bandwidth_mbs.csv; do
+  cmp "$SMOKE_DIR/explorer-ref/$artifact" \
+    "$SMOKE_DIR/explorer-resumed/$artifact"
+done
+echo "killed-and-resumed explorer matches the uninterrupted run bit for bit"
+
+echo
 echo "== memsim microbenchmarks =="
 "$BUILD_DIR/bench/bench_micro" \
   --benchmark_filter='BM_MemorySimulation' --benchmark_min_time=2
@@ -174,3 +198,7 @@ echo "== surrogate training gauge, quick mode (compare against BENCH_ml.json) ==
 echo
 echo "== query service gauge (compare against BENCH_service.json) =="
 "$BUILD_DIR/bench/bench_service"
+
+echo
+echo "== explorer gauge, quick mode (compare against BENCH_explorer.json) =="
+"$BUILD_DIR/bench/bench_explorer" --quick

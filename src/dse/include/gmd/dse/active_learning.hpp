@@ -25,6 +25,16 @@ struct ActiveLearningOptions {
   std::uint64_t seed = 1;
   double gp_gamma = 2.0;             ///< RBF width on scaled features.
   double gp_noise = 1e-4;
+
+  /// Surrogate family: "gp" (predictive variance) or "rf" (a random
+  /// forest whose across-tree spread is the uncertainty signal).  The
+  /// rf path presorts the pool's feature orders ONCE and every round's
+  /// retrain derives its labeled subset via TrainingWorkspace::
+  /// for_sample — no per-round re-sort.
+  std::string model = "gp";
+  std::size_t rf_trees = 50;    ///< Trees per rf retrain.
+  std::size_t num_threads = 1;  ///< rf training threads (fit is
+                                ///< bit-identical at any count).
 };
 
 /// One point of the learning curve.

@@ -6,6 +6,7 @@
 /// the NVM row-activation time tRCD.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ struct DesignPoint {
   /// Numeric ML feature vector; see feature_names() for the schema:
   /// {cpu_mhz, ctrl_mhz, channels, trcd, tras, is_dram, is_nvm, is_hybrid}.
   std::vector<double> features() const;
+  /// Allocation-free variant: writes the same values into `out`, which
+  /// must hold exactly feature_names().size() doubles.  Streaming
+  /// scorers decode millions of rows through this path.
+  void write_features(std::span<double> out) const;
   static const std::vector<std::string>& feature_names();
 
   /// Materializes the simulator configuration for this point.

@@ -5,8 +5,10 @@
 
 #include "gmd/common/error.hpp"
 #include "gmd/common/rng.hpp"
+#include "gmd/ml/forest.hpp"
 #include "gmd/ml/gp.hpp"
 #include "gmd/ml/metrics.hpp"
+#include "gmd/ml/workspace.hpp"
 
 namespace gmd::dse {
 
@@ -44,6 +46,28 @@ Arena build_arena(std::span<const SweepRow> pool,
   return arena;
 }
 
+/// One round's fitted surrogate — GP or random forest behind a common
+/// predict / predict-with-uncertainty face, so the loop and the
+/// acquisition strategies are family-agnostic.
+struct RoundModel {
+  bool is_gp = true;
+  ml::GaussianProcess gp;
+  ml::RandomForest rf{ml::ForestParams{}};
+
+  std::vector<double> predict(const ml::Matrix& x) const {
+    return is_gp ? gp.predict(x) : rf.predict(x);
+  }
+  void predict_with_uncertainty(const ml::Matrix& x,
+                                std::vector<double>& means,
+                                std::vector<double>& variances) const {
+    if (is_gp) {
+      gp.predict_with_variance(x, means, variances);
+    } else {
+      rf.predict_with_spread(x, means, variances);
+    }
+  }
+};
+
 ml::GaussianProcess make_gp(const ActiveLearningOptions& options) {
   ml::GpParams params;
   params.kernel.gamma = options.gp_gamma;
@@ -51,11 +75,11 @@ ml::GaussianProcess make_gp(const ActiveLearningOptions& options) {
   return ml::GaussianProcess(params);
 }
 
-LearningCurvePoint evaluate(const ml::GaussianProcess& gp,
-                            const Arena& arena, std::size_t labels_used) {
+LearningCurvePoint evaluate(const RoundModel& model, const Arena& arena,
+                            std::size_t labels_used) {
   LearningCurvePoint point;
   point.labels_used = labels_used;
-  const std::vector<double> predicted = gp.predict(arena.holdout_x);
+  const std::vector<double> predicted = model.predict(arena.holdout_x);
   point.r2_on_holdout = ml::r2_score(arena.holdout_y, predicted);
   point.mse_on_holdout = ml::mse(arena.holdout_y, predicted);
   return point;
@@ -66,15 +90,25 @@ ActiveLearningResult run_loop(
     std::span<const SweepRow> pool, std::span<const SweepRow> holdout,
     const std::string& metric, const ActiveLearningOptions& options,
     const std::function<std::vector<std::size_t>(
-        const ml::GaussianProcess&, const Arena&,
+        const RoundModel&, const Arena&,
         const std::vector<std::size_t>& unlabeled, Rng&)>& acquire) {
   GMD_REQUIRE(options.initial_labels >= 2, "need >= 2 initial labels");
   GMD_REQUIRE(options.label_budget >= options.initial_labels,
               "label budget below the initial set size");
   GMD_REQUIRE(options.batch_size >= 1, "batch size must be >= 1");
+  GMD_REQUIRE(options.model == "gp" || options.model == "rf",
+              "active-learning model must be gp or rf");
 
   const Arena arena = build_arena(pool, holdout, metric);
   Rng rng(options.seed);
+
+  // The rf retrain path: presort the whole pool's feature orders once;
+  // every round's fit derives its labeled-subset view in O(rows) per
+  // feature (TrainingWorkspace::for_sample) instead of re-sorting.
+  ml::TrainingWorkspace pool_workspace;
+  if (options.model == "rf") {
+    pool_workspace = ml::TrainingWorkspace::build(arena.pool_x);
+  }
 
   std::vector<std::size_t> unlabeled(pool.size());
   std::iota(unlabeled.begin(), unlabeled.end(), std::size_t{0});
@@ -91,20 +125,31 @@ ActiveLearningResult run_loop(
   }
 
   while (true) {
-    ml::GaussianProcess gp = make_gp(options);
-    const ml::Matrix x = arena.pool_x.gather_rows(labeled);
+    RoundModel model;
+    model.is_gp = options.model == "gp";
     std::vector<double> y;
     y.reserve(labeled.size());
     for (const std::size_t i : labeled) y.push_back(arena.pool_y[i]);
-    gp.fit(x, y);
-    result.curve.push_back(evaluate(gp, arena, labeled.size()));
+    if (model.is_gp) {
+      model.gp = make_gp(options);
+      const ml::Matrix x = arena.pool_x.gather_rows(labeled);
+      model.gp.fit(x, y);
+    } else {
+      ml::ForestParams params;
+      params.num_trees = options.rf_trees;
+      params.seed = options.seed;
+      params.num_threads = options.num_threads;
+      model.rf = ml::RandomForest(params);
+      model.rf.fit_with_workspace(pool_workspace, arena.pool_x, labeled, y);
+    }
+    result.curve.push_back(evaluate(model, arena, labeled.size()));
 
     if (labeled.size() >= std::min(options.label_budget, pool.size()) ||
         unlabeled.empty()) {
       break;
     }
     const std::vector<std::size_t> picks =
-        acquire(gp, arena, unlabeled, rng);
+        acquire(model, arena, unlabeled, rng);
     GMD_ASSERT(!picks.empty(), "acquisition returned no points");
     for (const std::size_t pick : picks) {
       const auto it = std::find(unlabeled.begin(), unlabeled.end(), pick);
@@ -125,17 +170,18 @@ ActiveLearningResult run_active_learning(
     const std::string& metric, const ActiveLearningOptions& options) {
   return run_loop(
       pool, holdout, metric, options,
-      [&options](const ml::GaussianProcess& gp, const Arena& arena,
+      [&options](const RoundModel& model, const Arena& arena,
                  const std::vector<std::size_t>& unlabeled, Rng&) {
-        // Maximum-variance acquisition: the batch of unlabeled points
-        // the current model is least sure about.  One batch scan over
-        // the gathered unlabeled rows; ranked is built in the same
-        // unlabeled order as the per-point loop, so the (unstable)
-        // sort sees the identical input sequence.
+        // Maximum-uncertainty acquisition: the batch of unlabeled
+        // points the current model is least sure about (GP variance or
+        // forest spread).  One batch scan over the gathered unlabeled
+        // rows; ranked is built in the same unlabeled order as the
+        // per-point loop, so the (unstable) sort sees the identical
+        // input sequence.
         const ml::Matrix unlabeled_x = arena.pool_x.gather_rows(unlabeled);
         std::vector<double> means;
         std::vector<double> variances;
-        gp.predict_with_variance(unlabeled_x, means, variances);
+        model.predict_with_uncertainty(unlabeled_x, means, variances);
         std::vector<std::pair<double, std::size_t>> ranked;
         ranked.reserve(unlabeled.size());
         for (std::size_t k = 0; k < unlabeled.size(); ++k) {
@@ -157,7 +203,7 @@ ActiveLearningResult run_random_sampling(
     const std::string& metric, const ActiveLearningOptions& options) {
   return run_loop(
       pool, holdout, metric, options,
-      [&options](const ml::GaussianProcess&, const Arena&,
+      [&options](const RoundModel&, const Arena&,
                  const std::vector<std::size_t>& unlabeled, Rng& rng) {
         std::vector<std::size_t> picks;
         std::vector<std::size_t> candidates = unlabeled;

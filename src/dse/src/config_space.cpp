@@ -1,36 +1,12 @@
 #include "gmd/dse/config_space.hpp"
 
 #include "gmd/common/error.hpp"
+#include "gmd/dse/lazy_space.hpp"
 
 namespace gmd::dse {
 
 std::vector<DesignPoint> paper_design_space() {
-  std::vector<DesignPoint> points;
-  points.reserve(416);
-  for (const std::uint32_t cpu : memsim::paper_cpu_frequencies_mhz()) {
-    for (const std::uint32_t ctrl : memsim::paper_controller_frequencies_mhz()) {
-      for (const std::uint32_t channels : memsim::paper_channel_counts()) {
-        DesignPoint dram;
-        dram.kind = MemoryKind::kDram;
-        dram.cpu_freq_mhz = cpu;
-        dram.ctrl_freq_mhz = ctrl;
-        dram.channels = channels;
-        dram.trcd = 9;
-        points.push_back(dram);
-
-        for (const std::uint32_t trcd : memsim::nvm_trcd_set(ctrl)) {
-          DesignPoint nvm = dram;
-          nvm.kind = MemoryKind::kNvm;
-          nvm.trcd = trcd;
-          points.push_back(nvm);
-
-          DesignPoint hybrid = nvm;
-          hybrid.kind = MemoryKind::kHybrid;
-          points.push_back(hybrid);
-        }
-      }
-    }
-  }
+  std::vector<DesignPoint> points = LazySpace::paper().materialize();
   GMD_ASSERT(points.size() == 416, "paper design space must have 416 points");
   return points;
 }
@@ -77,66 +53,11 @@ std::vector<DesignPoint> axis_design_points(const std::string& axis,
 }
 
 std::vector<DesignPoint> reduced_design_space() {
-  std::vector<DesignPoint> points;
-  for (const std::uint32_t cpu : memsim::paper_cpu_frequencies_mhz()) {
-    for (const std::uint32_t ctrl : memsim::paper_controller_frequencies_mhz()) {
-      for (const std::uint32_t channels : memsim::paper_channel_counts()) {
-        const auto& trcds = memsim::nvm_trcd_set(ctrl);
-        const std::uint32_t mid_trcd = trcds[trcds.size() / 2];
-        for (const MemoryKind kind :
-             {MemoryKind::kDram, MemoryKind::kNvm, MemoryKind::kHybrid}) {
-          DesignPoint p;
-          p.kind = kind;
-          p.cpu_freq_mhz = cpu;
-          p.ctrl_freq_mhz = ctrl;
-          p.channels = channels;
-          p.trcd = kind == MemoryKind::kDram ? 9 : mid_trcd;
-          points.push_back(p);
-        }
-      }
-    }
-  }
-  return points;
+  return LazySpace::reduced().materialize();
 }
 
 std::vector<DesignPoint> enumerate_grid(const GridAxes& axes) {
-  GMD_REQUIRE(!axes.kinds.empty(), "grid needs at least one memory kind");
-  GMD_REQUIRE(!axes.cpu_freqs_mhz.empty(), "grid needs CPU frequencies");
-  GMD_REQUIRE(!axes.ctrl_freqs_mhz.empty(),
-              "grid needs controller frequencies");
-  GMD_REQUIRE(!axes.channel_counts.empty(), "grid needs channel counts");
-
-  std::vector<DesignPoint> points;
-  for (const MemoryKind kind : axes.kinds) {
-    for (const std::uint32_t cpu : axes.cpu_freqs_mhz) {
-      for (const std::uint32_t ctrl : axes.ctrl_freqs_mhz) {
-        for (const std::uint32_t channels : axes.channel_counts) {
-          if (kind == MemoryKind::kDram) {
-            DesignPoint p;
-            p.kind = kind;
-            p.cpu_freq_mhz = cpu;
-            p.ctrl_freq_mhz = ctrl;
-            p.channels = channels;
-            p.trcd = 9;
-            points.push_back(p);
-            continue;
-          }
-          const std::vector<std::uint32_t>& trcds =
-              axes.trcds.empty() ? memsim::nvm_trcd_set(ctrl) : axes.trcds;
-          for (const std::uint32_t trcd : trcds) {
-            DesignPoint p;
-            p.kind = kind;
-            p.cpu_freq_mhz = cpu;
-            p.ctrl_freq_mhz = ctrl;
-            p.channels = channels;
-            p.trcd = trcd;
-            points.push_back(p);
-          }
-        }
-      }
-    }
-  }
-  return points;
+  return LazySpace(axes).materialize();
 }
 
 }  // namespace gmd::dse

@@ -27,15 +27,23 @@ std::string DesignPoint::id() const {
 }
 
 std::vector<double> DesignPoint::features() const {
-  const double tras = kind == MemoryKind::kDram ? 24.0 : 0.0;
-  return {static_cast<double>(cpu_freq_mhz),
-          static_cast<double>(ctrl_freq_mhz),
-          static_cast<double>(channels),
-          static_cast<double>(trcd),
-          tras,
-          kind == MemoryKind::kDram ? 1.0 : 0.0,
-          kind == MemoryKind::kNvm ? 1.0 : 0.0,
-          kind == MemoryKind::kHybrid ? 1.0 : 0.0};
+  std::vector<double> out(feature_names().size());
+  write_features(out);
+  return out;
+}
+
+void DesignPoint::write_features(std::span<double> out) const {
+  GMD_REQUIRE(out.size() == feature_names().size(),
+              "feature buffer must hold " << feature_names().size()
+                                          << " doubles");
+  out[0] = static_cast<double>(cpu_freq_mhz);
+  out[1] = static_cast<double>(ctrl_freq_mhz);
+  out[2] = static_cast<double>(channels);
+  out[3] = static_cast<double>(trcd);
+  out[4] = kind == MemoryKind::kDram ? 24.0 : 0.0;
+  out[5] = kind == MemoryKind::kDram ? 1.0 : 0.0;
+  out[6] = kind == MemoryKind::kNvm ? 1.0 : 0.0;
+  out[7] = kind == MemoryKind::kHybrid ? 1.0 : 0.0;
 }
 
 const std::vector<std::string>& DesignPoint::feature_names() {

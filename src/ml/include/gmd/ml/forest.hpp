@@ -49,10 +49,35 @@ class RandomForest final : public Regressor {
   explicit RandomForest(const ForestParams& params = {});
 
   void fit(const Matrix& x, std::span<const double> y) override;
+
+  /// Fits against a prebuilt workspace for `x` — the retrain path of
+  /// iterative loops (active learning, the adaptive explorer), where
+  /// the candidate pool's presorted feature orders are built once and
+  /// every round derives its labeled subset in O(rows) per feature via
+  /// for_sample().  `base` must be TrainingWorkspace::build(pool_x)
+  /// (with histograms when split_mode is kHistogram), and `sample`
+  /// selects the labeled pool rows.  In exact split mode the fitted
+  /// trees are bit-identical to fit(pool_x.gather_rows(sample), y); in
+  /// histogram mode the pool-level bins are reused (consistent across
+  /// rounds, not re-quantized per subset).  Incompatible with
+  /// reference_mode (which exists to bypass workspaces).
+  void fit_with_workspace(const TrainingWorkspace& base, const Matrix& pool_x,
+                          std::span<const std::size_t> sample,
+                          std::span<const double> y);
+
   double predict_one(std::span<const double> x) const override;
   /// Batch inference: blocked over rows, trees walked check-free; each
   /// row's value is the same tree-order sum predict_one computes.
   std::vector<double> predict(const Matrix& x) const override;
+
+  /// Batch means + across-tree spread: one plan pass per tree, like
+  /// predict(), accumulating each row's per-tree sum and sum of squares.
+  /// `means` is bit-identical to predict() (same tree-order sum);
+  /// `variances` is the population variance of the per-tree leaf values
+  /// — the ensemble-disagreement uncertainty the explorer's acquisition
+  /// uses when the surrogate is a forest.
+  void predict_with_spread(const Matrix& x, std::vector<double>& means,
+                           std::vector<double>& variances) const;
   std::string name() const override { return "rf"; }
   std::unique_ptr<Regressor> clone() const override;
   bool is_fitted() const override { return !trees_.empty(); }

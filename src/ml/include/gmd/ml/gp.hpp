@@ -41,12 +41,27 @@ class GaussianProcess final : public Regressor {
   void predict_with_variance(const Matrix& x, std::vector<double>& means,
                              std::vector<double>& variances) const;
 
+  /// Blockwise-parallel batch variant: rows are sharded across a thread
+  /// pool (0: hardware concurrency, 1: serial).  Every row runs the
+  /// same independent per-row math as the scalar path and lands at its
+  /// own output index, so results are bit-identical to the serial
+  /// overload at any thread count.
+  void predict_with_variance(const Matrix& x, std::vector<double>& means,
+                             std::vector<double>& variances,
+                             std::size_t num_threads) const;
+
   std::string name() const override { return "gp"; }
   std::unique_ptr<Regressor> clone() const override;
   bool is_fitted() const override { return fitted_; }
 
  private:
   std::vector<double> kernel_row(std::span<const double> x) const;
+
+  /// One row's mean + variance; `k` is a caller-owned scratch buffer of
+  /// train_.rows() doubles.  Both batch overloads and the scalar path
+  /// funnel through this, so they cannot drift.
+  std::pair<double, double> predict_row(std::span<const double> row,
+                                        std::vector<double>& k) const;
 
   GpParams params_;
   Matrix train_;

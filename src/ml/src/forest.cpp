@@ -89,6 +89,73 @@ void RandomForest::fit(const Matrix& x, std::span<const double> y) {
   });
 }
 
+void RandomForest::fit_with_workspace(const TrainingWorkspace& base,
+                                      const Matrix& pool_x,
+                                      std::span<const std::size_t> sample,
+                                      std::span<const double> y) {
+  GMD_REQUIRE(!params_.reference_mode,
+              "fit_with_workspace is a workspace-engine path");
+  GMD_REQUIRE(sample.size() == y.size(), "sample/y row mismatch");
+  GMD_REQUIRE(!sample.empty(), "empty training data");
+  GMD_REQUIRE(base.rows() == pool_x.rows() && base.features() == pool_x.cols(),
+              "workspace does not match the pool matrix");
+  GMD_REQUIRE(
+      params_.split_mode != TreeParams::SplitMode::kHistogram ||
+          base.has_histograms(),
+      "histogram mode needs a workspace built with build_histograms()");
+  for (const std::size_t idx : sample) {
+    GMD_REQUIRE(idx < pool_x.rows(), "sample index out of range");
+  }
+
+  const std::size_t n = sample.size();
+  const std::size_t p = pool_x.cols();
+  const std::size_t max_features =
+      params_.max_features > 0 ? params_.max_features : p;
+
+  // Same deterministic pre-draw as fit() over an n-row training set, so
+  // (in exact mode) the trees match fit(pool_x.gather_rows(sample), y)
+  // bit for bit: the bootstrap indices into the labeled subset are
+  // composed with `sample` to index the pool directly.
+  Rng rng(params_.seed);
+  struct TreeJob {
+    std::uint64_t seed = 0;
+    std::vector<std::size_t> draw;       ///< Indices into `sample` / `y`.
+    std::vector<std::size_t> pool_rows;  ///< sample[draw[i]].
+  };
+  std::vector<TreeJob> jobs(params_.num_trees);
+  for (auto& job : jobs) {
+    job.seed = rng();
+    job.draw.resize(n);
+    if (params_.bootstrap) {
+      for (auto& idx : job.draw) idx = rng.next_below(n);
+    } else {
+      std::iota(job.draw.begin(), job.draw.end(), std::size_t{0});
+    }
+    job.pool_rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) job.pool_rows[i] = sample[job.draw[i]];
+  }
+
+  trees_.assign(params_.num_trees, DecisionTree(TreeParams{}));
+  ThreadPool pool(params_.num_threads);
+  pool.parallel_for(0, jobs.size(), [&](std::size_t t) {
+    if (params_.deadline != nullptr) params_.deadline->check_now();
+    TreeParams tree_params;
+    tree_params.max_depth = params_.max_depth;
+    tree_params.min_samples_leaf = params_.min_samples_leaf;
+    tree_params.max_features = max_features;
+    tree_params.seed = jobs[t].seed;
+    tree_params.split_mode = params_.split_mode;
+    tree_params.max_bins = params_.max_bins;
+    DecisionTree tree(tree_params);
+    const TrainingWorkspace ws = base.for_sample(jobs[t].pool_rows);
+    const Matrix xs = pool_x.gather_rows(jobs[t].pool_rows);
+    std::vector<double> ys(n);
+    for (std::size_t i = 0; i < n; ++i) ys[i] = y[jobs[t].draw[i]];
+    tree.fit_with_workspace(ws, xs, ys);
+    trees_[t] = std::move(tree);
+  });
+}
+
 double RandomForest::predict_one(std::span<const double> x) const {
   GMD_REQUIRE(is_fitted(), "predict before fit");
   double sum = 0.0;
@@ -121,6 +188,41 @@ std::vector<double> RandomForest::predict(const Matrix& x) const {
   const double count = static_cast<double>(trees_.size());
   for (double& v : out) v /= count;
   return out;
+}
+
+void RandomForest::predict_with_spread(const Matrix& x,
+                                       std::vector<double>& means,
+                                       std::vector<double>& variances) const {
+  GMD_REQUIRE(is_fitted(), "predict before fit");
+  for (const DecisionTree& tree : trees_) {
+    for (const auto& node : tree.nodes_) {
+      GMD_REQUIRE(node.feature == DecisionTree::Node::kLeaf ||
+                      node.feature < x.cols(),
+                  "feature count mismatch");
+    }
+  }
+  // Same tree-major plan traversal as predict(), with a second
+  // accumulator: per row, sum and sum-of-squares of the per-tree leaf
+  // values.  The mean accumulation is the identical tree-order sum, so
+  // means match predict() bit for bit.
+  const std::size_t n = x.rows();
+  means.assign(n, 0.0);
+  variances.assign(n, 0.0);
+  std::vector<double> leaves(n);
+  for (const DecisionTree& tree : trees_) {
+    const DecisionTree::InferencePlan plan = tree.make_plan();
+    DecisionTree::traverse_block(plan, x, 0, n, leaves.data());
+    for (std::size_t r = 0; r < n; ++r) {
+      means[r] += leaves[r];
+      variances[r] += leaves[r] * leaves[r];
+    }
+  }
+  const double count = static_cast<double>(trees_.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    means[r] /= count;
+    variances[r] =
+        std::max(0.0, variances[r] / count - means[r] * means[r]);
+  }
 }
 
 std::unique_ptr<Regressor> RandomForest::clone() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "gmd/common/error.hpp"
+#include "gmd/common/thread_pool.hpp"
 
 namespace gmd::ml {
 
@@ -68,12 +69,12 @@ std::vector<double> GaussianProcess::predict(const Matrix& x) const {
   return out;
 }
 
-std::pair<double, double> GaussianProcess::predict_with_variance(
-    std::span<const double> x) const {
-  GMD_REQUIRE(fitted_, "predict before fit");
-  GMD_REQUIRE(x.size() == train_.cols(), "feature count mismatch");
-  const std::vector<double> k = kernel_row(x);
-
+std::pair<double, double> GaussianProcess::predict_row(
+    std::span<const double> row, std::vector<double>& k) const {
+  k.resize(train_.rows());
+  for (std::size_t i = 0; i < train_.rows(); ++i) {
+    k[i] = kernel(params_.kernel, train_.row(i), row);
+  }
   double mean = y_mean_;
   for (std::size_t i = 0; i < k.size(); ++i) mean += k[i] * alpha_[i];
 
@@ -81,9 +82,16 @@ std::pair<double, double> GaussianProcess::predict_with_variance(
   const std::vector<double> v = cholesky_solve_factored(chol_, k);
   double reduction = 0.0;
   for (std::size_t i = 0; i < k.size(); ++i) reduction += k[i] * v[i];
-  const double prior = kernel(params_.kernel, x, x) + params_.noise;
-  const double variance = std::max(0.0, prior - reduction);
-  return {mean, variance};
+  const double prior = kernel(params_.kernel, row, row) + params_.noise;
+  return {mean, std::max(0.0, prior - reduction)};
+}
+
+std::pair<double, double> GaussianProcess::predict_with_variance(
+    std::span<const double> x) const {
+  GMD_REQUIRE(fitted_, "predict before fit");
+  GMD_REQUIRE(x.size() == train_.cols(), "feature count mismatch");
+  std::vector<double> k;
+  return predict_row(x, k);
 }
 
 void GaussianProcess::predict_with_variance(
@@ -95,20 +103,34 @@ void GaussianProcess::predict_with_variance(
   variances.resize(x.rows());
   std::vector<double> k(train_.rows());
   for (std::size_t r = 0; r < x.rows(); ++r) {
-    const auto row = x.row(r);
-    for (std::size_t i = 0; i < train_.rows(); ++i) {
-      k[i] = kernel(params_.kernel, train_.row(i), row);
-    }
-    double mean = y_mean_;
-    for (std::size_t i = 0; i < k.size(); ++i) mean += k[i] * alpha_[i];
-
-    const std::vector<double> v = cholesky_solve_factored(chol_, k);
-    double reduction = 0.0;
-    for (std::size_t i = 0; i < k.size(); ++i) reduction += k[i] * v[i];
-    const double prior = kernel(params_.kernel, row, row) + params_.noise;
+    const auto [mean, variance] = predict_row(x.row(r), k);
     means[r] = mean;
-    variances[r] = std::max(0.0, prior - reduction);
+    variances[r] = variance;
   }
+}
+
+void GaussianProcess::predict_with_variance(const Matrix& x,
+                                            std::vector<double>& means,
+                                            std::vector<double>& variances,
+                                            std::size_t num_threads) const {
+  GMD_REQUIRE(fitted_, "predict before fit");
+  GMD_REQUIRE(x.cols() == train_.cols(), "feature count mismatch");
+  means.resize(x.rows());
+  variances.resize(x.rows());
+  if (x.rows() == 0) return;
+  // Each row's math reads only fitted state and writes only its own
+  // output slot, so sharding rows across workers cannot change any
+  // value — there is no cross-row accumulation to reorder.
+  ThreadPool pool(num_threads);
+  pool.parallel_for(
+      0, x.rows(),
+      [&](std::size_t r) {
+        thread_local std::vector<double> k;
+        const auto [mean, variance] = predict_row(x.row(r), k);
+        means[r] = mean;
+        variances[r] = variance;
+      },
+      /*grain=*/16);
 }
 
 std::unique_ptr<Regressor> GaussianProcess::clone() const {

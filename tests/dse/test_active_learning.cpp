@@ -120,6 +120,30 @@ TEST_F(ActiveLearningTest, BudgetClampedToPoolSize) {
             result.curve.back().labels_used);
 }
 
+TEST_F(ActiveLearningTest, ForestModelLearnsAndIsThreadInvariant) {
+  ActiveLearningOptions options;
+  options.model = "rf";
+  options.initial_labels = 10;
+  options.label_budget = 30;
+  options.batch_size = 4;
+  const auto serial =
+      run_active_learning(*pool_, *holdout_, "power_w", options);
+  ASSERT_FALSE(serial.curve.empty());
+  EXPECT_EQ(serial.curve.back().labels_used, 30u);
+  EXPECT_GT(serial.curve.back().r2_on_holdout, 0.3);
+
+  // The pool workspace is presorted once and every round's retrain is
+  // derived from it; training is bit-identical at any thread count, so
+  // the acquisition trajectory must be too.
+  options.num_threads = 3;
+  const auto threaded =
+      run_active_learning(*pool_, *holdout_, "power_w", options);
+  EXPECT_EQ(threaded.acquisition_order, serial.acquisition_order);
+  for (std::size_t i = 0; i < serial.curve.size(); ++i) {
+    EXPECT_EQ(threaded.curve[i].r2_on_holdout, serial.curve[i].r2_on_holdout);
+  }
+}
+
 TEST_F(ActiveLearningTest, BadOptionsThrow) {
   ActiveLearningOptions options;
   options.initial_labels = 1;
@@ -131,6 +155,10 @@ TEST_F(ActiveLearningTest, BadOptionsThrow) {
   EXPECT_THROW(run_active_learning(*pool_, *holdout_, "power_w", options),
                Error);
   EXPECT_THROW(run_active_learning({}, *holdout_, "power_w", {}), Error);
+  options = ActiveLearningOptions{};
+  options.model = "svm";
+  EXPECT_THROW(run_active_learning(*pool_, *holdout_, "power_w", options),
+               Error);
 }
 
 }  // namespace

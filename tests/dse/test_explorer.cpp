@@ -1,0 +1,320 @@
+#include "gmd/dse/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "gmd/common/error.hpp"
+#include "gmd/cpusim/workloads.hpp"
+#include "gmd/dse/config_space.hpp"
+#include "gmd/dse/lazy_space.hpp"
+#include "gmd/graph/generators.hpp"
+
+namespace gmd::dse {
+namespace {
+
+std::vector<cpusim::MemoryEvent> make_trace(std::uint32_t vertices = 96) {
+  graph::UniformRandomParams params;
+  params.num_vertices = vertices;
+  params.edge_factor = 8;
+  graph::EdgeList list = graph::generate_uniform_random(params);
+  graph::symmetrize(list);
+  const auto g = graph::CsrGraph::from_edge_list(list);
+  cpusim::VectorSink sink;
+  cpusim::AtomicCpu cpu(cpusim::CpuModel{}, &sink);
+  cpusim::BfsWorkload(g, 0).run(cpu);
+  return sink.events();
+}
+
+/// A deterministic stand-in scorer: a fixed function of the raw
+/// features, so expected rankings can be recomputed exhaustively.
+BlockScorer synthetic_scorer() {
+  return [](const ml::Matrix& x, std::size_t /*first*/,
+            std::span<double> out) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const auto row = x.row(r);
+      out[r] = std::sin(row[0] * 0.001) + 0.5 * std::cos(row[1] * 0.01) +
+               0.1 * row[2] - 0.001 * row[3];
+    }
+  };
+}
+
+std::vector<ScoredPoint> exhaustive_reference(
+    const LazySpace& space, const BlockScorer& scorer, std::size_t k,
+    std::span<const std::size_t> skip = {}) {
+  const std::size_t width = DesignPoint::feature_names().size();
+  ml::Matrix x(space.size(), width);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    space.decode_features(i, i + 1, x.row(i));
+  }
+  std::vector<double> scores(space.size());
+  scorer(x, 0, scores);
+  std::vector<ScoredPoint> all;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (std::binary_search(skip.begin(), skip.end(), i)) continue;
+    all.push_back({i, scores[i]});
+  }
+  std::sort(all.begin(), all.end(), scored_before);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(ScoredBefore, TotalOrderWithIndexTieBreak) {
+  EXPECT_TRUE(scored_before({5, 2.0}, {3, 1.0}));
+  EXPECT_FALSE(scored_before({3, 1.0}, {5, 2.0}));
+  EXPECT_TRUE(scored_before({3, 1.0}, {5, 1.0}));   // tie: lower index
+  EXPECT_FALSE(scored_before({5, 1.0}, {3, 1.0}));
+  EXPECT_FALSE(scored_before({3, 1.0}, {3, 1.0}));  // irreflexive
+}
+
+TEST(StreamScoreTopk, MatchesExhaustiveRanking) {
+  const LazySpace space = LazySpace::paper();
+  const BlockScorer scorer = synthetic_scorer();
+  const auto expected = exhaustive_reference(space, scorer, 25);
+  const auto got = stream_score_topk(space, scorer, 25);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(StreamScoreTopk, InvariantToBlockSizeAndThreads) {
+  const LazySpace space = LazySpace::paper();
+  const BlockScorer scorer = synthetic_scorer();
+  const auto reference = stream_score_topk(space, scorer, 10);
+  for (const std::size_t block : {1ul, 7ul, 64ul, 100000ul}) {
+    for (const std::size_t threads : {1ul, 2ul, 5ul}) {
+      StreamStats stats;
+      const auto got =
+          stream_score_topk(space, scorer, 10, {}, block, threads, &stats);
+      EXPECT_EQ(got, reference) << "block " << block << " threads " << threads;
+      EXPECT_EQ(stats.scored, space.size());
+      EXPECT_EQ(stats.blocks, (space.size() + block - 1) / block);
+    }
+  }
+}
+
+TEST(StreamScoreTopk, ConstantScoresTieBreakToLowestIndices) {
+  const LazySpace space = LazySpace::reduced();
+  const BlockScorer constant = [](const ml::Matrix& x, std::size_t,
+                                  std::span<double> out) {
+    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = 7.0;
+  };
+  const std::vector<std::size_t> skip = {0, 2, 3};
+  const auto got = stream_score_topk(space, constant, 4, skip, 16, 3);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].index, 1u);
+  EXPECT_EQ(got[1].index, 4u);
+  EXPECT_EQ(got[2].index, 5u);
+  EXPECT_EQ(got[3].index, 6u);
+}
+
+TEST(StreamScoreTopk, SkipListAndShortSpaces) {
+  const LazySpace space = LazySpace::reduced();
+  const BlockScorer scorer = synthetic_scorer();
+  std::vector<std::size_t> skip;
+  for (std::size_t i = 0; i < space.size(); i += 2) skip.push_back(i);
+  const auto expected = exhaustive_reference(space, scorer, 200, skip);
+  const auto got = stream_score_topk(space, scorer, 200, skip, 13, 2);
+  EXPECT_EQ(got, expected);  // k > candidates: returns all, sorted
+  EXPECT_EQ(got.size(), space.size() - skip.size());
+  EXPECT_TRUE(stream_score_topk(space, scorer, 0).empty());
+}
+
+class ExplorerTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new std::vector<cpusim::MemoryEvent>(make_trace());
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static ExplorerOptions small_options() {
+    ExplorerOptions options;
+    options.initial_samples = 8;
+    options.batch_size = 4;
+    options.max_rounds = 3;
+    options.simulation_budget = 20;
+    options.top_k = 5;
+    return options;
+  }
+
+  static std::vector<cpusim::MemoryEvent>* trace_;
+};
+
+std::vector<cpusim::MemoryEvent>* ExplorerTest::trace_ = nullptr;
+
+void expect_same_result(const ExplorerResult& a, const ExplorerResult& b) {
+  EXPECT_EQ(a.space_size, b.space_size);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].acquired, b.rounds[r].acquired) << "round " << r;
+    EXPECT_EQ(a.rounds[r].best_value, b.rounds[r].best_value) << "round " << r;
+  }
+  EXPECT_EQ(a.top, b.top);
+  ASSERT_EQ(a.labeled.size(), b.labeled.size());
+  for (std::size_t i = 0; i < a.labeled.size(); ++i) {
+    EXPECT_EQ(a.labeled[i].first, b.labeled[i].first);
+  }
+  ASSERT_EQ(a.fronts.size(), b.fronts.size());
+  for (std::size_t f = 0; f < a.fronts.size(); ++f) {
+    EXPECT_EQ(a.fronts[f].entries, b.fronts[f].entries);
+  }
+}
+
+TEST_F(ExplorerTest, RespectsBudgetAndRoundStructure) {
+  const LazySpace space = LazySpace::reduced();
+  const ExplorerResult result =
+      run_explorer(space, *trace_, small_options());
+  ASSERT_FALSE(result.rounds.empty());
+  EXPECT_EQ(result.rounds.front().acquired.size(), 8u);
+  EXPECT_LE(result.labeled.size(), 20u);
+  EXPECT_EQ(result.top.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const ExplorerRound& round : result.rounds) {
+    for (const std::size_t index : round.acquired) {
+      EXPECT_TRUE(seen.insert(index).second)
+          << "index " << index << " acquired twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), result.labeled.size());
+  EXPECT_EQ(result.fronts.size(), 2u);
+}
+
+TEST_F(ExplorerTest, DeterministicAcrossThreadsAndBlocks) {
+  const LazySpace space = LazySpace::reduced();
+  ExplorerOptions base = small_options();
+  const ExplorerResult reference = run_explorer(space, *trace_, base);
+
+  ExplorerOptions threaded = base;
+  threaded.num_threads = 4;
+  threaded.block_size = 8;
+  expect_same_result(run_explorer(space, *trace_, threaded), reference);
+
+  ExplorerOptions tiny_blocks = base;
+  tiny_blocks.block_size = 1;
+  expect_same_result(run_explorer(space, *trace_, tiny_blocks), reference);
+}
+
+TEST_F(ExplorerTest, AcquisitionModesAndModelsRun) {
+  const LazySpace space = LazySpace::reduced();
+  for (const Acquisition acquisition :
+       {Acquisition::kMaxVariance, Acquisition::kExpectedImprovement,
+        Acquisition::kBestPredicted}) {
+    for (const char* model : {"gp", "rf"}) {
+      ExplorerOptions options = small_options();
+      options.acquisition = acquisition;
+      options.model = model;
+      const ExplorerResult result = run_explorer(space, *trace_, options);
+      EXPECT_EQ(result.top.size(), 5u)
+          << model << "/" << to_string(acquisition);
+    }
+  }
+}
+
+TEST_F(ExplorerTest, KillAndResumeReachesIdenticalResult) {
+  const LazySpace space = LazySpace::reduced();
+  const std::string run_dir =
+      (std::filesystem::temp_directory_path() / "gmd_explorer_resume_test")
+          .string();
+  std::filesystem::remove_all(run_dir);
+
+  ExplorerOptions options = small_options();
+  const ExplorerResult uninterrupted = run_explorer(space, *trace_, options);
+
+  // Round hooks fire after each round is simulated and journaled, so
+  // throwing from one is the in-process stand-in for SIGKILL at the
+  // worst moment: a freshly journaled acquisition with nothing resumed.
+  struct Killed {};
+  for (std::size_t kill_after = 1; kill_after <= 3; ++kill_after) {
+    std::filesystem::remove_all(run_dir);
+    ExplorerOptions killed = options;
+    killed.run_dir = run_dir;
+    killed.round_hook = [kill_after](std::size_t completed) {
+      if (completed >= kill_after) throw Killed{};
+    };
+    EXPECT_THROW(run_explorer(space, *trace_, killed), Killed);
+
+    ExplorerOptions resumed = options;
+    resumed.run_dir = run_dir;
+    resumed.resume = true;
+    const ExplorerResult result = run_explorer(space, *trace_, resumed);
+    expect_same_result(result, uninterrupted);
+  }
+  std::filesystem::remove_all(run_dir);
+}
+
+TEST_F(ExplorerTest, ResumeRefusesForeignJournal) {
+  const std::string run_dir =
+      (std::filesystem::temp_directory_path() / "gmd_explorer_identity_test")
+          .string();
+  std::filesystem::remove_all(run_dir);
+  ExplorerOptions options = small_options();
+  options.run_dir = run_dir;
+  run_explorer(LazySpace::reduced(), *trace_, options);
+
+  // Same run dir, different space: the rounds journal identity check
+  // must refuse rather than mix trajectories.
+  options.resume = true;
+  EXPECT_THROW(run_explorer(LazySpace::paper(), *trace_, options), Error);
+
+  // Different options hash likewise.
+  ExplorerOptions changed = options;
+  changed.seed = 99;
+  EXPECT_THROW(run_explorer(LazySpace::reduced(), *trace_, changed), Error);
+  std::filesystem::remove_all(run_dir);
+}
+
+TEST_F(ExplorerTest, SurrogateAgreesWithExhaustive416Sweep) {
+  const LazySpace space = LazySpace::paper();
+  ExplorerOptions options;
+  options.initial_samples = 32;
+  options.batch_size = 16;
+  options.max_rounds = 8;
+  options.simulation_budget = 128;  // < 1/3 of the exhaustive sweep
+  options.top_k = 10;
+  const ExplorerResult result = run_explorer(space, *trace_, options);
+  EXPECT_LE(result.labeled.size(), 128u);
+
+  const std::vector<SweepRow> rows =
+      run_sweep(space.materialize(), *trace_, {});
+  const std::vector<std::size_t> truth =
+      exhaustive_topk(rows, options.metric, 10);
+  std::vector<std::size_t> picks;
+  for (const ScoredPoint& p : result.top) picks.push_back(p.index);
+  EXPECT_GE(topk_agreement(picks, truth), 0.9)
+      << "explorer found " << topk_agreement(picks, truth) * 10
+      << " of the true top-10 with " << result.labeled.size()
+      << " simulations";
+}
+
+TEST(ExplorerHelpers, ExhaustiveTopkAndAgreement) {
+  EXPECT_EQ(topk_agreement(std::vector<std::size_t>{}, {}), 1.0);
+  const std::vector<std::size_t> truth = {1, 2, 3, 4};
+  const std::vector<std::size_t> picks = {4, 9, 1, 7};
+  EXPECT_DOUBLE_EQ(topk_agreement(picks, truth), 0.5);
+}
+
+TEST(ExplorerOptionsValidation, RejectsBadInputs) {
+  const LazySpace space = LazySpace::reduced();
+  const std::vector<cpusim::MemoryEvent> trace = make_trace(64);
+  ExplorerOptions options;
+  options.initial_samples = 1;
+  EXPECT_THROW(run_explorer(space, trace, options), Error);
+  options = {};
+  options.simulation_budget = 4;  // below initial_samples
+  EXPECT_THROW(run_explorer(space, trace, options), Error);
+  options = {};
+  options.model = "svm";
+  EXPECT_THROW(run_explorer(space, trace, options), Error);
+  EXPECT_THROW(parse_acquisition("nope"), Error);
+  EXPECT_EQ(parse_acquisition("ei"), Acquisition::kExpectedImprovement);
+  EXPECT_EQ(to_string(Acquisition::kMaxVariance), "variance");
+}
+
+}  // namespace
+}  // namespace gmd::dse

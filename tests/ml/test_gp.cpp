@@ -97,5 +97,45 @@ TEST(GaussianProcess, MisuseErrors) {
   EXPECT_THROW(GaussianProcess{bad}, Error);
 }
 
+TEST(GpBatchPredict, SerialBatchMatchesPerRowExactly) {
+  Matrix x;
+  std::vector<double> y;
+  sample_smooth(60, 7, &x, &y);
+  GaussianProcess model;
+  model.fit(x, y);
+
+  Matrix xt;
+  std::vector<double> yt;
+  sample_smooth(33, 8, &xt, &yt);
+  std::vector<double> means, variances;
+  model.predict_with_variance(xt, means, variances);
+  ASSERT_EQ(means.size(), xt.rows());
+  for (std::size_t r = 0; r < xt.rows(); ++r) {
+    const auto [mu, var] = model.predict_with_variance(xt.row(r));
+    EXPECT_EQ(means[r], mu) << "row " << r;          // bit-identical
+    EXPECT_EQ(variances[r], var) << "row " << r;
+  }
+}
+
+TEST(GpBatchPredict, ParallelMatchesSerialAtAnyThreadCount) {
+  Matrix x;
+  std::vector<double> y;
+  sample_smooth(80, 9, &x, &y);
+  GaussianProcess model;
+  model.fit(x, y);
+
+  Matrix xt;
+  std::vector<double> yt;
+  sample_smooth(257, 10, &xt, &yt);  // not a multiple of any grain size
+  std::vector<double> means, variances;
+  model.predict_with_variance(xt, means, variances);
+  for (const std::size_t threads : {1ul, 2ul, 3ul, 8ul}) {
+    std::vector<double> pmeans, pvariances;
+    model.predict_with_variance(xt, pmeans, pvariances, threads);
+    EXPECT_EQ(pmeans, means) << threads << " threads";
+    EXPECT_EQ(pvariances, variances) << threads << " threads";
+  }
+}
+
 }  // namespace
 }  // namespace gmd::ml
